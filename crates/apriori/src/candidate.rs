@@ -1,0 +1,124 @@
+//! Level-wise candidate generation (the `apriori-gen` procedure).
+
+use car_itemset::ItemSet;
+
+use crate::hash::FastHashSet;
+
+/// Generates the candidate `(k+1)`-itemsets from the large `k`-itemsets.
+///
+/// Implements both steps of `apriori-gen` (Agrawal & Srikant, 1994):
+///
+/// 1. **Join**: two large `k`-itemsets sharing their first `k−1` items
+///    produce a `(k+1)`-candidate.
+/// 2. **Prune**: a candidate survives only if *every* `k`-subset is large
+///    (property: all subsets of a frequent itemset are frequent).
+///
+/// `large` must be sorted and duplicate-free with uniform length `k ≥ 1`;
+/// the output is sorted, duplicate-free, of length `k + 1`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `large` is unsorted or mixes lengths.
+pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
+    debug_assert!(large.windows(2).all(|w| w[0] < w[1]), "input must be sorted");
+    debug_assert!(
+        large.windows(2).all(|w| w[0].len() == w[1].len()),
+        "input must have uniform length"
+    );
+    if large.is_empty() {
+        return Vec::new();
+    }
+
+    let lookup: FastHashSet<&ItemSet> = large.iter().collect();
+    let mut out = Vec::new();
+
+    // Sorted input groups itemsets by their (k-1)-prefix, so joinable
+    // pairs are contiguous: join each itemset with the following ones
+    // while prefixes agree.
+    let k = large[0].len();
+    for (i, a) in large.iter().enumerate() {
+        for b in &large[i + 1..] {
+            if a.as_slice()[..k - 1] != b.as_slice()[..k - 1] {
+                break;
+            }
+            let candidate = a
+                .apriori_join(b)
+                .expect("sorted same-prefix pair must join");
+            if prune_ok(&candidate, &lookup) {
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
+/// Prune step: every immediate subset must be large.
+///
+/// The two subsets obtained by dropping one of the last two items are the
+/// join parents and are large by construction, but checking all `k+1`
+/// subsets keeps the function independent of how the candidate was built.
+fn prune_ok(candidate: &ItemSet, large: &FastHashSet<&ItemSet>) -> bool {
+    candidate
+        .immediate_subsets()
+        .all(|sub| large.contains(&sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(apriori_gen(&[]).is_empty());
+    }
+
+    #[test]
+    fn singletons_join_pairwise() {
+        let large = vec![set(&[1]), set(&[2]), set(&[3])];
+        let cands = apriori_gen(&large);
+        assert_eq!(cands, vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])]);
+    }
+
+    #[test]
+    fn prune_removes_candidates_with_small_subsets() {
+        // {1,2}, {1,3} join to {1,2,3} but {2,3} is not large → pruned.
+        let large = vec![set(&[1, 2]), set(&[1, 3])];
+        assert!(apriori_gen(&large).is_empty());
+
+        // Adding {2,3} lets the candidate through.
+        let large = vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])];
+        assert_eq!(apriori_gen(&large), vec![set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn classic_textbook_case() {
+        // Agrawal–Srikant example: L3 = {123, 124, 134, 135, 234} gives
+        // C4 = {1234} ({1345} is pruned because {145} ∉ L3).
+        let large = vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3, 4]),
+            set(&[1, 3, 5]),
+            set(&[2, 3, 4]),
+        ];
+        assert_eq!(apriori_gen(&large), vec![set(&[1, 2, 3, 4])]);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let large: Vec<ItemSet> = (1u32..=6).map(|i| set(&[i])).collect();
+        let cands = apriori_gen(&large);
+        assert_eq!(cands.len(), 15); // C(6,2)
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn non_adjacent_prefix_groups_do_not_join() {
+        let large = vec![set(&[1, 2]), set(&[3, 4])];
+        assert!(apriori_gen(&large).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Closed and maximal frequent itemsets.
+//!
+//! The full frequent-itemset collection is heavily redundant: every
+//! subset of a frequent itemset is frequent too. Two standard condensed
+//! representations:
+//!
+//! * a frequent itemset is **closed** when no proper superset has the
+//!   same support — the closed sets preserve *all* support information
+//!   (any itemset's count equals the count of its smallest closed
+//!   superset);
+//! * a frequent itemset is **maximal** when no proper superset is
+//!   frequent at all — the smallest representation, but counts of
+//!   subsets are lost.
+//!
+//! These filters help when inspecting mining output and when exporting
+//! compact summaries of per-unit lattices.
+
+use car_itemset::ItemSet;
+
+use crate::frequent::FrequentItemsets;
+
+/// The closed frequent itemsets, sorted.
+///
+/// Quadratic per level-pair in the worst case (`O(Σ |L_k|·|L_{k+1}|·k)`),
+/// which is fine for the post-processing role it plays here.
+pub fn closed_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    let mut out: Vec<(ItemSet, u64)> = Vec::new();
+    let max = frequent.max_level();
+    for k in 1..=max {
+        'candidate: for (itemset, count) in frequent.level(k) {
+            // Closed iff no (k+1)-superset has the same count. Supersets
+            // with *larger* count are impossible; smaller-count supersets
+            // do not affect closedness.
+            for (sup, sup_count) in frequent.level(k + 1) {
+                if sup_count == count && itemset.is_subset_of(sup) {
+                    continue 'candidate;
+                }
+            }
+            out.push((itemset.clone(), count));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The maximal frequent itemsets, sorted.
+pub fn maximal_itemsets(frequent: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+    let mut out: Vec<(ItemSet, u64)> = Vec::new();
+    let max = frequent.max_level();
+    for k in 1..=max {
+        'candidate: for (itemset, count) in frequent.level(k) {
+            for (sup, _) in frequent.level(k + 1) {
+                if itemset.is_subset_of(sup) {
+                    continue 'candidate;
+                }
+            }
+            out.push((itemset.clone(), count));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apriori, AprioriConfig, MinSupport};
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn mine(tx: &[ItemSet], min: u64) -> FrequentItemsets {
+        Apriori::new(AprioriConfig::new(MinSupport::count(min))).mine(tx)
+    }
+
+    #[test]
+    fn textbook_closed_and_maximal() {
+        // Classic example: T = {ab, abc, abc} with minsup 2.
+        let tx = vec![set(&[1, 2]), set(&[1, 2, 3]), set(&[1, 2, 3])];
+        let f = mine(&tx, 2);
+        // Frequent: 1(3) 2(3) 3(2) 12(3) 13(2) 23(2) 123(2).
+        let closed = closed_itemsets(&f);
+        assert_eq!(
+            closed,
+            vec![(set(&[1, 2]), 3), (set(&[1, 2, 3]), 2)],
+            "only {{1,2}} (count 3) and {{1,2,3}} (count 2) are closed"
+        );
+        let maximal = maximal_itemsets(&f);
+        assert_eq!(maximal, vec![(set(&[1, 2, 3]), 2)]);
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        let tx = vec![
+            set(&[1, 2, 5]),
+            set(&[2, 4]),
+            set(&[2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3]),
+            set(&[2, 3]),
+            set(&[1, 3]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 2, 3]),
+        ];
+        let f = mine(&tx, 2);
+        let closed = closed_itemsets(&f);
+        let maximal = maximal_itemsets(&f);
+        assert!(!closed.is_empty());
+        assert!(maximal.len() <= closed.len());
+        for m in &maximal {
+            assert!(closed.contains(m), "maximal {m:?} must be closed");
+        }
+    }
+
+    #[test]
+    fn closed_sets_preserve_support_information() {
+        let tx = vec![
+            set(&[1, 2, 5]),
+            set(&[2, 4]),
+            set(&[2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3]),
+            set(&[2, 3]),
+            set(&[1, 3]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 2, 3]),
+        ];
+        let f = mine(&tx, 2);
+        let closed = closed_itemsets(&f);
+        // Every frequent itemset's count = max count among its closed
+        // supersets.
+        for (itemset, count) in f.iter() {
+            let reconstructed = closed
+                .iter()
+                .filter(|(c, _)| itemset.is_subset_of(c))
+                .map(|&(_, cnt)| cnt)
+                .max()
+                .expect("every frequent itemset has a closed superset");
+            assert_eq!(reconstructed, count, "{itemset}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = FrequentItemsets::new(0);
+        assert!(closed_itemsets(&f).is_empty());
+        assert!(maximal_itemsets(&f).is_empty());
+    }
+
+    #[test]
+    fn singletons_only() {
+        let tx = vec![set(&[1]), set(&[2]), set(&[1])];
+        let f = mine(&tx, 1);
+        // No pair is frequent, so all singletons are closed and maximal.
+        assert_eq!(closed_itemsets(&f).len(), 2);
+        assert_eq!(maximal_itemsets(&f).len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Support counting engines.
+//!
+//! Counting is the hot loop of Apriori: for every transaction, find which
+//! candidate `k`-itemsets it contains. Two engines are provided and kept
+//! behaviourally identical (tests cross-check them):
+//!
+//! * [`CountStrategy::HashMap`] — enumerate the `k`-subsets of each
+//!   transaction and look them up in a fast hash map. Simple and very
+//!   fast while `C(|t|, k)` stays small (short transactions, low `k`).
+//! * [`CountStrategy::HashTree`] — the Apriori paper's hash tree, which
+//!   scales to long transactions and large candidate sets.
+//! * [`CountStrategy::Auto`] — picks per batch based on transaction
+//!   length and candidate count.
+
+use car_itemset::ItemSet;
+
+use crate::hash::FastHashMap;
+use crate::hash_tree::HashTree;
+
+/// Which support-counting engine to use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CountStrategy {
+    /// Subset enumeration + hash map lookup.
+    HashMap,
+    /// Classic Apriori hash tree.
+    HashTree,
+    /// Choose automatically per counting batch.
+    #[default]
+    Auto,
+}
+
+/// Counts, for each candidate, the number of transactions containing it.
+///
+/// All candidates must share the same size `k ≥ 1`. Returns counts
+/// parallel to `candidates`. Transactions shorter than `k` are skipped.
+///
+/// # Panics
+///
+/// Panics if candidates have size 0 or mixed sizes.
+pub fn count_candidates(
+    candidates: &[ItemSet],
+    transactions: &[ItemSet],
+    strategy: CountStrategy,
+) -> Vec<u64> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let k = candidates[0].len();
+    assert!(k >= 1, "candidates must be non-empty itemsets");
+    assert!(
+        candidates.iter().all(|c| c.len() == k),
+        "candidates must have uniform size"
+    );
+
+    match strategy {
+        CountStrategy::HashMap => count_hashmap(candidates, transactions, k),
+        CountStrategy::HashTree => count_hashtree(candidates, transactions),
+        CountStrategy::Auto => {
+            // Subset enumeration explodes with transaction length; the
+            // hash tree wins once C(|t|, k) routinely exceeds the number
+            // of candidates a transaction could realistically contain.
+            let max_len = transactions.iter().map(ItemSet::len).max().unwrap_or(0);
+            if binomial_capped(max_len, k, 4 * candidates.len() as u64 + 64)
+                > 4 * candidates.len() as u64
+            {
+                count_hashtree(candidates, transactions)
+            } else {
+                count_hashmap(candidates, transactions, k)
+            }
+        }
+    }
+}
+
+fn count_hashmap(candidates: &[ItemSet], transactions: &[ItemSet], k: usize) -> Vec<u64> {
+    let index: FastHashMap<&ItemSet, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c, i))
+        .collect();
+    let mut counts = vec![0u64; candidates.len()];
+    for t in transactions {
+        if t.len() < k {
+            continue;
+        }
+        for sub in t.k_subsets(k) {
+            if let Some(&i) = index.get(&sub) {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn count_hashtree(candidates: &[ItemSet], transactions: &[ItemSet]) -> Vec<u64> {
+    let mut tree = HashTree::build(candidates.to_vec());
+    tree.count_all(transactions);
+    let (_, counts) = tree.into_counts();
+    counts
+}
+
+/// `C(n, k)` capped at `cap` to avoid overflow.
+fn binomial_capped(n: usize, k: usize, cap: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let mut r: u64 = 1;
+    for i in 0..k {
+        r = r.saturating_mul((n - i) as u64) / (i as u64 + 1);
+        if r >= cap {
+            return cap;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn naive(candidates: &[ItemSet], transactions: &[ItemSet]) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|c| transactions.iter().filter(|t| c.is_subset_of(t)).count() as u64)
+            .collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_with_naive() {
+        let candidates = vec![set(&[1, 2]), set(&[2, 3]), set(&[4, 5]), set(&[1, 5])];
+        let transactions = vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2, 5]),
+            set(&[4, 5]),
+            set(&[2]),
+            set(&[]),
+            set(&[1, 2, 3, 4, 5]),
+        ];
+        let expected = naive(&candidates, &transactions);
+        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto] {
+            assert_eq!(
+                count_candidates(&candidates, &transactions, strategy),
+                expected,
+                "strategy {strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(count_candidates(&[], &[set(&[1])], CountStrategy::Auto).is_empty());
+        assert_eq!(
+            count_candidates(&[set(&[1])], &[], CountStrategy::Auto),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn singleton_candidates() {
+        let candidates = vec![set(&[1]), set(&[2]), set(&[9])];
+        let transactions = vec![set(&[1, 2]), set(&[1]), set(&[2, 9])];
+        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree] {
+            assert_eq!(
+                count_candidates(&candidates, &transactions, strategy),
+                vec![2, 2, 1]
+            );
+        }
+    }
+
+    #[test]
+    fn long_transactions_trigger_auto_hashtree_and_stay_correct() {
+        // One long transaction makes subset enumeration expensive; Auto
+        // must still produce exact counts.
+        let candidates: Vec<ItemSet> = (0..10u32).map(|i| set(&[i, i + 10, i + 20])).collect();
+        let mut transactions = vec![ItemSet::from_ids(0..30u32)];
+        transactions.push(set(&[0, 10, 20]));
+        let expected = naive(&candidates, &transactions);
+        assert_eq!(
+            count_candidates(&candidates, &transactions, CountStrategy::Auto),
+            expected
+        );
+    }
+
+    #[test]
+    fn binomial_capped_behaviour() {
+        assert_eq!(binomial_capped(5, 2, 1000), 10);
+        assert_eq!(binomial_capped(5, 6, 1000), 0);
+        assert_eq!(binomial_capped(100, 50, 7), 7); // capped
+        assert_eq!(binomial_capped(4, 0, 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform size")]
+    fn mixed_candidate_sizes_panic() {
+        let _ = count_candidates(
+            &[set(&[1]), set(&[1, 2])],
+            &[set(&[1])],
+            CountStrategy::HashMap,
+        );
+    }
+}

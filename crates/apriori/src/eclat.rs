@@ -1,0 +1,167 @@
+//! Eclat: vertical (tid-list) frequent itemset mining.
+//!
+//! Eclat (Zaki, 1997) represents each itemset by the sorted list of
+//! transaction ids containing it and computes supports by intersecting
+//! tid-lists instead of scanning transactions. It explores the itemset
+//! lattice depth-first within equivalence classes sharing a prefix.
+//!
+//! In this workspace Eclat serves two purposes: a cross-checking oracle
+//! for the Apriori implementations (identical outputs, very different
+//! mechanics), and a faster per-unit substrate when units are dense and
+//! deep itemsets exist.
+
+use car_itemset::{Item, ItemSet};
+
+use crate::frequent::FrequentItemsets;
+use crate::hash::FastHashMap;
+use crate::support::MinSupport;
+
+/// Mines all large itemsets of `transactions` with the Eclat algorithm.
+///
+/// Produces exactly the same itemsets and counts as
+/// [`Apriori::mine`](crate::Apriori::mine) (property-tested).
+pub fn eclat(
+    transactions: &[ItemSet],
+    min_support: MinSupport,
+    max_size: Option<usize>,
+) -> FrequentItemsets {
+    let threshold = min_support.threshold(transactions.len());
+    let mut result = FrequentItemsets::new(transactions.len());
+    if max_size == Some(0) {
+        return result;
+    }
+
+    // Build vertical tid-lists for frequent single items.
+    let mut tidlists: FastHashMap<Item, Vec<u32>> = FastHashMap::default();
+    for (tid, t) in transactions.iter().enumerate() {
+        for item in t.iter() {
+            tidlists.entry(item).or_default().push(tid as u32);
+        }
+    }
+    let mut roots: Vec<(ItemSet, Vec<u32>)> = tidlists
+        .into_iter()
+        .filter(|(_, tids)| tids.len() as u64 >= threshold)
+        .map(|(item, tids)| (ItemSet::single(item), tids))
+        .collect();
+    roots.sort_by(|a, b| a.0.cmp(&b.0));
+
+    for (itemset, tids) in &roots {
+        result.insert(itemset.clone(), tids.len() as u64);
+    }
+
+    // Depth-first extension within prefix equivalence classes.
+    extend(&roots, threshold, max_size, &mut result);
+    result
+}
+
+/// Recursively extends each member of a prefix class with its
+/// right-siblings.
+fn extend(
+    class: &[(ItemSet, Vec<u32>)],
+    threshold: u64,
+    max_size: Option<usize>,
+    result: &mut FrequentItemsets,
+) {
+    for (i, (prefix, prefix_tids)) in class.iter().enumerate() {
+        if max_size.is_some_and(|cap| prefix.len() + 1 > cap) {
+            return;
+        }
+        let mut child_class: Vec<(ItemSet, Vec<u32>)> = Vec::new();
+        for (sibling, sibling_tids) in &class[i + 1..] {
+            let last = *sibling.as_slice().last().expect("non-empty");
+            let tids = intersect(prefix_tids, sibling_tids);
+            if tids.len() as u64 >= threshold {
+                let itemset = prefix.with_appended(last);
+                result.insert(itemset.clone(), tids.len() as u64);
+                child_class.push((itemset, tids));
+            }
+        }
+        if !child_class.is_empty() {
+            extend(&child_class, threshold, max_size, result);
+        }
+    }
+}
+
+/// Intersects two sorted tid-lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apriori, AprioriConfig};
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn han_kamber() -> Vec<ItemSet> {
+        vec![
+            set(&[1, 2, 5]),
+            set(&[2, 4]),
+            set(&[2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3]),
+            set(&[2, 3]),
+            set(&[1, 3]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 2, 3]),
+        ]
+    }
+
+    fn as_sorted(f: &FrequentItemsets) -> Vec<(ItemSet, u64)> {
+        let mut v: Vec<_> = f.iter().map(|(s, c)| (s.clone(), c)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_apriori_on_han_kamber() {
+        let tx = han_kamber();
+        for min in [1u64, 2, 3, 4] {
+            let ms = MinSupport::count(min);
+            let a = Apriori::new(AprioriConfig::new(ms)).mine(&tx);
+            let e = eclat(&tx, ms, None);
+            assert_eq!(as_sorted(&a), as_sorted(&e), "minsup {min}");
+        }
+    }
+
+    #[test]
+    fn respects_max_size() {
+        let tx = vec![set(&[1, 2, 3, 4]); 3];
+        let e = eclat(&tx, MinSupport::count(1), Some(2));
+        assert_eq!(e.max_level(), 2);
+        assert_eq!(e.len(), 4 + 6);
+        let unlimited = eclat(&tx, MinSupport::count(1), None);
+        assert_eq!(unlimited.len(), 15); // 2^4 - 1
+        let zero = eclat(&tx, MinSupport::count(1), Some(0));
+        assert!(zero.is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let e = eclat(&[], MinSupport::fraction(0.5).unwrap(), None);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn intersect_is_exact() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+}

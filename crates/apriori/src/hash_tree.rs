@@ -1,0 +1,318 @@
+//! The hash tree of the original Apriori paper: an index over candidate
+//! `k`-itemsets that lets one transaction discover all contained
+//! candidates without enumerating every `k`-subset or every candidate.
+
+use car_itemset::{Item, ItemSet};
+
+/// Fan-out of interior nodes.
+const FANOUT: usize = 16;
+/// A leaf splits into an interior node when it exceeds this many
+/// candidates (and items remain to hash on).
+const LEAF_CAP: usize = 8;
+
+/// A hash tree over candidate `k`-itemsets.
+///
+/// Interior nodes at depth `d` hash the `d`-th item of a candidate into
+/// one of a fixed number of buckets; leaves store candidate indices. Counting a
+/// transaction walks the tree once per viable item prefix and verifies
+/// containment only for the few candidates in the reached leaves.
+///
+/// A transaction can reach the same leaf through different item choices
+/// that hash alike, so counting stamps each candidate with the current
+/// transaction number and increments at most once per transaction.
+pub struct HashTree {
+    k: usize,
+    root: Node,
+    candidates: Vec<ItemSet>,
+    counts: Vec<u64>,
+    /// Last transaction stamp per candidate, to deduplicate leaf visits.
+    stamps: Vec<u64>,
+    next_stamp: u64,
+}
+
+enum Node {
+    Interior(Box<[Node; FANOUT]>),
+    Leaf(Vec<u32>),
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf(Vec::new())
+    }
+
+    fn new_interior() -> Node {
+        Node::Interior(Box::new(std::array::from_fn(|_| Node::empty_leaf())))
+    }
+}
+
+#[inline]
+fn bucket(item: Item) -> usize {
+    // Multiply-shift keeps consecutive ids from clustering in one bucket.
+    (item.id().wrapping_mul(2_654_435_761) >> 16) as usize % FANOUT
+}
+
+impl HashTree {
+    /// Builds a hash tree over candidates of uniform size `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if candidates are empty-sized or of mixed sizes.
+    pub fn build(candidates: Vec<ItemSet>) -> Self {
+        let k = candidates.first().map_or(1, ItemSet::len);
+        assert!(k >= 1, "hash tree candidates must be non-empty itemsets");
+        assert!(
+            candidates.iter().all(|c| c.len() == k),
+            "hash tree candidates must have uniform size"
+        );
+        let n = candidates.len();
+        let mut tree = HashTree {
+            k,
+            root: Node::empty_leaf(),
+            candidates,
+            counts: vec![0; n],
+            stamps: vec![0; n],
+            next_stamp: 0,
+        };
+        for idx in 0..n {
+            Self::insert(&mut tree.root, &tree.candidates, idx as u32, 0, tree.k);
+        }
+        tree
+    }
+
+    fn insert(node: &mut Node, candidates: &[ItemSet], idx: u32, depth: usize, k: usize) {
+        match node {
+            Node::Interior(children) => {
+                let item = candidates[idx as usize].as_slice()[depth];
+                Self::insert(&mut children[bucket(item)], candidates, idx, depth + 1, k);
+            }
+            Node::Leaf(list) => {
+                list.push(idx);
+                if list.len() > LEAF_CAP && depth < k {
+                    let moved = std::mem::take(list);
+                    *node = Node::new_interior();
+                    for m in moved {
+                        Self::insert(node, candidates, m, depth, k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of candidates in the tree.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Counts one transaction: every candidate contained in `transaction`
+    /// has its count incremented exactly once.
+    pub fn count_transaction(&mut self, transaction: &ItemSet) {
+        if transaction.len() < self.k || self.candidates.is_empty() {
+            return;
+        }
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        // Split borrows: traversal reads the tree and candidate list and
+        // mutates counts/stamps only.
+        Self::visit(
+            &self.root,
+            &self.candidates,
+            &mut self.counts,
+            &mut self.stamps,
+            stamp,
+            transaction.as_slice(),
+            transaction.as_slice(),
+            0,
+            self.k,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        node: &Node,
+        candidates: &[ItemSet],
+        counts: &mut [u64],
+        stamps: &mut [u64],
+        stamp: u64,
+        full: &[Item],
+        items: &[Item],
+        depth: usize,
+        k: usize,
+    ) {
+        match node {
+            Node::Leaf(list) => {
+                // The path routes by bucket, not by item, so containment
+                // is verified against the full transaction.
+                for &idx in list {
+                    let i = idx as usize;
+                    if stamps[i] != stamp && candidates[i].is_subset_of_slice(full) {
+                        stamps[i] = stamp;
+                        counts[i] += 1;
+                    }
+                }
+            }
+            Node::Interior(children) => {
+                // Descend once per remaining item, leaving enough items to
+                // complete a k-candidate.
+                let remaining_needed = k - depth;
+                if items.len() < remaining_needed {
+                    return;
+                }
+                let last_start = items.len() - remaining_needed;
+                for i in 0..=last_start {
+                    Self::visit(
+                        &children[bucket(items[i])],
+                        candidates,
+                        counts,
+                        stamps,
+                        stamp,
+                        full,
+                        &items[i + 1..],
+                        depth + 1,
+                        k,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Counts a batch of transactions.
+    pub fn count_all<'a, I>(&mut self, transactions: I)
+    where
+        I: IntoIterator<Item = &'a ItemSet>,
+    {
+        for t in transactions {
+            self.count_transaction(t);
+        }
+    }
+
+    /// The accumulated counts, parallel to the candidate order passed to
+    /// [`HashTree::build`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the tree, returning `(candidates, counts)`.
+    pub fn into_counts(self) -> (Vec<ItemSet>, Vec<u64>) {
+        (self.candidates, self.counts)
+    }
+}
+
+/// Containment of a sorted candidate in a sorted item slice.
+trait SubsetOfSlice {
+    fn is_subset_of_slice(&self, items: &[Item]) -> bool;
+}
+
+impl SubsetOfSlice for ItemSet {
+    fn is_subset_of_slice(&self, items: &[Item]) -> bool {
+        let mut j = 0;
+        for &x in self.as_slice() {
+            loop {
+                if j >= items.len() {
+                    return false;
+                }
+                match items[j].cmp(&x) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn naive_counts(candidates: &[ItemSet], transactions: &[ItemSet]) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|c| transactions.iter().filter(|t| c.is_subset_of(t)).count() as u64)
+            .collect()
+    }
+
+    #[test]
+    fn counts_simple_pairs() {
+        let candidates = vec![set(&[1, 2]), set(&[1, 3]), set(&[2, 3])];
+        let transactions = vec![set(&[1, 2, 3]), set(&[1, 2]), set(&[3])];
+        let mut tree = HashTree::build(candidates.clone());
+        tree.count_all(&transactions);
+        assert_eq!(tree.counts(), naive_counts(&candidates, &transactions));
+        assert_eq!(tree.counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn short_transactions_are_skipped() {
+        let mut tree = HashTree::build(vec![set(&[1, 2, 3])]);
+        tree.count_transaction(&set(&[1, 2]));
+        tree.count_transaction(&set(&[]));
+        assert_eq!(tree.counts(), &[0]);
+    }
+
+    #[test]
+    fn no_double_counting_with_colliding_buckets() {
+        // Many items that may collide in buckets; each candidate must be
+        // counted once per containing transaction regardless.
+        let candidates: Vec<ItemSet> = (0..40u32)
+            .map(|i| set(&[i, i + 1]))
+            .collect();
+        let transactions = vec![ItemSet::from_ids(0..41u32); 3];
+        let mut tree = HashTree::build(candidates.clone());
+        tree.count_all(&transactions);
+        assert!(tree.counts().iter().all(|&c| c == 3), "{:?}", tree.counts());
+    }
+
+    #[test]
+    fn deep_tree_splits_and_stays_correct() {
+        // Enough candidates to force splits beyond the root.
+        let mut candidates = Vec::new();
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                for c in (b + 1)..12 {
+                    candidates.push(set(&[a, b, c]));
+                }
+            }
+        }
+        let transactions: Vec<ItemSet> = vec![
+            ItemSet::from_ids(0..6u32),
+            ItemSet::from_ids(3..12u32),
+            ItemSet::from_ids([0, 2, 4, 6, 8, 10]),
+            set(&[1, 5, 9]),
+        ];
+        let mut tree = HashTree::build(candidates.clone());
+        tree.count_all(&transactions);
+        assert_eq!(tree.counts(), naive_counts(&candidates, &transactions));
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let mut tree = HashTree::build(Vec::new());
+        tree.count_transaction(&set(&[1, 2, 3]));
+        assert!(tree.counts().is_empty());
+        assert_eq!(tree.num_candidates(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform size")]
+    fn mixed_sizes_panic() {
+        let _ = HashTree::build(vec![set(&[1]), set(&[1, 2])]);
+    }
+
+    #[test]
+    fn into_counts_returns_aligned_data() {
+        let candidates = vec![set(&[1]), set(&[2])];
+        let mut tree = HashTree::build(candidates.clone());
+        tree.count_all(&[set(&[1]), set(&[1, 2])]);
+        let (cands, counts) = tree.into_counts();
+        assert_eq!(cands, candidates);
+        assert_eq!(counts, vec![2, 1]);
+    }
+}

@@ -1,0 +1,63 @@
+//! # car-apriori
+//!
+//! Frequent itemset mining substrate for the cyclic association rules
+//! workspace: a from-scratch implementation of the Apriori algorithm
+//! (Agrawal & Srikant, VLDB 1994), which both algorithms of the ICDE'98
+//! cyclic-rules paper extend.
+//!
+//! Components:
+//!
+//! * [`apriori_gen`] — level-wise candidate generation (join + prune).
+//! * Two interchangeable support-counting engines, cross-checked by tests:
+//!   - a subset-enumeration counter over a fast hash map
+//!     ([`CountStrategy::HashMap`]), and
+//!   - a classic **hash tree** ([`CountStrategy::HashTree`], the structure
+//!     from the original Apriori paper).
+//! * [`Apriori`] — the level-wise driver producing [`FrequentItemsets`].
+//! * [`generate_rules`] — `ap-genrules` association rule generation with
+//!   confidence-based consequent pruning.
+//! * [`MinSupport`] / [`MinConfidence`] — threshold handling (absolute
+//!   counts or fractions) with explicit empty-database semantics.
+//! * [`naive`] — deliberately simple reference implementations used as
+//!   oracles by tests and as baselines by benchmarks.
+//!
+//! ```
+//! use car_apriori::{Apriori, AprioriConfig, MinSupport};
+//! use car_itemset::ItemSet;
+//!
+//! let tx = vec![
+//!     ItemSet::from_ids([1, 2, 3]),
+//!     ItemSet::from_ids([1, 2]),
+//!     ItemSet::from_ids([2, 3]),
+//! ];
+//! let config = AprioriConfig::new(MinSupport::fraction(0.5).unwrap());
+//! let frequent = Apriori::new(config).mine(&tx);
+//! assert_eq!(frequent.count(&ItemSet::from_ids([1, 2])), Some(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apriori;
+mod candidate;
+mod closed;
+mod count;
+mod eclat;
+mod fpgrowth;
+mod frequent;
+pub mod hash;
+mod hash_tree;
+pub mod naive;
+mod rules;
+mod support;
+
+pub use apriori::{Apriori, AprioriConfig, AprioriStats};
+pub use candidate::apriori_gen;
+pub use closed::{closed_itemsets, maximal_itemsets};
+pub use count::{count_candidates, CountStrategy};
+pub use eclat::eclat;
+pub use fpgrowth::fp_growth;
+pub use frequent::FrequentItemsets;
+pub use hash_tree::HashTree;
+pub use rules::{generate_rules, AssociationRule, Rule};
+pub use support::{MinConfidence, MinSupport};

@@ -1,0 +1,315 @@
+//! Association rule generation from frequent itemsets (`ap-genrules`).
+
+use std::fmt;
+
+use car_itemset::ItemSet;
+
+use crate::candidate::apriori_gen;
+use crate::frequent::FrequentItemsets;
+use crate::support::MinConfidence;
+
+/// An association rule `antecedent ⇒ consequent` (disjoint, non-empty).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rule {
+    /// Left-hand side (`X` in `X ⇒ Y`).
+    pub antecedent: ItemSet,
+    /// Right-hand side (`Y` in `X ⇒ Y`).
+    pub consequent: ItemSet,
+}
+
+impl Rule {
+    /// Creates a rule, validating that both sides are non-empty and
+    /// disjoint.
+    pub fn new(antecedent: ItemSet, consequent: ItemSet) -> Option<Self> {
+        if antecedent.is_empty() || consequent.is_empty() {
+            return None;
+        }
+        if !antecedent.is_disjoint(&consequent) {
+            return None;
+        }
+        Some(Rule { antecedent, consequent })
+    }
+
+    /// The union of both sides (the itemset whose support is the rule's
+    /// support).
+    pub fn itemset(&self) -> ItemSet {
+        self.antecedent.union(&self.consequent)
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} => {}", self.antecedent, self.consequent)
+    }
+}
+
+/// A rule with the counts needed to derive its quality metrics.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AssociationRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Transactions containing antecedent ∪ consequent.
+    pub rule_count: u64,
+    /// Transactions containing the antecedent.
+    pub antecedent_count: u64,
+    /// Transactions containing the consequent.
+    pub consequent_count: u64,
+    /// Database size.
+    pub num_transactions: usize,
+}
+
+impl AssociationRule {
+    /// Support fraction of the rule (`count(X∪Y) / |D|`).
+    pub fn support(&self) -> f64 {
+        if self.num_transactions == 0 {
+            0.0
+        } else {
+            self.rule_count as f64 / self.num_transactions as f64
+        }
+    }
+
+    /// Confidence (`count(X∪Y) / count(X)`).
+    pub fn confidence(&self) -> f64 {
+        if self.antecedent_count == 0 {
+            0.0
+        } else {
+            self.rule_count as f64 / self.antecedent_count as f64
+        }
+    }
+
+    /// Lift (`confidence / support(Y)`); 0 when undefined.
+    pub fn lift(&self) -> f64 {
+        if self.consequent_count == 0 || self.num_transactions == 0 {
+            return 0.0;
+        }
+        let consequent_support =
+            self.consequent_count as f64 / self.num_transactions as f64;
+        self.confidence() / consequent_support
+    }
+}
+
+/// Generates every association rule meeting `min_confidence` from the
+/// frequent itemsets, using the `ap-genrules` strategy: consequents grow
+/// level-wise and a failing consequent prunes all its supersets
+/// (confidence is anti-monotone in the consequent).
+///
+/// The result is sorted by `(antecedent, consequent)` for determinism.
+pub fn generate_rules(
+    frequent: &FrequentItemsets,
+    min_confidence: MinConfidence,
+) -> Vec<AssociationRule> {
+    let mut out = Vec::new();
+    for (itemset, count) in frequent.iter() {
+        if itemset.len() < 2 {
+            continue;
+        }
+        rules_from_itemset(frequent, itemset, count, min_confidence, &mut out);
+    }
+    out.sort_by(|a, b| a.rule.cmp(&b.rule));
+    out
+}
+
+/// Generates the rules derivable from one frequent itemset `z`.
+fn rules_from_itemset(
+    frequent: &FrequentItemsets,
+    z: &ItemSet,
+    z_count: u64,
+    min_confidence: MinConfidence,
+    out: &mut Vec<AssociationRule>,
+) {
+    // Consequents of size 1 first.
+    let mut consequents: Vec<ItemSet> = Vec::new();
+    for item in z.iter() {
+        let y = ItemSet::single(item);
+        if let Some(rule) = try_rule(frequent, z, z_count, &y, min_confidence) {
+            out.push(rule);
+            consequents.push(y);
+        }
+    }
+    // Grow consequents level-wise; stop before the consequent swallows z.
+    while !consequents.is_empty() && consequents[0].len() + 1 < z.len() {
+        consequents.sort_unstable();
+        let next = apriori_gen(&consequents);
+        consequents = next
+            .into_iter()
+            .filter(|y| {
+                if let Some(rule) = try_rule(frequent, z, z_count, y, min_confidence) {
+                    out.push(rule);
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect();
+    }
+}
+
+fn try_rule(
+    frequent: &FrequentItemsets,
+    z: &ItemSet,
+    z_count: u64,
+    consequent: &ItemSet,
+    min_confidence: MinConfidence,
+) -> Option<AssociationRule> {
+    let antecedent = z.difference(consequent);
+    if antecedent.is_empty() {
+        return None;
+    }
+    let antecedent_count = frequent
+        .count(&antecedent)
+        .expect("subsets of a frequent itemset are frequent");
+    if !min_confidence.accepts(z_count, antecedent_count) {
+        return None;
+    }
+    let consequent_count = frequent
+        .count(consequent)
+        .expect("subsets of a frequent itemset are frequent");
+    Some(AssociationRule {
+        rule: Rule { antecedent, consequent: consequent.clone() },
+        rule_count: z_count,
+        antecedent_count,
+        consequent_count,
+        num_transactions: frequent.num_transactions(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apriori, AprioriConfig, MinSupport};
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn mine(tx: &[ItemSet], minsup_count: u64) -> FrequentItemsets {
+        Apriori::new(AprioriConfig::new(MinSupport::count(minsup_count))).mine(tx)
+    }
+
+    #[test]
+    fn rule_validation() {
+        assert!(Rule::new(set(&[1]), set(&[2])).is_some());
+        assert!(Rule::new(ItemSet::empty(), set(&[2])).is_none());
+        assert!(Rule::new(set(&[1]), ItemSet::empty()).is_none());
+        assert!(Rule::new(set(&[1, 2]), set(&[2, 3])).is_none());
+        let r = Rule::new(set(&[1]), set(&[2, 3])).unwrap();
+        assert_eq!(r.itemset(), set(&[1, 2, 3]));
+        assert_eq!(r.to_string(), "{1} => {2 3}");
+    }
+
+    #[test]
+    fn generates_expected_rules_simple() {
+        // 4 transactions; {1,2} appears 3 times, {1} 4, {2} 3.
+        let tx = vec![set(&[1, 2]), set(&[1, 2]), set(&[1, 2]), set(&[1])];
+        let f = mine(&tx, 1);
+        let rules = generate_rules(&f, MinConfidence::new(0.8).unwrap());
+        // 1 => 2 has confidence 3/4 = 0.75 (rejected); 2 => 1 has 3/3 = 1.
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].rule, Rule::new(set(&[2]), set(&[1])).unwrap());
+        assert_eq!(rules[0].rule_count, 3);
+        assert_eq!(rules[0].antecedent_count, 3);
+        assert!((rules[0].confidence() - 1.0).abs() < 1e-12);
+        assert!((rules[0].support() - 0.75).abs() < 1e-12);
+        assert!((rules[0].lift() - 1.0).abs() < 1e-12);
+    }
+
+    /// Brute-force oracle over all frequent itemsets and all splits.
+    fn oracle_rules(
+        tx: &[ItemSet],
+        f: &FrequentItemsets,
+        minconf: MinConfidence,
+    ) -> Vec<Rule> {
+        let mut out = Vec::new();
+        for (z, z_count) in f.iter() {
+            if z.len() < 2 {
+                continue;
+            }
+            for x in z.proper_nonempty_subsets() {
+                let y = z.difference(&x);
+                let x_count = tx.iter().filter(|t| x.is_subset_of(t)).count() as u64;
+                if minconf.accepts(z_count, x_count) {
+                    out.push(Rule { antecedent: x, consequent: y });
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn matches_oracle_on_han_kamber() {
+        let tx = vec![
+            set(&[1, 2, 5]),
+            set(&[2, 4]),
+            set(&[2, 3]),
+            set(&[1, 2, 4]),
+            set(&[1, 3]),
+            set(&[2, 3]),
+            set(&[1, 3]),
+            set(&[1, 2, 3, 5]),
+            set(&[1, 2, 3]),
+        ];
+        let f = mine(&tx, 2);
+        for conf in [0.0, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let minconf = MinConfidence::new(conf).unwrap();
+            let got: Vec<Rule> =
+                generate_rules(&f, minconf).into_iter().map(|r| r.rule).collect();
+            let want = oracle_rules(&tx, &f, minconf);
+            assert_eq!(got, want, "minconf={conf}");
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let tx = vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2]),
+            set(&[1, 3]),
+            set(&[2, 3]),
+            set(&[1, 2, 3]),
+        ];
+        let f = mine(&tx, 2);
+        for r in generate_rules(&f, MinConfidence::new(0.0).unwrap()) {
+            let z = r.rule.itemset();
+            let true_rule = tx.iter().filter(|t| z.is_subset_of(t)).count() as u64;
+            let true_ante =
+                tx.iter().filter(|t| r.rule.antecedent.is_subset_of(t)).count() as u64;
+            let true_cons =
+                tx.iter().filter(|t| r.rule.consequent.is_subset_of(t)).count() as u64;
+            assert_eq!(r.rule_count, true_rule, "{}", r.rule);
+            assert_eq!(r.antecedent_count, true_ante, "{}", r.rule);
+            assert_eq!(r.consequent_count, true_cons, "{}", r.rule);
+            assert_eq!(r.num_transactions, tx.len());
+        }
+    }
+
+    #[test]
+    fn no_rules_from_singletons_only() {
+        let tx = vec![set(&[1]), set(&[2])];
+        let f = mine(&tx, 1);
+        assert!(generate_rules(&f, MinConfidence::new(0.0).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn metrics_edge_cases() {
+        let r = AssociationRule {
+            rule: Rule::new(set(&[1]), set(&[2])).unwrap(),
+            rule_count: 0,
+            antecedent_count: 0,
+            consequent_count: 0,
+            num_transactions: 0,
+        };
+        assert_eq!(r.support(), 0.0);
+        assert_eq!(r.confidence(), 0.0);
+        assert_eq!(r.lift(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! EXP-1 (paper figure: runtime vs number of time units).
+//!
+//! Benchmarks SEQUENTIAL vs INTERLEAVED as the number of time units
+//! grows, at bench-sized workloads. The paper's claim: INTERLEAVED's
+//! advantage grows with the number of units, because candidate cycles die
+//! early and later units are skipped.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(units: usize) -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = units;
+    p.tx_per_unit = 100;
+    p.l_max = 4;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_time_units");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for units in [8usize, 16, 32] {
+        let s = scenario(format!("u{units}"), params(units));
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("interleaved", Algorithm::interleaved()),
+        ] {
+            let miner = CyclicRuleMiner::new(s.config, algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(name, units),
+                &s.db,
+                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! EXP-2 (paper figure: runtime vs minimum support).
+//!
+//! The paper's claim: lower minimum support inflates the candidate space
+//! and both algorithms slow down, but INTERLEAVED degrades more slowly
+//! because non-cyclic candidates stop being counted early.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(min_support: f64) -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 16;
+    p.tx_per_unit = 100;
+    p.l_max = 4;
+    p.min_support = min_support;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_min_support");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, ms) in [("3%", 0.03), ("5%", 0.05), ("10%", 0.1)] {
+        let s = scenario(label, params(ms));
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("interleaved", Algorithm::interleaved()),
+        ] {
+            let miner = CyclicRuleMiner::new(s.config, algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(name, label),
+                &s.db,
+                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

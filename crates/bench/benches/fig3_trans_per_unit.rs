@@ -1,0 +1,45 @@
+//! EXP-3 (paper figure: runtime vs transactions per time unit).
+//!
+//! The paper's claim: runtime grows roughly linearly in the per-unit
+//! database size for both algorithms; the INTERLEAVED advantage is a
+//! near-constant factor because skipping removes whole unit scans.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(tx_per_unit: usize) -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 16;
+    p.l_max = 4;
+    p.tx_per_unit = tx_per_unit;
+    p.min_support = 6.0 / tx_per_unit as f64;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_trans_per_unit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for d in [100usize, 200, 400] {
+        let s = scenario(format!("d{d}"), params(d));
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("interleaved", Algorithm::interleaved()),
+        ] {
+            let miner = CyclicRuleMiner::new(s.config, algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(name, d),
+                &s.db,
+                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! EXP-4 (paper figure: runtime vs maximum cycle length).
+//!
+//! The paper's claim: a larger `l_max` admits more candidate cycles,
+//! weakening skipping/elimination (more units stay on some live cycle),
+//! so the INTERLEAVED advantage narrows as `l_max` grows.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(l_max: u32) -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 32;
+    p.tx_per_unit = 100;
+    p.l_max = l_max;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cycle_length");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for l in [2u32, 4, 8] {
+        let s = scenario(format!("l{l}"), params(l));
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("interleaved", Algorithm::interleaved()),
+        ] {
+            let miner = CyclicRuleMiner::new(s.config, algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(name, l),
+                &s.db,
+                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! EXP-5 (paper figure: runtime vs number of items).
+//!
+//! The paper's claim: a larger item universe dilutes supports (fewer
+//! large itemsets per unit), shrinking runtime for both algorithms;
+//! INTERLEAVED stays ahead throughout.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(items: u32) -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 16;
+    p.tx_per_unit = 100;
+    p.l_max = 4;
+    p.items = items;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_num_items");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [250u32, 500, 1000] {
+        let s = scenario(format!("n{n}"), params(n));
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("interleaved", Algorithm::interleaved()),
+        ] {
+            let miner = CyclicRuleMiner::new(s.config, algorithm);
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &s.db,
+                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

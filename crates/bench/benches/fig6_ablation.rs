@@ -1,0 +1,54 @@
+//! EXP-6 (paper table: contribution of each INTERLEAVED optimization).
+//!
+//! Benchmarks the full INTERLEAVED algorithm against variants with one
+//! technique disabled, plus the everything-off variant and SEQUENTIAL.
+//! All variants return identical rules; only the work differs.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner, InterleavedOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn params() -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 32;
+    p.tx_per_unit = 100;
+    p.l_max = 4;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let s = scenario("ablation", params());
+    let variants: [(&str, Algorithm); 6] = [
+        ("all", Algorithm::Interleaved(InterleavedOptions::all())),
+        (
+            "no_pruning",
+            Algorithm::Interleaved(InterleavedOptions::all().without_pruning()),
+        ),
+        (
+            "no_skipping",
+            Algorithm::Interleaved(InterleavedOptions::all().without_skipping()),
+        ),
+        (
+            "no_elimination",
+            Algorithm::Interleaved(InterleavedOptions::all().without_elimination()),
+        ),
+        ("none", Algorithm::Interleaved(InterleavedOptions::none())),
+        ("sequential", Algorithm::Sequential),
+    ];
+    for (name, algorithm) in variants {
+        let miner = CyclicRuleMiner::new(s.config, algorithm);
+        group.bench_with_input(name, &s.db, |b, db| {
+            b.iter(|| miner.mine(db).expect("valid scenario"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

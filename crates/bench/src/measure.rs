@@ -1,0 +1,110 @@
+//! Timed mining runs.
+
+use std::time::{Duration, Instant};
+
+use car_core::{Algorithm, CyclicRuleMiner, MiningConfig, MiningStats};
+use car_itemset::SegmentedDb;
+
+/// The outcome of one timed mining run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Label (typically the algorithm name).
+    pub label: String,
+    /// End-to-end wall-clock runtime.
+    pub runtime: Duration,
+    /// Number of cyclic rules found.
+    pub rules: usize,
+    /// The miner's work counters.
+    pub stats: MiningStats,
+}
+
+/// Runs `algorithm` once over `db` and times it.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid for the database — scenarios
+/// are expected to be pre-validated.
+pub fn measure(db: &SegmentedDb, config: &MiningConfig, algorithm: Algorithm) -> Measurement {
+    let label = match algorithm {
+        Algorithm::Sequential => "SEQUENTIAL".to_string(),
+        Algorithm::Interleaved(opts) => {
+            let mut name = "INTERLEAVED".to_string();
+            if !opts.cycle_pruning {
+                name.push_str("-prune");
+            }
+            if !opts.cycle_skipping {
+                name.push_str("-skip");
+            }
+            if !opts.cycle_elimination {
+                name.push_str("-elim");
+            }
+            name
+        }
+    };
+    measure_named(label, db, config, algorithm)
+}
+
+/// Like [`measure`] with an explicit label.
+pub fn measure_named(
+    label: impl Into<String>,
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    algorithm: Algorithm,
+) -> Measurement {
+    let miner = CyclicRuleMiner::new(*config, algorithm);
+    let start = Instant::now();
+    let outcome = miner.mine(db).expect("scenario must be valid");
+    let runtime = start.elapsed();
+    Measurement {
+        label: label.into(),
+        runtime,
+        rules: outcome.rules.len(),
+        stats: outcome.stats,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::{scenario, ScenarioParams};
+    use car_core::InterleavedOptions;
+
+    fn tiny() -> crate::Scenario {
+        let mut p = ScenarioParams::default();
+        p.units = 8;
+        p.tx_per_unit = 40;
+        p.items = 60;
+        p.l_max = 4;
+        p.min_support = 0.2;
+        scenario("tiny", p)
+    }
+
+    #[test]
+    fn measures_both_algorithms() {
+        let s = tiny();
+        let seq = measure(&s.db, &s.config, Algorithm::Sequential);
+        let int = measure(&s.db, &s.config, Algorithm::interleaved());
+        assert_eq!(seq.label, "SEQUENTIAL");
+        assert_eq!(int.label, "INTERLEAVED");
+        assert_eq!(seq.rules, int.rules, "algorithms must agree");
+        assert!(seq.runtime > Duration::ZERO);
+    }
+
+    #[test]
+    fn ablation_labels() {
+        let s = tiny();
+        let m = measure(
+            &s.db,
+            &s.config,
+            Algorithm::Interleaved(InterleavedOptions::all().without_skipping()),
+        );
+        assert_eq!(m.label, "INTERLEAVED-skip");
+        let m = measure(
+            &s.db,
+            &s.config,
+            Algorithm::Interleaved(InterleavedOptions::none()),
+        );
+        assert_eq!(m.label, "INTERLEAVED-prune-skip-elim");
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload construction for the experiment suite.
+
+use car_core::MiningConfig;
+use car_datagen::{generate_cyclic, CyclicConfig, QuestConfig};
+use car_itemset::SegmentedDb;
+
+/// Parameters of one experiment scenario; `Default` is the base workload
+/// of DESIGN.md (`T5.I3.N500`, 64 units × 1000 transactions, 20 planted
+/// cyclic patterns, `minsup` 1.5%, `minconf` 60%, cycles in `[2, 16]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioParams {
+    /// Number of time units.
+    pub units: usize,
+    /// Transactions per unit.
+    pub tx_per_unit: usize,
+    /// Item universe size.
+    pub items: u32,
+    /// Average transaction length.
+    pub avg_tx_len: f64,
+    /// Planted cyclic patterns.
+    pub cyclic_patterns: usize,
+    /// Per-unit minimum support fraction.
+    pub min_support: f64,
+    /// Per-unit minimum confidence.
+    pub min_confidence: f64,
+    /// Minimum cycle length.
+    pub l_min: u32,
+    /// Maximum cycle length.
+    pub l_max: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        ScenarioParams {
+            units: 64,
+            tx_per_unit: 1000,
+            items: 500,
+            avg_tx_len: 5.0,
+            cyclic_patterns: 20,
+            min_support: 0.015,
+            min_confidence: 0.6,
+            l_min: 2,
+            l_max: 16,
+            seed: 0x1998,
+        }
+    }
+}
+
+/// A ready-to-mine workload: the generated database plus the mining
+/// configuration that goes with it.
+pub struct Scenario {
+    /// Human-readable label (used by tables and bench ids).
+    pub label: String,
+    /// The time-segmented database.
+    pub db: SegmentedDb,
+    /// The mining configuration.
+    pub config: MiningConfig,
+    /// How many cyclic patterns were planted.
+    pub planted: usize,
+}
+
+/// The data-generator configuration corresponding to `params`.
+pub fn base_cyclic_config(params: &ScenarioParams) -> CyclicConfig {
+    CyclicConfig {
+        quest: QuestConfig::default()
+            .with_num_items(params.items)
+            .with_avg_transaction_len(params.avg_tx_len),
+        num_units: params.units,
+        transactions_per_unit: params.tx_per_unit,
+        num_cyclic_patterns: params.cyclic_patterns,
+        cyclic_pattern_len: 2,
+        cycle_length_range: (params.l_min.max(2), params.l_max.min(12).max(params.l_min.max(2))),
+        boost: 0.8,
+        max_planted_per_transaction: 2,
+    }
+}
+
+/// Builds a scenario: generates the data and the matching configuration.
+///
+/// # Panics
+///
+/// Panics if the parameters produce an invalid mining configuration
+/// (e.g. `l_max > units`).
+pub fn scenario(label: impl Into<String>, params: ScenarioParams) -> Scenario {
+    let data = generate_cyclic(&base_cyclic_config(&params), params.seed);
+    let config = MiningConfig::builder()
+        .min_support_fraction(params.min_support)
+        .min_confidence(params.min_confidence)
+        .cycle_bounds(params.l_min, params.l_max)
+        .build()
+        .expect("scenario parameters must be valid");
+    config
+        .validate_for(data.db.num_units())
+        .expect("scenario window must fit cycle bounds");
+    Scenario {
+        label: label.into(),
+        db: data.db,
+        config,
+        planted: data.planted.len(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_is_consistent() {
+        let mut p = ScenarioParams::default();
+        // Shrink for test speed.
+        p.units = 8;
+        p.tx_per_unit = 50;
+        p.l_max = 8;
+        let s = scenario("base", p);
+        assert_eq!(s.db.num_units(), 8);
+        assert_eq!(s.db.num_transactions(), 400);
+        assert_eq!(s.label, "base");
+        assert!(s.planted > 0);
+        assert!(s.config.validate_for(8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_cycle_bound_panics() {
+        let mut p = ScenarioParams::default();
+        p.units = 4;
+        p.tx_per_unit = 10;
+        p.l_max = 16;
+        let _ = scenario("bad", p);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut p = ScenarioParams::default();
+        p.units = 6;
+        p.tx_per_unit = 20;
+        p.l_max = 6;
+        let a = scenario("a", p);
+        let b = scenario("b", p);
+        assert_eq!(a.db, b.db);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fixed-width table output for experiment series.
+
+use std::time::Duration;
+
+use crate::Measurement;
+
+/// One row of a sweep table: the x-axis value plus the measurements of
+/// each algorithm at that point.
+pub struct SeriesRow {
+    /// The swept parameter's value at this row.
+    pub x: String,
+    /// Measurements, one per algorithm column.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Formats a duration in the human scale benchmarking output wants.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+/// Prints a sweep table:
+///
+/// ```text
+/// == EXP-1: runtime vs number of time units ==
+/// units      SEQUENTIAL   INTERLEAVED  speedup  rules
+/// 16         1.23s        0.41s        3.0x     210
+/// ```
+///
+/// The speedup column divides the first column's runtime by the last's.
+/// Returns the formatted text (also printed to stdout by the binary).
+pub fn print_series(title: &str, x_label: &str, rows: &[SeriesRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    // Header.
+    out.push_str(&format!("{x_label:<12}"));
+    for m in &rows[0].measurements {
+        out.push_str(&format!("{:<16}", m.label));
+    }
+    if rows[0].measurements.len() >= 2 {
+        out.push_str(&format!("{:<9}", "speedup"));
+    }
+    out.push_str("rules\n");
+    // Rows.
+    for row in rows {
+        out.push_str(&format!("{:<12}", row.x));
+        for m in &row.measurements {
+            out.push_str(&format!("{:<16}", format_duration(m.runtime)));
+        }
+        if row.measurements.len() >= 2 {
+            let first = row.measurements[0].runtime.as_secs_f64();
+            let last = row.measurements[row.measurements.len() - 1]
+                .runtime
+                .as_secs_f64();
+            let speedup = if last > 0.0 { first / last } else { f64::INFINITY };
+            out.push_str(&format!("{:<9}", format!("{speedup:.2}x")));
+        }
+        out.push_str(&format!("{}\n", row.measurements[0].rules));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use car_core::MiningStats;
+
+    fn m(label: &str, ms: u64, rules: usize) -> Measurement {
+        Measurement {
+            label: label.into(),
+            runtime: Duration::from_millis(ms),
+            rules,
+            stats: MiningStats::default(),
+        }
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.0ms");
+        assert_eq!(format_duration(Duration::from_micros(7)), "7µs");
+    }
+
+    #[test]
+    fn renders_table_with_speedup() {
+        let rows = vec![
+            SeriesRow { x: "16".into(), measurements: vec![m("SEQ", 100, 5), m("INT", 25, 5)] },
+            SeriesRow { x: "32".into(), measurements: vec![m("SEQ", 300, 9), m("INT", 60, 9)] },
+        ];
+        let text = print_series("EXP-1: test", "units", &rows);
+        assert!(text.contains("== EXP-1: test =="));
+        assert!(text.contains("SEQ"));
+        assert!(text.contains("4.00x"), "{text}");
+        assert!(text.contains("5.00x"), "{text}");
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    fn empty_rows() {
+        let text = print_series("t", "x", &[]);
+        assert!(text.contains("(no data)"));
+    }
+}

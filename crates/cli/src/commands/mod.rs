@@ -1,0 +1,25 @@
+//! The CLI subcommands.
+
+pub mod analyze;
+pub mod detect;
+pub mod gen;
+pub mod mine;
+pub mod stats;
+
+use std::fs::File;
+use std::io::Read;
+
+use car_itemset::{io as car_io, SegmentedDb};
+
+use crate::error::CliError;
+
+/// Loads a timed transaction file (or `-` for stdin).
+pub(crate) fn load_db(path: &str) -> Result<SegmentedDb, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(car_io::read_timed(buf.as_bytes())?)
+    } else {
+        Ok(car_io::read_timed(File::open(path)?)?)
+    }
+}

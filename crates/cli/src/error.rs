@@ -1,0 +1,70 @@
+use std::fmt;
+use std::io;
+
+/// CLI errors: usage problems, file problems, and invalid mining
+/// parameters.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line usage; the message includes guidance.
+    Usage(String),
+    /// An I/O failure (reading input, writing output).
+    Io(io::Error),
+    /// Input file could not be parsed.
+    Data(car_itemset::Error),
+    /// The mining configuration was rejected.
+    Config(car_core::ConfigError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Data(e) => write!(f, "invalid input data: {e}"),
+            CliError::Config(e) => write!(f, "invalid mining configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io(e) => Some(e),
+            CliError::Data(e) => Some(e),
+            CliError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<car_itemset::Error> for CliError {
+    fn from(e: car_itemset::Error) -> Self {
+        CliError::Data(e)
+    }
+}
+
+impl From<car_core::ConfigError> for CliError {
+    fn from(e: car_core::ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(CliError::Usage("nope".into()).to_string(), "nope");
+        let e = CliError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+        let e = CliError::from(car_core::ConfigError::EmptyDatabase);
+        assert!(e.to_string().contains("no time units"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # car-cli
+//!
+//! The `car` command line tool: generate temporal transaction data, mine
+//! cyclic association rules with either of the ICDE'98 algorithms,
+//! inspect databases, and detect cycles in raw binary sequences.
+//!
+//! The logic lives in this library crate (with the binary a thin wrapper)
+//! so integration tests can drive every command in-process.
+//!
+//! ```text
+//! car gen    --units 32 --tx-per-unit 500 --out data.txt --seed 7
+//! car mine   --input data.txt --min-support 0.1 --l-min 2 --l-max 8
+//! car detect --sequence 011011011 --l-min 2 --l-max 4
+//! car stats  --input data.txt
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::Args;
+pub use error::CliError;
+
+use std::io::Write;
+
+/// Runs the CLI against `argv` (excluding the program name), writing
+/// output to `out`. Returns the process exit code.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing invalid usage or I/O failures.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    if argv.is_empty() {
+        return Err(CliError::Usage(USAGE.to_string()));
+    }
+    let command = argv[0].as_str();
+    let args = Args::parse(&argv[1..])?;
+    match command {
+        "gen" => commands::gen::run(&args, out),
+        "analyze" => commands::analyze::run(&args, out),
+        "mine" => commands::mine::run(&args, out),
+        "detect" => commands::detect::run(&args, out),
+        "stats" => commands::stats::run(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+car — cyclic association rules (Özden, Ramaswamy, Silberschatz; ICDE 1998)
+
+USAGE:
+    car <COMMAND> [OPTIONS]
+
+COMMANDS:
+    gen      Generate a synthetic time-segmented database with planted cycles
+             --units N --tx-per-unit N [--items N] [--patterns N]
+             [--cyclic N] [--cycle-min L] [--cycle-max L] [--seed S]
+             [--out FILE] (stdout if omitted)
+    mine     Mine cyclic association rules from a timed transaction file
+             --input FILE [--min-support F] [--min-confidence F]
+             [--l-min L] [--l-max L] [--algorithm interleaved|sequential|parallel]
+             [--no-pruning] [--no-skipping] [--no-elimination]
+             [--max-misses M] [--stats] [--report [--top N]]
+    detect   Detect cycles in a 0/1 sequence
+             --sequence BITS [--l-min L] [--l-max L] [--max-misses M]
+             [--spectrum]
+    analyze  Per-unit timeline of one rule
+             --input FILE --antecedent IDS --consequent IDS
+             [--min-support F] [--min-confidence F] [--l-min L] [--l-max L]
+             [--per-unit]
+    stats    Describe a timed transaction file
+             --input FILE
+    help     Show this message
+";

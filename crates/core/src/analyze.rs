@@ -1,0 +1,188 @@
+//! Post-mining analysis: inspect *why* a rule is (or is not) cyclic.
+//!
+//! The miners report rules and minimal cycles; analysts usually want the
+//! underlying per-unit picture — supports, confidences, and the exact
+//! hold-sequence — to judge how strong a seasonal pattern really is and
+//! where it broke. [`analyze_rule`] computes that timeline directly from
+//! the database for any rule, mined or hypothesised.
+
+use car_apriori::Rule;
+use car_cycles::{detect_cycles, minimal_cycles, BitSeq, Cycle};
+use car_itemset::SegmentedDb;
+
+use crate::config::{ConfigError, MiningConfig};
+
+/// The per-unit behaviour of one rule over a segmented database.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleTimeline {
+    /// The rule analysed.
+    pub rule: Rule,
+    /// Hold/miss per unit (the binary sequence the paper works with).
+    pub holds: BitSeq,
+    /// Per-unit support fraction of `antecedent ∪ consequent`
+    /// (0 for empty units).
+    pub supports: Vec<f64>,
+    /// Per-unit confidence (0 when the antecedent is absent).
+    pub confidences: Vec<f64>,
+    /// Minimal cycles of the hold-sequence within the config's bounds.
+    pub cycles: Vec<Cycle>,
+}
+
+impl RuleTimeline {
+    /// Units in which the rule held.
+    pub fn units_held(&self) -> usize {
+        self.holds.count_ones()
+    }
+
+    /// Mean support over the units where the rule held (0 if none).
+    pub fn mean_support_when_held(&self) -> f64 {
+        mean_over(&self.supports, &self.holds)
+    }
+
+    /// Mean confidence over the units where the rule held (0 if none).
+    pub fn mean_confidence_when_held(&self) -> f64 {
+        mean_over(&self.confidences, &self.holds)
+    }
+
+    /// Whether the rule is cyclic under the analysed bounds.
+    pub fn is_cyclic(&self) -> bool {
+        !self.cycles.is_empty()
+    }
+
+    /// The units of `cycle` where the rule did *not* hold — empty for a
+    /// true cycle of this rule; useful when diagnosing near-cycles.
+    pub fn misses_on(&self, cycle: Cycle) -> Vec<usize> {
+        cycle
+            .units(self.holds.len())
+            .filter(|&u| !self.holds.get(u))
+            .collect()
+    }
+}
+
+fn mean_over(values: &[f64], mask: &BitSeq) -> f64 {
+    let held: Vec<f64> = mask.iter_ones().map(|u| values[u]).collect();
+    if held.is_empty() {
+        0.0
+    } else {
+        held.iter().sum::<f64>() / held.len() as f64
+    }
+}
+
+/// Computes the full timeline of `rule` over `db` under `config`.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid for the
+/// database, or [`ConfigError::EmptyDatabase`] for a rule with an empty
+/// side (rejected at [`Rule::new`] anyway).
+pub fn analyze_rule(
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    rule: &Rule,
+) -> Result<RuleTimeline, ConfigError> {
+    config.validate_for(db.num_units())?;
+    let n = db.num_units();
+    let itemset = rule.itemset();
+
+    let mut holds = BitSeq::zeros(n);
+    let mut supports = Vec::with_capacity(n);
+    let mut confidences = Vec::with_capacity(n);
+
+    for (u, transactions) in db.iter_units() {
+        let total = transactions.len();
+        let z_count = transactions
+            .iter()
+            .filter(|t| itemset.is_subset_of(t))
+            .count() as u64;
+        let x_count = transactions
+            .iter()
+            .filter(|t| rule.antecedent.is_subset_of(t))
+            .count() as u64;
+        supports.push(if total == 0 { 0.0 } else { z_count as f64 / total as f64 });
+        confidences.push(if x_count == 0 {
+            0.0
+        } else {
+            z_count as f64 / x_count as f64
+        });
+        let threshold = config.min_support.threshold(total);
+        if z_count >= threshold && config.min_confidence.accepts(z_count, x_count) {
+            holds.set(u, true);
+        }
+    }
+
+    let cycles = minimal_cycles(&detect_cycles(&holds, config.cycle_bounds));
+    Ok(RuleTimeline { rule: rule.clone(), holds, supports, confidences, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use car_itemset::ItemSet;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn db() -> SegmentedDb {
+        // Units 0,2: {1,2} ×3 + {1} ×1; units 1,3: {9} ×4.
+        let on = vec![set(&[1, 2]), set(&[1, 2]), set(&[1, 2]), set(&[1])];
+        let off = vec![set(&[9]); 4];
+        SegmentedDb::from_unit_itemsets(vec![on.clone(), off.clone(), on, off])
+    }
+
+    fn config() -> MiningConfig {
+        MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.6)
+            .cycle_bounds(2, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn timeline_matches_hand_computation() {
+        let rule = Rule::new(set(&[1]), set(&[2])).unwrap();
+        let t = analyze_rule(&db(), &config(), &rule).unwrap();
+        assert_eq!(t.holds.to_string(), "1010");
+        assert_eq!(t.supports, vec![0.75, 0.0, 0.75, 0.0]);
+        assert_eq!(t.confidences, vec![0.75, 0.0, 0.75, 0.0]);
+        assert_eq!(t.units_held(), 2);
+        assert!((t.mean_support_when_held() - 0.75).abs() < 1e-12);
+        assert!((t.mean_confidence_when_held() - 0.75).abs() < 1e-12);
+        assert!(t.is_cyclic());
+        assert_eq!(t.cycles, vec![Cycle::make(2, 0)]);
+        assert!(t.misses_on(Cycle::make(2, 0)).is_empty());
+        assert_eq!(t.misses_on(Cycle::make(2, 1)), vec![1, 3]);
+    }
+
+    #[test]
+    fn timeline_agrees_with_miner() {
+        use crate::miner::{Algorithm, CyclicRuleMiner};
+        let db = db();
+        let cfg = config();
+        let outcome = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
+            .mine(&db)
+            .unwrap();
+        for mined in &outcome.rules {
+            let t = analyze_rule(&db, &cfg, &mined.rule).unwrap();
+            assert_eq!(t.cycles, mined.cycles, "{}", mined.rule);
+        }
+    }
+
+    #[test]
+    fn non_cyclic_rule_reports_empty_cycles() {
+        let rule = Rule::new(set(&[9]), set(&[1])).unwrap();
+        let t = analyze_rule(&db(), &config(), &rule).unwrap();
+        assert_eq!(t.holds.to_string(), "0000");
+        assert!(!t.is_cyclic());
+        assert_eq!(t.units_held(), 0);
+        assert_eq!(t.mean_support_when_held(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_window() {
+        let rule = Rule::new(set(&[1]), set(&[2])).unwrap();
+        let narrow = SegmentedDb::from_unit_itemsets(vec![vec![set(&[1, 2])]]);
+        assert!(analyze_rule(&narrow, &config(), &rule).is_err());
+    }
+}

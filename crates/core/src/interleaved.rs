@@ -1,0 +1,568 @@
+//! The INTERLEAVED algorithm of the ICDE'98 paper.
+//!
+//! INTERLEAVED avoids SEQUENTIAL's wasted work by interleaving cycle
+//! detection with support counting. It runs in two phases:
+//!
+//! **Phase 1 — cyclic large itemsets.** Level-wise like Apriori, but each
+//! candidate itemset carries a set of *candidate cycles*
+//! ([`car_cycles::CycleSet`]) that only ever shrinks:
+//!
+//! * **Cycle pruning** — because an itemset can only be large where all
+//!   of its subsets are large, `cycles(Z) ⊆ cycles(X)` for every
+//!   `X ⊂ Z`. A new `k`-candidate therefore starts from the intersection
+//!   of its `(k−1)`-subsets' cycle sets instead of the full set, and is
+//!   discarded outright when that intersection is empty.
+//! * **Cycle skipping** — the support of a candidate is only counted in
+//!   time units lying on one of its remaining candidate cycles; other
+//!   units cannot influence any cycle it could still have.
+//! * **Cycle elimination** — when a candidate is not large in a counted
+//!   unit `i`, every candidate cycle `(l, i mod l)` dies immediately,
+//!   enlarging the skip set for later units.
+//!
+//! **Phase 2 — cyclic rules.** For each cyclic large itemset `Z` and each
+//! split `X ⇒ Z∖X`, the rule's candidate cycles start from `Z`'s final
+//! cycle set (which is always a subset of `X`'s, so every needed support
+//! is on hand) and confidence failures eliminate cycles the same way.
+//!
+//! Each optimization can be switched off through [`InterleavedOptions`];
+//! any combination produces identical results and differs only in the
+//! work counted by [`MiningStats`] — the property the
+//! paper's ablation experiments measure.
+
+use std::time::Instant;
+
+use car_apriori::hash::FastHashMap;
+use car_apriori::{apriori_gen, count_candidates, Rule};
+use car_cycles::{minimal_cycles, CycleSet};
+use car_itemset::{Item, ItemSet, SegmentedDb};
+
+use crate::config::{ConfigError, MiningConfig};
+use crate::result::{CyclicRule, MiningOutcome, MiningStats};
+
+/// Ablation switches for the three INTERLEAVED optimization techniques.
+///
+/// All switches default to on. Any combination yields the same mining
+/// *results*; switching a technique off only increases the work done
+/// (visible in [`MiningStats`]), which is how the
+/// optimization-contribution experiments are run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InterleavedOptions {
+    /// Start candidates from the intersection of their subsets' cycles.
+    pub cycle_pruning: bool,
+    /// Skip support counting in units off every remaining candidate
+    /// cycle.
+    pub cycle_skipping: bool,
+    /// Remove candidate cycles as soon as a counted unit misses.
+    pub cycle_elimination: bool,
+}
+
+impl Default for InterleavedOptions {
+    fn default() -> Self {
+        InterleavedOptions {
+            cycle_pruning: true,
+            cycle_skipping: true,
+            cycle_elimination: true,
+        }
+    }
+}
+
+impl InterleavedOptions {
+    /// All optimizations enabled (the paper's INTERLEAVED).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// All optimizations disabled (a per-unit scan with a posteriori
+    /// cycle detection over itemsets).
+    pub fn none() -> Self {
+        InterleavedOptions {
+            cycle_pruning: false,
+            cycle_skipping: false,
+            cycle_elimination: false,
+        }
+    }
+
+    /// Disables cycle pruning.
+    pub fn without_pruning(mut self) -> Self {
+        self.cycle_pruning = false;
+        self
+    }
+
+    /// Disables cycle skipping.
+    pub fn without_skipping(mut self) -> Self {
+        self.cycle_skipping = false;
+        self
+    }
+
+    /// Disables cycle elimination.
+    pub fn without_elimination(mut self) -> Self {
+        self.cycle_elimination = false;
+        self
+    }
+}
+
+/// Per-candidate mining state during phase 1.
+struct CandidateState {
+    itemset: ItemSet,
+    /// Remaining candidate cycles (initial set if elimination is off).
+    cycles: CycleSet,
+    /// Units counted and found *not* large; only filled when cycle
+    /// elimination is disabled, applied at the end of the level scan.
+    misses: Vec<u32>,
+    /// Support counts at units where the itemset was counted and large.
+    supports: FastHashMap<u32, u64>,
+}
+
+impl CandidateState {
+    fn new(itemset: ItemSet, cycles: CycleSet) -> Self {
+        CandidateState {
+            itemset,
+            cycles,
+            misses: Vec::new(),
+            supports: FastHashMap::default(),
+        }
+    }
+
+    /// Applies deferred misses (no-op when elimination ran eagerly).
+    fn finalize(&mut self) -> u64 {
+        let mut eliminated = 0;
+        for &m in &self.misses {
+            eliminated += self.cycles.eliminate(m as usize) as u64;
+            if self.cycles.is_empty() {
+                break;
+            }
+        }
+        self.misses.clear();
+        eliminated
+    }
+}
+
+/// Mines cyclic association rules with the INTERLEAVED algorithm.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid for the
+/// database (see [`MiningConfig::validate_for`]).
+pub fn mine_interleaved(
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    options: InterleavedOptions,
+) -> Result<MiningOutcome, ConfigError> {
+    config.validate_for(db.num_units())?;
+    let mut stats = MiningStats {
+        num_units: db.num_units(),
+        num_transactions: db.num_transactions(),
+        ..Default::default()
+    };
+
+    let phase1_start = Instant::now();
+    let cyclic = find_cyclic_itemsets(db, config, options, &mut stats);
+    stats.cyclic_itemsets = cyclic.len() as u64;
+    stats.phase1 = phase1_start.elapsed();
+
+    let phase2_start = Instant::now();
+    let rules = generate_cyclic_rules(db.num_units(), config, options, &cyclic, &mut stats);
+    stats.phase2 = phase2_start.elapsed();
+
+    Ok(MiningOutcome { rules, stats })
+}
+
+/// Phase 1: the cyclic large itemsets of `db`, each with its final
+/// (un-filtered) cycle set and its per-unit support counts on large
+/// units.
+fn find_cyclic_itemsets(
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    options: InterleavedOptions,
+    stats: &mut MiningStats,
+) -> Vec<CandidateState> {
+    let n = db.num_units();
+    let bounds = config.cycle_bounds;
+    let mut all_survivors: Vec<CandidateState> = Vec::new();
+
+    // ---- Level 1 ----------------------------------------------------
+    // Items are discovered as they first appear; a state created at unit
+    // `i` inherits misses for every earlier unit (its count there was 0,
+    // which is never large).
+    let mut states: Vec<CandidateState> = Vec::new();
+    let mut index: FastHashMap<Item, usize> = FastHashMap::default();
+
+    for i in 0..n {
+        let transactions = db.unit(i);
+        let threshold = config.min_support.threshold(transactions.len());
+
+        // One pass over the unit counts every item it contains.
+        let mut unit_counts: FastHashMap<Item, u64> = FastHashMap::default();
+        for t in transactions {
+            for item in t.iter() {
+                *unit_counts.entry(item).or_insert(0) += 1;
+            }
+        }
+
+        // Register newly seen items.
+        for &item in unit_counts.keys() {
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(item) {
+                let mut cycles = CycleSet::full(bounds);
+                let mut misses = Vec::new();
+                if options.cycle_elimination {
+                    for j in 0..i {
+                        stats.cycles_eliminated += cycles.eliminate(j) as u64;
+                        if cycles.is_empty() {
+                            break;
+                        }
+                    }
+                } else {
+                    misses.extend(0..i as u32);
+                }
+                let mut state = CandidateState::new(ItemSet::single(item), cycles);
+                state.misses = misses;
+                slot.insert(states.len());
+                states.push(state);
+                stats.candidates_generated += 1;
+            }
+        }
+
+        for state in &mut states {
+            let active = !options.cycle_skipping || state.cycles.includes_unit(i);
+            if !active {
+                stats.skipped_counts += 1;
+                continue;
+            }
+            stats.support_computations += 1;
+            let item = state.itemset.as_slice()[0];
+            let count = unit_counts.get(&item).copied().unwrap_or(0);
+            if count >= threshold {
+                state.supports.insert(i as u32, count);
+            } else if options.cycle_elimination {
+                stats.cycles_eliminated += state.cycles.eliminate(i) as u64;
+            } else {
+                state.misses.push(i as u32);
+            }
+        }
+    }
+
+    let mut survivors: Vec<CandidateState> = states
+        .into_iter()
+        .filter_map(|mut s| {
+            stats.cycles_eliminated += s.finalize();
+            (!s.cycles.is_empty()).then_some(s)
+        })
+        .collect();
+    survivors.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+
+    // ---- Levels k >= 2 ----------------------------------------------
+    let mut k = 1;
+    while !survivors.is_empty() {
+        k += 1;
+        let at_cap = config.max_itemset_size.is_some_and(|cap| k > cap);
+
+        // Candidate generation for the next level happens before the
+        // previous survivors move into the accumulator.
+        let next_states: Vec<CandidateState> = if at_cap {
+            Vec::new()
+        } else {
+            let large_sets: Vec<ItemSet> =
+                survivors.iter().map(|s| s.itemset.clone()).collect();
+            let cycle_lookup: FastHashMap<&ItemSet, &CycleSet> = survivors
+                .iter()
+                .map(|s| (&s.itemset, &s.cycles))
+                .collect();
+            apriori_gen(&large_sets)
+                .into_iter()
+                .filter_map(|candidate| {
+                    let cycles = if options.cycle_pruning {
+                        let mut acc: Option<CycleSet> = None;
+                        for sub in candidate.immediate_subsets() {
+                            let sub_cycles = cycle_lookup
+                                .get(&sub)
+                                .expect("apriori_gen guarantees large subsets");
+                            match &mut acc {
+                                None => acc = Some((*sub_cycles).clone()),
+                                Some(a) => a.intersect_with(sub_cycles),
+                            }
+                            if acc.as_ref().is_some_and(CycleSet::is_empty) {
+                                break;
+                            }
+                        }
+                        acc.expect("candidates have at least two subsets")
+                    } else {
+                        CycleSet::full(bounds)
+                    };
+                    if cycles.is_empty() {
+                        stats.candidates_pruned_by_cycles += 1;
+                        None
+                    } else {
+                        stats.candidates_generated += 1;
+                        Some(CandidateState::new(candidate, cycles))
+                    }
+                })
+                .collect()
+        };
+
+        all_survivors.append(&mut survivors);
+        let mut states = next_states;
+        if states.is_empty() {
+            break;
+        }
+
+        // Scan all units for this level.
+        for i in 0..n {
+            let active: Vec<usize> = (0..states.len())
+                .filter(|&idx| {
+                    !options.cycle_skipping || states[idx].cycles.includes_unit(i)
+                })
+                .collect();
+            stats.skipped_counts += (states.len() - active.len()) as u64;
+            if active.is_empty() {
+                stats.skipped_unit_scans += 1;
+                continue;
+            }
+
+            let transactions = db.unit(i);
+            let threshold = config.min_support.threshold(transactions.len());
+            let candidate_sets: Vec<ItemSet> = active
+                .iter()
+                .map(|&idx| states[idx].itemset.clone())
+                .collect();
+            let counts = count_candidates(&candidate_sets, transactions, config.counting);
+            stats.support_computations += active.len() as u64;
+
+            for (&idx, &count) in active.iter().zip(&counts) {
+                let state = &mut states[idx];
+                if count >= threshold {
+                    state.supports.insert(i as u32, count);
+                } else if options.cycle_elimination {
+                    stats.cycles_eliminated += state.cycles.eliminate(i) as u64;
+                } else {
+                    state.misses.push(i as u32);
+                }
+            }
+        }
+
+        survivors = states
+            .into_iter()
+            .filter_map(|mut s| {
+                stats.cycles_eliminated += s.finalize();
+                (!s.cycles.is_empty()).then_some(s)
+            })
+            .collect();
+        survivors.sort_by(|a, b| a.itemset.cmp(&b.itemset));
+    }
+    all_survivors.append(&mut survivors);
+    all_survivors
+}
+
+/// Phase 2: derive cyclic rules from the cyclic large itemsets.
+fn generate_cyclic_rules(
+    num_units: usize,
+    config: &MiningConfig,
+    options: InterleavedOptions,
+    cyclic: &[CandidateState],
+    stats: &mut MiningStats,
+) -> Vec<CyclicRule> {
+    let lookup: FastHashMap<&ItemSet, usize> = cyclic
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (&s.itemset, i))
+        .collect();
+
+    let mut rules: Vec<CyclicRule> = Vec::new();
+    for z in cyclic {
+        if z.itemset.len() < 2 {
+            continue;
+        }
+        // Units that can influence any cycle of a rule derived from Z.
+        let covered = z.cycles.covered_units(num_units);
+        for antecedent in z.itemset.proper_nonempty_subsets() {
+            stats.rules_checked += 1;
+            let x_state = &cyclic[*lookup
+                .get(&antecedent)
+                .expect("subsets of a cyclic itemset are cyclic")];
+
+            // The rule's cycles start from Z's: a rule can only hold
+            // where Z is large, and C_Z ⊆ C_X guarantees X's counts are
+            // available at every unit we inspect.
+            let mut rule_cycles = z.cycles.clone();
+            for u in covered.iter_ones() {
+                if options.cycle_skipping && !rule_cycles.includes_unit(u) {
+                    continue;
+                }
+                let z_count = *z
+                    .supports
+                    .get(&(u as u32))
+                    .expect("Z is large on every unit of its cycles");
+                let x_count = *x_state
+                    .supports
+                    .get(&(u as u32))
+                    .expect("X is large wherever Z is large");
+                if !config.min_confidence.accepts(z_count, x_count) {
+                    rule_cycles.eliminate(u);
+                    if rule_cycles.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if rule_cycles.is_empty() {
+                continue;
+            }
+            let consequent = z.itemset.difference(&antecedent);
+            rules.push(CyclicRule {
+                rule: Rule { antecedent, consequent },
+                cycles: minimal_cycles(&rule_cycles),
+            });
+        }
+    }
+    rules.sort();
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::mine_sequential;
+    use car_cycles::Cycle;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn alternating_db(units: usize) -> SegmentedDb {
+        let even = vec![set(&[1, 2]); 8];
+        let odd = vec![set(&[3]); 8];
+        SegmentedDb::from_unit_itemsets(
+            (0..units)
+                .map(|u| if u % 2 == 0 { even.clone() } else { odd.clone() })
+                .collect(),
+        )
+    }
+
+    fn config(l_min: u32, l_max: u32) -> MiningConfig {
+        MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.5)
+            .cycle_bounds(l_min, l_max)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_alternating_rules() {
+        let db = alternating_db(8);
+        let outcome =
+            mine_interleaved(&db, &config(2, 4), InterleavedOptions::all()).unwrap();
+        let r = outcome
+            .rules
+            .iter()
+            .find(|r| r.rule == Rule::new(set(&[1]), set(&[2])).unwrap())
+            .expect("{1} => {2} cyclic");
+        assert_eq!(r.cycles, vec![Cycle::make(2, 0)]);
+    }
+
+    #[test]
+    fn matches_sequential_on_fixed_dbs() {
+        for units in [4usize, 6, 8, 12] {
+            let db = alternating_db(units);
+            for (lo, hi) in [(2u32, 4u32), (1, 3), (2, 2)] {
+                let hi = hi.min(units as u32);
+                let cfg = config(lo, hi);
+                let seq = mine_sequential(&db, &cfg).unwrap();
+                for opts in [
+                    InterleavedOptions::all(),
+                    InterleavedOptions::none(),
+                    InterleavedOptions::all().without_pruning(),
+                    InterleavedOptions::all().without_skipping(),
+                    InterleavedOptions::all().without_elimination(),
+                ] {
+                    let int = mine_interleaved(&db, &cfg, opts).unwrap();
+                    assert_eq!(
+                        seq.rules, int.rules,
+                        "units={units} bounds=[{lo},{hi}] opts={opts:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_reduces_support_computations() {
+        let db = alternating_db(12);
+        let cfg = config(2, 4);
+        let with = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let without =
+            mine_interleaved(&db, &cfg, InterleavedOptions::all().without_skipping())
+                .unwrap();
+        assert_eq!(with.rules, without.rules);
+        assert!(
+            with.stats.support_computations < without.stats.support_computations,
+            "skipping must save work: {} vs {}",
+            with.stats.support_computations,
+            without.stats.support_computations
+        );
+        assert!(with.stats.skipped_counts > 0);
+    }
+
+    #[test]
+    fn elimination_enables_more_skipping() {
+        let db = alternating_db(12);
+        let cfg = config(2, 4);
+        let full = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let no_elim =
+            mine_interleaved(&db, &cfg, InterleavedOptions::all().without_elimination())
+                .unwrap();
+        assert_eq!(full.rules, no_elim.rules);
+        assert!(
+            full.stats.support_computations <= no_elim.stats.support_computations
+        );
+    }
+
+    #[test]
+    fn empty_units_are_handled() {
+        let db = SegmentedDb::from_unit_itemsets(vec![
+            vec![set(&[1, 2]); 4],
+            vec![],
+            vec![set(&[1, 2]); 4],
+            vec![],
+        ]);
+        let cfg = config(2, 2);
+        let outcome = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let r = outcome
+            .rules
+            .iter()
+            .find(|r| r.rule == Rule::new(set(&[1]), set(&[2])).unwrap())
+            .expect("cyclic in even units");
+        assert_eq!(r.cycles, vec![Cycle::make(2, 0)]);
+        assert_eq!(outcome.rules, mine_sequential(&db, &cfg).unwrap().rules);
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let db = alternating_db(3);
+        let err =
+            mine_interleaved(&db, &config(2, 4), InterleavedOptions::all()).unwrap_err();
+        assert_eq!(err, ConfigError::CycleBoundExceedsUnits { l_max: 4, num_units: 3 });
+    }
+
+    #[test]
+    fn stats_count_cyclic_itemsets() {
+        let db = alternating_db(8);
+        let outcome =
+            mine_interleaved(&db, &config(2, 4), InterleavedOptions::all()).unwrap();
+        // {1}, {2}, {3}, {1,2} are all cyclic.
+        assert_eq!(outcome.stats.cyclic_itemsets, 4);
+        assert!(outcome.stats.support_computations > 0);
+        assert!(outcome.stats.rules_checked >= 2);
+    }
+
+    #[test]
+    fn max_itemset_size_caps_output() {
+        let db = SegmentedDb::from_unit_itemsets(vec![vec![set(&[1, 2, 3]); 4]; 4]);
+        let mut cfg = config(2, 2);
+        cfg.max_itemset_size = Some(2);
+        let outcome = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        assert!(outcome
+            .rules
+            .iter()
+            .all(|r| r.rule.antecedent.len() + r.rule.consequent.len() <= 2));
+        assert_eq!(outcome.rules, mine_sequential(&db, &cfg).unwrap().rules);
+    }
+}

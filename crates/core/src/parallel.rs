@@ -1,0 +1,186 @@
+//! Parallel SEQUENTIAL mining (feature `parallel`).
+//!
+//! The SEQUENTIAL algorithm's phase 1 mines every time unit
+//! independently, which parallelises embarrassingly: the units are split
+//! into contiguous chunks, each worker thread mines its chunk with the
+//! ordinary per-unit Apriori + rule generation, and the per-rule binary
+//! sequences are merged afterwards. Phase 2 (cycle detection) is cheap
+//! and stays single-threaded. Results are bit-for-bit identical to
+//! [`mine_sequential`](crate::sequential::mine_sequential).
+
+use std::time::Instant;
+
+use car_apriori::hash::FastHashMap;
+use car_apriori::{generate_rules, Apriori, AprioriConfig, Rule};
+use car_cycles::{detect_cycles, minimal_cycles, BitSeq};
+use car_itemset::SegmentedDb;
+
+use crate::config::{ConfigError, MiningConfig};
+use crate::result::{CyclicRule, MiningOutcome, MiningStats};
+
+/// Mines cyclic association rules with the SEQUENTIAL algorithm using
+/// `num_threads` worker threads for the per-unit phase.
+///
+/// `num_threads == 0` selects the available parallelism.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the configuration is invalid for the
+/// database.
+pub fn mine_sequential_parallel(
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    num_threads: usize,
+) -> Result<MiningOutcome, ConfigError> {
+    config.validate_for(db.num_units())?;
+    let n = db.num_units();
+    let threads = if num_threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        num_threads
+    }
+    .clamp(1, n.max(1));
+
+    let mut stats = MiningStats {
+        num_units: n,
+        num_transactions: db.num_transactions(),
+        ..Default::default()
+    };
+
+    let phase1_start = Instant::now();
+    let mut apriori_config =
+        AprioriConfig::new(config.min_support).with_counting(config.counting);
+    if let Some(cap) = config.max_itemset_size {
+        apriori_config = apriori_config.with_max_size(cap);
+    }
+
+    // Contiguous unit ranges, one per worker.
+    let chunk = n.div_ceil(threads);
+    type UnitRules = Vec<(usize, Vec<Rule>)>;
+    let per_chunk: Vec<(UnitRules, u64, u64)> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let apriori = Apriori::new(apriori_config);
+            let min_confidence = config.min_confidence;
+            handles.push(scope.spawn(move |_| {
+                let mut out: UnitRules = Vec::with_capacity(hi - lo);
+                let mut support_computations = 0u64;
+                let mut rules_checked = 0u64;
+                for unit in lo..hi {
+                    let (frequent, apriori_stats) =
+                        apriori.mine_with_stats(db.unit(unit));
+                    support_computations += apriori_stats.candidates_counted;
+                    let rules = generate_rules(&frequent, min_confidence);
+                    rules_checked += rules.len() as u64;
+                    out.push((unit, rules.into_iter().map(|r| r.rule).collect()));
+                }
+                (out, support_computations, rules_checked)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+
+    let mut sequences: FastHashMap<Rule, BitSeq> = FastHashMap::default();
+    for (unit_rules, support_computations, rules_checked) in per_chunk {
+        stats.support_computations += support_computations;
+        stats.candidates_generated += support_computations;
+        stats.rules_checked += rules_checked;
+        for (unit, rules) in unit_rules {
+            for rule in rules {
+                sequences
+                    .entry(rule)
+                    .or_insert_with(|| BitSeq::zeros(n))
+                    .set(unit, true);
+            }
+        }
+    }
+    stats.phase1 = phase1_start.elapsed();
+
+    let phase2_start = Instant::now();
+    let mut rules: Vec<CyclicRule> = Vec::new();
+    for (rule, seq) in sequences {
+        let set = detect_cycles(&seq, config.cycle_bounds);
+        if set.is_empty() {
+            continue;
+        }
+        rules.push(CyclicRule { rule, cycles: minimal_cycles(&set) });
+    }
+    rules.sort();
+    stats.phase2 = phase2_start.elapsed();
+
+    Ok(MiningOutcome { rules, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::mine_sequential;
+    use car_itemset::ItemSet;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn db(units: usize) -> SegmentedDb {
+        SegmentedDb::from_unit_itemsets(
+            (0..units)
+                .map(|u| {
+                    if u % 3 == 0 {
+                        vec![set(&[1, 2]), set(&[1, 2]), set(&[2, 3])]
+                    } else if u % 3 == 1 {
+                        vec![set(&[4, 5]); 3]
+                    } else {
+                        vec![set(&[1, 2]), set(&[4, 5]), set(&[6])]
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn config() -> MiningConfig {
+        MiningConfig::builder()
+            .min_support_fraction(0.4)
+            .min_confidence(0.5)
+            .cycle_bounds(2, 6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let db = db(18);
+        let cfg = config();
+        let serial = mine_sequential(&db, &cfg).unwrap();
+        for threads in [1usize, 2, 3, 7, 0] {
+            let parallel = mine_sequential_parallel(&db, &cfg, threads).unwrap();
+            assert_eq!(serial.rules, parallel.rules, "threads={threads}");
+            assert_eq!(
+                serial.stats.support_computations,
+                parallel.stats.support_computations
+            );
+            assert_eq!(serial.stats.rules_checked, parallel.stats.rules_checked);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_units() {
+        let db = db(6);
+        let cfg = config();
+        let serial = mine_sequential(&db, &cfg).unwrap();
+        let parallel = mine_sequential_parallel(&db, &cfg, 64).unwrap();
+        assert_eq!(serial.rules, parallel.rules);
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let db = db(3);
+        let cfg = config(); // l_max 6 > 3 units
+        assert!(mine_sequential_parallel(&db, &cfg, 2).is_err());
+    }
+}

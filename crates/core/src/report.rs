@@ -1,0 +1,199 @@
+//! Structured summaries of mining outcomes.
+//!
+//! A mining run over real data easily returns thousands of cyclic rules
+//! (EXPERIMENTS.md's base workload yields ~6000). This module condenses
+//! an outcome for human consumption: a histogram of minimal cycle
+//! lengths, and the rules ranked by **coverage** — the fraction of the
+//! window's units that lie on at least one of the rule's minimal cycles.
+//! A rule holding every other day (coverage 0.5) outranks one holding
+//! every 12th day (coverage ~0.08); both outrank a pattern confirmed on
+//! a single long cycle.
+
+use std::fmt::Write as _;
+
+use car_cycles::BitSeq;
+
+use crate::result::{CyclicRule, MiningOutcome};
+
+/// A rule with its coverage score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedRule {
+    /// The rule and its minimal cycles.
+    pub rule: CyclicRule,
+    /// Fraction of time units on at least one minimal cycle, in `(0, 1]`.
+    pub coverage: f64,
+}
+
+/// A condensed view of one mining outcome.
+#[derive(Clone, Debug)]
+pub struct MiningReport {
+    /// Number of time units the outcome was mined over.
+    pub num_units: usize,
+    /// Total number of cyclic rules.
+    pub num_rules: usize,
+    /// `(cycle length, number of rules with a minimal cycle of that
+    /// length)`, ascending by length. A rule with minimal cycles of two
+    /// lengths counts once per length.
+    pub rules_by_cycle_length: Vec<(u32, usize)>,
+    /// The rules with the highest coverage, descending (ties broken by
+    /// rule order).
+    pub top_rules: Vec<RankedRule>,
+}
+
+impl MiningReport {
+    /// Builds a report from an outcome mined over `num_units` units,
+    /// keeping the `top_k` highest-coverage rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_units == 0` and the outcome contains rules (an
+    /// impossible combination for the miners in this workspace).
+    pub fn new(outcome: &MiningOutcome, num_units: usize, top_k: usize) -> Self {
+        assert!(
+            outcome.rules.is_empty() || num_units > 0,
+            "rules cannot exist over zero units"
+        );
+        let mut by_length: Vec<(u32, usize)> = Vec::new();
+        let mut ranked: Vec<RankedRule> = Vec::with_capacity(outcome.rules.len());
+        for rule in &outcome.rules {
+            let mut lengths: Vec<u32> = rule.cycles.iter().map(|c| c.length()).collect();
+            lengths.sort_unstable();
+            lengths.dedup();
+            for l in lengths {
+                match by_length.binary_search_by_key(&l, |&(len, _)| len) {
+                    Ok(i) => by_length[i].1 += 1,
+                    Err(i) => by_length.insert(i, (l, 1)),
+                }
+            }
+            ranked.push(RankedRule { rule: rule.clone(), coverage: coverage(rule, num_units) });
+        }
+        ranked.sort_by(|a, b| {
+            b.coverage
+                .partial_cmp(&a.coverage)
+                .expect("coverage is never NaN")
+                .then_with(|| a.rule.cmp(&b.rule))
+        });
+        ranked.truncate(top_k);
+        MiningReport {
+            num_units,
+            num_rules: outcome.rules.len(),
+            rules_by_cycle_length: by_length,
+            top_rules: ranked,
+        }
+    }
+
+    /// Renders the report as a fixed-width text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} cyclic rules over {} units", self.num_rules, self.num_units);
+        if !self.rules_by_cycle_length.is_empty() {
+            let _ = writeln!(out, "rules per minimal cycle length:");
+            for &(l, count) in &self.rules_by_cycle_length {
+                let _ = writeln!(out, "  l={l:<4} {count}");
+            }
+        }
+        if !self.top_rules.is_empty() {
+            let _ = writeln!(out, "top rules by coverage:");
+            for r in &self.top_rules {
+                let _ = writeln!(out, "  {:>5.1}%  {}", r.coverage * 100.0, r.rule);
+            }
+        }
+        out
+    }
+}
+
+/// Fraction of `0..num_units` lying on at least one minimal cycle of the
+/// rule.
+fn coverage(rule: &CyclicRule, num_units: usize) -> f64 {
+    if num_units == 0 {
+        return 0.0;
+    }
+    let mut covered = BitSeq::zeros(num_units);
+    for cycle in &rule.cycles {
+        for u in cycle.units(num_units) {
+            covered.set(u, true);
+        }
+    }
+    covered.count_ones() as f64 / num_units as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::MiningStats;
+    use car_apriori::Rule;
+    use car_cycles::Cycle;
+    use car_itemset::ItemSet;
+
+    fn rule(a: u32, b: u32, cycles: &[(u32, u32)]) -> CyclicRule {
+        CyclicRule {
+            rule: Rule::new(ItemSet::from_ids([a]), ItemSet::from_ids([b])).unwrap(),
+            cycles: cycles.iter().map(|&(l, o)| Cycle::make(l, o)).collect(),
+        }
+    }
+
+    fn outcome(rules: Vec<CyclicRule>) -> MiningOutcome {
+        MiningOutcome { rules, stats: MiningStats::default() }
+    }
+
+    #[test]
+    fn coverage_is_exact() {
+        // (2,0) over 8 units covers 4/8; adding (4,1) covers +2.
+        let r = rule(1, 2, &[(2, 0), (4, 1)]);
+        assert!((coverage(&r, 8) - 0.75).abs() < 1e-12);
+        let solo = rule(1, 2, &[(8, 3)]);
+        assert!((coverage(&solo, 8) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_prefers_higher_coverage() {
+        let o = outcome(vec![
+            rule(1, 2, &[(8, 0)]),          // coverage 1/8
+            rule(3, 4, &[(2, 1)]),          // coverage 1/2
+            rule(5, 6, &[(4, 0), (4, 2)]),  // coverage 1/2
+        ]);
+        let report = MiningReport::new(&o, 8, 10);
+        assert_eq!(report.num_rules, 3);
+        assert!((report.top_rules[0].coverage - 0.5).abs() < 1e-12);
+        // Ties broken by rule order: {3}=>{4} sorts before {5}=>{6}.
+        assert_eq!(report.top_rules[0].rule.rule.antecedent, ItemSet::from_ids([3]));
+        assert_eq!(report.top_rules[2].rule.rule.antecedent, ItemSet::from_ids([1]));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let o = outcome((0..10).map(|i| rule(i, i + 100, &[(2, 0)])).collect());
+        let report = MiningReport::new(&o, 4, 3);
+        assert_eq!(report.num_rules, 10);
+        assert_eq!(report.top_rules.len(), 3);
+    }
+
+    #[test]
+    fn histogram_counts_lengths_once_per_rule() {
+        let o = outcome(vec![
+            rule(1, 2, &[(2, 0), (2, 1), (3, 0)]),
+            rule(3, 4, &[(3, 1)]),
+        ]);
+        let report = MiningReport::new(&o, 6, 10);
+        assert_eq!(report.rules_by_cycle_length, vec![(2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let o = outcome(vec![rule(1, 2, &[(2, 0)])]);
+        let text = MiningReport::new(&o, 6, 5).render();
+        assert!(text.contains("1 cyclic rules over 6 units"), "{text}");
+        assert!(text.contains("l=2"), "{text}");
+        assert!(text.contains("{1} => {2}"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let report = MiningReport::new(&outcome(Vec::new()), 0, 5);
+        assert_eq!(report.num_rules, 0);
+        assert!(report.top_rules.is_empty());
+        assert!(report.rules_by_cycle_length.is_empty());
+        assert!(report.render().contains("0 cyclic rules"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Sliding-window cyclic rule mining.
+//!
+//! [`IncrementalMiner`](crate::incremental::IncrementalMiner) grows its
+//! window forever, which is right for bounded histories but wrong for
+//! long-running streams where only the recent past matters (cyclic
+//! behaviour itself drifts: last year's weekly pattern may be gone).
+//! [`SlidingWindowMiner`] keeps the most recent `window` time units:
+//! each arriving unit is mined once, units older than the window are
+//! evicted, and queries see a database of exactly the retained units,
+//! re-indexed so the oldest retained unit is unit 0.
+//!
+//! Results are identical to batch-mining the retained window
+//! (equivalence-tested), with per-unit mining work paid once per unit —
+//! eviction never requires re-mining because per-unit rule sets are
+//! cached verbatim.
+
+use std::collections::VecDeque;
+
+use car_apriori::hash::FastHashMap;
+use car_apriori::{generate_rules, Apriori, AprioriConfig, Rule};
+use car_cycles::{detect_cycles, minimal_cycles, BitSeq};
+use car_itemset::ItemSet;
+
+use crate::config::{ConfigError, MiningConfig};
+use crate::result::CyclicRule;
+
+/// A cyclic rule miner over the most recent `window` time units.
+///
+/// ```
+/// use car_core::window::SlidingWindowMiner;
+/// use car_core::MiningConfig;
+/// use car_itemset::ItemSet;
+///
+/// let config = MiningConfig::builder()
+///     .min_support_fraction(0.5)
+///     .min_confidence(0.5)
+///     .cycle_bounds(2, 2)
+///     .build()
+///     .unwrap();
+/// let mut miner = SlidingWindowMiner::new(config, 6).unwrap();
+/// for day in 0..20 {
+///     let unit = if day % 2 == 0 {
+///         vec![ItemSet::from_ids([1, 2]); 4]
+///     } else {
+///         vec![ItemSet::from_ids([9]); 4]
+///     };
+///     miner.push_unit(&unit);
+/// }
+/// // Only the last 6 units are considered.
+/// assert_eq!(miner.len(), 6);
+/// let rules = miner.current_rules().unwrap();
+/// assert!(rules.iter().any(|r| r.rule.to_string() == "{1} => {2}"));
+/// ```
+pub struct SlidingWindowMiner {
+    config: MiningConfig,
+    apriori: Apriori,
+    window: usize,
+    /// Per retained unit (oldest first): the rules that held there.
+    unit_rules: VecDeque<Vec<Rule>>,
+    /// Total units ever pushed (for diagnostics).
+    total_pushed: u64,
+}
+
+impl SlidingWindowMiner {
+    /// Creates a miner retaining the last `window` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::CycleBoundExceedsUnits`] when the window is
+    /// shorter than the configuration's `l_max` — such a window could
+    /// never confirm the longest requested cycles.
+    pub fn new(config: MiningConfig, window: usize) -> Result<Self, ConfigError> {
+        config.validate_for(window)?;
+        let mut apriori_config =
+            AprioriConfig::new(config.min_support).with_counting(config.counting);
+        if let Some(cap) = config.max_itemset_size {
+            apriori_config = apriori_config.with_max_size(cap);
+        }
+        Ok(SlidingWindowMiner {
+            config,
+            apriori: Apriori::new(apriori_config),
+            window,
+            unit_rules: VecDeque::with_capacity(window + 1),
+            total_pushed: 0,
+        })
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of units currently retained (`≤ window`).
+    pub fn len(&self) -> usize {
+        self.unit_rules.len()
+    }
+
+    /// Whether no units have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.unit_rules.is_empty()
+    }
+
+    /// Total units ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Ingests the next unit, evicting the oldest once the window is
+    /// full. Returns the number of units evicted (0 or 1).
+    pub fn push_unit(&mut self, transactions: &[ItemSet]) -> usize {
+        let frequent = self.apriori.mine(transactions);
+        let rules: Vec<Rule> = generate_rules(&frequent, self.config.min_confidence)
+            .into_iter()
+            .map(|r| r.rule)
+            .collect();
+        self.unit_rules.push_back(rules);
+        self.total_pushed += 1;
+        if self.unit_rules.len() > self.window {
+            self.unit_rules.pop_front();
+            1
+        } else {
+            0
+        }
+    }
+
+    /// The cyclic rules over the retained window, with unit 0 the oldest
+    /// retained unit — identical to batch-mining those units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] while fewer than `l_max` units are
+    /// retained.
+    pub fn current_rules(&self) -> Result<Vec<CyclicRule>, ConfigError> {
+        let n = self.unit_rules.len();
+        self.config.validate_for(n)?;
+        let mut sequences: FastHashMap<&Rule, BitSeq> = FastHashMap::default();
+        for (u, rules) in self.unit_rules.iter().enumerate() {
+            for rule in rules {
+                sequences
+                    .entry(rule)
+                    .or_insert_with(|| BitSeq::zeros(n))
+                    .set(u, true);
+            }
+        }
+        let mut out: Vec<CyclicRule> = Vec::new();
+        for (rule, seq) in sequences {
+            let set = detect_cycles(&seq, self.config.cycle_bounds);
+            if set.is_empty() {
+                continue;
+            }
+            out.push(CyclicRule { rule: rule.clone(), cycles: minimal_cycles(&set) });
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::mine_sequential;
+    use car_itemset::SegmentedDb;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    fn config(l_max: u32) -> MiningConfig {
+        MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.5)
+            .cycle_bounds(2, l_max)
+            .build()
+            .unwrap()
+    }
+
+    fn unit_for(day: usize) -> Vec<ItemSet> {
+        if day % 2 == 0 {
+            vec![set(&[1, 2]); 4]
+        } else {
+            vec![set(&[7]); 4]
+        }
+    }
+
+    #[test]
+    fn window_shorter_than_l_max_is_rejected() {
+        assert!(SlidingWindowMiner::new(config(8), 4).is_err());
+        assert!(SlidingWindowMiner::new(config(4), 4).is_ok());
+    }
+
+    #[test]
+    fn matches_batch_on_retained_window() {
+        let cfg = config(3);
+        let mut miner = SlidingWindowMiner::new(cfg, 6).unwrap();
+        let mut history: Vec<Vec<ItemSet>> = Vec::new();
+        for day in 0..15 {
+            history.push(unit_for(day));
+            let evicted = miner.push_unit(&history[day]);
+            assert_eq!(evicted, usize::from(day >= 6));
+            if miner.len() >= 3 {
+                let start = history.len().saturating_sub(6);
+                let window_db =
+                    SegmentedDb::from_unit_itemsets(history[start..].to_vec());
+                let batch = mine_sequential(&window_db, &cfg).unwrap();
+                assert_eq!(
+                    miner.current_rules().unwrap(),
+                    batch.rules,
+                    "after day {day}"
+                );
+            }
+        }
+        assert_eq!(miner.total_pushed(), 15);
+        assert_eq!(miner.len(), 6);
+    }
+
+    #[test]
+    fn pattern_drift_is_forgotten() {
+        let cfg = config(2);
+        let mut miner = SlidingWindowMiner::new(cfg, 4).unwrap();
+        // Phase 1: alternating {1,2} pattern.
+        for day in 0..8 {
+            miner.push_unit(&unit_for(day));
+        }
+        assert!(miner
+            .current_rules()
+            .unwrap()
+            .iter()
+            .any(|r| r.rule.to_string() == "{1} => {2}"));
+        // Phase 2: the pattern stops; after `window` quiet units it must
+        // vanish from the results.
+        for _ in 0..4 {
+            miner.push_unit(&vec![set(&[7]); 4]);
+        }
+        assert!(miner
+            .current_rules()
+            .unwrap()
+            .iter()
+            .all(|r| r.rule.to_string() != "{1} => {2}"));
+    }
+
+    #[test]
+    fn too_few_units_is_an_error() {
+        let miner = SlidingWindowMiner::new(config(3), 5).unwrap();
+        assert!(miner.current_rules().is_err());
+        assert!(miner.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the extension features: incremental mining,
+//! constraint filtering, approximate cycles, and rule-timeline analysis
+//! — all pinned to the batch miners as oracles.
+
+use car_core::analyze::analyze_rule;
+use car_core::approx::mine_approx;
+use car_core::constraints::{filter_outcome, mine_interleaved_constrained, RuleConstraints};
+use car_core::incremental::IncrementalMiner;
+use car_core::{
+    interleaved::mine_interleaved, sequential::mine_sequential, InterleavedOptions,
+    MiningConfig,
+};
+use car_itemset::{ItemSet, SegmentedDb};
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = SegmentedDb> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 0..4).prop_map(ItemSet::from_ids),
+            0..8,
+        ),
+        4..10,
+    )
+    .prop_map(SegmentedDb::from_unit_itemsets)
+}
+
+fn arb_config(max_l: u32) -> impl Strategy<Value = MiningConfig> {
+    (1u64..4, 0.0f64..=1.0, 1u32..=3, 0u32..=1).prop_map(move |(count, conf, lo, extra)| {
+        let hi = (lo + extra).min(max_l);
+        MiningConfig::builder()
+            .min_support_count(count)
+            .min_confidence(conf)
+            .cycle_bounds(lo.min(hi), hi)
+            .build()
+            .expect("valid generated config")
+    })
+}
+
+fn arb_item_subset() -> impl Strategy<Value = ItemSet> {
+    proptest::collection::btree_set(0u32..6, 1..4).prop_map(ItemSet::from_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_matches_batch(db in arb_db(), cfg in arb_config(4)) {
+        let mut miner = IncrementalMiner::new(cfg);
+        miner.push_db(&db);
+        let incremental = miner.current_rules().expect("window covers l_max");
+        let batch = mine_sequential(&db, &cfg).unwrap();
+        prop_assert_eq!(incremental, batch.rules);
+    }
+
+    #[test]
+    fn constrained_mining_equals_post_filter(
+        db in arb_db(),
+        cfg in arb_config(4),
+        within in proptest::option::of(arb_item_subset()),
+        contains in proptest::option::of(arb_item_subset()),
+    ) {
+        let mut constraints = RuleConstraints::any();
+        if let Some(w) = within {
+            constraints = constraints.with_consequent_within(w);
+        }
+        if let Some(c) = contains {
+            constraints = constraints.with_itemset_contains(c);
+        }
+        let full = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let constrained = mine_interleaved_constrained(
+            &db, &cfg, InterleavedOptions::all(), &constraints,
+        )
+        .unwrap();
+        prop_assert_eq!(constrained.rules, filter_outcome(&full, &constraints));
+    }
+
+    #[test]
+    fn itemset_viability_never_rejects_an_accepted_rule(
+        db in arb_db(),
+        cfg in arb_config(4),
+        within in arb_item_subset(),
+    ) {
+        let constraints = RuleConstraints::any().with_antecedent_within(within);
+        let full = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        for rule in filter_outcome(&full, &constraints) {
+            prop_assert!(
+                constraints.itemset_viable(&rule.rule.itemset()),
+                "viability rejected accepted rule {}", rule.rule
+            );
+        }
+    }
+
+    #[test]
+    fn approx_zero_budget_rule_set_equals_exact(db in arb_db(), cfg in arb_config(4)) {
+        let exact = mine_sequential(&db, &cfg).unwrap();
+        let approx = mine_approx(&db, &cfg, 0).unwrap();
+        let exact_rules: Vec<_> = exact.rules.iter().map(|r| r.rule.clone()).collect();
+        let approx_rules: Vec<_> = approx.rules.iter().map(|r| r.rule.clone()).collect();
+        prop_assert_eq!(exact_rules, approx_rules);
+    }
+
+    #[test]
+    fn approx_budget_is_monotone(db in arb_db(), cfg in arb_config(4)) {
+        let mut previous: Option<usize> = None;
+        for budget in 0..3u32 {
+            let outcome = mine_approx(&db, &cfg, budget).unwrap();
+            if let Some(prev) = previous {
+                prop_assert!(outcome.rules.len() >= prev);
+            }
+            previous = Some(outcome.rules.len());
+        }
+    }
+
+    #[test]
+    fn analysis_agrees_with_mining(db in arb_db(), cfg in arb_config(4)) {
+        let outcome = mine_sequential(&db, &cfg).unwrap();
+        for mined in outcome.rules.iter().take(10) {
+            let timeline = analyze_rule(&db, &cfg, &mined.rule).unwrap();
+            prop_assert_eq!(&timeline.cycles, &mined.cycles, "{}", mined.rule);
+            prop_assert!(timeline.units_held() > 0);
+        }
+    }
+}

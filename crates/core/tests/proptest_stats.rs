@@ -1,0 +1,94 @@
+//! Property tests on the work-accounting invariants of the INTERLEAVED
+//! optimizations — the quantities the paper's evaluation measures.
+
+use car_core::{interleaved::mine_interleaved, InterleavedOptions, MiningConfig};
+use car_itemset::{ItemSet, SegmentedDb};
+use proptest::prelude::*;
+
+fn arb_db() -> impl Strategy<Value = SegmentedDb> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 0..4).prop_map(ItemSet::from_ids),
+            0..8,
+        ),
+        4..10,
+    )
+    .prop_map(SegmentedDb::from_unit_itemsets)
+}
+
+fn arb_config() -> impl Strategy<Value = MiningConfig> {
+    (1u64..3, 1u32..=3, 0u32..=1).prop_map(|(count, lo, extra)| {
+        MiningConfig::builder()
+            .min_support_count(count)
+            .min_confidence(0.5)
+            .cycle_bounds(lo, (lo + extra).min(4))
+            .build()
+            .expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// With pruning and elimination fixed, every (candidate, unit) pair
+    /// is either counted or skipped: the totals must add up exactly.
+    #[test]
+    fn skipping_conserves_total_work(db in arb_db(), cfg in arb_config()) {
+        let with = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let without =
+            mine_interleaved(&db, &cfg, InterleavedOptions::all().without_skipping())
+                .unwrap();
+        prop_assert_eq!(&with.rules, &without.rules);
+        prop_assert_eq!(
+            with.stats.support_computations + with.stats.skipped_counts,
+            without.stats.support_computations + without.stats.skipped_counts,
+            "conservation violated"
+        );
+        prop_assert!(
+            with.stats.support_computations <= without.stats.support_computations
+        );
+        prop_assert_eq!(without.stats.skipped_counts, 0);
+    }
+
+    /// Cycle pruning only removes candidates that the unpruned run also
+    /// generates: generated(pruned) + pruned == generated(unpruned).
+    #[test]
+    fn pruning_accounts_for_every_candidate(db in arb_db(), cfg in arb_config()) {
+        let with = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let without =
+            mine_interleaved(&db, &cfg, InterleavedOptions::all().without_pruning())
+                .unwrap();
+        prop_assert_eq!(&with.rules, &without.rules);
+        prop_assert_eq!(
+            with.stats.candidates_generated + with.stats.candidates_pruned_by_cycles,
+            without.stats.candidates_generated,
+            "candidate accounting violated"
+        );
+        prop_assert_eq!(without.stats.candidates_pruned_by_cycles, 0);
+    }
+
+    /// Elimination can only increase the skip rate (it shrinks candidate
+    /// cycle sets during the scan), never change results.
+    #[test]
+    fn elimination_only_helps(db in arb_db(), cfg in arb_config()) {
+        let with = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        let without =
+            mine_interleaved(&db, &cfg, InterleavedOptions::all().without_elimination())
+                .unwrap();
+        prop_assert_eq!(&with.rules, &without.rules);
+        prop_assert!(
+            with.stats.support_computations <= without.stats.support_computations
+        );
+    }
+
+    /// Both phases' cyclic-itemset counts line up with the rules: every
+    /// rule's itemset and all its subsets are cyclic large.
+    #[test]
+    fn cyclic_itemsets_cover_rules(db in arb_db(), cfg in arb_config()) {
+        let outcome = mine_interleaved(&db, &cfg, InterleavedOptions::all()).unwrap();
+        if !outcome.rules.is_empty() {
+            prop_assert!(outcome.stats.cyclic_itemsets >= 2);
+        }
+        prop_assert!(outcome.stats.rules_checked as usize >= outcome.rules.len());
+    }
+}

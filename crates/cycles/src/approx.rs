@@ -1,0 +1,163 @@
+//! Approximate cycles: the relaxation sketched as future work in the
+//! ICDE'98 paper, where a cycle is allowed a bounded number of *misses*
+//! (on-cycle units where the sequence is 0).
+//!
+//! Exact cycles are brittle on noisy data — one promotional week that
+//! breaks a seasonal pattern destroys the cycle. An [`ApproxCycle`]
+//! instead reports how many of the on-cycle units missed, and detection
+//! keeps cycles whose miss count is within a caller-supplied budget.
+
+use crate::{BitSeq, Cycle, CycleBounds};
+
+/// A cycle together with its observational quality on a sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ApproxCycle {
+    /// The cycle.
+    pub cycle: Cycle,
+    /// Number of on-cycle units where the sequence was 0.
+    pub misses: u32,
+    /// Number of on-cycle units within the sequence (hits + misses).
+    pub occurrences: u32,
+}
+
+impl ApproxCycle {
+    /// Fraction of on-cycle units that hit; 0 when the cycle never occurs
+    /// within the sequence.
+    pub fn hit_rate(&self) -> f64 {
+        if self.occurrences == 0 {
+            0.0
+        } else {
+            f64::from(self.occurrences - self.misses) / f64::from(self.occurrences)
+        }
+    }
+
+    /// Whether the cycle is exact (no misses) and non-vacuous.
+    pub fn is_exact(&self) -> bool {
+        self.misses == 0 && self.occurrences > 0
+    }
+}
+
+/// Detects cycles allowing at most `max_misses` misses per cycle.
+///
+/// Runs in `O(zeros(seq) · (l_max − l_min) + Σ l)`: one counter per
+/// candidate cycle, bumped for every zero of the sequence. Vacuous cycles
+/// (no on-cycle unit within the sequence) are never reported. The result
+/// is sorted by `(length, offset)`; no minimality filtering is applied
+/// because a multiple of an approximate cycle can have strictly fewer
+/// misses and is therefore informative in its own right.
+pub fn detect_approx_cycles(
+    seq: &BitSeq,
+    bounds: CycleBounds,
+    max_misses: u32,
+) -> Vec<ApproxCycle> {
+    let n = seq.len();
+    // misses[l - l_min][o] counts zeros at units ≡ o (mod l).
+    let mut misses: Vec<Vec<u32>> = bounds
+        .lengths()
+        .map(|l| vec![0u32; l as usize])
+        .collect();
+    for zero in seq.iter_zeros() {
+        for l in bounds.lengths() {
+            misses[(l - bounds.l_min()) as usize][zero % l as usize] += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for l in bounds.lengths() {
+        for o in 0..l {
+            let cycle = Cycle::make(l, o);
+            let occurrences = cycle.num_units(n) as u32;
+            if occurrences == 0 {
+                continue;
+            }
+            let m = misses[(l - bounds.l_min()) as usize][o as usize];
+            if m <= max_misses {
+                out.push(ApproxCycle { cycle, misses: m, occurrences });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(s: &str, l_min: u32, l_max: u32, budget: u32) -> Vec<ApproxCycle> {
+        detect_approx_cycles(&s.parse().unwrap(), CycleBounds::make(l_min, l_max), budget)
+    }
+
+    #[test]
+    fn zero_budget_matches_exact_detection() {
+        use crate::{detect_cycles, CycleSet};
+        for s in ["10101010", "110110", "111000", "0110", "11111"] {
+            let bounds = CycleBounds::make(1, 4);
+            let seq: BitSeq = s.parse().unwrap();
+            let exact: CycleSet = detect_cycles(&seq, bounds);
+            let approx = detect_approx_cycles(&seq, bounds, 0);
+            let approx_cycles: Vec<_> = approx.iter().map(|a| a.cycle).collect();
+            // Every sequence here is at least 4 long, so no vacuous cycles
+            // exist within bounds and the sets must agree exactly.
+            assert_eq!(approx_cycles, exact.to_vec(), "sequence {s}");
+            assert!(approx.iter().all(ApproxCycle::is_exact));
+        }
+    }
+
+    #[test]
+    fn one_miss_is_tolerated() {
+        // (2,0) on "10101000" misses at unit 6 only.
+        let res = run("10101000", 2, 2, 1);
+        let c20 = res.iter().find(|a| a.cycle == Cycle::make(2, 0)).unwrap();
+        assert_eq!(c20.misses, 1);
+        assert_eq!(c20.occurrences, 4);
+        assert!((c20.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(!c20.is_exact());
+        // (2,1) misses at 1, 3, 5, 7 → 4 misses, over budget.
+        assert!(res.iter().all(|a| a.cycle != Cycle::make(2, 1)));
+    }
+
+    #[test]
+    fn budget_large_enough_returns_all_nonvacuous() {
+        let res = run("0000", 1, 4, 4);
+        // All cycles with at least one occurrence in 0..4.
+        let expected: Vec<Cycle> = CycleBounds::make(1, 4)
+            .all_cycles()
+            .filter(|c| c.num_units(4) > 0)
+            .collect();
+        assert_eq!(res.iter().map(|a| a.cycle).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn vacuous_cycles_are_excluded() {
+        // Sequence of length 3, cycles of length 5 with offsets 3, 4 never
+        // occur — they must not be reported even with a generous budget.
+        let res = run("111", 5, 5, 10);
+        assert_eq!(
+            res.iter().map(|a| a.cycle).collect::<Vec<_>>(),
+            vec![Cycle::make(5, 0), Cycle::make(5, 1), Cycle::make(5, 2)]
+        );
+        assert!(res.iter().all(|a| a.occurrences == 1 && a.misses == 0));
+    }
+
+    #[test]
+    fn miss_counts_match_definition() {
+        let s = "110010";
+        let res = run(s, 3, 3, 10);
+        let seq: BitSeq = s.parse().unwrap();
+        for a in res {
+            let expected = a
+                .cycle
+                .units(seq.len())
+                .filter(|&u| !seq.get(u))
+                .count() as u32;
+            assert_eq!(a.misses, expected, "cycle {}", a.cycle);
+        }
+    }
+
+    #[test]
+    fn hit_rate_of_vacuous_is_zero() {
+        let a = ApproxCycle { cycle: Cycle::make(5, 4), misses: 0, occurrences: 0 };
+        assert_eq!(a.hit_rate(), 0.0);
+        assert!(!a.is_exact());
+    }
+}

@@ -1,0 +1,304 @@
+use std::fmt;
+
+/// A cycle `(l, o)`: length `l ≥ 1` and offset `0 ≤ o < l`.
+///
+/// A binary sequence *has* cycle `(l, o)` when it is 1 at every index
+/// `i ≡ o (mod l)` within the sequence. Cycle lengths are bounded by the
+/// user-supplied [`CycleBounds`](crate::CycleBounds) during mining.
+///
+/// If a sequence has cycle `(l, o)`, it trivially also has every
+/// *multiple* `(k·l, o + j·l)`; only cycles that are not multiples of
+/// another detected cycle (*minimal* cycles) are interesting to report.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Cycle {
+    length: u32,
+    offset: u32,
+}
+
+impl Cycle {
+    /// Creates a cycle, validating `length ≥ 1` and `offset < length`.
+    pub fn new(length: u32, offset: u32) -> Option<Self> {
+        if length >= 1 && offset < length {
+            Some(Cycle { length, offset })
+        } else {
+            None
+        }
+    }
+
+    /// Creates a cycle without returning an `Option`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` or `offset >= length`.
+    pub fn make(length: u32, offset: u32) -> Self {
+        Self::new(length, offset)
+            .unwrap_or_else(|| panic!("invalid cycle ({length},{offset})"))
+    }
+
+    /// The cycle length `l`.
+    #[inline]
+    pub const fn length(self) -> u32 {
+        self.length
+    }
+
+    /// The cycle offset `o`.
+    #[inline]
+    pub const fn offset(self) -> u32 {
+        self.offset
+    }
+
+    /// Whether unit `i` lies on this cycle (`i ≡ o (mod l)`).
+    #[inline]
+    pub fn includes_unit(self, unit: usize) -> bool {
+        unit as u64 % self.length as u64 == self.offset as u64
+    }
+
+    /// Iterates the units of this cycle that fall in `0..num_units`.
+    pub fn units(self, num_units: usize) -> impl Iterator<Item = usize> {
+        (self.offset as usize..num_units).step_by(self.length as usize)
+    }
+
+    /// Number of units of this cycle within `0..num_units`.
+    pub fn num_units(self, num_units: usize) -> usize {
+        if (self.offset as usize) >= num_units {
+            0
+        } else {
+            (num_units - self.offset as usize).div_ceil(self.length as usize)
+        }
+    }
+
+    /// Whether `self` is a multiple of `other`: `other.length` divides
+    /// `self.length` and the offsets agree modulo `other.length`.
+    ///
+    /// Every unit of a multiple is a unit of the base cycle, so a sequence
+    /// with cycle `other` automatically has cycle `self`. A cycle is a
+    /// multiple of itself.
+    pub fn is_multiple_of(self, other: Cycle) -> bool {
+        self.length % other.length == 0
+            && self.offset % other.length == other.offset
+    }
+
+    /// The cycle describing the units common to `self` and `other`, if
+    /// any.
+    ///
+    /// The units shared by `(l₁, o₁)` and `(l₂, o₂)` are the solutions of
+    /// the congruence system `u ≡ o₁ (mod l₁)`, `u ≡ o₂ (mod l₂)`. By the
+    /// Chinese Remainder Theorem a solution exists iff
+    /// `gcd(l₁, l₂) | o₁ − o₂`, and then the common units form exactly the
+    /// cycle `(lcm(l₁, l₂), o)` for the unique solution `o` below the lcm.
+    /// Note the result's length may exceed any
+    /// [`CycleBounds`](crate::CycleBounds) in play —
+    /// it describes set intersection, not mined candidacy. Returns `None`
+    /// both when no unit is shared and when the lcm overflows the `u32`
+    /// cycle-length domain (two near-`u32::MAX` coprime lengths), where
+    /// no representable cycle exists.
+    ///
+    /// ```
+    /// use car_cycles::Cycle;
+    ///
+    /// let a = Cycle::make(4, 1); // 1, 5, 9, 13, …
+    /// let b = Cycle::make(6, 3); // 3, 9, 15, 21, …
+    /// assert_eq!(a.meet(b), Some(Cycle::make(12, 9)));
+    /// assert_eq!(a.meet(Cycle::make(2, 0)), None); // odd vs even units
+    /// ```
+    pub fn meet(self, other: Cycle) -> Option<Cycle> {
+        let (l1, o1) = (u64::from(self.length), i64::from(self.offset));
+        let (l2, o2) = (u64::from(other.length), i64::from(other.offset));
+        let g = gcd(l1, l2);
+        if (o1 - o2).rem_euclid(g as i64) != 0 {
+            return None;
+        }
+        let lcm = l1 / g * l2;
+        if u32::try_from(lcm).is_err() {
+            return None;
+        }
+        // Solve u ≡ o1 (mod l1), u ≡ o2 (mod l2):
+        // u = o1 + l1 * t with t ≡ (o2 - o1)/g * inv(l1/g) (mod l2/g).
+        let l1_g = l1 / g;
+        let l2_g = l2 / g;
+        let diff = ((o2 - o1) / g as i64).rem_euclid(l2_g as i64) as u64;
+        let inv = mod_inverse(l1_g % l2_g, l2_g)?;
+        let t = diff * inv % l2_g;
+        let offset = (o1 as u64 % lcm + l1 % lcm * t) % lcm;
+        Some(Cycle::make(lcm as u32, offset as u32))
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Multiplicative inverse of `a` modulo `m` (`m ≥ 1`), when it exists.
+fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 1 {
+        return Some(0);
+    }
+    let (mut old_r, mut r) = (a as i64, m as i64);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i64) as u64)
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.length, self.offset)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.length, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Cycle::new(0, 0).is_none());
+        assert!(Cycle::new(1, 0).is_some());
+        assert!(Cycle::new(3, 2).is_some());
+        assert!(Cycle::new(3, 3).is_none());
+        assert!(Cycle::new(3, 4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cycle")]
+    fn make_panics_on_invalid() {
+        let _ = Cycle::make(2, 2);
+    }
+
+    #[test]
+    fn unit_membership() {
+        let c = Cycle::make(3, 1);
+        assert!(!c.includes_unit(0));
+        assert!(c.includes_unit(1));
+        assert!(!c.includes_unit(2));
+        assert!(!c.includes_unit(3));
+        assert!(c.includes_unit(4));
+        assert!(c.includes_unit(7));
+    }
+
+    #[test]
+    fn units_enumeration() {
+        let c = Cycle::make(4, 2);
+        assert_eq!(c.units(12).collect::<Vec<_>>(), vec![2, 6, 10]);
+        assert_eq!(c.num_units(12), 3);
+        assert_eq!(c.units(2).count(), 0);
+        assert_eq!(c.num_units(2), 0);
+        assert_eq!(c.num_units(3), 1);
+        // Length-1 cycle covers everything.
+        assert_eq!(Cycle::make(1, 0).units(4).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn num_units_matches_enumeration() {
+        for l in 1..6u32 {
+            for o in 0..l {
+                let c = Cycle::make(l, o);
+                for n in 0..20usize {
+                    assert_eq!(c.num_units(n), c.units(n).count(), "cycle {c} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiples() {
+        let base = Cycle::make(2, 1);
+        assert!(Cycle::make(2, 1).is_multiple_of(base));
+        assert!(Cycle::make(4, 1).is_multiple_of(base));
+        assert!(Cycle::make(4, 3).is_multiple_of(base));
+        assert!(Cycle::make(6, 5).is_multiple_of(base));
+        assert!(!Cycle::make(4, 0).is_multiple_of(base));
+        assert!(!Cycle::make(3, 1).is_multiple_of(base));
+        assert!(!base.is_multiple_of(Cycle::make(4, 1)));
+    }
+
+    #[test]
+    fn multiple_units_are_subset_of_base_units() {
+        // Semantic check: every unit of a multiple is a unit of the base.
+        let base = Cycle::make(3, 2);
+        for l in 1..=12u32 {
+            for o in 0..l {
+                let c = Cycle::make(l, o);
+                if c.is_multiple_of(base) {
+                    for u in c.units(36) {
+                        assert!(base.includes_unit(u), "{c} unit {u} not on {base}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::make(7, 3).to_string(), "(7,3)");
+    }
+
+    #[test]
+    fn meet_matches_brute_force() {
+        // Compare against explicit unit-set intersection on a window far
+        // longer than any lcm in range.
+        const N: usize = 2_000;
+        for l1 in 1..=10u32 {
+            for o1 in 0..l1 {
+                for l2 in 1..=10u32 {
+                    for o2 in 0..l2 {
+                        let a = Cycle::make(l1, o1);
+                        let b = Cycle::make(l2, o2);
+                        let expected: Vec<usize> = a
+                            .units(N)
+                            .filter(|&u| b.includes_unit(u))
+                            .collect();
+                        match a.meet(b) {
+                            None => assert!(
+                                expected.is_empty(),
+                                "{a} ∧ {b} should be empty, got {expected:?}"
+                            ),
+                            Some(c) => {
+                                assert_eq!(
+                                    c.units(N).collect::<Vec<_>>(),
+                                    expected,
+                                    "{a} ∧ {b} = {c}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_overflow_returns_none() {
+        // Two coprime lengths near u32::MAX: the lcm exceeds the cycle
+        // domain, so no representable common cycle exists.
+        let a = Cycle::make(u32::MAX, 0);
+        let b = Cycle::make(u32::MAX - 1, 0);
+        assert_eq!(a.meet(b), None);
+        // Identical huge cycles still meet themselves.
+        assert_eq!(a.meet(a), Some(a));
+    }
+
+    #[test]
+    fn meet_is_commutative_and_idempotent() {
+        let a = Cycle::make(6, 2);
+        let b = Cycle::make(9, 5);
+        assert_eq!(a.meet(b), b.meet(a));
+        assert_eq!(a.meet(a), Some(a));
+    }
+}

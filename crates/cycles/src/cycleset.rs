@@ -1,0 +1,422 @@
+use std::fmt;
+
+use crate::{BitSeq, Cycle, CycleBounds};
+
+const WORD_BITS: usize = 64;
+
+/// A set of candidate cycles within fixed [`CycleBounds`].
+///
+/// This is the data structure at the heart of the INTERLEAVED algorithm of
+/// the ICDE'98 paper. Each itemset under consideration owns a `CycleSet`
+/// holding the cycles it could still have; the set only ever shrinks as
+/// evidence (a unit where the itemset is not large) arrives. The three
+/// optimization techniques of the paper map onto three operations:
+///
+/// * **cycle elimination** → [`CycleSet::eliminate`]: after observing a
+///   miss at `unit`, every candidate `(l, unit mod l)` is removed;
+/// * **cycle skipping** → [`CycleSet::includes_unit`]: support counting in
+///   a unit can be skipped when the unit lies on no remaining candidate;
+/// * **cycle pruning** → [`CycleSet::intersect_with`]: a `k`-itemset's
+///   candidates start from the intersection of its `(k−1)`-subsets' sets.
+///
+/// Internally the set stores one offset-bitmap per length, so all three
+/// operations cost `O(l_max − l_min + 1)` word operations.
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CycleSet {
+    bounds: CycleBounds,
+    /// `offsets[l - l_min]` is the bitmap of live offsets for length `l`.
+    offsets: Vec<Vec<u64>>,
+    /// Number of live cycles, maintained incrementally.
+    count: usize,
+}
+
+impl CycleSet {
+    /// The empty set over the given bounds.
+    pub fn empty(bounds: CycleBounds) -> Self {
+        let offsets = bounds
+            .lengths()
+            .map(|l| vec![0u64; (l as usize).div_ceil(WORD_BITS)])
+            .collect();
+        CycleSet { bounds, offsets, count: 0 }
+    }
+
+    /// The full set: every `(l, o)` with `l` within bounds.
+    pub fn full(bounds: CycleBounds) -> Self {
+        let mut offsets = Vec::with_capacity((bounds.l_max() - bounds.l_min() + 1) as usize);
+        for l in bounds.lengths() {
+            let l = l as usize;
+            let mut words = vec![u64::MAX; l.div_ceil(WORD_BITS)];
+            let rem = l % WORD_BITS;
+            if rem != 0 {
+                *words.last_mut().expect("l >= 1") &= (1u64 << rem) - 1;
+            }
+            offsets.push(words);
+        }
+        CycleSet { bounds, offsets, count: bounds.num_cycles() }
+    }
+
+    /// The bounds this set ranges over.
+    #[inline]
+    pub fn bounds(&self) -> CycleBounds {
+        self.bounds
+    }
+
+    /// Number of live cycles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no candidate cycles remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    fn row(&self, length: u32) -> &[u64] {
+        &self.offsets[(length - self.bounds.l_min()) as usize]
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Cycle) -> bool {
+        if !self.bounds.contains(c) {
+            return false;
+        }
+        let o = c.offset() as usize;
+        self.row(c.length())[o / WORD_BITS] >> (o % WORD_BITS) & 1 == 1
+    }
+
+    /// Inserts a cycle; returns `true` if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle's length is outside the bounds.
+    pub fn insert(&mut self, c: Cycle) -> bool {
+        assert!(
+            self.bounds.contains(c),
+            "cycle {c} outside bounds {:?}",
+            self.bounds
+        );
+        let l_min = self.bounds.l_min();
+        let o = c.offset() as usize;
+        let word = &mut self.offsets[(c.length() - l_min) as usize][o / WORD_BITS];
+        let mask = 1u64 << (o % WORD_BITS);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a cycle; returns `true` if it was present.
+    pub fn remove(&mut self, c: Cycle) -> bool {
+        if !self.bounds.contains(c) {
+            return false;
+        }
+        let l_min = self.bounds.l_min();
+        let o = c.offset() as usize;
+        let word = &mut self.offsets[(c.length() - l_min) as usize][o / WORD_BITS];
+        let mask = 1u64 << (o % WORD_BITS);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// **Cycle elimination**: removes every candidate `(l, unit mod l)`.
+    /// Returns the number of cycles removed.
+    ///
+    /// Calling this for each unit where a sequence is 0, starting from the
+    /// full set, performs exact cycle detection.
+    pub fn eliminate(&mut self, unit: usize) -> usize {
+        let mut removed = 0;
+        for l in self.bounds.lengths() {
+            let o = unit % l as usize;
+            let word =
+                &mut self.offsets[(l - self.bounds.l_min()) as usize][o / WORD_BITS];
+            let mask = 1u64 << (o % WORD_BITS);
+            if *word & mask != 0 {
+                *word &= !mask;
+                removed += 1;
+            }
+        }
+        self.count -= removed;
+        removed
+    }
+
+    /// **Cycle skipping** test: whether `unit` lies on any live candidate
+    /// cycle. Units failing this test need no support counting.
+    pub fn includes_unit(&self, unit: usize) -> bool {
+        for l in self.bounds.lengths() {
+            let o = unit % l as usize;
+            if self.row(l)[o / WORD_BITS] >> (o % WORD_BITS) & 1 == 1 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// **Cycle pruning** primitive: intersects `self` with `other` in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different bounds.
+    pub fn intersect_with(&mut self, other: &CycleSet) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot intersect cycle sets with different bounds"
+        );
+        let mut count = 0;
+        for (mine, theirs) in self.offsets.iter_mut().zip(&other.offsets) {
+            for (w, &ow) in mine.iter_mut().zip(theirs) {
+                *w &= ow;
+                count += w.count_ones() as usize;
+            }
+        }
+        self.count = count;
+    }
+
+    /// Returns the intersection of two sets.
+    pub fn intersection(&self, other: &CycleSet) -> CycleSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different bounds.
+    pub fn union_with(&mut self, other: &CycleSet) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot union cycle sets with different bounds"
+        );
+        let mut count = 0;
+        for (mine, theirs) in self.offsets.iter_mut().zip(&other.offsets) {
+            for (w, &ow) in mine.iter_mut().zip(theirs) {
+                *w |= ow;
+                count += w.count_ones() as usize;
+            }
+        }
+        self.count = count;
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &CycleSet) -> CycleSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Whether every cycle of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &CycleSet) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        self.offsets
+            .iter()
+            .zip(&other.offsets)
+            .all(|(a, b)| a.iter().zip(b).all(|(&x, &y)| x & !y == 0))
+    }
+
+    /// Iterates live cycles in `(length, offset)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Cycle> + '_ {
+        self.bounds.lengths().flat_map(move |l| {
+            let row = self.row(l);
+            (0..l as usize)
+                .filter(move |&o| row[o / WORD_BITS] >> (o % WORD_BITS) & 1 == 1)
+                .map(move |o| Cycle::make(l, o as u32))
+        })
+    }
+
+    /// Collects live cycles into a vector.
+    pub fn to_vec(&self) -> Vec<Cycle> {
+        self.iter().collect()
+    }
+
+    /// The units in `0..num_units` lying on at least one live cycle, as a
+    /// bit sequence. Used to plan which units need support counting.
+    pub fn covered_units(&self, num_units: usize) -> BitSeq {
+        let mut seq = BitSeq::zeros(num_units);
+        for c in self.iter() {
+            for u in c.units(num_units) {
+                seq.set(u, true);
+            }
+        }
+        seq
+    }
+}
+
+impl fmt::Debug for CycleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CycleSet{:?}{{", self.bounds)?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> CycleBounds {
+        CycleBounds::make(1, 4)
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let full = CycleSet::full(bounds());
+        assert_eq!(full.len(), 10); // 1+2+3+4
+        assert!(!full.is_empty());
+        let empty = CycleSet::empty(bounds());
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_subset_of(&full));
+        assert!(!full.is_subset_of(&empty));
+    }
+
+    #[test]
+    fn full_has_exactly_the_bound_cycles() {
+        let full = CycleSet::full(CycleBounds::make(2, 3));
+        assert_eq!(
+            full.to_vec(),
+            vec![
+                Cycle::make(2, 0),
+                Cycle::make(2, 1),
+                Cycle::make(3, 0),
+                Cycle::make(3, 1),
+                Cycle::make(3, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CycleSet::empty(bounds());
+        let c = Cycle::make(3, 2);
+        assert!(!s.contains(c));
+        assert!(s.insert(c));
+        assert!(!s.insert(c));
+        assert!(s.contains(c));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(c));
+        assert!(!s.remove(c));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bounds")]
+    fn insert_out_of_bounds_panics() {
+        let mut s = CycleSet::empty(bounds());
+        s.insert(Cycle::make(9, 0));
+    }
+
+    #[test]
+    fn eliminate_removes_matching_offsets() {
+        let mut s = CycleSet::full(bounds());
+        // Miss at unit 5 kills (1,0), (2,1), (3,2), (4,1).
+        let removed = s.eliminate(5);
+        assert_eq!(removed, 4);
+        assert_eq!(s.len(), 6);
+        assert!(!s.contains(Cycle::make(1, 0)));
+        assert!(!s.contains(Cycle::make(2, 1)));
+        assert!(!s.contains(Cycle::make(3, 2)));
+        assert!(!s.contains(Cycle::make(4, 1)));
+        assert!(s.contains(Cycle::make(2, 0)));
+        // Eliminating the same unit again removes nothing.
+        assert_eq!(s.eliminate(5), 0);
+    }
+
+    #[test]
+    fn includes_unit_matches_live_cycles() {
+        let mut s = CycleSet::empty(bounds());
+        s.insert(Cycle::make(4, 3));
+        assert!(s.includes_unit(3));
+        assert!(s.includes_unit(7));
+        assert!(!s.includes_unit(0));
+        assert!(!s.includes_unit(4));
+        s.insert(Cycle::make(2, 0));
+        assert!(s.includes_unit(0));
+        assert!(s.includes_unit(4));
+        assert!(!s.includes_unit(1));
+    }
+
+    #[test]
+    fn intersection_behaves_like_set_intersection() {
+        let mut a = CycleSet::empty(bounds());
+        let mut b = CycleSet::empty(bounds());
+        a.insert(Cycle::make(2, 0));
+        a.insert(Cycle::make(3, 1));
+        a.insert(Cycle::make(4, 2));
+        b.insert(Cycle::make(3, 1));
+        b.insert(Cycle::make(4, 2));
+        b.insert(Cycle::make(4, 3));
+        let i = a.intersection(&b);
+        assert_eq!(i.to_vec(), vec![Cycle::make(3, 1), Cycle::make(4, 2)]);
+        assert_eq!(i.len(), 2);
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn intersect_different_bounds_panics() {
+        let mut a = CycleSet::empty(CycleBounds::make(1, 3));
+        let b = CycleSet::empty(CycleBounds::make(1, 4));
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    fn covered_units() {
+        let mut s = CycleSet::empty(bounds());
+        s.insert(Cycle::make(3, 1));
+        s.insert(Cycle::make(4, 0));
+        let covered = s.covered_units(9);
+        // Units of (3,1) in 0..9: 1,4,7; units of (4,0): 0,4,8.
+        assert_eq!(covered.iter_ones().collect::<Vec<_>>(), vec![0, 1, 4, 7, 8]);
+        assert_eq!(covered.to_string(), "110010011");
+    }
+
+    #[test]
+    fn detection_via_elimination() {
+        // Sequence 101010... has cycle (2,0) and its in-bound multiples.
+        let mut s = CycleSet::full(bounds());
+        let seq: BitSeq = "10101010".parse().unwrap();
+        for z in seq.iter_zeros() {
+            s.eliminate(z);
+        }
+        let got = s.to_vec();
+        assert_eq!(
+            got,
+            vec![Cycle::make(2, 0), Cycle::make(4, 0), Cycle::make(4, 2)]
+        );
+    }
+
+    #[test]
+    fn large_lengths_cross_word_boundary() {
+        // Lengths > 64 exercise multi-word offset bitmaps.
+        let b = CycleBounds::make(70, 70);
+        let mut s = CycleSet::full(b);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(Cycle::make(70, 69)));
+        s.eliminate(69);
+        assert!(!s.contains(Cycle::make(70, 69)));
+        assert_eq!(s.len(), 69);
+        assert!(s.includes_unit(68));
+    }
+}

@@ -1,0 +1,148 @@
+//! Exact cycle detection over binary sequences and minimal-cycle
+//! filtering.
+
+use crate::{BitSeq, Cycle, CycleBounds, CycleSet};
+
+/// Detects every cycle (within `bounds`) of a binary sequence.
+///
+/// This is the elimination-based procedure of the ICDE'98 paper: begin
+/// with every candidate `(l, o)` alive and, for each position where the
+/// sequence is 0, eliminate the candidates that include that position.
+/// What survives is exactly the set of cycles of the sequence. Detection
+/// stops early once no candidate remains.
+///
+/// The returned set is **unfiltered** — it contains multiples of smaller
+/// cycles. Apply [`minimal_cycles`] before presenting results to users;
+/// keep the unfiltered set for anti-monotone reasoning inside the miners.
+///
+/// Note the boundary semantics: a cycle `(l, o)` with no on-cycle unit in
+/// `0..seq.len()` (possible only when `o >= seq.len()`) survives
+/// vacuously. Mining configurations validate `l_max ≤ num_units` to keep
+/// every reported cycle supported by at least one observation.
+pub fn detect_cycles(seq: &BitSeq, bounds: CycleBounds) -> CycleSet {
+    let mut set = CycleSet::full(bounds);
+    for zero in seq.iter_zeros() {
+        set.eliminate(zero);
+        if set.is_empty() {
+            break;
+        }
+    }
+    set
+}
+
+/// Whether the sequence has at least one cycle within `bounds`.
+pub fn has_any_cycle(seq: &BitSeq, bounds: CycleBounds) -> bool {
+    !detect_cycles(seq, bounds).is_empty()
+}
+
+/// Filters a cycle set down to its *minimal* cycles: those that are not a
+/// multiple of another cycle in the set.
+///
+/// If a sequence has cycle `(l, o)`, it automatically has every in-bounds
+/// multiple `(k·l, o + j·l)`; reporting those adds no information. The
+/// result is sorted by `(length, offset)`.
+pub fn minimal_cycles(set: &CycleSet) -> Vec<Cycle> {
+    let all = set.to_vec();
+    all.iter()
+        .copied()
+        .filter(|&c| {
+            !all.iter()
+                .any(|&other| other != c && c.is_multiple_of(other))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detect(s: &str, l_min: u32, l_max: u32) -> Vec<Cycle> {
+        let seq: BitSeq = s.parse().unwrap();
+        detect_cycles(&seq, CycleBounds::make(l_min, l_max)).to_vec()
+    }
+
+    fn detect_minimal(s: &str, l_min: u32, l_max: u32) -> Vec<Cycle> {
+        let seq: BitSeq = s.parse().unwrap();
+        minimal_cycles(&detect_cycles(&seq, CycleBounds::make(l_min, l_max)))
+    }
+
+    /// Brute-force reference: check each cycle against the definition.
+    fn brute_force(s: &str, l_min: u32, l_max: u32) -> Vec<Cycle> {
+        let seq: BitSeq = s.parse().unwrap();
+        CycleBounds::make(l_min, l_max)
+            .all_cycles()
+            .filter(|c| c.units(seq.len()).all(|u| seq.get(u)))
+            .collect()
+    }
+
+    #[test]
+    fn alternating_sequence() {
+        assert_eq!(
+            detect("010101", 1, 3),
+            vec![Cycle::make(2, 1)]
+        );
+        assert_eq!(detect_minimal("010101", 1, 3), vec![Cycle::make(2, 1)]);
+    }
+
+    #[test]
+    fn all_ones_has_every_cycle() {
+        let got = detect("1111", 1, 2);
+        assert_eq!(
+            got,
+            vec![Cycle::make(1, 0), Cycle::make(2, 0), Cycle::make(2, 1)]
+        );
+        // Minimal filter keeps only (1,0): the others are its multiples.
+        assert_eq!(detect_minimal("1111", 1, 2), vec![Cycle::make(1, 0)]);
+    }
+
+    #[test]
+    fn all_zeros_has_no_cycles() {
+        assert!(detect("0000", 1, 3).is_empty());
+        assert!(!has_any_cycle(&"0000".parse().unwrap(), CycleBounds::make(1, 3)));
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        for s in [
+            "1", "0", "10", "01", "110110", "101101", "111000111000",
+            "100100100100", "011011011011", "1001001", "1110111",
+        ] {
+            for (lo, hi) in [(1u32, 4u32), (2, 6), (1, 8)] {
+                let hi = hi.min(s.len() as u32).max(lo);
+                assert_eq!(
+                    detect(s, lo, hi),
+                    brute_force(s, lo, hi),
+                    "sequence {s} bounds [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_filter_removes_multiples_only() {
+        // "10101010": cycles (2,0), (4,0), (4,2) — both length-4 cycles are
+        // multiples of (2,0).
+        assert_eq!(detect_minimal("10101010", 2, 4), vec![Cycle::make(2, 0)]);
+
+        // "110110": cycles (3,0),(3,1) with bounds [3,3]; neither is a
+        // multiple of the other.
+        assert_eq!(
+            detect_minimal("110110", 3, 3),
+            vec![Cycle::make(3, 0), Cycle::make(3, 1)]
+        );
+    }
+
+    #[test]
+    fn vacuous_cycles_survive_only_past_sequence_end() {
+        // Length 6 cycle, offset 4, on a 4-long sequence: offset beyond the
+        // sequence → vacuously true.
+        let got = detect("0000", 6, 6);
+        assert_eq!(got, vec![Cycle::make(6, 4), Cycle::make(6, 5)]);
+    }
+
+    #[test]
+    fn minimal_of_empty_set_is_empty() {
+        let set = CycleSet::empty(CycleBounds::make(1, 3));
+        assert!(minimal_cycles(&set).is_empty());
+    }
+}

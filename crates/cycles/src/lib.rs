@@ -1,0 +1,59 @@
+//! # car-cycles
+//!
+//! Temporal substrate for cyclic association rule mining (Özden,
+//! Ramaswamy, Silberschatz; ICDE 1998).
+//!
+//! A rule mined over a time-segmented database either *holds* or *does not
+//! hold* in each time unit, which induces a **binary sequence** over the
+//! units. A [`Cycle`] `(l, o)` asserts that the sequence is 1 at every unit
+//! `i ≡ o (mod l)`. This crate provides:
+//!
+//! * [`BitSeq`] — a compact binary sequence.
+//! * [`Cycle`] — cycle arithmetic: membership of units, the *multiple-of*
+//!   relation, and enumeration of all cycles within length bounds.
+//! * [`CycleSet`] — the candidate-cycle set at the heart of the paper's
+//!   INTERLEAVED algorithm, supporting the three optimization primitives:
+//!   - `eliminate(unit)` — **cycle elimination**: kill every candidate
+//!     `(l, unit mod l)` after a miss at `unit`;
+//!   - `includes_unit(unit)` — **cycle skipping**: test whether a unit is
+//!     on any remaining candidate cycle;
+//!   - `intersect` — **cycle pruning**: candidate cycles of an itemset are
+//!     at most the intersection of its subsets' cycles.
+//! * [`detect_cycles`] — exact cycle detection for a binary sequence,
+//!   implemented as elimination from the full candidate set (exactly the
+//!   procedure the SEQUENTIAL algorithm uses on rule sequences).
+//! * [`minimal_cycles`] — filtering of cycles that are multiples of other
+//!   detected cycles (only *minimal* cycles are reported to users).
+//! * [`detect_approx_cycles`] — the paper's future-work relaxation: cycles
+//!   that tolerate a bounded number of misses.
+//!
+//! ```
+//! use car_cycles::{BitSeq, CycleBounds, detect_cycles, minimal_cycles};
+//!
+//! // A rule that holds every other unit starting at unit 1.
+//! let seq = BitSeq::from_bits([false, true, false, true, false, true]);
+//! let bounds = CycleBounds::new(1, 3).unwrap();
+//! let set = detect_cycles(&seq, bounds);
+//! let cycles = minimal_cycles(&set);
+//! assert_eq!(cycles.len(), 1);
+//! assert_eq!((cycles[0].length(), cycles[0].offset()), (2, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approx;
+mod bitseq;
+mod bounds;
+mod cycle;
+mod cycleset;
+mod detect;
+pub mod spectrum;
+
+pub use approx::{detect_approx_cycles, ApproxCycle};
+pub use bitseq::BitSeq;
+pub use bounds::CycleBounds;
+pub use cycle::Cycle;
+pub use cycleset::CycleSet;
+pub use detect::{detect_cycles, has_any_cycle, minimal_cycles};
+pub use spectrum::{autocorrelation, dominant_period, spectrum, PeriodStrength};

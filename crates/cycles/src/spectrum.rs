@@ -1,0 +1,215 @@
+//! Periodicity analysis of binary sequences.
+//!
+//! Exact cycle detection answers "does `(l, o)` hold perfectly?"; an
+//! analyst exploring data usually first asks "*which* periodicities are
+//! in here at all?". This module provides the two standard exploratory
+//! views:
+//!
+//! * [`spectrum`] — per-`(l, o)` hit rates (the fraction of on-cycle
+//!   units that are 1), with the best offset per length summarised by
+//!   [`PeriodStrength`]; and
+//! * [`autocorrelation`] — the normalised match rate of the sequence
+//!   with itself at each lag, whose peaks reveal dominant periods
+//!   without fixing an offset.
+//!
+//! Both are pure sequence computations; they feed the `car detect
+//! --spectrum` CLI view and the report module of `car-core`.
+
+use crate::{BitSeq, Cycle, CycleBounds};
+
+/// The strength of one period length: its best offset and hit rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PeriodStrength {
+    /// The period length `l`.
+    pub length: u32,
+    /// The offset with the highest hit rate (smallest offset wins ties).
+    pub best_offset: u32,
+    /// Hit rate of the best offset in `[0, 1]`.
+    pub hit_rate: f64,
+    /// On-cycle units of the best offset within the sequence.
+    pub occurrences: u32,
+}
+
+impl PeriodStrength {
+    /// The best cycle of this length.
+    pub fn cycle(&self) -> Cycle {
+        Cycle::make(self.length, self.best_offset)
+    }
+
+    /// Whether the best offset is a perfect (exact) cycle.
+    pub fn is_exact(&self) -> bool {
+        self.occurrences > 0 && (self.hit_rate - 1.0).abs() < f64::EPSILON
+    }
+}
+
+/// Computes the per-length periodicity spectrum of `seq` within
+/// `bounds`: for each length, the offset whose on-cycle units hit most
+/// often. Lengths whose every offset has zero occurrences (possible only
+/// when `l > seq.len()`) report a hit rate of 0 at offset 0.
+///
+/// Runs in `O(seq.len() · (l_max − l_min + 1))`.
+pub fn spectrum(seq: &BitSeq, bounds: CycleBounds) -> Vec<PeriodStrength> {
+    let n = seq.len();
+    let mut out = Vec::with_capacity((bounds.l_max() - bounds.l_min() + 1) as usize);
+    for l in bounds.lengths() {
+        // hits[o], occurrences[o] per offset.
+        let l_us = l as usize;
+        let mut hits = vec![0u32; l_us];
+        let mut occ = vec![0u32; l_us];
+        for i in 0..n {
+            occ[i % l_us] += 1;
+            if seq.get(i) {
+                hits[i % l_us] += 1;
+            }
+        }
+        let mut best = PeriodStrength { length: l, best_offset: 0, hit_rate: 0.0, occurrences: occ[0] };
+        for o in 0..l_us {
+            if occ[o] == 0 {
+                continue;
+            }
+            let rate = f64::from(hits[o]) / f64::from(occ[o]);
+            if rate > best.hit_rate + f64::EPSILON {
+                best = PeriodStrength {
+                    length: l,
+                    best_offset: o as u32,
+                    hit_rate: rate,
+                    occurrences: occ[o],
+                };
+            }
+        }
+        out.push(best);
+    }
+    out
+}
+
+/// The binary autocorrelation of `seq` at lags `1..=max_lag`: entry
+/// `lag - 1` is the fraction of positions `i < n - lag` where
+/// `seq[i] == seq[i + lag]`. A strongly periodic sequence peaks at
+/// multiples of its period.
+///
+/// Returns an empty vector when `seq.len() < 2`. `max_lag` is clamped to
+/// `seq.len() - 1`.
+pub fn autocorrelation(seq: &BitSeq, max_lag: usize) -> Vec<f64> {
+    let n = seq.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    let mut out = Vec::with_capacity(max_lag);
+    for lag in 1..=max_lag {
+        let matches = (0..n - lag)
+            .filter(|&i| seq.get(i) == seq.get(i + lag))
+            .count();
+        out.push(matches as f64 / (n - lag) as f64);
+    }
+    out
+}
+
+/// The lag in `1..=max_lag` with the highest autocorrelation (smallest
+/// lag wins ties); `None` when the sequence is too short.
+pub fn dominant_period(seq: &BitSeq, max_lag: usize) -> Option<usize> {
+    let ac = autocorrelation(seq, max_lag);
+    if ac.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &v) in ac.iter().enumerate() {
+        if v > ac[best] + f64::EPSILON {
+            best = i;
+        }
+    }
+    Some(best + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> BitSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn spectrum_finds_perfect_cycle() {
+        let s = seq("100100100100");
+        let spec = spectrum(&s, CycleBounds::make(2, 4));
+        let l3 = spec.iter().find(|p| p.length == 3).unwrap();
+        assert_eq!(l3.best_offset, 0);
+        assert!(l3.is_exact());
+        assert_eq!(l3.cycle(), Cycle::make(3, 0));
+        assert_eq!(l3.occurrences, 4);
+        // Length 2 is at best 50%.
+        let l2 = spec.iter().find(|p| p.length == 2).unwrap();
+        assert!(l2.hit_rate < 0.6);
+        assert!(!l2.is_exact());
+    }
+
+    #[test]
+    fn spectrum_matches_exact_detection() {
+        use crate::detect_cycles;
+        for s_str in ["0101010101", "110110110", "111111", "010010010"] {
+            let s = seq(s_str);
+            let bounds = CycleBounds::make(1, 4);
+            let exact = detect_cycles(&s, bounds);
+            for p in spectrum(&s, bounds) {
+                assert_eq!(
+                    p.is_exact(),
+                    exact.iter().any(|c| c.length() == p.length),
+                    "sequence {s_str} length {}", p.length
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_hit_rates_are_exact_fractions() {
+        // "1010 1000": (2,0) hits 3 of 4.
+        let s = seq("10101000");
+        let spec = spectrum(&s, CycleBounds::make(2, 2));
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0].best_offset, 0);
+        assert!((spec[0].hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(spec[0].occurrences, 4);
+    }
+
+    #[test]
+    fn spectrum_prefers_smallest_offset_on_ties() {
+        let s = seq("1111");
+        let spec = spectrum(&s, CycleBounds::make(2, 2));
+        assert_eq!(spec[0].best_offset, 0);
+        assert!(spec[0].is_exact());
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_period() {
+        let s = seq("101010101010");
+        let ac = autocorrelation(&s, 6);
+        // Lag 2 matches perfectly, lag 1 not at all.
+        assert!((ac[1] - 1.0).abs() < 1e-12);
+        assert!(ac[0] < 0.01);
+        assert_eq!(dominant_period(&s, 6), Some(2));
+
+        let s3 = seq("100100100100");
+        assert_eq!(dominant_period(&s3, 6), Some(3));
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert!(autocorrelation(&seq("1"), 5).is_empty());
+        assert!(autocorrelation(&BitSeq::zeros(0), 5).is_empty());
+        assert_eq!(dominant_period(&seq("1"), 5), None);
+        // Clamped max lag.
+        assert_eq!(autocorrelation(&seq("1010"), 100).len(), 3);
+    }
+
+    #[test]
+    fn constant_sequences_correlate_everywhere() {
+        let ones = seq("111111");
+        for v in autocorrelation(&ones, 5) {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        // Dominant period of a constant sequence is the smallest lag.
+        assert_eq!(dominant_period(&ones, 5), Some(1));
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests: cycle detection against a brute-force oracle and
+//! `CycleSet` against a naive set model.
+
+use std::collections::BTreeSet;
+
+use car_cycles::{
+    detect_approx_cycles, detect_cycles, minimal_cycles, BitSeq, Cycle, CycleBounds,
+    CycleSet,
+};
+use proptest::prelude::*;
+
+fn arb_seq() -> impl Strategy<Value = BitSeq> {
+    proptest::collection::vec(any::<bool>(), 1..80).prop_map(BitSeq::from_bits)
+}
+
+fn arb_bounds() -> impl Strategy<Value = CycleBounds> {
+    (1u32..6, 0u32..8).prop_map(|(lo, extra)| CycleBounds::make(lo, lo + extra))
+}
+
+/// Definition-level oracle for cycle detection.
+fn oracle(seq: &BitSeq, bounds: CycleBounds) -> Vec<Cycle> {
+    bounds
+        .all_cycles()
+        .filter(|c| c.units(seq.len()).all(|u| seq.get(u)))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn detection_matches_oracle(seq in arb_seq(), bounds in arb_bounds()) {
+        let got = detect_cycles(&seq, bounds).to_vec();
+        prop_assert_eq!(got, oracle(&seq, bounds));
+    }
+
+    #[test]
+    fn minimal_cycles_cover_all_detected(seq in arb_seq(), bounds in arb_bounds()) {
+        let set = detect_cycles(&seq, bounds);
+        let minimal = minimal_cycles(&set);
+        // Every minimal cycle is detected; every detected cycle is a
+        // multiple of some minimal cycle.
+        for c in &minimal {
+            prop_assert!(set.contains(*c));
+        }
+        for c in set.iter() {
+            prop_assert!(
+                minimal.iter().any(|&m| c.is_multiple_of(m)),
+                "detected {} not covered by any minimal cycle", c
+            );
+        }
+        // No minimal cycle is a multiple of another.
+        for &a in &minimal {
+            for &b in &minimal {
+                if a != b {
+                    prop_assert!(!a.is_multiple_of(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_with_zero_budget_equals_exact_on_nonvacuous(
+        seq in arb_seq(),
+        bounds in arb_bounds(),
+    ) {
+        let exact: BTreeSet<Cycle> = detect_cycles(&seq, bounds)
+            .iter()
+            .filter(|c| c.num_units(seq.len()) > 0)
+            .collect();
+        let approx: BTreeSet<Cycle> = detect_approx_cycles(&seq, bounds, 0)
+            .iter()
+            .map(|a| a.cycle)
+            .collect();
+        prop_assert_eq!(approx, exact);
+    }
+
+    #[test]
+    fn approx_miss_counts_match_definition(
+        seq in arb_seq(),
+        bounds in arb_bounds(),
+        budget in 0u32..10,
+    ) {
+        for a in detect_approx_cycles(&seq, bounds, budget) {
+            let misses = a.cycle.units(seq.len()).filter(|&u| !seq.get(u)).count() as u32;
+            prop_assert_eq!(a.misses, misses);
+            prop_assert!(a.misses <= budget);
+            prop_assert_eq!(a.occurrences as usize, a.cycle.num_units(seq.len()));
+        }
+    }
+
+    #[test]
+    fn cycleset_tracks_model_under_random_ops(
+        bounds in arb_bounds(),
+        ops in proptest::collection::vec((0u8..4, 0usize..64), 0..60),
+    ) {
+        let mut set = CycleSet::full(bounds);
+        let mut model: BTreeSet<Cycle> = bounds.all_cycles().collect();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    // eliminate(unit)
+                    set.eliminate(arg);
+                    model.retain(|c| !c.includes_unit(arg));
+                }
+                1 => {
+                    // remove a specific cycle derived from arg
+                    let cycles: Vec<Cycle> = bounds.all_cycles().collect();
+                    let c = cycles[arg % cycles.len()];
+                    let was = set.remove(c);
+                    prop_assert_eq!(was, model.remove(&c));
+                }
+                2 => {
+                    // re-insert a cycle
+                    let cycles: Vec<Cycle> = bounds.all_cycles().collect();
+                    let c = cycles[arg % cycles.len()];
+                    let added = set.insert(c);
+                    prop_assert_eq!(added, model.insert(c));
+                }
+                _ => {
+                    // includes_unit query
+                    let expect = model.iter().any(|c| c.includes_unit(arg));
+                    prop_assert_eq!(set.includes_unit(arg), expect);
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let collected: BTreeSet<Cycle> = set.iter().collect();
+        prop_assert_eq!(collected, model);
+    }
+
+    #[test]
+    fn intersection_matches_model(
+        bounds in arb_bounds(),
+        kill_a in proptest::collection::vec(0usize..40, 0..12),
+        kill_b in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        let mut a = CycleSet::full(bounds);
+        let mut b = CycleSet::full(bounds);
+        for u in kill_a { a.eliminate(u); }
+        for u in kill_b { b.eliminate(u); }
+        let inter = a.intersection(&b);
+        let model: BTreeSet<Cycle> = a
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .intersection(&b.iter().collect())
+            .copied()
+            .collect();
+        prop_assert_eq!(inter.iter().collect::<BTreeSet<_>>(), model);
+        prop_assert!(inter.is_subset_of(&a));
+        prop_assert!(inter.is_subset_of(&b));
+    }
+
+    #[test]
+    fn union_matches_model(
+        bounds in arb_bounds(),
+        kill_a in proptest::collection::vec(0usize..40, 0..12),
+        kill_b in proptest::collection::vec(0usize..40, 0..12),
+    ) {
+        let mut a = CycleSet::full(bounds);
+        let mut b = CycleSet::full(bounds);
+        for u in kill_a { a.eliminate(u); }
+        for u in kill_b { b.eliminate(u); }
+        let u = a.union(&b);
+        let model: BTreeSet<Cycle> = a
+            .iter()
+            .collect::<BTreeSet<_>>()
+            .union(&b.iter().collect())
+            .copied()
+            .collect();
+        prop_assert_eq!(u.iter().collect::<BTreeSet<_>>(), model);
+        prop_assert_eq!(u.len(), u.iter().count());
+        prop_assert!(a.is_subset_of(&u));
+        prop_assert!(b.is_subset_of(&u));
+        // De Morgan-ish sanity: intersection ⊆ union.
+        prop_assert!(a.intersection(&b).is_subset_of(&u));
+    }
+
+    #[test]
+    fn covered_units_matches_cycles(bounds in arb_bounds(), kills in proptest::collection::vec(0usize..30, 0..10), n in 1usize..50) {
+        let mut set = CycleSet::full(bounds);
+        for u in kills { set.eliminate(u); }
+        let covered = set.covered_units(n);
+        for i in 0..n {
+            prop_assert_eq!(covered.get(i), set.includes_unit(i), "unit {}", i);
+        }
+    }
+
+    #[test]
+    fn elimination_scan_is_idempotent(seq in arb_seq(), bounds in arb_bounds()) {
+        // Running detection twice over the same zeros changes nothing.
+        let mut set = detect_cycles(&seq, bounds);
+        let snapshot = set.to_vec();
+        for z in seq.iter_zeros() {
+            set.eliminate(z);
+        }
+        prop_assert_eq!(set.to_vec(), snapshot);
+    }
+}

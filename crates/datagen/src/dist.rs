@@ -1,0 +1,140 @@
+//! Small distribution samplers over any [`rand::Rng`].
+//!
+//! The workspace's dependency policy allows `rand` but not `rand_distr`,
+//! so the three distributions the Quest generator needs are implemented
+//! here: Poisson (Knuth's method — fine for the small means used for
+//! transaction and pattern sizes), exponential (inverse transform), and
+//! normal (Box–Muller).
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with the given mean.
+///
+/// Knuth's multiplication method: `O(mean)` per sample, exact. Suitable
+/// for the small means (≈2–40) used for transaction sizes.
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean > 0.0, "Poisson mean must be positive");
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological means: cap at mean*20 + 64.
+        if k > (mean * 20.0) as u64 + 64 {
+            return k;
+        }
+    }
+}
+
+/// Samples an exponential variate with the given mean (`1/λ`).
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+    // 1 - U avoids ln(0).
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+/// Samples a normal variate via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal variate clamped into `[lo, hi]`.
+pub fn clamped_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        for mean in [1.0, 5.0, 10.0] {
+            let total: u64 = (0..n).map(|_| poisson(&mut r, mean)).sum();
+            let empirical = total as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() < mean * 0.1 + 0.1,
+                "mean {mean}: got {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum();
+        let empirical = total / n as f64;
+        assert!((empirical - 2.0).abs() < 0.15, "got {empirical}");
+        // Non-negative always.
+        assert!((0..1000).all(|_| exponential(&mut r, 0.5) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..5000 {
+            let x = clamped_normal(&mut r, 0.5, 0.5, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean must be positive")]
+    fn poisson_rejects_nonpositive_mean() {
+        let _ = poisson(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..10).map(|_| poisson(&mut r, 4.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(99);
+            (0..10).map(|_| poisson(&mut r, 4.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

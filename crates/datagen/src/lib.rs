@@ -1,0 +1,43 @@
+//! # car-datagen
+//!
+//! Synthetic transaction data in the style of the IBM Quest generator
+//! (Agrawal & Srikant, VLDB 1994), extended with **cyclically scheduled
+//! patterns** for evaluating cyclic association rule mining — the same
+//! family of data the ICDE'98 paper used (the authors ran a modified
+//! version of the Quest generator; see DESIGN.md for the substitution
+//! note).
+//!
+//! Two layers:
+//!
+//! * [`QuestConfig`] / [`QuestGenerator`] — the classic generator: a pool
+//!   of potentially-frequent patterns with exponentially distributed
+//!   weights, per-pattern corruption levels, Poisson-distributed
+//!   transaction and pattern sizes, and correlated consecutive patterns.
+//! * [`CyclicConfig`] / [`generate_cyclic`] — a time-segmented database:
+//!   every unit is filled with Quest background traffic, and *planted*
+//!   patterns are additionally injected into the transactions of the
+//!   units lying on their cycle. The planted ground truth is returned so
+//!   tests and experiments can check recovery.
+//!
+//! All generation is deterministic given a seed.
+//!
+//! ```
+//! use car_datagen::{CyclicConfig, generate_cyclic};
+//!
+//! let config = CyclicConfig::default().with_units(8).with_transactions_per_unit(50);
+//! let data = generate_cyclic(&config, 42);
+//! assert_eq!(data.db.num_units(), 8);
+//! assert_eq!(data.db.num_transactions(), 400);
+//! assert!(!data.planted.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cyclic;
+pub mod dist;
+pub mod presets;
+mod quest;
+
+pub use cyclic::{generate_cyclic, CyclicConfig, GeneratedData, PlantedPattern};
+pub use quest::{QuestConfig, QuestGenerator};

@@ -1,0 +1,326 @@
+//! The IBM-Quest-style transaction generator.
+
+use car_itemset::{Item, ItemSet};
+use rand::Rng;
+
+use crate::dist;
+
+/// Parameters of the Quest generator, in the paper's notation:
+/// `T<avg_transaction_len> I<avg_pattern_len> N<num_items>` with
+/// `num_patterns` potentially-frequent patterns.
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuestConfig {
+    /// Universe size `N` (items are `0..num_items`).
+    pub num_items: u32,
+    /// Average transaction size `|T|` (Poisson mean).
+    pub avg_transaction_len: f64,
+    /// Average pattern size `|I|` (Poisson mean, minimum 1).
+    pub avg_pattern_len: f64,
+    /// Number of potentially-frequent patterns `|L|`.
+    pub num_patterns: usize,
+    /// Fraction of a pattern's items inherited from the previous pattern.
+    pub correlation: f64,
+    /// Mean of the per-pattern corruption level (items dropped with this
+    /// probability when the pattern is placed in a transaction).
+    pub corruption_mean: f64,
+}
+
+impl Default for QuestConfig {
+    /// `T5.I3.N500` with 50 patterns — scaled-down defaults that mine in
+    /// milliseconds, used as the base of the experiment suite.
+    fn default() -> Self {
+        QuestConfig {
+            num_items: 500,
+            avg_transaction_len: 5.0,
+            avg_pattern_len: 3.0,
+            num_patterns: 50,
+            correlation: 0.5,
+            corruption_mean: 0.25,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// Sets the item universe size.
+    pub fn with_num_items(mut self, n: u32) -> Self {
+        self.num_items = n;
+        self
+    }
+
+    /// Sets the average transaction size.
+    pub fn with_avg_transaction_len(mut self, t: f64) -> Self {
+        self.avg_transaction_len = t;
+        self
+    }
+
+    /// Sets the average pattern size.
+    pub fn with_avg_pattern_len(mut self, i: f64) -> Self {
+        self.avg_pattern_len = i;
+        self
+    }
+
+    /// Sets the number of patterns in the pool.
+    pub fn with_num_patterns(mut self, p: usize) -> Self {
+        self.num_patterns = p;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.num_items >= 1, "need at least one item");
+        assert!(
+            self.avg_transaction_len > 0.0 && self.avg_pattern_len > 0.0,
+            "averages must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.correlation)
+                && (0.0..=1.0).contains(&self.corruption_mean),
+            "correlation and corruption must lie in [0,1]"
+        );
+    }
+}
+
+/// One potentially-frequent pattern of the pool.
+#[derive(Clone, Debug)]
+struct Pattern {
+    items: ItemSet,
+    /// Probability of dropping each item when the pattern is placed.
+    corruption: f64,
+}
+
+/// A Quest generator instantiated with a pattern pool.
+///
+/// Construction draws the pool (sizes, item correlation between
+/// consecutive patterns, exponential weights, corruption levels) from the
+/// supplied RNG; [`QuestGenerator::gen_transaction`] then produces
+/// transactions on demand.
+pub struct QuestGenerator {
+    config: QuestConfig,
+    patterns: Vec<Pattern>,
+    /// Cumulative pattern weights for roulette selection, normalised so
+    /// the final entry is 1.0.
+    cumulative_weights: Vec<f64>,
+}
+
+impl QuestGenerator {
+    /// Draws a pattern pool according to `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration values.
+    pub fn new<R: Rng + ?Sized>(config: QuestConfig, rng: &mut R) -> Self {
+        config.validate();
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(config.num_patterns);
+        let mut weights: Vec<f64> = Vec::with_capacity(config.num_patterns);
+
+        for p in 0..config.num_patterns {
+            let size = dist::poisson(rng, config.avg_pattern_len).max(1) as usize;
+            let size = size.min(config.num_items as usize);
+            let mut items: Vec<Item> = Vec::with_capacity(size);
+            // Correlation: reuse a fraction of the previous pattern.
+            if p > 0 && config.correlation > 0.0 {
+                let prev = &patterns[p - 1].items;
+                for item in prev.iter() {
+                    if items.len() < size && rng.gen::<f64>() < config.correlation {
+                        items.push(item);
+                    }
+                }
+            }
+            while items.len() < size {
+                let candidate = Item::new(rng.gen_range(0..config.num_items));
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            patterns.push(Pattern {
+                items: ItemSet::from_items(items),
+                corruption: dist::clamped_normal(rng, config.corruption_mean, 0.1, 0.0, 1.0),
+            });
+            weights.push(dist::exponential(rng, 1.0));
+        }
+
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative_weights = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect::<Vec<f64>>();
+
+        QuestGenerator { config, patterns, cumulative_weights }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &QuestConfig {
+        &self.config
+    }
+
+    /// Number of patterns in the pool.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn pick_pattern<R: Rng + ?Sized>(&self, rng: &mut R) -> &Pattern {
+        let x: f64 = rng.gen();
+        let idx = self
+            .cumulative_weights
+            .partition_point(|&w| w < x)
+            .min(self.patterns.len() - 1);
+        &self.patterns[idx]
+    }
+
+    /// Generates one transaction: patterns are picked by weight and their
+    /// (corrupted) items added until the Poisson-drawn target size is
+    /// reached.
+    pub fn gen_transaction<R: Rng + ?Sized>(&self, rng: &mut R) -> ItemSet {
+        let target = dist::poisson(rng, self.config.avg_transaction_len).max(1) as usize;
+        let target = target.min(self.config.num_items as usize);
+        let mut items: Vec<Item> = Vec::with_capacity(target + 4);
+
+        if self.patterns.is_empty() {
+            // Degenerate pool: fall back to uniform items.
+            while items.len() < target {
+                let it = Item::new(rng.gen_range(0..self.config.num_items));
+                if !items.contains(&it) {
+                    items.push(it);
+                }
+            }
+            return ItemSet::from_items(items);
+        }
+
+        let mut attempts = 0;
+        while items.len() < target && attempts < 8 * target + 8 {
+            attempts += 1;
+            let pattern = self.pick_pattern(rng);
+            for item in pattern.items.iter() {
+                // Corruption: drop each item independently.
+                if rng.gen::<f64>() >= pattern.corruption && !items.contains(&item) {
+                    items.push(item);
+                    if items.len() >= target {
+                        break;
+                    }
+                }
+            }
+        }
+        // Pad with uniform noise if the pool could not fill the target
+        // (tiny pools or heavy corruption).
+        let mut pad_attempts = 0;
+        while items.len() < target && pad_attempts < 16 * target + 16 {
+            pad_attempts += 1;
+            let it = Item::new(rng.gen_range(0..self.config.num_items));
+            if !items.contains(&it) {
+                items.push(it);
+            }
+        }
+        ItemSet::from_items(items)
+    }
+
+    /// Generates a batch of transactions.
+    pub fn gen_transactions<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<ItemSet> {
+        (0..n).map(|_| self.gen_transaction(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator(seed: u64) -> (QuestGenerator, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = QuestGenerator::new(QuestConfig::default(), &mut rng);
+        (g, rng)
+    }
+
+    #[test]
+    fn pool_has_requested_patterns() {
+        let (g, _) = generator(1);
+        assert_eq!(g.num_patterns(), 50);
+        assert_eq!(g.config().num_items, 500);
+    }
+
+    #[test]
+    fn transactions_have_plausible_sizes() {
+        let (g, mut rng) = generator(2);
+        let txs = g.gen_transactions(&mut rng, 2000);
+        assert_eq!(txs.len(), 2000);
+        let avg: f64 =
+            txs.iter().map(ItemSet::len).sum::<usize>() as f64 / txs.len() as f64;
+        // Poisson(5) clipped at min 1: mean near 5.
+        assert!((3.0..7.0).contains(&avg), "avg transaction size {avg}");
+        assert!(txs.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn items_stay_in_universe() {
+        let config = QuestConfig::default().with_num_items(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = QuestGenerator::new(config, &mut rng);
+        for t in g.gen_transactions(&mut rng, 500) {
+            assert!(t.iter().all(|i| i.id() < 20));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g1, mut r1) = generator(77);
+        let (g2, mut r2) = generator(77);
+        assert_eq!(g1.gen_transactions(&mut r1, 50), g2.gen_transactions(&mut r2, 50));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (g1, mut r1) = generator(1);
+        let (g2, mut r2) = generator(2);
+        assert_ne!(g1.gen_transactions(&mut r1, 50), g2.gen_transactions(&mut r2, 50));
+    }
+
+    #[test]
+    fn patterns_create_correlated_items() {
+        // Pattern reuse should make some 2-itemsets much more frequent
+        // than under independence.
+        let (g, mut rng) = generator(5);
+        let txs = g.gen_transactions(&mut rng, 3000);
+        use std::collections::HashMap;
+        let mut pair_counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for t in &txs {
+            let v: Vec<u32> = t.iter().map(|i| i.id()).collect();
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    *pair_counts.entry((v[i], v[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        let max_pair = pair_counts.values().copied().max().unwrap_or(0);
+        // Under independence with N=500 and |T|=5, a fixed pair appears
+        // ~ 3000 * C(5,2)/C(500,2) ≈ 0.24 times. Patterns push the top
+        // pair orders of magnitude higher.
+        assert!(max_pair > 30, "expected correlated pairs, max pair count {max_pair}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one item")]
+    fn zero_items_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = QuestGenerator::new(QuestConfig::default().with_num_items(0), &mut rng);
+    }
+
+    #[test]
+    fn tiny_universe_still_terminates() {
+        let config = QuestConfig {
+            num_items: 3,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 2.0,
+            num_patterns: 5,
+            correlation: 0.5,
+            corruption_mean: 0.9,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = QuestGenerator::new(config, &mut rng);
+        let txs = g.gen_transactions(&mut rng, 200);
+        assert!(txs.iter().all(|t| t.len() <= 3 && !t.is_empty()));
+    }
+}

@@ -1,0 +1,331 @@
+//! Calendar-aligned time segmentation.
+//!
+//! The ICDE'98 paper motivates cyclic rules with *monthly* sales data and
+//! *daily*/*weekly* periodicities. Fixed-width segmentation
+//! ([`SegmentedDb::from_timestamps`](crate::SegmentedDb::from_timestamps))
+//! is wrong for months (28–31 days) and misaligns weeks; this module
+//! segments Unix timestamps on real calendar boundaries using civil
+//! (proleptic Gregorian) date arithmetic implemented from scratch — no
+//! timezone database, UTC only.
+//!
+//! ```
+//! use car_itemset::calendar::{CivilDate, Granularity};
+//! use car_itemset::ItemSet;
+//!
+//! let d = CivilDate::from_unix(951_782_400); // 2000-02-29 00:00 UTC
+//! assert_eq!((d.year, d.month, d.day), (2000, 2, 29));
+//!
+//! // Two sales a month apart land in consecutive monthly units.
+//! let rows = vec![
+//!     (946_684_800, ItemSet::from_ids([1])), // 2000-01-01
+//!     (949_363_200, ItemSet::from_ids([2])), // 2000-02-01
+//! ];
+//! let db = Granularity::Month.segment(rows);
+//! assert_eq!(db.num_units(), 2);
+//! ```
+
+use crate::{ItemSet, SegmentedDb};
+
+const SECS_PER_DAY: i64 = 86_400;
+
+/// A civil (proleptic Gregorian) calendar date, UTC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// Year (astronomical numbering; 2000 means 2000 CE).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Converts days since the Unix epoch (1970-01-01) to a civil date.
+    ///
+    /// Uses Howard Hinnant's `civil_from_days` algorithm, exact over the
+    /// full proleptic Gregorian calendar.
+    pub fn from_days(days_since_epoch: i64) -> Self {
+        let z = days_since_epoch + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // day of era [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+        CivilDate {
+            year: (y + i64::from(m <= 2)) as i32,
+            month: m as u8,
+            day: d as u8,
+        }
+    }
+
+    /// Converts a civil date to days since the Unix epoch
+    /// (Hinnant's `days_from_civil`).
+    pub fn to_days(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = if m > 2 { m - 3 } else { m + 9 }; // [0, 11]
+        let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Converts a Unix timestamp (seconds) to the civil date of its UTC
+    /// day.
+    pub fn from_unix(timestamp: i64) -> Self {
+        Self::from_days(timestamp.div_euclid(SECS_PER_DAY))
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday (ISO).
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (ISO index 3).
+        (self.to_days() + 3).rem_euclid(7) as u8
+    }
+
+    /// Whether the year is a Gregorian leap year.
+    pub fn is_leap_year(self) -> bool {
+        let y = self.year;
+        y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+    }
+
+    /// Number of days in this date's month.
+    pub fn days_in_month(self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if self.is_leap_year() => 29,
+            2 => 28,
+            other => unreachable!("invalid month {other}"),
+        }
+    }
+}
+
+/// Calendar granularity for segmenting timestamped transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Granularity {
+    /// UTC hours.
+    Hour,
+    /// UTC calendar days.
+    Day,
+    /// ISO weeks (Monday-aligned).
+    Week,
+    /// Calendar months.
+    Month,
+}
+
+impl Granularity {
+    /// The index of the unit containing `timestamp`, in an absolute
+    /// scheme (hours/days since epoch, Monday-aligned weeks since epoch,
+    /// months since year 0 of the epoch).
+    pub fn unit_index(self, timestamp: i64) -> i64 {
+        match self {
+            Granularity::Hour => timestamp.div_euclid(3600),
+            Granularity::Day => timestamp.div_euclid(SECS_PER_DAY),
+            Granularity::Week => {
+                // Days since epoch, shifted so weeks break on Mondays
+                // (1970-01-01 was a Thursday, i.e. 3 days after Monday).
+                (timestamp.div_euclid(SECS_PER_DAY) + 3).div_euclid(7)
+            }
+            Granularity::Month => {
+                let d = CivilDate::from_unix(timestamp);
+                i64::from(d.year) * 12 + i64::from(d.month) - 1
+            }
+        }
+    }
+
+    /// Segments timestamped transactions into consecutive units of this
+    /// granularity, starting at the unit of the earliest timestamp.
+    /// Calendar gaps become empty units. Returns an empty database for
+    /// empty input.
+    pub fn segment(self, rows: Vec<(i64, ItemSet)>) -> SegmentedDb {
+        if rows.is_empty() {
+            return SegmentedDb::with_units(0);
+        }
+        let first = rows
+            .iter()
+            .map(|&(t, _)| self.unit_index(t))
+            .min()
+            .expect("non-empty");
+        let last = rows
+            .iter()
+            .map(|&(t, _)| self.unit_index(t))
+            .max()
+            .expect("non-empty");
+        let mut units: Vec<Vec<ItemSet>> =
+            vec![Vec::new(); usize::try_from(last - first + 1).expect("window fits")];
+        for (t, items) in rows {
+            units[(self.unit_index(t) - first) as usize].push(items);
+        }
+        SegmentedDb::from_unit_itemsets(units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ItemSet {
+        ItemSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn epoch_is_1970_01_01() {
+        assert_eq!(
+            CivilDate::from_days(0),
+            CivilDate { year: 1970, month: 1, day: 1 }
+        );
+        assert_eq!(CivilDate { year: 1970, month: 1, day: 1 }.to_days(), 0);
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2000-02-29 (leap day), 951782400 = 2000-02-29T00:00Z.
+        let d = CivilDate::from_unix(951_782_400);
+        assert_eq!(d, CivilDate { year: 2000, month: 2, day: 29 });
+        assert!(d.is_leap_year());
+        assert_eq!(d.days_in_month(), 29);
+        // 1900 was not a leap year.
+        assert!(!CivilDate { year: 1900, month: 2, day: 1 }.is_leap_year());
+        assert_eq!(CivilDate { year: 1900, month: 2, day: 1 }.days_in_month(), 28);
+        // 2026-07-05 — today's date at authoring time.
+        let d = CivilDate::from_days(20_639);
+        assert_eq!(d, CivilDate { year: 2026, month: 7, day: 5 });
+    }
+
+    #[test]
+    fn roundtrip_over_wide_range() {
+        // Every ~97 days over ±200 years.
+        let mut day = -73_000i64;
+        while day < 73_000 {
+            let civil = CivilDate::from_days(day);
+            assert_eq!(civil.to_days(), day, "{civil:?}");
+            assert!((1..=12).contains(&civil.month));
+            assert!((1..=civil.days_in_month()).contains(&civil.day));
+            day += 97;
+        }
+    }
+
+    #[test]
+    fn days_increment_through_month_boundaries() {
+        // Scan one leap year day by day; dates must advance correctly.
+        let start = CivilDate { year: 2020, month: 1, day: 1 }.to_days();
+        let mut prev = CivilDate::from_days(start);
+        for offset in 1..=366 {
+            let cur = CivilDate::from_days(start + offset);
+            let same_month = cur.month == prev.month && cur.year == prev.year;
+            if same_month {
+                assert_eq!(cur.day, prev.day + 1);
+            } else {
+                assert_eq!(cur.day, 1);
+                assert_eq!(prev.day, prev.days_in_month());
+            }
+            prev = cur;
+        }
+        assert_eq!(prev, CivilDate { year: 2021, month: 1, day: 1 });
+    }
+
+    #[test]
+    fn weekday_is_iso() {
+        // 1970-01-01 = Thursday = 3.
+        assert_eq!(CivilDate::from_days(0).weekday(), 3);
+        // 2000-01-01 = Saturday = 5.
+        assert_eq!(CivilDate { year: 2000, month: 1, day: 1 }.weekday(), 5);
+        // 2026-07-05 = Sunday = 6.
+        assert_eq!(CivilDate { year: 2026, month: 7, day: 5 }.weekday(), 6);
+    }
+
+    #[test]
+    fn negative_timestamps_are_handled() {
+        // 1969-12-31T23:00Z.
+        let d = CivilDate::from_unix(-3600);
+        assert_eq!(d, CivilDate { year: 1969, month: 12, day: 31 });
+        assert_eq!(Granularity::Day.unit_index(-1), -1);
+        assert_eq!(Granularity::Day.unit_index(0), 0);
+    }
+
+    #[test]
+    fn hour_and_day_indices() {
+        assert_eq!(Granularity::Hour.unit_index(0), 0);
+        assert_eq!(Granularity::Hour.unit_index(3599), 0);
+        assert_eq!(Granularity::Hour.unit_index(3600), 1);
+        assert_eq!(Granularity::Day.unit_index(86_399), 0);
+        assert_eq!(Granularity::Day.unit_index(86_400), 1);
+    }
+
+    #[test]
+    fn week_units_break_on_monday() {
+        // 2000-01-03 was a Monday.
+        let monday = CivilDate { year: 2000, month: 1, day: 3 }.to_days() * SECS_PER_DAY;
+        let sunday_before = monday - 1;
+        assert_eq!(
+            Granularity::Week.unit_index(monday),
+            Granularity::Week.unit_index(sunday_before) + 1
+        );
+        // Monday..Sunday of one week share a unit.
+        assert_eq!(
+            Granularity::Week.unit_index(monday),
+            Granularity::Week.unit_index(monday + 6 * SECS_PER_DAY)
+        );
+    }
+
+    #[test]
+    fn month_units_vary_in_length() {
+        let jan31 = CivilDate { year: 2001, month: 1, day: 31 }.to_days() * SECS_PER_DAY;
+        let feb1 = CivilDate { year: 2001, month: 2, day: 1 }.to_days() * SECS_PER_DAY;
+        let feb28 = CivilDate { year: 2001, month: 2, day: 28 }.to_days() * SECS_PER_DAY;
+        let mar1 = CivilDate { year: 2001, month: 3, day: 1 }.to_days() * SECS_PER_DAY;
+        assert_eq!(
+            Granularity::Month.unit_index(jan31) + 1,
+            Granularity::Month.unit_index(feb1)
+        );
+        assert_eq!(
+            Granularity::Month.unit_index(feb1),
+            Granularity::Month.unit_index(feb28)
+        );
+        assert_eq!(
+            Granularity::Month.unit_index(feb28) + 1,
+            Granularity::Month.unit_index(mar1)
+        );
+    }
+
+    #[test]
+    fn segment_creates_gap_units() {
+        let day = |d: i64| d * SECS_PER_DAY + 60;
+        let rows = vec![
+            (day(0), set(&[1])),
+            (day(3), set(&[2])), // days 1 and 2 have no transactions
+        ];
+        let db = Granularity::Day.segment(rows);
+        assert_eq!(db.num_units(), 4);
+        assert_eq!(db.unit(0).len(), 1);
+        assert!(db.unit(1).is_empty());
+        assert!(db.unit(2).is_empty());
+        assert_eq!(db.unit(3).len(), 1);
+    }
+
+    #[test]
+    fn segment_empty_input() {
+        assert_eq!(Granularity::Week.segment(Vec::new()).num_units(), 0);
+    }
+
+    #[test]
+    fn monthly_segmentation_end_to_end() {
+        // Sales on the 1st and 15th of each of six months.
+        let mut rows = Vec::new();
+        for month in 1..=6u8 {
+            for day in [1u8, 15] {
+                let t = CivilDate { year: 2003, month, day }.to_days() * SECS_PER_DAY;
+                rows.push((t, set(&[u32::from(month)])));
+            }
+        }
+        let db = Granularity::Month.segment(rows);
+        assert_eq!(db.num_units(), 6);
+        assert!(db.iter_units().all(|(_, u)| u.len() == 2));
+    }
+}

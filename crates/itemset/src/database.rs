@@ -1,0 +1,132 @@
+use std::fmt;
+
+use crate::Transaction;
+
+/// A flat, in-memory transaction database.
+///
+/// `TransactionDb` is the exchange format between file I/O, the synthetic
+/// data generator, and the miners; most algorithms work on the segmented
+/// view ([`SegmentedDb`](crate::SegmentedDb)) instead.
+#[derive(Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransactionDb {
+    transactions: Vec<Transaction>,
+}
+
+impl TransactionDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TransactionDb { transactions: Vec::new() }
+    }
+
+    /// Creates a database from a vector of transactions.
+    pub fn from_transactions(transactions: Vec<Transaction>) -> Self {
+        TransactionDb { transactions }
+    }
+
+    /// Appends a transaction.
+    pub fn push(&mut self, t: Transaction) {
+        self.transactions.push(t);
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Iterates over the transactions in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.transactions.iter()
+    }
+
+    /// The transactions as a slice.
+    pub fn as_slice(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Average transaction length (0.0 for an empty database).
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.transactions.iter().map(Transaction::len).sum();
+        total as f64 / self.transactions.len() as f64
+    }
+
+    /// Number of distinct items appearing in the database.
+    pub fn num_distinct_items(&self) -> usize {
+        let mut items: Vec<u32> = self
+            .transactions
+            .iter()
+            .flat_map(|t| t.items.iter().map(|i| i.id()))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        items.len()
+    }
+}
+
+impl fmt::Debug for TransactionDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TransactionDb({} transactions)", self.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionDb {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<Transaction> for TransactionDb {
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
+        TransactionDb { transactions: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItemSet, TimeUnit};
+
+    fn tx(id: u64, unit: u32, ids: &[u32]) -> Transaction {
+        Transaction::new(id, TimeUnit::new(unit), ItemSet::from_ids(ids.iter().copied()))
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut db = TransactionDb::new();
+        assert!(db.is_empty());
+        db.push(tx(0, 0, &[1, 2]));
+        db.push(tx(1, 0, &[2]));
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn statistics() {
+        let db = TransactionDb::from_transactions(vec![
+            tx(0, 0, &[1, 2, 3]),
+            tx(1, 1, &[2]),
+        ]);
+        assert!((db.avg_transaction_len() - 2.0).abs() < 1e-12);
+        assert_eq!(db.num_distinct_items(), 3);
+        assert_eq!(TransactionDb::new().avg_transaction_len(), 0.0);
+        assert_eq!(TransactionDb::new().num_distinct_items(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let db: TransactionDb = (0..3).map(|i| tx(i, 0, &[1])).collect();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.iter().count(), 3);
+    }
+}

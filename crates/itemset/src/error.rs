@@ -1,0 +1,67 @@
+use std::fmt;
+use std::io;
+
+/// Errors produced by this crate (primarily file I/O and parsing).
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Parse { line: 3, message: "bad item".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad item");
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e = Error::from(io::Error::other("inner"));
+        assert!(e.source().is_some());
+        let e = Error::Parse { line: 1, message: String::new() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// A compact item identifier.
+///
+/// Items are the atoms of association rule mining — product ids, event
+/// codes, page ids, and so on. They are represented as a `u32` newtype so
+/// that itemsets stay small and cache-friendly and so that item ids cannot
+/// be confused with other integers (counts, unit indices, …) at type-check
+/// time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct Item(u32);
+
+impl Item {
+    /// Creates an item from its raw id.
+    #[inline]
+    pub const fn new(id: u32) -> Self {
+        Item(id)
+    }
+
+    /// Returns the raw id of this item.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the raw id as a `usize`, convenient for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Item {
+    #[inline]
+    fn from(id: u32) -> Self {
+        Item(id)
+    }
+}
+
+impl From<Item> for u32 {
+    #[inline]
+    fn from(item: Item) -> Self {
+        item.0
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Item({})", self.0)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_conversions() {
+        let item = Item::new(42);
+        assert_eq!(item.id(), 42);
+        assert_eq!(item.index(), 42usize);
+        assert_eq!(u32::from(item), 42);
+        assert_eq!(Item::from(42u32), item);
+    }
+
+    #[test]
+    fn ordering_follows_ids() {
+        assert!(Item::new(1) < Item::new(2));
+        assert!(Item::new(7) > Item::new(3));
+        assert_eq!(Item::new(5), Item::new(5));
+    }
+
+    #[test]
+    fn display_is_bare_id() {
+        assert_eq!(Item::new(9).to_string(), "9");
+        assert_eq!(format!("{:?}", Item::new(9)), "Item(9)");
+    }
+}

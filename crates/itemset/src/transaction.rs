@@ -1,0 +1,70 @@
+use std::fmt;
+
+use crate::{ItemSet, TimeUnit};
+
+/// A single transaction: a set of items bought/observed together, stamped
+/// with an id and the time unit it belongs to.
+///
+/// Cyclic association rule mining never needs finer-grained timestamps than
+/// the time unit, so transactions carry the unit index directly; segmenting
+/// raw timestamped data into units is the responsibility of
+/// [`SegmentedDb`](crate::SegmentedDb) constructors.
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Transaction {
+    /// Identifier unique within its database.
+    pub id: u64,
+    /// The time unit this transaction falls into.
+    pub unit: TimeUnit,
+    /// The items of the transaction.
+    pub items: ItemSet,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(id: u64, unit: TimeUnit, items: ItemSet) -> Self {
+        Transaction { id, unit, items }
+    }
+
+    /// Number of items in the transaction.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction carries no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Transaction(#{} @u{}: {})", self.id, self.unit.index(), self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Item;
+
+    #[test]
+    fn basic_accessors() {
+        let t = Transaction::new(
+            3,
+            TimeUnit::new(2),
+            ItemSet::from_items([Item::new(1), Item::new(5)]),
+        );
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.unit.index(), 2);
+        assert_eq!(format!("{t:?}"), "Transaction(#3 @u2: {1 5})");
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = Transaction::new(0, TimeUnit::new(0), ItemSet::empty());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Item, ItemSet};
+
+/// A bidirectional mapping between human-readable item names and the
+/// compact [`Item`] ids the miners work with.
+///
+/// Real datasets name their items ("espresso", "SKU-10441",
+/// "high_io_latency"); the mining core deliberately only sees dense
+/// `u32` ids. A `Vocabulary` interns names on first use and renders
+/// results back:
+///
+/// ```
+/// use car_itemset::Vocabulary;
+///
+/// let mut vocab = Vocabulary::new();
+/// let basket = vocab.itemset(["espresso", "croissant"]);
+/// assert_eq!(vocab.render(&basket), "{croissant espresso}");
+/// ```
+///
+/// Ids are assigned sequentially from 0, so they double as vector
+/// indices.
+#[derive(Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vocabulary {
+    names: Vec<String>,
+    #[cfg_attr(feature = "serde", serde(skip))]
+    ids: HashMap<String, Item>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns a name, returning its item (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Item {
+        if let Some(&item) = self.ids.get(name) {
+            return item;
+        }
+        let item = Item::new(
+            u32::try_from(self.names.len()).expect("vocabulary exceeds u32 ids"),
+        );
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), item);
+        item
+    }
+
+    /// Looks a name up without interning.
+    pub fn get(&self, name: &str) -> Option<Item> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of an item, if known.
+    pub fn name(&self, item: Item) -> Option<&str> {
+        self.names.get(item.index()).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Builds an itemset by interning each name.
+    pub fn itemset<'a, I>(&mut self, names: I) -> ItemSet
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        ItemSet::from_items(names.into_iter().map(|n| self.intern(n)))
+    }
+
+    /// Renders an itemset with names where known (falling back to raw
+    /// ids), in `{a b c}` form sorted by name.
+    pub fn render(&self, itemset: &ItemSet) -> String {
+        let mut names: Vec<String> = itemset
+            .iter()
+            .map(|item| {
+                self.name(item)
+                    .map_or_else(|| format!("#{}", item.id()), str::to_string)
+            })
+            .collect();
+        names.sort();
+        format!("{{{}}}", names.join(" "))
+    }
+
+    /// Rebuilds the name→id index (needed after deserializing with the
+    /// `serde` feature, which skips the derived index).
+    pub fn rebuild_index(&mut self) {
+        self.ids = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Item::new(i as u32)))
+            .collect();
+    }
+}
+
+impl fmt::Debug for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vocabulary({} names)", self.names.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("espresso");
+        let b = v.intern("croissant");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("espresso"), a);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("tea");
+        assert_eq!(v.get("tea"), Some(a));
+        assert_eq!(v.get("chai"), None);
+        assert_eq!(v.name(a), Some("tea"));
+        assert_eq!(v.name(Item::new(99)), None);
+    }
+
+    #[test]
+    fn itemset_and_render() {
+        let mut v = Vocabulary::new();
+        let s = v.itemset(["b", "a", "b"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(v.render(&s), "{a b}");
+        // Unknown ids render as raw.
+        let mixed = ItemSet::from_items([Item::new(0), Item::new(42)]);
+        assert_eq!(v.render(&mixed), "{#42 b}");
+        assert_eq!(v.render(&ItemSet::empty()), "{}");
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let mut clone = Vocabulary { names: v.names.clone(), ids: HashMap::new() };
+        assert_eq!(clone.get("x"), None);
+        clone.rebuild_index();
+        assert_eq!(clone.get("x"), Some(Item::new(0)));
+        assert_eq!(clone.get("y"), Some(Item::new(1)));
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut v = Vocabulary::new();
+        for i in 0..10u32 {
+            assert_eq!(v.intern(&format!("item-{i}")).id(), i);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based round-trip tests for the file formats and calendar
+//! segmentation.
+
+use car_itemset::calendar::{CivilDate, Granularity};
+use car_itemset::io::{read_fimi, read_timed, segment_evenly, write_fimi, write_timed};
+use car_itemset::{ItemSet, SegmentedDb};
+use proptest::prelude::*;
+
+fn arb_itemset() -> impl Strategy<Value = ItemSet> {
+    proptest::collection::vec(0u32..1000, 0..10).prop_map(ItemSet::from_ids)
+}
+
+fn arb_db() -> impl Strategy<Value = SegmentedDb> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_itemset(), 0..6),
+        1..8,
+    )
+    .prop_map(SegmentedDb::from_unit_itemsets)
+}
+
+proptest! {
+    #[test]
+    fn fimi_roundtrip(transactions in proptest::collection::vec(arb_itemset(), 0..30)) {
+        let mut buf = Vec::new();
+        write_fimi(&mut buf, &transactions).unwrap();
+        let back = read_fimi(&buf[..]).unwrap();
+        // The FIMI format cannot represent empty transactions; they are
+        // dropped on write (documented behaviour).
+        let expected: Vec<ItemSet> =
+            transactions.into_iter().filter(|t| !t.is_empty()).collect();
+        prop_assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn timed_roundtrip_preserves_transactions(db in arb_db()) {
+        let mut buf = Vec::new();
+        write_timed(&mut buf, &db).unwrap();
+        let back = read_timed(&buf[..]).unwrap();
+        // Trailing empty units are not represented in the format; every
+        // written unit must match.
+        prop_assert!(back.num_units() <= db.num_units());
+        for u in 0..back.num_units() {
+            prop_assert_eq!(back.unit(u), db.unit(u), "unit {}", u);
+        }
+        for u in back.num_units()..db.num_units() {
+            prop_assert!(db.unit(u).is_empty(), "lost transactions in unit {}", u);
+        }
+    }
+
+    #[test]
+    fn segment_evenly_preserves_order_and_count(
+        transactions in proptest::collection::vec(arb_itemset(), 0..40),
+        units in 1usize..10,
+    ) {
+        let db = segment_evenly(transactions.clone(), units);
+        prop_assert_eq!(db.num_units(), units);
+        prop_assert_eq!(db.num_transactions(), transactions.len());
+        let flattened: Vec<ItemSet> =
+            db.iter_all().map(|(_, t)| t.clone()).collect();
+        prop_assert_eq!(flattened, transactions);
+        // Sizes differ by at most one, monotonically non-increasing.
+        let sizes: Vec<usize> = db.iter_units().map(|(_, u)| u.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn civil_date_roundtrips(day in -200_000i64..200_000) {
+        let civil = CivilDate::from_days(day);
+        prop_assert_eq!(civil.to_days(), day);
+        prop_assert!((1..=12u8).contains(&civil.month));
+        prop_assert!((1..=civil.days_in_month()).contains(&civil.day));
+        // Consecutive days differ by exactly one calendar step.
+        let next = CivilDate::from_days(day + 1);
+        prop_assert!(next > civil);
+        prop_assert_eq!(next.weekday(), (civil.weekday() + 1) % 7);
+    }
+
+    #[test]
+    fn calendar_segmentation_is_complete_and_ordered(
+        times in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 1..30),
+    ) {
+        for granularity in [Granularity::Hour, Granularity::Day, Granularity::Week, Granularity::Month] {
+            let rows: Vec<(i64, ItemSet)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, ItemSet::from_ids([i as u32])))
+                .collect();
+            let db = granularity.segment(rows);
+            prop_assert_eq!(db.num_transactions(), times.len());
+            // Each transaction sits in the unit its timestamp maps to.
+            let first = times.iter().map(|&t| granularity.unit_index(t)).min().unwrap();
+            for (i, &t) in times.iter().enumerate() {
+                let expect = (granularity.unit_index(t) - first) as usize;
+                prop_assert!(
+                    db.unit(expect).iter().any(|x| x.contains(car_itemset::Item::new(i as u32))),
+                    "{granularity:?}: transaction {i} missing from unit {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests for the extension features: approximate cycles and
+//! rule timeline analysis, driven end-to-end on generated data.
+
+use cyclic_association_rules::core::analyze::analyze_rule;
+use cyclic_association_rules::core::approx::mine_approx;
+use cyclic_association_rules::datagen::{generate_cyclic, CyclicConfig, QuestConfig};
+use cyclic_association_rules::itemset::{ItemSet, SegmentedDb};
+use cyclic_association_rules::{Algorithm, CyclicRuleMiner, MiningConfig};
+
+fn config() -> MiningConfig {
+    MiningConfig::builder()
+        .min_support_fraction(0.3)
+        .min_confidence(0.5)
+        .cycle_bounds(2, 6)
+        .build()
+        .unwrap()
+}
+
+fn generated() -> SegmentedDb {
+    generate_cyclic(
+        &CyclicConfig {
+            quest: QuestConfig::default().with_num_items(120),
+            num_units: 18,
+            transactions_per_unit: 250,
+            num_cyclic_patterns: 4,
+            cyclic_pattern_len: 2,
+            cycle_length_range: (2, 5),
+            boost: 0.9,
+            max_planted_per_transaction: 2,
+        },
+        31,
+    )
+    .db
+}
+
+#[test]
+fn approx_with_zero_budget_covers_exact_rules() {
+    let db = generated();
+    let cfg = config();
+    let exact = CyclicRuleMiner::new(cfg, Algorithm::Sequential).mine(&db).unwrap();
+    let approx = mine_approx(&db, &cfg, 0).unwrap();
+    // Every exact cyclic rule appears among the zero-budget approximate
+    // rules with all its minimal cycles (the approximate result is
+    // unfiltered, hence a superset per rule).
+    for e in &exact.rules {
+        let a = approx
+            .rules
+            .iter()
+            .find(|a| a.rule == e.rule)
+            .unwrap_or_else(|| panic!("exact rule {} missing from approx", e.rule));
+        let a_cycles: Vec<_> = a.cycles.iter().map(|c| c.cycle).collect();
+        for c in &e.cycles {
+            assert!(a_cycles.contains(c), "{} lost cycle {}", e.rule, c);
+        }
+    }
+    assert_eq!(exact.rules.len(), approx.rules.len());
+}
+
+#[test]
+fn growing_budget_grows_rule_set_monotonically() {
+    let db = generated();
+    let cfg = config();
+    let mut previous = 0usize;
+    for budget in 0..4u32 {
+        let outcome = mine_approx(&db, &cfg, budget).unwrap();
+        assert!(
+            outcome.rules.len() >= previous,
+            "budget {budget} shrank the rule set: {} < {previous}",
+            outcome.rules.len()
+        );
+        // Every reported cycle respects the budget.
+        for r in &outcome.rules {
+            for c in &r.cycles {
+                assert!(c.misses <= budget);
+                assert!(c.occurrences > 0);
+            }
+        }
+        previous = outcome.rules.len();
+    }
+}
+
+#[test]
+fn timelines_explain_every_mined_rule() {
+    let db = generated();
+    let cfg = config();
+    let outcome = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
+        .mine(&db)
+        .unwrap();
+    assert!(!outcome.rules.is_empty());
+    for mined in &outcome.rules {
+        let timeline = analyze_rule(&db, &cfg, &mined.rule).unwrap();
+        assert!(timeline.is_cyclic(), "{}", mined.rule);
+        assert_eq!(timeline.cycles, mined.cycles, "{}", mined.rule);
+        // Where the rule held, support and confidence clear thresholds.
+        for u in timeline.holds.iter_ones() {
+            assert!(timeline.supports[u] > 0.0);
+            assert!(timeline.confidences[u] >= 0.5 - 1e-9);
+        }
+        assert!(timeline.mean_confidence_when_held() >= 0.5 - 1e-9);
+        // No misses on any reported cycle.
+        for &c in &timeline.cycles {
+            assert!(timeline.misses_on(c).is_empty());
+        }
+    }
+}
+
+#[test]
+fn analysis_of_unmined_rule_shows_why_not_cyclic() {
+    // A deliberately absurd rule over sparse random items.
+    let db = generated();
+    let cfg = config();
+    let rule = cyclic_association_rules::Rule::new(
+        ItemSet::from_ids([118]),
+        ItemSet::from_ids([119]),
+    )
+    .unwrap();
+    let t = analyze_rule(&db, &cfg, &rule).unwrap();
+    // Whatever the exact timeline, the invariants hold:
+    assert_eq!(t.supports.len(), db.num_units());
+    assert_eq!(t.confidences.len(), db.num_units());
+    assert_eq!(t.holds.len(), db.num_units());
+    if !t.is_cyclic() {
+        // Every candidate cycle must have at least one miss explaining
+        // its absence.
+        for l in 2..=6u32 {
+            for o in 0..l {
+                let c = cyclic_association_rules::Cycle::make(l, o);
+                assert!(
+                    !t.misses_on(c).is_empty(),
+                    "cycle {c} has no misses but was not reported"
+                );
+            }
+        }
+    }
+}

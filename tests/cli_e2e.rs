@@ -1,0 +1,109 @@
+//! End-to-end CLI pipeline: `car gen` → `car stats` → `car mine` →
+//! `car analyze` → `car detect`, all driven in-process through the
+//! library entry point the binary wraps.
+
+use std::path::PathBuf;
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    car_cli::run(&argv, &mut out).map_err(|e| e.to_string())?;
+    Ok(String::from_utf8(out).expect("utf8 output"))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("car-e2e-{tag}-{}.txt", std::process::id()))
+}
+
+#[test]
+fn full_pipeline_gen_mine_analyze() {
+    let data = temp_path("pipeline");
+    let data_str = data.to_string_lossy().into_owned();
+
+    // Generate a small database with planted cycles.
+    let gen_out = run(&[
+        "gen", "--units", "16", "--tx-per-unit", "200", "--items", "100",
+        "--cyclic", "3", "--cycle-min", "2", "--cycle-max", "4", "--boost",
+        "0.9", "--seed", "5", "--out", &data_str, "--show-planted",
+    ])
+    .expect("gen must succeed");
+    assert!(gen_out.contains("wrote 3200 transactions in 16 units"), "{gen_out}");
+    let planted: Vec<&str> = gen_out
+        .lines()
+        .filter(|l| l.starts_with("# planted"))
+        .collect();
+    assert_eq!(planted.len(), 3);
+
+    // Stats over the generated file.
+    let stats_out = run(&["stats", "--input", &data_str]).expect("stats");
+    assert!(stats_out.contains("units:               16"), "{stats_out}");
+    assert!(stats_out.contains("transactions:        3200"), "{stats_out}");
+
+    // Mine with both algorithms; identical rule listings.
+    let base_args = [
+        "mine", "--input", &data_str, "--min-support", "0.3",
+        "--min-confidence", "0.5", "--l-min", "2", "--l-max", "4",
+    ];
+    let mut seq_args = base_args.to_vec();
+    seq_args.extend(["--algorithm", "sequential"]);
+    let mut int_args = base_args.to_vec();
+    int_args.extend(["--algorithm", "interleaved"]);
+    let seq_out = run(&seq_args).expect("sequential mine");
+    let int_out = run(&int_args).expect("interleaved mine");
+    assert_eq!(seq_out, int_out);
+    assert!(
+        seq_out.lines().next().expect("header").contains("cyclic association rules"),
+        "{seq_out}"
+    );
+    // At least one planted pair should show up as a rule line.
+    let num_rules: usize = seq_out
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .expect("rule count in header");
+    assert!(num_rules > 0, "{seq_out}");
+
+    // Analyze the first mined rule's antecedent/consequent.
+    let rule_line = seq_out.lines().nth(1).expect("at least one rule");
+    // Format: "{a} => {b} @ (l,o)" — extract the singleton ids if simple.
+    if let Some((lhs, rest)) = rule_line.split_once(" => ") {
+        let lhs_ids = lhs.trim_matches(['{', '}']).replace(' ', ",");
+        let rhs = rest.split(" @ ").next().expect("rule format");
+        let rhs_ids = rhs.trim_matches(['{', '}']).replace(' ', ",");
+        let analyze_out = run(&[
+            "analyze", "--input", &data_str, "--antecedent", &lhs_ids,
+            "--consequent", &rhs_ids, "--min-support", "0.3",
+            "--min-confidence", "0.5", "--l-min", "2", "--l-max", "4",
+        ])
+        .expect("analyze");
+        assert!(analyze_out.contains("cycles:"), "{analyze_out}");
+        assert!(!analyze_out.contains("none within bounds"), "{analyze_out}");
+    }
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn detect_command_standalone() {
+    let out = run(&[
+        "detect", "--sequence", "100100100100", "--l-min", "2", "--l-max", "6",
+    ])
+    .expect("detect");
+    assert!(out.contains("(3,0)"), "{out}");
+
+    let approx = run(&[
+        "detect", "--sequence", "100100000100", "--l-min", "3", "--l-max", "3",
+        "--max-misses", "1",
+    ])
+    .expect("approx detect");
+    assert!(approx.contains("misses 1/4"), "{approx}");
+}
+
+#[test]
+fn help_and_errors() {
+    assert!(run(&["help"]).expect("help").contains("USAGE"));
+    assert!(run(&[]).is_err());
+    assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
+    assert!(run(&["mine"]).unwrap_err().contains("--input"));
+}

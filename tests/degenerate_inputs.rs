@@ -1,0 +1,178 @@
+//! Failure-mode and boundary-condition integration tests: the miners
+//! must behave predictably on degenerate databases.
+
+use cyclic_association_rules::itemset::{ItemSet, SegmentedDb};
+use cyclic_association_rules::{
+    Algorithm, ConfigError, CyclicRuleMiner, InterleavedOptions, MiningConfig,
+};
+
+fn config(l_min: u32, l_max: u32) -> MiningConfig {
+    MiningConfig::builder()
+        .min_support_fraction(0.5)
+        .min_confidence(0.5)
+        .cycle_bounds(l_min, l_max)
+        .build()
+        .unwrap()
+}
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::Sequential,
+        Algorithm::Interleaved(InterleavedOptions::all()),
+        Algorithm::Interleaved(InterleavedOptions::none()),
+    ]
+}
+
+#[test]
+fn zero_units_is_a_config_error() {
+    let db = SegmentedDb::with_units(0);
+    for algorithm in all_algorithms() {
+        let err = CyclicRuleMiner::new(config(1, 1), algorithm)
+            .mine(&db)
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyDatabase);
+    }
+}
+
+#[test]
+fn all_empty_units_yield_no_rules() {
+    let db = SegmentedDb::with_units(6);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm)
+            .mine(&db)
+            .unwrap();
+        assert!(outcome.rules.is_empty());
+    }
+}
+
+#[test]
+fn single_unit_with_length_one_cycles() {
+    let db = SegmentedDb::from_unit_itemsets(vec![vec![ItemSet::from_ids([1, 2]); 4]]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(config(1, 1), algorithm)
+            .mine(&db)
+            .unwrap();
+        // Rules hold in the only unit → cycle (1,0).
+        assert_eq!(outcome.rules.len(), 2, "{algorithm:?}");
+        for r in &outcome.rules {
+            assert_eq!(
+                r.cycles.iter().map(|c| (c.length(), c.offset())).collect::<Vec<_>>(),
+                vec![(1, 0)]
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_units_give_every_offset() {
+    let db = SegmentedDb::from_unit_itemsets(vec![vec![ItemSet::from_ids([5, 6]); 3]; 6]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm)
+            .mine(&db)
+            .unwrap();
+        let r = &outcome.rules[0];
+        // Rule holds everywhere: every (l, o) within bounds is a cycle
+        // and none is a multiple of another within [2,3].
+        assert_eq!(r.cycles.len(), 5, "{algorithm:?}: {:?}", r.cycles);
+    }
+}
+
+#[test]
+fn transactions_with_no_pairs_give_no_rules() {
+    // Singleton transactions can make items large but never a 2-itemset.
+    let db = SegmentedDb::from_unit_itemsets(vec![
+        vec![ItemSet::from_ids([1]), ItemSet::from_ids([2])],
+        vec![ItemSet::from_ids([1]), ItemSet::from_ids([2])],
+    ]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm)
+            .mine(&db)
+            .unwrap();
+        assert!(outcome.rules.is_empty(), "{algorithm:?}");
+    }
+}
+
+#[test]
+fn empty_transactions_are_harmless() {
+    let db = SegmentedDb::from_unit_itemsets(vec![
+        vec![ItemSet::empty(), ItemSet::from_ids([1, 2]), ItemSet::from_ids([1, 2])],
+        vec![ItemSet::empty(), ItemSet::from_ids([1, 2]), ItemSet::from_ids([1, 2])],
+    ]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm)
+            .mine(&db)
+            .unwrap();
+        assert!(
+            outcome.rules.iter().any(|r| r.rule.to_string() == "{1} => {2}"),
+            "{algorithm:?}"
+        );
+    }
+}
+
+#[test]
+fn min_confidence_one_requires_perfect_rules() {
+    let cfg = MiningConfig::builder()
+        .min_support_fraction(0.25)
+        .min_confidence(1.0)
+        .cycle_bounds(1, 2)
+        .build()
+        .unwrap();
+    // {1,2} twice and {1} twice per unit: conf({1}=>{2}) = 0.5, while
+    // conf({2}=>{1}) = 1.
+    let unit = vec![
+        ItemSet::from_ids([1, 2]),
+        ItemSet::from_ids([1, 2]),
+        ItemSet::from_ids([1]),
+        ItemSet::from_ids([1]),
+    ];
+    let db = SegmentedDb::from_unit_itemsets(vec![unit.clone(), unit]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(cfg, algorithm).mine(&db).unwrap();
+        let names: Vec<String> =
+            outcome.rules.iter().map(|r| r.rule.to_string()).collect();
+        assert!(names.contains(&"{2} => {1}".to_string()), "{algorithm:?}: {names:?}");
+        assert!(!names.contains(&"{1} => {2}".to_string()), "{algorithm:?}: {names:?}");
+    }
+}
+
+#[test]
+fn support_count_threshold_is_per_unit() {
+    // Units of different sizes: absolute count thresholds apply as-is in
+    // each unit regardless of unit size.
+    let cfg = MiningConfig::builder()
+        .min_support_count(2)
+        .min_confidence(0.5)
+        .cycle_bounds(1, 2)
+        .build()
+        .unwrap();
+    let db = SegmentedDb::from_unit_itemsets(vec![
+        vec![ItemSet::from_ids([1, 2]); 2], // count 2 → large
+        vec![ItemSet::from_ids([1, 2]); 1], // count 1 → small
+        vec![ItemSet::from_ids([1, 2]); 5],
+        vec![ItemSet::from_ids([1, 2]); 1],
+    ]);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(cfg, algorithm).mine(&db).unwrap();
+        let r = outcome
+            .rules
+            .iter()
+            .find(|r| r.rule.to_string() == "{1} => {2}")
+            .unwrap_or_else(|| panic!("{algorithm:?} missing rule"));
+        assert_eq!(
+            r.cycles.iter().map(|c| (c.length(), c.offset())).collect::<Vec<_>>(),
+            vec![(2, 0)],
+            "{algorithm:?}"
+        );
+    }
+}
+
+#[test]
+fn max_itemset_size_one_yields_no_rules() {
+    let db = SegmentedDb::from_unit_itemsets(vec![vec![ItemSet::from_ids([1, 2]); 3]; 2]);
+    let mut cfg = config(1, 2);
+    cfg.max_itemset_size = Some(1);
+    for algorithm in all_algorithms() {
+        let outcome = CyclicRuleMiner::new(cfg, algorithm).mine(&db).unwrap();
+        assert!(outcome.rules.is_empty(), "{algorithm:?}");
+    }
+}

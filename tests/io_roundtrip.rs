@@ -1,0 +1,91 @@
+//! File I/O round trips: mining results are invariant under
+//! serialization to the timed format and back, and FIMI-style files can
+//! be segmented and mined.
+
+use cyclic_association_rules::datagen::{generate_cyclic, CyclicConfig, QuestConfig};
+use cyclic_association_rules::itemset::io::{
+    read_fimi, read_timed, segment_evenly, write_fimi, write_timed,
+};
+use cyclic_association_rules::itemset::ItemSet;
+use cyclic_association_rules::{Algorithm, CyclicRuleMiner, MiningConfig};
+
+fn small_data() -> cyclic_association_rules::itemset::SegmentedDb {
+    let config = CyclicConfig {
+        quest: QuestConfig::default().with_num_items(80),
+        num_units: 12,
+        transactions_per_unit: 100,
+        num_cyclic_patterns: 3,
+        cyclic_pattern_len: 2,
+        cycle_length_range: (2, 4),
+        boost: 0.9,
+        max_planted_per_transaction: 2,
+    };
+    generate_cyclic(&config, 99).db
+}
+
+fn config() -> MiningConfig {
+    MiningConfig::builder()
+        .min_support_fraction(0.3)
+        .min_confidence(0.5)
+        .cycle_bounds(2, 4)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn mining_is_invariant_under_timed_roundtrip() {
+    let db = small_data();
+    let mut buf = Vec::new();
+    write_timed(&mut buf, &db).unwrap();
+    let back = read_timed(&buf[..]).unwrap();
+    assert_eq!(db.num_transactions(), back.num_transactions());
+
+    let miner = CyclicRuleMiner::new(config(), Algorithm::interleaved());
+    let original = miner.mine(&db).unwrap();
+    let roundtripped = miner.mine(&back).unwrap();
+    assert_eq!(original.rules, roundtripped.rules);
+}
+
+#[test]
+fn fimi_files_can_be_segmented_and_mined() {
+    // Write a flat FIMI file whose order encodes time (blocks of 50).
+    let mut flat: Vec<ItemSet> = Vec::new();
+    for u in 0..8 {
+        for _ in 0..50 {
+            if u % 2 == 0 {
+                flat.push(ItemSet::from_ids([1, 2]));
+            } else {
+                flat.push(ItemSet::from_ids([3]));
+            }
+        }
+    }
+    let mut buf = Vec::new();
+    write_fimi(&mut buf, &flat).unwrap();
+    let read_back = read_fimi(&buf[..]).unwrap();
+    assert_eq!(read_back.len(), 400);
+
+    let db = segment_evenly(read_back, 8);
+    assert_eq!(db.num_units(), 8);
+    let outcome = CyclicRuleMiner::new(config(), Algorithm::interleaved())
+        .mine(&db)
+        .unwrap();
+    assert!(
+        outcome
+            .rules
+            .iter()
+            .any(|r| r.rule.to_string() == "{1} => {2}"
+                && r.cycles.iter().any(|c| (c.length(), c.offset()) == (2, 0))),
+        "{:?}",
+        outcome.rules
+    );
+}
+
+#[test]
+fn malformed_input_is_rejected_not_mangled() {
+    assert!(read_timed(&b"0 | 1 2\nbroken line\n"[..]).is_err());
+    assert!(read_timed(&b"x | 1\n"[..]).is_err());
+    assert!(read_fimi(&b"1 2\n3 four\n"[..]).is_err());
+    // Comments and blanks are fine.
+    let db = read_timed(&b"# comment\n\n0 | 1\n"[..]).unwrap();
+    assert_eq!(db.num_transactions(), 1);
+}
