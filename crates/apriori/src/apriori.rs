@@ -116,7 +116,8 @@ impl Apriori {
             }
             stats.candidates_counted += candidates.len() as u64;
             stats.levels += 1;
-            let counts = count_candidates(&candidates, transactions, self.config.counting);
+            let counts =
+                count_candidates(&candidates, transactions, self.config.counting);
             large = candidates
                 .into_iter()
                 .zip(&counts)
@@ -174,8 +175,10 @@ mod tests {
     #[test]
     fn both_engines_agree_on_han_kamber() {
         let base = AprioriConfig::new(MinSupport::count(2));
-        let a = Apriori::new(base.with_counting(CountStrategy::HashMap)).mine(&han_kamber());
-        let b = Apriori::new(base.with_counting(CountStrategy::HashTree)).mine(&han_kamber());
+        let a =
+            Apriori::new(base.with_counting(CountStrategy::HashMap)).mine(&han_kamber());
+        let b =
+            Apriori::new(base.with_counting(CountStrategy::HashTree)).mine(&han_kamber());
         let mut av: Vec<_> = a.iter().map(|(s, c)| (s.clone(), c)).collect();
         let mut bv: Vec<_> = b.iter().map(|(s, c)| (s.clone(), c)).collect();
         av.sort();
@@ -187,7 +190,8 @@ mod tests {
     fn fraction_threshold() {
         // 50% of 4 transactions = 2.
         let tx = vec![set(&[1, 2]), set(&[1]), set(&[2]), set(&[3])];
-        let f = Apriori::new(AprioriConfig::new(MinSupport::fraction(0.5).unwrap())).mine(&tx);
+        let f = Apriori::new(AprioriConfig::new(MinSupport::fraction(0.5).unwrap()))
+            .mine(&tx);
         assert_eq!(f.count(&set(&[1])), Some(2));
         assert_eq!(f.count(&set(&[2])), Some(2));
         assert_eq!(f.count(&set(&[3])), None);
@@ -196,7 +200,8 @@ mod tests {
 
     #[test]
     fn empty_database_yields_nothing() {
-        let f = Apriori::new(AprioriConfig::new(MinSupport::fraction(0.1).unwrap())).mine(&[]);
+        let f = Apriori::new(AprioriConfig::new(MinSupport::fraction(0.1).unwrap()))
+            .mine(&[]);
         assert!(f.is_empty());
         assert_eq!(f.num_transactions(), 0);
     }

@@ -41,9 +41,7 @@ pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
             if a.as_slice()[..k - 1] != b.as_slice()[..k - 1] {
                 break;
             }
-            let candidate = a
-                .apriori_join(b)
-                .expect("sorted same-prefix pair must join");
+            let candidate = a.apriori_join(b).expect("sorted same-prefix pair must join");
             if prune_ok(&candidate, &lookup) {
                 out.push(candidate);
             }
@@ -58,9 +56,7 @@ pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
 /// join parents and are large by construction, but checking all `k+1`
 /// subsets keeps the function independent of how the candidate was built.
 fn prune_ok(candidate: &ItemSet, large: &FastHashSet<&ItemSet>) -> bool {
-    candidate
-        .immediate_subsets()
-        .all(|sub| large.contains(&sub))
+    candidate.immediate_subsets().all(|sub| large.contains(&sub))
 }
 
 #[cfg(test)]

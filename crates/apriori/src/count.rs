@@ -19,7 +19,6 @@ use crate::hash_tree::HashTree;
 
 /// Which support-counting engine to use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CountStrategy {
     /// Subset enumeration + hash map lookup.
     HashMap,
@@ -48,10 +47,7 @@ pub fn count_candidates(
     }
     let k = candidates[0].len();
     assert!(k >= 1, "candidates must be non-empty itemsets");
-    assert!(
-        candidates.iter().all(|c| c.len() == k),
-        "candidates must have uniform size"
-    );
+    assert!(candidates.iter().all(|c| c.len() == k), "candidates must have uniform size");
 
     match strategy {
         CountStrategy::HashMap => count_hashmap(candidates, transactions, k),
@@ -73,11 +69,8 @@ pub fn count_candidates(
 }
 
 fn count_hashmap(candidates: &[ItemSet], transactions: &[ItemSet], k: usize) -> Vec<u64> {
-    let index: FastHashMap<&ItemSet, usize> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (c, i))
-        .collect();
+    let index: FastHashMap<&ItemSet, usize> =
+        candidates.iter().enumerate().map(|(i, c)| (c, i)).collect();
     let mut counts = vec![0u64; candidates.len()];
     for t in transactions {
         if t.len() < k {
@@ -141,7 +134,9 @@ mod tests {
             set(&[1, 2, 3, 4, 5]),
         ];
         let expected = naive(&candidates, &transactions);
-        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto] {
+        for strategy in
+            [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto]
+        {
             assert_eq!(
                 count_candidates(&candidates, &transactions, strategy),
                 expected,
@@ -153,10 +148,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         assert!(count_candidates(&[], &[set(&[1])], CountStrategy::Auto).is_empty());
-        assert_eq!(
-            count_candidates(&[set(&[1])], &[], CountStrategy::Auto),
-            vec![0]
-        );
+        assert_eq!(count_candidates(&[set(&[1])], &[], CountStrategy::Auto), vec![0]);
     }
 
     #[test]
@@ -175,7 +167,8 @@ mod tests {
     fn long_transactions_trigger_auto_hashtree_and_stay_correct() {
         // One long transaction makes subset enumeration expensive; Auto
         // must still produce exact counts.
-        let candidates: Vec<ItemSet> = (0..10u32).map(|i| set(&[i, i + 10, i + 20])).collect();
+        let candidates: Vec<ItemSet> =
+            (0..10u32).map(|i| set(&[i, i + 10, i + 20])).collect();
         let mut transactions = vec![ItemSet::from_ids(0..30u32)];
         transactions.push(set(&[0, 10, 20]));
         let expected = naive(&candidates, &transactions);

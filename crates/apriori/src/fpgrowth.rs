@@ -46,17 +46,12 @@ impl FpTree {
         rows: impl Iterator<Item = (Vec<Item>, u64)>,
         item_counts: &FastHashMap<Item, u64>,
     ) -> Self {
-        let mut headers: Vec<(Item, u32, u64)> = item_counts
-            .iter()
-            .map(|(&item, &count)| (item, NONE, count))
-            .collect();
+        let mut headers: Vec<(Item, u32, u64)> =
+            item_counts.iter().map(|(&item, &count)| (item, NONE, count)).collect();
         // Descending count, ascending id — the canonical f-list order.
         headers.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
-        let header_index: FastHashMap<Item, usize> = headers
-            .iter()
-            .enumerate()
-            .map(|(i, &(item, _, _))| (item, i))
-            .collect();
+        let header_index: FastHashMap<Item, usize> =
+            headers.iter().enumerate().map(|(i, &(item, _, _))| (item, i)).collect();
 
         let mut tree = FpTree {
             nodes: vec![Node {
@@ -162,10 +157,8 @@ pub fn fp_growth(
 
     // Pass 2: build the tree from frequent-filtered transactions.
     let rows = transactions.iter().filter_map(|t| {
-        let items: Vec<Item> = t
-            .iter()
-            .filter(|it| item_counts.contains_key(it))
-            .collect();
+        let items: Vec<Item> =
+            t.iter().filter(|it| item_counts.contains_key(it)).collect();
         (!items.is_empty()).then_some((items, 1u64))
     });
     let tree = FpTree::build(rows, &item_counts);
@@ -290,13 +283,8 @@ mod tests {
 
     #[test]
     fn shared_prefixes_accumulate_counts() {
-        let tx = vec![
-            set(&[1, 2]),
-            set(&[1, 2, 3]),
-            set(&[1, 3]),
-            set(&[2, 3]),
-            set(&[1]),
-        ];
+        let tx =
+            vec![set(&[1, 2]), set(&[1, 2, 3]), set(&[1, 3]), set(&[2, 3]), set(&[1])];
         let f = fp_growth(&tx, MinSupport::count(2), None);
         assert_eq!(f.count(&set(&[1])), Some(4));
         assert_eq!(f.count(&set(&[1, 2])), Some(2));

@@ -51,8 +51,7 @@ impl FrequentItemsets {
         if self.num_transactions == 0 {
             return None;
         }
-        self.count(itemset)
-            .map(|c| c as f64 / self.num_transactions as f64)
+        self.count(itemset).map(|c| c as f64 / self.num_transactions as f64)
     }
 
     /// Whether the itemset is large.
@@ -62,10 +61,7 @@ impl FrequentItemsets {
 
     /// Largest level with at least one itemset (0 when empty).
     pub fn max_level(&self) -> usize {
-        self.levels
-            .iter()
-            .rposition(|m| !m.is_empty())
-            .map_or(0, |i| i + 1)
+        self.levels.iter().rposition(|m| !m.is_empty()).map_or(0, |i| i + 1)
     }
 
     /// Number of large itemsets across all levels.

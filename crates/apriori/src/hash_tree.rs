@@ -261,9 +261,7 @@ mod tests {
     fn no_double_counting_with_colliding_buckets() {
         // Many items that may collide in buckets; each candidate must be
         // counted once per containing transaction regardless.
-        let candidates: Vec<ItemSet> = (0..40u32)
-            .map(|i| set(&[i, i + 1]))
-            .collect();
+        let candidates: Vec<ItemSet> = (0..40u32).map(|i| set(&[i, i + 1])).collect();
         let transactions = vec![ItemSet::from_ids(0..41u32); 3];
         let mut tree = HashTree::build(candidates.clone());
         tree.count_all(&transactions);

@@ -13,10 +13,7 @@ use crate::support::MinSupport;
 
 /// Counts the transactions containing `itemset`.
 pub fn count_itemset(itemset: &ItemSet, transactions: &[ItemSet]) -> u64 {
-    transactions
-        .iter()
-        .filter(|t| itemset.is_subset_of(t))
-        .count() as u64
+    transactions.iter().filter(|t| itemset.is_subset_of(t)).count() as u64
 }
 
 /// Finds all large itemsets by definition-level breadth-first search.
@@ -33,10 +30,8 @@ pub fn frequent_itemsets(
     let mut result = FrequentItemsets::new(transactions.len());
 
     // Universe of items actually present.
-    let mut universe: Vec<u32> = transactions
-        .iter()
-        .flat_map(|t| t.iter().map(|i| i.id()))
-        .collect();
+    let mut universe: Vec<u32> =
+        transactions.iter().flat_map(|t| t.iter().map(|i| i.id())).collect();
     universe.sort_unstable();
     universe.dedup();
 

@@ -10,7 +10,6 @@ use crate::support::MinConfidence;
 
 /// An association rule `antecedent ⇒ consequent` (disjoint, non-empty).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rule {
     /// Left-hand side (`X` in `X ⇒ Y`).
     pub antecedent: ItemSet,
@@ -52,7 +51,6 @@ impl fmt::Display for Rule {
 
 /// A rule with the counts needed to derive its quality metrics.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AssociationRule {
     /// The rule.
     pub rule: Rule,
@@ -163,15 +161,13 @@ fn try_rule(
     if antecedent.is_empty() {
         return None;
     }
-    let antecedent_count = frequent
-        .count(&antecedent)
-        .expect("subsets of a frequent itemset are frequent");
+    let antecedent_count =
+        frequent.count(&antecedent).expect("subsets of a frequent itemset are frequent");
     if !min_confidence.accepts(z_count, antecedent_count) {
         return None;
     }
-    let consequent_count = frequent
-        .count(consequent)
-        .expect("subsets of a frequent itemset are frequent");
+    let consequent_count =
+        frequent.count(consequent).expect("subsets of a frequent itemset are frequent");
     Some(AssociationRule {
         rule: Rule { antecedent, consequent: consequent.clone() },
         rule_count: z_count,

@@ -9,7 +9,6 @@ use std::fmt;
 /// and zero-count itemsets are never large — the boundary semantics the
 /// cyclic miners rely on when a time unit has no transactions.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MinSupport {
     /// At least this many transactions must contain the itemset.
     Count(u64),
@@ -61,7 +60,6 @@ impl fmt::Display for MinSupport {
 /// integer arithmetic (`count(X∪Y) · 2^32 >= minconf_fixed · count(X)`)
 /// to keep miners deterministic across platforms.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MinConfidence(f64);
 
 impl MinConfidence {

@@ -31,11 +31,9 @@ fn bench(c: &mut Criterion) {
             ("interleaved", Algorithm::interleaved()),
         ] {
             let miner = CyclicRuleMiner::new(s.config, algorithm);
-            group.bench_with_input(
-                BenchmarkId::new(name, d),
-                &s.db,
-                |b, db| b.iter(|| miner.mine(db).expect("valid scenario")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, d), &s.db, |b, db| {
+                b.iter(|| miner.mine(db).expect("valid scenario"))
+            });
         }
     }
     group.finish();

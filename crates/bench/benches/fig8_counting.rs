@@ -14,9 +14,7 @@ use rand::SeedableRng;
 fn workload(avg_len: f64) -> (Vec<ItemSet>, Vec<ItemSet>) {
     let mut rng = StdRng::seed_from_u64(8);
     let quest = QuestGenerator::new(
-        QuestConfig::default()
-            .with_num_items(300)
-            .with_avg_transaction_len(avg_len),
+        QuestConfig::default().with_num_items(300).with_avg_transaction_len(avg_len),
         &mut rng,
     );
     let transactions = quest.gen_transactions(&mut rng, 2000);
@@ -47,7 +45,9 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for avg_len in [5.0f64, 20.0] {
         let (candidates, transactions) = workload(avg_len);
-        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto] {
+        for strategy in
+            [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto]
+        {
             group.bench_with_input(
                 BenchmarkId::new(format!("{strategy:?}"), avg_len as u64),
                 &(&candidates, &transactions),

@@ -10,7 +10,9 @@
 
 #![allow(clippy::field_reassign_with_default)]
 
-use car_bench::{measure, measure_named, print_series, scenario, ScenarioParams, SeriesRow};
+use car_bench::{
+    measure, measure_named, print_series, scenario, ScenarioParams, SeriesRow,
+};
 use car_core::{Algorithm, CountStrategy, InterleavedOptions};
 
 #[derive(Clone, Copy, PartialEq)]
@@ -115,10 +117,7 @@ fn exp1_time_units(scale: Scale) {
             seq_vs_int(&u.to_string(), p)
         })
         .collect();
-    print!(
-        "{}",
-        print_series("EXP-1: runtime vs number of time units", "units", &rows)
-    );
+    print!("{}", print_series("EXP-1: runtime vs number of time units", "units", &rows));
     println!();
 }
 
@@ -139,10 +138,7 @@ fn exp2_min_support(scale: Scale) {
             seq_vs_int(&format!("{:.1}%", ms * 100.0), p)
         })
         .collect();
-    print!(
-        "{}",
-        print_series("EXP-2: runtime vs minimum support", "minsup", &rows)
-    );
+    print!("{}", print_series("EXP-2: runtime vs minimum support", "minsup", &rows));
     println!();
 }
 
@@ -188,10 +184,7 @@ fn exp4_cycle_length(scale: Scale) {
             seq_vs_int(&l.to_string(), p)
         })
         .collect();
-    print!(
-        "{}",
-        print_series("EXP-4: runtime vs maximum cycle length", "l_max", &rows)
-    );
+    print!("{}", print_series("EXP-4: runtime vs maximum cycle length", "l_max", &rows));
     println!();
 }
 
@@ -209,10 +202,7 @@ fn exp5_num_items(scale: Scale) {
             seq_vs_int(&n.to_string(), p)
         })
         .collect();
-    print!(
-        "{}",
-        print_series("EXP-5: runtime vs number of items", "items", &rows)
-    );
+    print!("{}", print_series("EXP-5: runtime vs number of items", "items", &rows));
     println!();
 }
 
@@ -326,12 +316,9 @@ fn exp8_counting_engines(scale: Scale) {
     // Rows cover both regimes: many candidates (subset enumeration with a
     // hash map wins) and few candidates over long transactions (the hash
     // tree's bucket pruning wins by an order of magnitude).
-    for (avg_len, k, top) in [
-        (5.0f64, 2usize, 48usize),
-        (20.0, 2, 48),
-        (20.0, 3, 48),
-        (40.0, 3, 12),
-    ] {
+    for (avg_len, k, top) in
+        [(5.0f64, 2usize, 48usize), (20.0, 2, 48), (20.0, 3, 48), (40.0, 3, 12)]
+    {
         // Generate transactions, then count a fixed candidate set built
         // from the most frequent items (the realistic L2 shape).
         let mut p = base_params(scale);
@@ -357,7 +344,9 @@ fn exp8_counting_engines(scale: Scale) {
 
         let mut cols = Vec::new();
         let mut reference: Option<Vec<u64>> = None;
-        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto] {
+        for strategy in
+            [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto]
+        {
             let start = std::time::Instant::now();
             let result = count_candidates(&candidates, transactions, strategy);
             cols.push(car_bench::format_duration(start.elapsed()));
@@ -368,7 +357,12 @@ fn exp8_counting_engines(scale: Scale) {
         }
         println!(
             "{:<10}{:<4}{:<8}{:<14}{:<14}{:<14}",
-            avg_len, k, candidates.len(), cols[0], cols[1], cols[2]
+            avg_len,
+            k,
+            candidates.len(),
+            cols[0],
+            cols[1],
+            cols[2]
         );
     }
     println!();
@@ -410,18 +404,14 @@ fn exp9_incremental(scale: Scale) {
         let prefix = SegmentedDb::from_unit_itemsets(
             (0..end).map(|u| s.db.unit(u).to_vec()).collect(),
         );
-        batch_rules = mine_sequential(&prefix, &s.config)
-            .expect("window validated")
-            .rules;
+        batch_rules =
+            mine_sequential(&prefix, &s.config).expect("window validated").rules;
     }
     let batch_time = start.elapsed();
 
     assert_eq!(incremental_rules, batch_rules, "incremental must match batch");
     println!("== EXP-9: maintaining results as units arrive ==");
-    println!(
-        "{:<28}{:<12}{:<10}",
-        "strategy", "total time", "rules"
-    );
+    println!("{:<28}{:<12}{:<10}", "strategy", "total time", "rules");
     println!(
         "{:<28}{:<12}{:<10}",
         "incremental miner",

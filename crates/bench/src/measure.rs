@@ -24,7 +24,11 @@ pub struct Measurement {
 ///
 /// Panics if the configuration is invalid for the database — scenarios
 /// are expected to be pre-validated.
-pub fn measure(db: &SegmentedDb, config: &MiningConfig, algorithm: Algorithm) -> Measurement {
+pub fn measure(
+    db: &SegmentedDb,
+    config: &MiningConfig,
+    algorithm: Algorithm,
+) -> Measurement {
     let label = match algorithm {
         Algorithm::Sequential => "SEQUENTIAL".to_string(),
         Algorithm::Interleaved(opts) => {
@@ -100,11 +104,8 @@ mod tests {
             Algorithm::Interleaved(InterleavedOptions::all().without_skipping()),
         );
         assert_eq!(m.label, "INTERLEAVED-skip");
-        let m = measure(
-            &s.db,
-            &s.config,
-            Algorithm::Interleaved(InterleavedOptions::none()),
-        );
+        let m =
+            measure(&s.db, &s.config, Algorithm::Interleaved(InterleavedOptions::none()));
         assert_eq!(m.label, "INTERLEAVED-prune-skip-elim");
     }
 }

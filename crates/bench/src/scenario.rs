@@ -71,7 +71,10 @@ pub fn base_cyclic_config(params: &ScenarioParams) -> CyclicConfig {
         transactions_per_unit: params.tx_per_unit,
         num_cyclic_patterns: params.cyclic_patterns,
         cyclic_pattern_len: 2,
-        cycle_length_range: (params.l_min.max(2), params.l_max.min(12).max(params.l_min.max(2))),
+        cycle_length_range: (
+            params.l_min.max(2),
+            params.l_max.min(12).max(params.l_min.max(2)),
+        ),
         boost: 0.8,
         max_planted_per_transaction: 2,
     }
@@ -94,12 +97,7 @@ pub fn scenario(label: impl Into<String>, params: ScenarioParams) -> Scenario {
     config
         .validate_for(data.db.num_units())
         .expect("scenario window must fit cycle bounds");
-    Scenario {
-        label: label.into(),
-        db: data.db,
-        config,
-        planted: data.planted.len(),
-    }
+    Scenario { label: label.into(), db: data.db, config, planted: data.planted.len() }
 }
 
 #[cfg(test)]

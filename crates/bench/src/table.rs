@@ -59,9 +59,7 @@ pub fn print_series(title: &str, x_label: &str, rows: &[SeriesRow]) -> String {
         }
         if row.measurements.len() >= 2 {
             let first = row.measurements[0].runtime.as_secs_f64();
-            let last = row.measurements[row.measurements.len() - 1]
-                .runtime
-                .as_secs_f64();
+            let last = row.measurements[row.measurements.len() - 1].runtime.as_secs_f64();
             let speedup = if last > 0.0 { first / last } else { f64::INFINITY };
             out.push_str(&format!("{:<9}", format!("{speedup:.2}x")));
         }
@@ -94,8 +92,14 @@ mod tests {
     #[test]
     fn renders_table_with_speedup() {
         let rows = vec![
-            SeriesRow { x: "16".into(), measurements: vec![m("SEQ", 100, 5), m("INT", 25, 5)] },
-            SeriesRow { x: "32".into(), measurements: vec![m("SEQ", 300, 9), m("INT", 60, 9)] },
+            SeriesRow {
+                x: "16".into(),
+                measurements: vec![m("SEQ", 100, 5), m("INT", 25, 5)],
+            },
+            SeriesRow {
+                x: "32".into(),
+                measurements: vec![m("SEQ", 300, 9), m("INT", 60, 9)],
+            },
         ];
         let text = print_series("EXP-1: test", "units", &rows);
         assert!(text.contains("== EXP-1: test =="));

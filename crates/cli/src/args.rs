@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn parse_or_rejects_garbage() {
         let a = parse(&["--units", "abc"]);
-        assert!(matches!(
-            a.parse_or::<usize>("units", 0),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(a.parse_or::<usize>("units", 0), Err(CliError::Usage(_))));
     }
 
     #[test]

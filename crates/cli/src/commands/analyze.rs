@@ -21,9 +21,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let antecedent = parse_items(args.require("antecedent")?)?;
     let consequent = parse_items(args.require("consequent")?)?;
     let rule = Rule::new(antecedent, consequent).ok_or_else(|| {
-        CliError::Usage(
-            "rule sides must be non-empty and disjoint".into(),
-        )
+        CliError::Usage("rule sides must be non-empty and disjoint".into())
     })?;
 
     let min_support: f64 = args.parse_or("min-support", 0.05)?;
@@ -39,12 +37,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let t = analyze_rule(&db, &config, &rule)?;
     writeln!(out, "rule:        {}", t.rule)?;
     writeln!(out, "holds:       {}", t.holds)?;
-    writeln!(
-        out,
-        "held in:     {}/{} units",
-        t.units_held(),
-        t.holds.len()
-    )?;
+    writeln!(out, "held in:     {}/{} units", t.units_held(), t.holds.len())?;
     writeln!(
         out,
         "when held:   support {:.3}, confidence {:.3}",
@@ -83,9 +76,10 @@ fn parse_items(raw: &str) -> Result<ItemSet, CliError> {
         if tok.is_empty() {
             continue;
         }
-        ids.push(tok.parse::<u32>().map_err(|_| {
-            CliError::Usage(format!("invalid item id `{tok}`"))
-        })?);
+        ids.push(
+            tok.parse::<u32>()
+                .map_err(|_| CliError::Usage(format!("invalid item id `{tok}`")))?,
+        );
     }
     Ok(ItemSet::from_ids(ids))
 }
@@ -139,8 +133,7 @@ mod tests {
 
     #[test]
     fn analyzes_cyclic_rule() {
-        let text =
-            run_analyze(&["--antecedent", "1", "--consequent", "2"]).unwrap();
+        let text = run_analyze(&["--antecedent", "1", "--consequent", "2"]).unwrap();
         assert!(text.contains("holds:       101010"), "{text}");
         assert!(text.contains("(2,0)"), "{text}");
         assert!(text.contains("held in:     3/6"), "{text}");
@@ -148,18 +141,21 @@ mod tests {
 
     #[test]
     fn per_unit_flag_prints_rows() {
-        let text = run_analyze(&[
-            "--antecedent", "1", "--consequent", "2", "--per-unit",
-        ])
-        .unwrap();
+        let text = run_analyze(&["--antecedent", "1", "--consequent", "2", "--per-unit"])
+            .unwrap();
         assert!(text.contains("unit  holds"), "{text}");
-        assert_eq!(text.lines().filter(|l| l.contains("yes") || l.starts_with(char::is_numeric)).count(), 6, "{text}");
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("yes") || l.starts_with(char::is_numeric))
+                .count(),
+            6,
+            "{text}"
+        );
     }
 
     #[test]
     fn non_cyclic_rule_reports_none() {
-        let text =
-            run_analyze(&["--antecedent", "3", "--consequent", "1"]).unwrap();
+        let text = run_analyze(&["--antecedent", "3", "--consequent", "1"]).unwrap();
         assert!(text.contains("none within bounds"), "{text}");
     }
 
@@ -173,8 +169,7 @@ mod tests {
 
     #[test]
     fn multi_item_sides_parse() {
-        let text =
-            run_analyze(&["--antecedent", "1, 2", "--consequent", "3"]).unwrap();
+        let text = run_analyze(&["--antecedent", "1, 2", "--consequent", "3"]).unwrap();
         assert!(text.contains("{1 2} => {3}"), "{text}");
     }
 }

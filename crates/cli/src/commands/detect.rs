@@ -94,8 +94,8 @@ mod tests {
 
     #[test]
     fn detects_alternating_cycle() {
-        let text =
-            run_detect(&["--sequence", "010101", "--l-min", "2", "--l-max", "3"]).unwrap();
+        let text = run_detect(&["--sequence", "010101", "--l-min", "2", "--l-max", "3"])
+            .unwrap();
         assert!(text.contains("(2,1)"), "{text}");
         assert!(text.contains("1 minimal"), "{text}");
     }
@@ -103,8 +103,14 @@ mod tests {
     #[test]
     fn approx_mode_reports_hit_rates() {
         let text = run_detect(&[
-            "--sequence", "0101010001", "--l-min", "2", "--l-max", "2",
-            "--max-misses", "1",
+            "--sequence",
+            "0101010001",
+            "--l-min",
+            "2",
+            "--l-max",
+            "2",
+            "--max-misses",
+            "1",
         ])
         .unwrap();
         assert!(text.contains("approximate cycles"), "{text}");
@@ -114,7 +120,12 @@ mod tests {
     #[test]
     fn spectrum_flag_shows_periodicities() {
         let text = run_detect(&[
-            "--sequence", "1001001001001", "--l-min", "2", "--l-max", "4",
+            "--sequence",
+            "1001001001001",
+            "--l-min",
+            "2",
+            "--l-max",
+            "4",
             "--spectrum",
         ])
         .unwrap();
@@ -124,10 +135,7 @@ mod tests {
 
     #[test]
     fn rejects_garbage_sequence() {
-        assert!(matches!(
-            run_detect(&["--sequence", "01x"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_detect(&["--sequence", "01x"]), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -23,9 +23,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let seed: u64 = args.parse_or("seed", 0)?;
 
     if units == 0 || tx_per_unit == 0 {
-        return Err(CliError::Usage(
-            "--units and --tx-per-unit must be positive".into(),
-        ));
+        return Err(CliError::Usage("--units and --tx-per-unit must be positive".into()));
     }
     if cycle_min < 1 || cycle_min > cycle_max || cycle_max as usize > units {
         return Err(CliError::Usage(format!(
@@ -91,8 +89,16 @@ mod tests {
     #[test]
     fn generates_to_stdout() {
         let text = run_gen(&[
-            "--units", "4", "--tx-per-unit", "5", "--items", "20", "--cycle-max",
-            "3", "--seed", "1",
+            "--units",
+            "4",
+            "--tx-per-unit",
+            "5",
+            "--items",
+            "20",
+            "--cycle-max",
+            "3",
+            "--seed",
+            "1",
         ])
         .unwrap();
         let db = car_io::read_timed(text.as_bytes()).unwrap();
@@ -103,8 +109,17 @@ mod tests {
     #[test]
     fn show_planted_appends_comments() {
         let text = run_gen(&[
-            "--units", "4", "--tx-per-unit", "5", "--items", "20", "--cyclic", "2",
-            "--cycle-max", "3", "--show-planted",
+            "--units",
+            "4",
+            "--tx-per-unit",
+            "5",
+            "--items",
+            "20",
+            "--cyclic",
+            "2",
+            "--cycle-max",
+            "3",
+            "--show-planted",
         ])
         .unwrap();
         assert_eq!(text.lines().filter(|l| l.starts_with("# planted")).count(), 2);
@@ -131,8 +146,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let args = ["--units", "3", "--tx-per-unit", "4", "--cycle-max", "3",
-                    "--items", "15", "--seed", "9"];
+        let args = [
+            "--units",
+            "3",
+            "--tx-per-unit",
+            "4",
+            "--cycle-max",
+            "3",
+            "--items",
+            "15",
+            "--seed",
+            "9",
+        ];
         assert_eq!(run_gen(&args).unwrap(), run_gen(&args).unwrap());
     }
 }

@@ -23,9 +23,9 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .min_confidence(min_confidence)
         .cycle_bounds(l_min, l_max);
     if let Some(cap) = args.get("max-itemset-size") {
-        let cap: usize = cap
-            .parse()
-            .map_err(|_| CliError::Usage(format!("invalid --max-itemset-size `{cap}`")))?;
+        let cap: usize = cap.parse().map_err(|_| {
+            CliError::Usage(format!("invalid --max-itemset-size `{cap}`"))
+        })?;
         builder = builder.max_itemset_size(cap);
     }
     let config = builder.build()?;
@@ -64,22 +64,22 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         }
         "parallel" => {
             let threads: usize = args.parse_or("threads", 0)?;
-            let outcome = car_core::parallel::mine_sequential_parallel(&db, &config, threads)?;
+            let outcome =
+                car_core::parallel::mine_sequential_parallel(&db, &config, threads)?;
             print_outcome(out, &outcome, args.flag("stats"))?;
             return Ok(());
         }
         other => {
             return Err(CliError::Usage(format!(
-                "unknown algorithm `{other}` (expected interleaved, sequential, or parallel)"
-            )))
+            "unknown algorithm `{other}` (expected interleaved, sequential, or parallel)"
+        )))
         }
     };
 
     let outcome = CyclicRuleMiner::new(config, algorithm).mine(&db)?;
     if args.flag("report") {
         let top: usize = args.parse_or("top", 10)?;
-        let report =
-            car_core::MiningReport::new(&outcome, db.num_units(), top);
+        let report = car_core::MiningReport::new(&outcome, db.num_units(), top);
         write!(out, "{}", report.render())?;
         return Ok(());
     }
@@ -152,10 +152,8 @@ mod tests {
         impl NamedTempFile {
             pub fn new() -> std::io::Result<Self> {
                 let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-                let path = std::env::temp_dir().join(format!(
-                    "car-cli-test-{}-{id}.txt",
-                    std::process::id()
-                ));
+                let path = std::env::temp_dir()
+                    .join(format!("car-cli-test-{}-{id}.txt", std::process::id()));
                 Ok(NamedTempFile { file: File::create(&path)?, path })
             }
 
@@ -237,8 +235,8 @@ mod tests {
     #[test]
     fn ablation_flags_change_work_not_results() {
         let full = run_mine(&[]).unwrap();
-        let none = run_mine(&["--no-pruning", "--no-skipping", "--no-elimination"])
-            .unwrap();
+        let none =
+            run_mine(&["--no-pruning", "--no-skipping", "--no-elimination"]).unwrap();
         assert_eq!(full, none);
     }
 
@@ -259,10 +257,7 @@ mod tests {
 
     #[test]
     fn unknown_algorithm_rejected() {
-        assert!(matches!(
-            run_mine(&["--algorithm", "quantum"]),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(run_mine(&["--algorithm", "quantum"]), Err(CliError::Usage(_))));
     }
 
     #[test]

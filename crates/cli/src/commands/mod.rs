@@ -4,6 +4,7 @@ pub mod analyze;
 pub mod detect;
 pub mod gen;
 pub mod mine;
+pub mod serve;
 pub mod stats;
 
 use std::fs::File;

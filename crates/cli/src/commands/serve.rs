@@ -1,0 +1,71 @@
+//! `car serve` — run the online rule-serving daemon.
+
+use std::io::Write;
+use std::time::Duration;
+
+use car_core::MiningConfig;
+use car_serve::{serve, ServerConfig};
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Runs the `serve` command: boots the daemon and blocks until it shuts
+/// down (Ctrl-C or `POST /v1/shutdown`), then prints final statistics.
+pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.parse_or("port", 7878)?;
+    let threads: usize = args.parse_or("threads", 4)?;
+    let window: usize = args.parse_or("window", 64)?;
+    let queue_capacity: usize = args.parse_or("queue-capacity", 256)?;
+    let io_timeout_secs: u64 = args.parse_or("io-timeout-secs", 10)?;
+
+    let min_support: f64 = args.parse_or("min-support", 0.05)?;
+    let min_confidence: f64 = args.parse_or("min-confidence", 0.6)?;
+    let l_min: u32 = args.parse_or("l-min", 2)?;
+    let l_max: u32 = args.parse_or("l-max", 16)?;
+    let mining = MiningConfig::builder()
+        .min_support_fraction(min_support)
+        .min_confidence(min_confidence)
+        .cycle_bounds(l_min, l_max)
+        .build()?;
+
+    let config = ServerConfig {
+        addr: format!("{host}:{port}"),
+        threads,
+        window,
+        queue_capacity,
+        mining,
+        io_timeout: Duration::from_secs(io_timeout_secs.max(1)),
+        handle_signals: true,
+        ..ServerConfig::default()
+    };
+
+    let handle = serve(config).map_err(|e| match e {
+        car_serve::ServeError::Config(c) => CliError::Config(c),
+        car_serve::ServeError::Io(io) => CliError::Io(io),
+    })?;
+    writeln!(out, "car-serve listening on http://{}", handle.addr)?;
+    writeln!(
+        out,
+        "  window {window} units, {threads} workers, queue capacity {queue_capacity}"
+    )?;
+    writeln!(
+        out,
+        "  endpoints: POST /v1/units  GET /v1/rules  GET /v1/health  GET /metrics"
+    )?;
+    writeln!(out, "  stop with Ctrl-C or POST /v1/shutdown")?;
+    out.flush()?;
+
+    let stats = handle.wait();
+    writeln!(out, "car-serve drained and stopped")?;
+    writeln!(
+        out,
+        "  served {} requests in {:.1}s; ingested {} units ({} evicted, {} retained)",
+        stats.requests,
+        stats.uptime.as_secs_f64(),
+        stats.units_ingested,
+        stats.evictions,
+        stats.units_retained
+    )?;
+    Ok(())
+}

@@ -20,7 +20,8 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         item_total += unit.iter().map(|t| t.len()).sum::<usize>();
     }
     let distinct_items = {
-        let mut ids: Vec<u32> = db.iter_all().flat_map(|(_, t)| t.iter().map(|i| i.id())).collect();
+        let mut ids: Vec<u32> =
+            db.iter_all().flat_map(|(_, t)| t.iter().map(|i| i.id())).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -30,11 +31,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     writeln!(out, "transactions:        {total}")?;
     writeln!(out, "distinct items:      {distinct_items}")?;
     if total > 0 {
-        writeln!(
-            out,
-            "avg transaction len: {:.2}",
-            item_total as f64 / total as f64
-        )?;
+        writeln!(out, "avg transaction len: {:.2}", item_total as f64 / total as f64)?;
     }
     if !sizes.is_empty() {
         writeln!(

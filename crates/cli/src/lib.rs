@@ -44,13 +44,12 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "mine" => commands::mine::run(&args, out),
         "detect" => commands::detect::run(&args, out),
         "stats" => commands::stats::run(&args, out),
+        "serve" => commands::serve::run(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
         }
-        other => Err(CliError::Usage(format!(
-            "unknown command `{other}`\n{USAGE}"
-        ))),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     }
 }
 
@@ -80,5 +79,9 @@ COMMANDS:
              [--per-unit]
     stats    Describe a timed transaction file
              --input FILE
+    serve    Run the online rule-serving HTTP daemon
+             [--host H] [--port P] [--threads N] [--window N]
+             [--queue-capacity N] [--min-support F] [--min-confidence F]
+             [--l-min L] [--l-max L] [--io-timeout-secs S]
     help     Show this message
 ";

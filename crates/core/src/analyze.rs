@@ -52,10 +52,7 @@ impl RuleTimeline {
     /// The units of `cycle` where the rule did *not* hold — empty for a
     /// true cycle of this rule; useful when diagnosing near-cycles.
     pub fn misses_on(&self, cycle: Cycle) -> Vec<usize> {
-        cycle
-            .units(self.holds.len())
-            .filter(|&u| !self.holds.get(u))
-            .collect()
+        cycle.units(self.holds.len()).filter(|&u| !self.holds.get(u)).collect()
     }
 }
 
@@ -90,14 +87,11 @@ pub fn analyze_rule(
 
     for (u, transactions) in db.iter_units() {
         let total = transactions.len();
-        let z_count = transactions
-            .iter()
-            .filter(|t| itemset.is_subset_of(t))
-            .count() as u64;
-        let x_count = transactions
-            .iter()
-            .filter(|t| rule.antecedent.is_subset_of(t))
-            .count() as u64;
+        let z_count =
+            transactions.iter().filter(|t| itemset.is_subset_of(t)).count() as u64;
+        let x_count =
+            transactions.iter().filter(|t| rule.antecedent.is_subset_of(t)).count()
+                as u64;
         supports.push(if total == 0 { 0.0 } else { z_count as f64 / total as f64 });
         confidences.push(if x_count == 0 {
             0.0
@@ -160,9 +154,8 @@ mod tests {
         use crate::miner::{Algorithm, CyclicRuleMiner};
         let db = db();
         let cfg = config();
-        let outcome = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
-            .mine(&db)
-            .unwrap();
+        let outcome =
+            CyclicRuleMiner::new(cfg, Algorithm::interleaved()).mine(&db).unwrap();
         for mined in &outcome.rules {
             let t = analyze_rule(&db, &cfg, &mined.rule).unwrap();
             assert_eq!(t.cycles, mined.cycles, "{}", mined.rule);

@@ -78,10 +78,7 @@ pub fn mine_approx(
         let rules = generate_rules(&frequent, config.min_confidence);
         stats.rules_checked += rules.len() as u64;
         for r in rules {
-            sequences
-                .entry(r.rule)
-                .or_insert_with(|| BitSeq::zeros(n))
-                .set(unit, true);
+            sequences.entry(r.rule).or_insert_with(|| BitSeq::zeros(n)).set(unit, true);
         }
     }
     stats.phase1 = phase1_start.elapsed();

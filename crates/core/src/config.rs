@@ -247,13 +247,7 @@ mod tests {
 
     #[test]
     fn partial_eq_for_config_error_handles_floats() {
-        assert_eq!(
-            ConfigError::InvalidSupport(0.5),
-            ConfigError::InvalidSupport(0.5)
-        );
-        assert_ne!(
-            ConfigError::InvalidSupport(0.5),
-            ConfigError::InvalidConfidence(0.5)
-        );
+        assert_eq!(ConfigError::InvalidSupport(0.5), ConfigError::InvalidSupport(0.5));
+        assert_ne!(ConfigError::InvalidSupport(0.5), ConfigError::InvalidConfidence(0.5));
     }
 }

@@ -139,14 +139,8 @@ impl RuleConstraints {
         }
         // Every item of Z must be placeable on at least one side.
         let within_both = |item: car_itemset::Item| {
-            let a_ok = self
-                .antecedent_within
-                .as_ref()
-                .map_or(true, |w| w.contains(item));
-            let c_ok = self
-                .consequent_within
-                .as_ref()
-                .map_or(true, |w| w.contains(item));
+            let a_ok = self.antecedent_within.as_ref().map_or(true, |w| w.contains(item));
+            let c_ok = self.consequent_within.as_ref().map_or(true, |w| w.contains(item));
             a_ok || c_ok
         };
         itemset.iter().all(within_both)
@@ -154,13 +148,11 @@ impl RuleConstraints {
 }
 
 /// Filters an outcome down to the rules satisfying `constraints`.
-pub fn filter_outcome(outcome: &MiningOutcome, constraints: &RuleConstraints) -> Vec<CyclicRule> {
-    outcome
-        .rules
-        .iter()
-        .filter(|r| constraints.accepts(&r.rule))
-        .cloned()
-        .collect()
+pub fn filter_outcome(
+    outcome: &MiningOutcome,
+    constraints: &RuleConstraints,
+) -> Vec<CyclicRule> {
+    outcome.rules.iter().filter(|r| constraints.accepts(&r.rule)).cloned().collect()
 }
 
 /// Mines with the INTERLEAVED algorithm and applies `constraints`,
@@ -222,7 +214,7 @@ mod tests {
         assert!(c.accepts(&rule(&[1, 2], &[3, 4])));
         assert!(!c.accepts(&rule(&[3], &[4]))); // antecedent outside
         assert!(!c.accepts(&rule(&[1], &[2]))); // consequent outside
-        // Item 9 fits neither side.
+                                                // Item 9 fits neither side.
         assert!(!c.itemset_viable(&set(&[1, 9])));
         assert!(c.itemset_viable(&set(&[1, 3])));
     }
@@ -280,9 +272,7 @@ mod tests {
     fn constrained_mining_matches_post_filtering() {
         let db = demo_db();
         let cfg = demo_config();
-        let full = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
-            .mine(&db)
-            .unwrap();
+        let full = CyclicRuleMiner::new(cfg, Algorithm::interleaved()).mine(&db).unwrap();
         let cases = [
             RuleConstraints::any(),
             RuleConstraints::any().with_consequent_within(set(&[3])),
@@ -309,9 +299,7 @@ mod tests {
     fn constraints_shrink_rule_sets() {
         let db = demo_db();
         let cfg = demo_config();
-        let full = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
-            .mine(&db)
-            .unwrap();
+        let full = CyclicRuleMiner::new(cfg, Algorithm::interleaved()).mine(&db).unwrap();
         let constrained = mine_interleaved_constrained(
             &db,
             &cfg,

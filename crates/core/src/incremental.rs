@@ -162,13 +162,15 @@ mod tests {
     fn alternating_db(units: usize) -> SegmentedDb {
         SegmentedDb::from_unit_itemsets(
             (0..units)
-                .map(|u| {
-                    if u % 2 == 0 {
-                        vec![set(&[1, 2]); 4]
-                    } else {
-                        vec![set(&[3]); 4]
-                    }
-                })
+                .map(
+                    |u| {
+                        if u % 2 == 0 {
+                            vec![set(&[1, 2]); 4]
+                        } else {
+                            vec![set(&[3]); 4]
+                        }
+                    },
+                )
                 .collect(),
         )
     }

@@ -161,7 +161,8 @@ pub fn mine_interleaved(
     stats.phase1 = phase1_start.elapsed();
 
     let phase2_start = Instant::now();
-    let rules = generate_cyclic_rules(db.num_units(), config, options, &cyclic, &mut stats);
+    let rules =
+        generate_cyclic_rules(db.num_units(), config, options, &cyclic, &mut stats);
     stats.phase2 = phase2_start.elapsed();
 
     Ok(MiningOutcome { rules, stats })
@@ -263,10 +264,8 @@ fn find_cyclic_itemsets(
         } else {
             let large_sets: Vec<ItemSet> =
                 survivors.iter().map(|s| s.itemset.clone()).collect();
-            let cycle_lookup: FastHashMap<&ItemSet, &CycleSet> = survivors
-                .iter()
-                .map(|s| (&s.itemset, &s.cycles))
-                .collect();
+            let cycle_lookup: FastHashMap<&ItemSet, &CycleSet> =
+                survivors.iter().map(|s| (&s.itemset, &s.cycles)).collect();
             apriori_gen(&large_sets)
                 .into_iter()
                 .filter_map(|candidate| {
@@ -320,10 +319,8 @@ fn find_cyclic_itemsets(
 
             let transactions = db.unit(i);
             let threshold = config.min_support.threshold(transactions.len());
-            let candidate_sets: Vec<ItemSet> = active
-                .iter()
-                .map(|&idx| states[idx].itemset.clone())
-                .collect();
+            let candidate_sets: Vec<ItemSet> =
+                active.iter().map(|&idx| states[idx].itemset.clone()).collect();
             let counts = count_candidates(&candidate_sets, transactions, config.counting);
             stats.support_computations += active.len() as u64;
 
@@ -360,11 +357,8 @@ fn generate_cyclic_rules(
     cyclic: &[CandidateState],
     stats: &mut MiningStats,
 ) -> Vec<CyclicRule> {
-    let lookup: FastHashMap<&ItemSet, usize> = cyclic
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (&s.itemset, i))
-        .collect();
+    let lookup: FastHashMap<&ItemSet, usize> =
+        cyclic.iter().enumerate().map(|(i, s)| (&s.itemset, i)).collect();
 
     let mut rules: Vec<CyclicRule> = Vec::new();
     for z in cyclic {
@@ -510,9 +504,7 @@ mod tests {
             mine_interleaved(&db, &cfg, InterleavedOptions::all().without_elimination())
                 .unwrap();
         assert_eq!(full.rules, no_elim.rules);
-        assert!(
-            full.stats.support_computations <= no_elim.stats.support_computations
-        );
+        assert!(full.stats.support_computations <= no_elim.stats.support_computations);
     }
 
     #[test]

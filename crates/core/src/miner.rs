@@ -119,12 +119,10 @@ mod tests {
     #[test]
     fn both_algorithms_agree_via_miner() {
         let db = db();
-        let seq = CyclicRuleMiner::new(config(), Algorithm::Sequential)
-            .mine(&db)
-            .unwrap();
-        let int = CyclicRuleMiner::new(config(), Algorithm::interleaved())
-            .mine(&db)
-            .unwrap();
+        let seq =
+            CyclicRuleMiner::new(config(), Algorithm::Sequential).mine(&db).unwrap();
+        let int =
+            CyclicRuleMiner::new(config(), Algorithm::interleaved()).mine(&db).unwrap();
         assert_eq!(seq.rules, int.rules);
         assert!(!seq.rules.is_empty());
     }

@@ -57,7 +57,7 @@ pub fn mine_sequential_parallel(
     // Contiguous unit ranges, one per worker.
     let chunk = n.div_ceil(threads);
     type UnitRules = Vec<(usize, Vec<Rule>)>;
-    let per_chunk: Vec<(UnitRules, u64, u64)> = crossbeam::scope(|scope| {
+    let per_chunk: Vec<(UnitRules, u64, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..threads {
             let lo = w * chunk;
@@ -67,7 +67,7 @@ pub fn mine_sequential_parallel(
             }
             let apriori = Apriori::new(apriori_config);
             let min_confidence = config.min_confidence;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out: UnitRules = Vec::with_capacity(hi - lo);
                 let mut support_computations = 0u64;
                 let mut rules_checked = 0u64;
@@ -83,8 +83,7 @@ pub fn mine_sequential_parallel(
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut sequences: FastHashMap<Rule, BitSeq> = FastHashMap::default();
     for (unit_rules, support_computations, rules_checked) in per_chunk {
@@ -93,10 +92,7 @@ pub fn mine_sequential_parallel(
         stats.rules_checked += rules_checked;
         for (unit, rules) in unit_rules {
             for rule in rules {
-                sequences
-                    .entry(rule)
-                    .or_insert_with(|| BitSeq::zeros(n))
-                    .set(unit, true);
+                sequences.entry(rule).or_insert_with(|| BitSeq::zeros(n)).set(unit, true);
             }
         }
     }

@@ -65,7 +65,10 @@ impl MiningReport {
                     Err(i) => by_length.insert(i, (l, 1)),
                 }
             }
-            ranked.push(RankedRule { rule: rule.clone(), coverage: coverage(rule, num_units) });
+            ranked.push(RankedRule {
+                rule: rule.clone(),
+                coverage: coverage(rule, num_units),
+            });
         }
         ranked.sort_by(|a, b| {
             b.coverage
@@ -85,7 +88,11 @@ impl MiningReport {
     /// Renders the report as a fixed-width text block.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{} cyclic rules over {} units", self.num_rules, self.num_units);
+        let _ = writeln!(
+            out,
+            "{} cyclic rules over {} units",
+            self.num_rules, self.num_units
+        );
         if !self.rules_by_cycle_length.is_empty() {
             let _ = writeln!(out, "rules per minimal cycle length:");
             for &(l, count) in &self.rules_by_cycle_length {
@@ -148,9 +155,9 @@ mod tests {
     #[test]
     fn ranking_prefers_higher_coverage() {
         let o = outcome(vec![
-            rule(1, 2, &[(8, 0)]),          // coverage 1/8
-            rule(3, 4, &[(2, 1)]),          // coverage 1/2
-            rule(5, 6, &[(4, 0), (4, 2)]),  // coverage 1/2
+            rule(1, 2, &[(8, 0)]),         // coverage 1/8
+            rule(3, 4, &[(2, 1)]),         // coverage 1/2
+            rule(5, 6, &[(4, 0), (4, 2)]), // coverage 1/2
         ]);
         let report = MiningReport::new(&o, 8, 10);
         assert_eq!(report.num_rules, 3);
@@ -170,10 +177,8 @@ mod tests {
 
     #[test]
     fn histogram_counts_lengths_once_per_rule() {
-        let o = outcome(vec![
-            rule(1, 2, &[(2, 0), (2, 1), (3, 0)]),
-            rule(3, 4, &[(3, 1)]),
-        ]);
+        let o =
+            outcome(vec![rule(1, 2, &[(2, 0), (2, 1), (3, 0)]), rule(3, 4, &[(3, 1)])]);
         let report = MiningReport::new(&o, 6, 10);
         assert_eq!(report.rules_by_cycle_length, vec![(2, 1), (3, 2)]);
     }

@@ -11,7 +11,6 @@ use car_cycles::Cycle;
 /// Both mining algorithms produce identical `CyclicRule` values for the
 /// same input, which the equivalence tests rely on.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CyclicRule {
     /// The association rule.
     pub rule: Rule,

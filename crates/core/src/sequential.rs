@@ -47,8 +47,8 @@ pub fn mine_sequential(
     // units in which it held.
     let phase1_start = Instant::now();
     let mut sequences: FastHashMap<Rule, BitSeq> = FastHashMap::default();
-    let mut apriori_config = AprioriConfig::new(config.min_support)
-        .with_counting(config.counting);
+    let mut apriori_config =
+        AprioriConfig::new(config.min_support).with_counting(config.counting);
     if let Some(cap) = config.max_itemset_size {
         apriori_config = apriori_config.with_max_size(cap);
     }
@@ -61,10 +61,7 @@ pub fn mine_sequential(
         let rules = generate_rules(&frequent, config.min_confidence);
         stats.rules_checked += rules.len() as u64;
         for r in rules {
-            sequences
-                .entry(r.rule)
-                .or_insert_with(|| BitSeq::zeros(n))
-                .set(unit, true);
+            sequences.entry(r.rule).or_insert_with(|| BitSeq::zeros(n)).set(unit, true);
         }
     }
     stats.phase1 = phase1_start.elapsed();

@@ -17,12 +17,23 @@
 use std::collections::VecDeque;
 
 use car_apriori::hash::FastHashMap;
-use car_apriori::{generate_rules, Apriori, AprioriConfig, Rule};
+use car_apriori::{generate_rules, Apriori, AprioriConfig, MinConfidence, Rule};
 use car_cycles::{detect_cycles, minimal_cycles, BitSeq};
 use car_itemset::ItemSet;
 
 use crate::config::{ConfigError, MiningConfig};
 use crate::result::CyclicRule;
+
+/// A rule that held in one retained unit, with the counts needed to
+/// re-evaluate its confidence at query time.
+#[derive(Clone, Debug)]
+struct HeldRule {
+    rule: Rule,
+    /// Transactions of the unit containing antecedent ∪ consequent.
+    rule_count: u64,
+    /// Transactions of the unit containing the antecedent.
+    antecedent_count: u64,
+}
 
 /// A cyclic rule miner over the most recent `window` time units.
 ///
@@ -55,8 +66,9 @@ pub struct SlidingWindowMiner {
     config: MiningConfig,
     apriori: Apriori,
     window: usize,
-    /// Per retained unit (oldest first): the rules that held there.
-    unit_rules: VecDeque<Vec<Rule>>,
+    /// Per retained unit (oldest first): the rules that held there, with
+    /// the counts backing their confidence.
+    unit_rules: VecDeque<Vec<HeldRule>>,
     /// Total units ever pushed (for diagnostics).
     total_pushed: u64,
 }
@@ -105,13 +117,28 @@ impl SlidingWindowMiner {
         self.total_pushed
     }
 
+    /// Units evicted from the window so far.
+    pub fn evictions(&self) -> u64 {
+        self.total_pushed - self.unit_rules.len() as u64
+    }
+
+    /// Total `(rule, unit)` hold entries currently retained — the
+    /// working-set size a serving layer reports as a gauge.
+    pub fn retained_rule_entries(&self) -> usize {
+        self.unit_rules.iter().map(Vec::len).sum()
+    }
+
     /// Ingests the next unit, evicting the oldest once the window is
     /// full. Returns the number of units evicted (0 or 1).
     pub fn push_unit(&mut self, transactions: &[ItemSet]) -> usize {
         let frequent = self.apriori.mine(transactions);
-        let rules: Vec<Rule> = generate_rules(&frequent, self.config.min_confidence)
+        let rules: Vec<HeldRule> = generate_rules(&frequent, self.config.min_confidence)
             .into_iter()
-            .map(|r| r.rule)
+            .map(|r| HeldRule {
+                rule: r.rule,
+                rule_count: r.rule_count,
+                antecedent_count: r.antecedent_count,
+            })
             .collect();
         self.unit_rules.push_back(rules);
         self.total_pushed += 1;
@@ -131,13 +158,40 @@ impl SlidingWindowMiner {
     /// Returns a [`ConfigError`] while fewer than `l_max` units are
     /// retained.
     pub fn current_rules(&self) -> Result<Vec<CyclicRule>, ConfigError> {
+        self.query_rules(None)
+    }
+
+    /// The cyclic rules over the retained window, optionally re-evaluated
+    /// at a *stricter* minimum confidence than the mining configuration.
+    ///
+    /// With `Some(q)` and `q` above the configured threshold, a rule
+    /// counts as holding in a unit only when its cached per-unit counts
+    /// pass `q` — identical to batch-mining the retained window at
+    /// confidence `q`. A `q` at or below the configured threshold is a
+    /// no-op (rules below the mining threshold were never cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] while fewer than `l_max` units are
+    /// retained.
+    pub fn query_rules(
+        &self,
+        min_confidence: Option<MinConfidence>,
+    ) -> Result<Vec<CyclicRule>, ConfigError> {
         let n = self.unit_rules.len();
         self.config.validate_for(n)?;
+        let escalated =
+            min_confidence.filter(|q| q.value() > self.config.min_confidence.value());
         let mut sequences: FastHashMap<&Rule, BitSeq> = FastHashMap::default();
         for (u, rules) in self.unit_rules.iter().enumerate() {
-            for rule in rules {
+            for held in rules {
+                if let Some(q) = escalated {
+                    if !q.accepts(held.rule_count, held.antecedent_count) {
+                        continue;
+                    }
+                }
                 sequences
-                    .entry(rule)
+                    .entry(&held.rule)
                     .or_insert_with(|| BitSeq::zeros(n))
                     .set(u, true);
             }

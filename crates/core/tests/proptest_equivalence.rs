@@ -24,10 +24,10 @@ fn arb_db() -> impl Strategy<Value = SegmentedDb> {
 
 fn arb_config(max_units: u32) -> impl Strategy<Value = MiningConfig> {
     (
-        1u64..4,             // absolute per-unit support count
-        0.0f64..=1.0,        // min confidence
-        1u32..=3,            // l_min
-        0u32..=2,            // l_max - l_min
+        1u64..4,      // absolute per-unit support count
+        0.0f64..=1.0, // min confidence
+        1u32..=3,     // l_min
+        0u32..=2,     // l_max - l_min
     )
         .prop_map(move |(count, conf, lo, extra)| {
             let hi = (lo + extra).min(max_units.max(1));

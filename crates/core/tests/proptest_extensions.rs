@@ -4,7 +4,9 @@
 
 use car_core::analyze::analyze_rule;
 use car_core::approx::mine_approx;
-use car_core::constraints::{filter_outcome, mine_interleaved_constrained, RuleConstraints};
+use car_core::constraints::{
+    filter_outcome, mine_interleaved_constrained, RuleConstraints,
+};
 use car_core::incremental::IncrementalMiner;
 use car_core::{
     interleaved::mine_interleaved, sequential::mine_sequential, InterleavedOptions,
@@ -25,15 +27,17 @@ fn arb_db() -> impl Strategy<Value = SegmentedDb> {
 }
 
 fn arb_config(max_l: u32) -> impl Strategy<Value = MiningConfig> {
-    (1u64..4, 0.0f64..=1.0, 1u32..=3, 0u32..=1).prop_map(move |(count, conf, lo, extra)| {
-        let hi = (lo + extra).min(max_l);
-        MiningConfig::builder()
-            .min_support_count(count)
-            .min_confidence(conf)
-            .cycle_bounds(lo.min(hi), hi)
-            .build()
-            .expect("valid generated config")
-    })
+    (1u64..4, 0.0f64..=1.0, 1u32..=3, 0u32..=1).prop_map(
+        move |(count, conf, lo, extra)| {
+            let hi = (lo + extra).min(max_l);
+            MiningConfig::builder()
+                .min_support_count(count)
+                .min_confidence(conf)
+                .cycle_bounds(lo.min(hi), hi)
+                .build()
+                .expect("valid generated config")
+        },
+    )
 }
 
 fn arb_item_subset() -> impl Strategy<Value = ItemSet> {

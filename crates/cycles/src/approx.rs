@@ -11,7 +11,6 @@ use crate::{BitSeq, Cycle, CycleBounds};
 
 /// A cycle together with its observational quality on a sequence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ApproxCycle {
     /// The cycle.
     pub cycle: Cycle,
@@ -53,10 +52,8 @@ pub fn detect_approx_cycles(
 ) -> Vec<ApproxCycle> {
     let n = seq.len();
     // misses[l - l_min][o] counts zeros at units ≡ o (mod l).
-    let mut misses: Vec<Vec<u32>> = bounds
-        .lengths()
-        .map(|l| vec![0u32; l as usize])
-        .collect();
+    let mut misses: Vec<Vec<u32>> =
+        bounds.lengths().map(|l| vec![0u32; l as usize]).collect();
     for zero in seq.iter_zeros() {
         for l in bounds.lengths() {
             misses[(l - bounds.l_min()) as usize][zero % l as usize] += 1;
@@ -120,10 +117,8 @@ mod tests {
     fn budget_large_enough_returns_all_nonvacuous() {
         let res = run("0000", 1, 4, 4);
         // All cycles with at least one occurrence in 0..4.
-        let expected: Vec<Cycle> = CycleBounds::make(1, 4)
-            .all_cycles()
-            .filter(|c| c.num_units(4) > 0)
-            .collect();
+        let expected: Vec<Cycle> =
+            CycleBounds::make(1, 4).all_cycles().filter(|c| c.num_units(4) > 0).collect();
         assert_eq!(res.iter().map(|a| a.cycle).collect::<Vec<_>>(), expected);
     }
 
@@ -145,11 +140,8 @@ mod tests {
         let res = run(s, 3, 3, 10);
         let seq: BitSeq = s.parse().unwrap();
         for a in res {
-            let expected = a
-                .cycle
-                .units(seq.len())
-                .filter(|&u| !seq.get(u))
-                .count() as u32;
+            let expected =
+                a.cycle.units(seq.len()).filter(|&u| !seq.get(u)).count() as u32;
             assert_eq!(a.misses, expected, "cycle {}", a.cycle);
         }
     }

@@ -9,7 +9,6 @@ const WORD_BITS: usize = 64;
 /// whether a rule held (or an itemset was large) in that unit. Sequences
 /// are created all-zero and bits are switched on as units are mined.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitSeq {
     len: usize,
     words: Vec<u64>,
@@ -214,10 +213,7 @@ mod tests {
         let s: BitSeq = "01101".parse().unwrap();
         assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![1, 2, 4]);
         assert_eq!(s.iter_zeros().collect::<Vec<_>>(), vec![0, 3]);
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![false, true, true, false, true]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![false, true, true, false, true]);
     }
 
     #[test]

@@ -10,7 +10,6 @@ use crate::Cycle;
 /// window can never be confirmed. `CycleBounds` is carried by every
 /// [`CycleSet`](crate::CycleSet) and by the mining configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CycleBounds {
     l_min: u32,
     l_max: u32,
@@ -75,8 +74,7 @@ impl CycleBounds {
     /// Enumerates every cycle within the bounds, in `(length, offset)`
     /// lexicographic order.
     pub fn all_cycles(self) -> impl Iterator<Item = Cycle> {
-        self.lengths()
-            .flat_map(|l| (0..l).map(move |o| Cycle::make(l, o)))
+        self.lengths().flat_map(|l| (0..l).map(move |o| Cycle::make(l, o)))
     }
 }
 

@@ -10,7 +10,6 @@ use std::fmt;
 /// *multiple* `(k·l, o + j·l)`; only cycles that are not multiples of
 /// another detected cycle (*minimal* cycles) are interesting to report.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cycle {
     length: u32,
     offset: u32,
@@ -75,8 +74,7 @@ impl Cycle {
     /// with cycle `other` automatically has cycle `self`. A cycle is a
     /// multiple of itself.
     pub fn is_multiple_of(self, other: Cycle) -> bool {
-        self.length % other.length == 0
-            && self.offset % other.length == other.offset
+        self.length % other.length == 0 && self.offset % other.length == other.offset
     }
 
     /// The cycle describing the units common to `self` and `other`, if
@@ -260,10 +258,8 @@ mod tests {
                     for o2 in 0..l2 {
                         let a = Cycle::make(l1, o1);
                         let b = Cycle::make(l2, o2);
-                        let expected: Vec<usize> = a
-                            .units(N)
-                            .filter(|&u| b.includes_unit(u))
-                            .collect();
+                        let expected: Vec<usize> =
+                            a.units(N).filter(|&u| b.includes_unit(u)).collect();
                         match a.meet(b) {
                             None => assert!(
                                 expected.is_empty(),

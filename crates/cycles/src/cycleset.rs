@@ -22,7 +22,6 @@ const WORD_BITS: usize = 64;
 /// Internally the set stores one offset-bitmap per length, so all three
 /// operations cost `O(l_max − l_min + 1)` word operations.
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CycleSet {
     bounds: CycleBounds,
     /// `offsets[l - l_min]` is the bitmap of live offsets for length `l`.
@@ -43,7 +42,8 @@ impl CycleSet {
 
     /// The full set: every `(l, o)` with `l` within bounds.
     pub fn full(bounds: CycleBounds) -> Self {
-        let mut offsets = Vec::with_capacity((bounds.l_max() - bounds.l_min() + 1) as usize);
+        let mut offsets =
+            Vec::with_capacity((bounds.l_max() - bounds.l_min() + 1) as usize);
         for l in bounds.lengths() {
             let l = l as usize;
             let mut words = vec![u64::MAX; l.div_ceil(WORD_BITS)];
@@ -94,11 +94,7 @@ impl CycleSet {
     ///
     /// Panics if the cycle's length is outside the bounds.
     pub fn insert(&mut self, c: Cycle) -> bool {
-        assert!(
-            self.bounds.contains(c),
-            "cycle {c} outside bounds {:?}",
-            self.bounds
-        );
+        assert!(self.bounds.contains(c), "cycle {c} outside bounds {:?}", self.bounds);
         let l_min = self.bounds.l_min();
         let o = c.offset() as usize;
         let word = &mut self.offsets[(c.length() - l_min) as usize][o / WORD_BITS];
@@ -401,10 +397,7 @@ mod tests {
             s.eliminate(z);
         }
         let got = s.to_vec();
-        assert_eq!(
-            got,
-            vec![Cycle::make(2, 0), Cycle::make(4, 0), Cycle::make(4, 2)]
-        );
+        assert_eq!(got, vec![Cycle::make(2, 0), Cycle::make(4, 0), Cycle::make(4, 2)]);
     }
 
     #[test]

@@ -45,10 +45,7 @@ pub fn minimal_cycles(set: &CycleSet) -> Vec<Cycle> {
     let all = set.to_vec();
     all.iter()
         .copied()
-        .filter(|&c| {
-            !all.iter()
-                .any(|&other| other != c && c.is_multiple_of(other))
-        })
+        .filter(|&c| !all.iter().any(|&other| other != c && c.is_multiple_of(other)))
         .collect()
 }
 
@@ -77,20 +74,14 @@ mod tests {
 
     #[test]
     fn alternating_sequence() {
-        assert_eq!(
-            detect("010101", 1, 3),
-            vec![Cycle::make(2, 1)]
-        );
+        assert_eq!(detect("010101", 1, 3), vec![Cycle::make(2, 1)]);
         assert_eq!(detect_minimal("010101", 1, 3), vec![Cycle::make(2, 1)]);
     }
 
     #[test]
     fn all_ones_has_every_cycle() {
         let got = detect("1111", 1, 2);
-        assert_eq!(
-            got,
-            vec![Cycle::make(1, 0), Cycle::make(2, 0), Cycle::make(2, 1)]
-        );
+        assert_eq!(got, vec![Cycle::make(1, 0), Cycle::make(2, 0), Cycle::make(2, 1)]);
         // Minimal filter keeps only (1,0): the others are its multiples.
         assert_eq!(detect_minimal("1111", 1, 2), vec![Cycle::make(1, 0)]);
     }
@@ -104,8 +95,17 @@ mod tests {
     #[test]
     fn matches_brute_force_on_fixed_cases() {
         for s in [
-            "1", "0", "10", "01", "110110", "101101", "111000111000",
-            "100100100100", "011011011011", "1001001", "1110111",
+            "1",
+            "0",
+            "10",
+            "01",
+            "110110",
+            "101101",
+            "111000111000",
+            "100100100100",
+            "011011011011",
+            "1001001",
+            "1110111",
         ] {
             for (lo, hi) in [(1u32, 4u32), (2, 6), (1, 8)] {
                 let hi = hi.min(s.len() as u32).max(lo);

@@ -19,7 +19,6 @@ use crate::{BitSeq, Cycle, CycleBounds};
 
 /// The strength of one period length: its best offset and hit rate.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeriodStrength {
     /// The period length `l`.
     pub length: u32,
@@ -63,7 +62,12 @@ pub fn spectrum(seq: &BitSeq, bounds: CycleBounds) -> Vec<PeriodStrength> {
                 hits[i % l_us] += 1;
             }
         }
-        let mut best = PeriodStrength { length: l, best_offset: 0, hit_rate: 0.0, occurrences: occ[0] };
+        let mut best = PeriodStrength {
+            length: l,
+            best_offset: 0,
+            hit_rate: 0.0,
+            occurrences: occ[0],
+        };
         for o in 0..l_us {
             if occ[o] == 0 {
                 continue;
@@ -98,9 +102,7 @@ pub fn autocorrelation(seq: &BitSeq, max_lag: usize) -> Vec<f64> {
     let max_lag = max_lag.min(n - 1);
     let mut out = Vec::with_capacity(max_lag);
     for lag in 1..=max_lag {
-        let matches = (0..n - lag)
-            .filter(|&i| seq.get(i) == seq.get(i + lag))
-            .count();
+        let matches = (0..n - lag).filter(|&i| seq.get(i) == seq.get(i + lag)).count();
         out.push(matches as f64 / (n - lag) as f64);
     }
     out
@@ -156,7 +158,8 @@ mod tests {
                 assert_eq!(
                     p.is_exact(),
                     exact.iter().any(|c| c.length() == p.length),
-                    "sequence {s_str} length {}", p.length
+                    "sequence {s_str} length {}",
+                    p.length
                 );
             }
         }

@@ -19,10 +19,7 @@ fn arb_bounds() -> impl Strategy<Value = CycleBounds> {
 
 /// Definition-level oracle for cycle detection.
 fn oracle(seq: &BitSeq, bounds: CycleBounds) -> Vec<Cycle> {
-    bounds
-        .all_cycles()
-        .filter(|c| c.units(seq.len()).all(|u| seq.get(u)))
-        .collect()
+    bounds.all_cycles().filter(|c| c.units(seq.len()).all(|u| seq.get(u))).collect()
 }
 
 proptest! {

@@ -15,7 +15,6 @@ use crate::quest::{QuestConfig, QuestGenerator};
 /// background level and `boost` should therefore recover the pattern with
 /// (a multiple of) the planted cycle.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlantedPattern {
     /// The items injected together.
     pub items: ItemSet,
@@ -36,7 +35,6 @@ impl PlantedPattern {
 
 /// Configuration of the cyclic database generator.
 #[derive(Clone, Copy, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CyclicConfig {
     /// Background traffic parameters.
     pub quest: QuestConfig,
@@ -155,7 +153,8 @@ pub fn generate_cyclic(config: &CyclicConfig, seed: u64) -> GeneratedData {
     let (lo, hi) = config.cycle_length_range;
     let mut planted: Vec<PlantedPattern> = Vec::with_capacity(config.num_cyclic_patterns);
     let mut tries = 0;
-    while planted.len() < config.num_cyclic_patterns && tries < 64 * config.num_cyclic_patterns + 64
+    while planted.len() < config.num_cyclic_patterns
+        && tries < 64 * config.num_cyclic_patterns + 64
     {
         tries += 1;
         let mut items: Vec<u32> = Vec::with_capacity(config.cyclic_pattern_len);

@@ -9,7 +9,6 @@ use crate::dist;
 /// `T<avg_transaction_len> I<avg_pattern_len> N<num_items>` with
 /// `num_patterns` potentially-frequent patterns.
 #[derive(Clone, Copy, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QuestConfig {
     /// Universe size `N` (items are `0..num_items`).
     pub num_items: u32,
@@ -134,7 +133,13 @@ impl QuestGenerator {
             }
             patterns.push(Pattern {
                 items: ItemSet::from_items(items),
-                corruption: dist::clamped_normal(rng, config.corruption_mean, 0.1, 0.0, 1.0),
+                corruption: dist::clamped_normal(
+                    rng,
+                    config.corruption_mean,
+                    0.1,
+                    0.0,
+                    1.0,
+                ),
             });
             weights.push(dist::exponential(rng, 1.0));
         }
@@ -218,7 +223,11 @@ impl QuestGenerator {
     }
 
     /// Generates a batch of transactions.
-    pub fn gen_transactions<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<ItemSet> {
+    pub fn gen_transactions<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Vec<ItemSet> {
         (0..n).map(|_| self.gen_transaction(rng)).collect()
     }
 }

@@ -54,11 +54,7 @@ impl CivilDate {
         let mp = (5 * doy + 2) / 153; // [0, 11]
         let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
         let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
-        CivilDate {
-            year: (y + i64::from(m <= 2)) as i32,
-            month: m as u8,
-            day: d as u8,
-        }
+        CivilDate { year: (y + i64::from(m <= 2)) as i32, month: m as u8, day: d as u8 }
     }
 
     /// Converts a civil date to days since the Unix epoch
@@ -107,7 +103,6 @@ impl CivilDate {
 
 /// Calendar granularity for segmenting timestamped transactions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Granularity {
     /// UTC hours.
     Hour,
@@ -147,16 +142,10 @@ impl Granularity {
         if rows.is_empty() {
             return SegmentedDb::with_units(0);
         }
-        let first = rows
-            .iter()
-            .map(|&(t, _)| self.unit_index(t))
-            .min()
-            .expect("non-empty");
-        let last = rows
-            .iter()
-            .map(|&(t, _)| self.unit_index(t))
-            .max()
-            .expect("non-empty");
+        let first =
+            rows.iter().map(|&(t, _)| self.unit_index(t)).min().expect("non-empty");
+        let last =
+            rows.iter().map(|&(t, _)| self.unit_index(t)).max().expect("non-empty");
         let mut units: Vec<Vec<ItemSet>> =
             vec![Vec::new(); usize::try_from(last - first + 1).expect("window fits")];
         for (t, items) in rows {
@@ -176,10 +165,7 @@ mod tests {
 
     #[test]
     fn epoch_is_1970_01_01() {
-        assert_eq!(
-            CivilDate::from_days(0),
-            CivilDate { year: 1970, month: 1, day: 1 }
-        );
+        assert_eq!(CivilDate::from_days(0), CivilDate { year: 1970, month: 1, day: 1 });
         assert_eq!(CivilDate { year: 1970, month: 1, day: 1 }.to_days(), 0);
     }
 

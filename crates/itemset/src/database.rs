@@ -8,7 +8,6 @@ use crate::Transaction;
 /// data generator, and the miners; most algorithms work on the segmented
 /// view ([`SegmentedDb`](crate::SegmentedDb)) instead.
 #[derive(Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransactionDb {
     transactions: Vec<Transaction>,
 }
@@ -113,10 +112,8 @@ mod tests {
 
     #[test]
     fn statistics() {
-        let db = TransactionDb::from_transactions(vec![
-            tx(0, 0, &[1, 2, 3]),
-            tx(1, 1, &[2]),
-        ]);
+        let db =
+            TransactionDb::from_transactions(vec![tx(0, 0, &[1, 2, 3]), tx(1, 1, &[2])]);
         assert!((db.avg_transaction_len() - 2.0).abs() < 1e-12);
         assert_eq!(db.num_distinct_items(), 3);
         assert_eq!(TransactionDb::new().avg_transaction_len(), 0.0);

@@ -67,10 +67,11 @@ pub fn read_timed<R: Read>(reader: R) -> Result<SegmentedDb> {
             continue;
         }
         let lineno = idx + 1;
-        let (unit_str, items_str) = trimmed.split_once('|').ok_or_else(|| Error::Parse {
-            line: lineno,
-            message: "expected `unit | items` separator".into(),
-        })?;
+        let (unit_str, items_str) =
+            trimmed.split_once('|').ok_or_else(|| Error::Parse {
+                line: lineno,
+                message: "expected `unit | items` separator".into(),
+            })?;
         let unit: u32 = unit_str.trim().parse().map_err(|_| Error::Parse {
             line: lineno,
             message: format!("invalid unit index `{}`", unit_str.trim()),

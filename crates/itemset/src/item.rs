@@ -8,8 +8,6 @@ use std::fmt;
 /// be confused with other integers (counts, unit indices, …) at type-check
 /// time.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct Item(u32);
 
 impl Item {

@@ -15,7 +15,6 @@ use crate::Item;
 /// operations that preserve sortedness (union, join, element removal) build
 /// their results directly without re-sorting.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ItemSet {
     items: Box<[Item]>,
 }
@@ -407,10 +406,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let s = set(&[3, 1, 2, 3, 1]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.iter().map(Item::id).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(s.iter().map(Item::id).collect::<Vec<_>>(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -43,9 +43,9 @@
 pub mod calendar;
 mod database;
 mod error;
+pub mod io;
 mod item;
 mod itemset;
-pub mod io;
 mod segmented;
 mod transaction;
 mod vocabulary;

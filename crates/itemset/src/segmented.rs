@@ -8,8 +8,6 @@ use crate::{ItemSet, Transaction, TransactionDb};
 /// a unit might be an hour, a day, or a month of real time; the mining
 /// algorithms only see the index.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct TimeUnit(u32);
 
 impl TimeUnit {
@@ -60,7 +58,6 @@ impl fmt::Display for TimeUnit {
 /// Units may be empty (for instance, a shop with no sales on a holiday);
 /// by definition no itemset is *large* in an empty unit.
 #[derive(Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SegmentedDb {
     units: Vec<Vec<ItemSet>>,
 }
@@ -80,11 +77,7 @@ impl SegmentedDb {
     /// transaction. The number of units is one past the maximum stamped
     /// unit, or `min_units` if that is larger.
     pub fn from_transactions(db: &TransactionDb, min_units: usize) -> Self {
-        let max_unit = db
-            .iter()
-            .map(|t| t.unit.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let max_unit = db.iter().map(|t| t.unit.index() + 1).max().unwrap_or(0);
         let n = max_unit.max(min_units);
         let mut units: Vec<Vec<ItemSet>> = vec![Vec::new(); n];
         for t in db.iter() {
@@ -154,17 +147,12 @@ impl SegmentedDb {
 
     /// Iterates over every transaction itemset with its unit index.
     pub fn iter_all(&self) -> impl Iterator<Item = (usize, &ItemSet)> {
-        self.units
-            .iter()
-            .enumerate()
-            .flat_map(|(i, u)| u.iter().map(move |t| (i, t)))
+        self.units.iter().enumerate().flat_map(|(i, u)| u.iter().map(move |t| (i, t)))
     }
 
     /// The largest item id occurring in the database, if any.
     pub fn max_item_id(&self) -> Option<u32> {
-        self.iter_all()
-            .filter_map(|(_, t)| t.as_slice().last().map(|it| it.id()))
-            .max()
+        self.iter_all().filter_map(|(_, t)| t.as_slice().last().map(|it| it.id())).max()
     }
 
     /// Flattens into a [`TransactionDb`], assigning sequential ids.
@@ -216,12 +204,8 @@ mod tests {
 
     #[test]
     fn from_timestamps_buckets_correctly() {
-        let rows = vec![
-            (100, set(&[1])),
-            (109, set(&[2])),
-            (110, set(&[3])),
-            (125, set(&[4])),
-        ];
+        let rows =
+            vec![(100, set(&[1])), (109, set(&[2])), (110, set(&[3])), (125, set(&[4]))];
         let db = SegmentedDb::from_timestamps(rows, 10);
         assert_eq!(db.num_units(), 3);
         assert_eq!(db.unit(0).len(), 2); // t=100, 109
@@ -274,10 +258,7 @@ mod tests {
 
     #[test]
     fn iter_all_yields_unit_indices() {
-        let db = SegmentedDb::from_unit_itemsets(vec![
-            vec![set(&[1])],
-            vec![set(&[2])],
-        ]);
+        let db = SegmentedDb::from_unit_itemsets(vec![vec![set(&[1])], vec![set(&[2])]]);
         let pairs: Vec<(usize, ItemSet)> =
             db.iter_all().map(|(i, t)| (i, t.clone())).collect();
         assert_eq!(pairs, vec![(0, set(&[1])), (1, set(&[2]))]);

@@ -10,7 +10,6 @@ use crate::{ItemSet, TimeUnit};
 /// raw timestamped data into units is the responsibility of
 /// [`SegmentedDb`](crate::SegmentedDb) constructors.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transaction {
     /// Identifier unique within its database.
     pub id: u64,

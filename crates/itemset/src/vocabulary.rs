@@ -22,10 +22,8 @@ use crate::{Item, ItemSet};
 /// Ids are assigned sequentially from 0, so they double as vector
 /// indices.
 #[derive(Clone, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vocabulary {
     names: Vec<String>,
-    #[cfg_attr(feature = "serde", serde(skip))]
     ids: HashMap<String, Item>,
 }
 
@@ -82,16 +80,15 @@ impl Vocabulary {
         let mut names: Vec<String> = itemset
             .iter()
             .map(|item| {
-                self.name(item)
-                    .map_or_else(|| format!("#{}", item.id()), str::to_string)
+                self.name(item).map_or_else(|| format!("#{}", item.id()), str::to_string)
             })
             .collect();
         names.sort();
         format!("{{{}}}", names.join(" "))
     }
 
-    /// Rebuilds the name→id index (needed after deserializing with the
-    /// `serde` feature, which skips the derived index).
+    /// Rebuilds the name→id index (needed after reconstructing a
+    /// vocabulary from its name list alone).
     pub fn rebuild_index(&mut self) {
         self.ids = self
             .names

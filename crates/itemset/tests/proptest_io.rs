@@ -11,11 +11,8 @@ fn arb_itemset() -> impl Strategy<Value = ItemSet> {
 }
 
 fn arb_db() -> impl Strategy<Value = SegmentedDb> {
-    proptest::collection::vec(
-        proptest::collection::vec(arb_itemset(), 0..6),
-        1..8,
-    )
-    .prop_map(SegmentedDb::from_unit_itemsets)
+    proptest::collection::vec(proptest::collection::vec(arb_itemset(), 0..6), 1..8)
+        .prop_map(SegmentedDb::from_unit_itemsets)
 }
 
 proptest! {

@@ -1,0 +1,263 @@
+//! `car-load` — a load generator for the car-serve daemon.
+//!
+//! Drives a running daemon over real sockets with N concurrent
+//! keep-alive connections and reports throughput and latency
+//! percentiles:
+//!
+//! ```text
+//! car-load --addr 127.0.0.1:7878 --connections 8 --requests 500 --mode mixed
+//! ```
+//!
+//! Modes: `rules` (GET /v1/rules), `health` (GET /v1/health), `ingest`
+//! (POST /v1/units with synthetic cyclic baskets), `mixed` (random mix,
+//! ingest-light). Synthetic ingest bodies alternate two basket
+//! populations so the daemon actually finds cyclic rules under load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use car_serve::Client;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Options {
+    addr: String,
+    connections: usize,
+    requests_per_connection: usize,
+    mode: Mode,
+    seed: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Rules,
+    Health,
+    Ingest,
+    Mixed,
+}
+
+const USAGE: &str = "\
+car-load — load generator for the car-serve daemon
+
+USAGE:
+    car-load --addr HOST:PORT [--connections N] [--requests N]
+             [--mode rules|health|ingest|mixed] [--seed S]
+
+    --addr         daemon address (required)
+    --connections  concurrent keep-alive connections   [default: 4]
+    --requests     requests per connection             [default: 250]
+    --mode         request mix                         [default: mixed]
+    --seed         RNG seed for bodies and mixing      [default: 7]
+";
+
+fn parse_options() -> Result<Options, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 4,
+        requests_per_connection: 250,
+        mode: Mode::Mixed,
+        seed: 7,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {}", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--addr" => opts.addr = need_value(i)?.to_string(),
+            "--connections" => {
+                opts.connections = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --connections".to_string())?;
+            }
+            "--requests" => {
+                opts.requests_per_connection = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --requests".to_string())?;
+            }
+            "--mode" => {
+                opts.mode = match need_value(i)? {
+                    "rules" => Mode::Rules,
+                    "health" => Mode::Health,
+                    "ingest" => Mode::Ingest,
+                    "mixed" => Mode::Mixed,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+            }
+            "--seed" => {
+                opts.seed =
+                    need_value(i)?.parse().map_err(|_| "invalid --seed".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    if opts.addr.is_empty() {
+        return Err("missing required --addr".to_string());
+    }
+    if opts.connections == 0 || opts.requests_per_connection == 0 {
+        return Err("--connections and --requests must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+/// A synthetic time unit: even units sell {1,2,3} baskets, odd units
+/// {7,8}. Some noise items keep the body realistic.
+fn unit_body(rng: &mut StdRng, unit_index: u64) -> Vec<u8> {
+    let mut body = String::from("{\"transactions\": [");
+    let baskets = 20 + rng.gen_range(0usize..10);
+    for b in 0..baskets {
+        if b > 0 {
+            body.push(',');
+        }
+        if unit_index % 2 == 0 {
+            body.push_str("[1,2,3");
+        } else {
+            body.push_str("[7,8");
+        }
+        let noise = rng.gen_range(0usize..3);
+        for _ in 0..noise {
+            body.push_str(&format!(",{}", rng.gen_range(100u32..200)));
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body.into_bytes()
+}
+
+struct WorkerReport {
+    latencies_us: Vec<u64>,
+    errors: u64,
+    non_2xx: u64,
+}
+
+fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> WorkerReport {
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ (worker as u64).wrapping_mul(0x9E37));
+    let mut report = WorkerReport {
+        latencies_us: Vec::with_capacity(opts.requests_per_connection),
+        errors: 0,
+        non_2xx: 0,
+    };
+    let mut client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            report.errors += opts.requests_per_connection as u64;
+            return report;
+        }
+    };
+    for _ in 0..opts.requests_per_connection {
+        let mode = match opts.mode {
+            Mode::Mixed => match rng.gen_range(0u32..10) {
+                0..=5 => Mode::Rules,
+                6..=7 => Mode::Health,
+                8 => Mode::Ingest,
+                _ => Mode::Health,
+            },
+            fixed => fixed,
+        };
+        let started = Instant::now();
+        let result = match mode {
+            Mode::Rules => client.request("GET", "/v1/rules", None),
+            Mode::Health => client.request("GET", "/v1/health", None),
+            Mode::Ingest => {
+                let n = ingest_counter.fetch_add(1, Ordering::Relaxed);
+                let body = unit_body(&mut rng, n);
+                client.request("POST", "/v1/units", Some(&body))
+            }
+            Mode::Mixed => unreachable!(),
+        };
+        match result {
+            Ok(resp) => {
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                report.latencies_us.push(us);
+                // 409 (warming up) and 503 (backpressure) are expected
+                // daemon answers, not client errors; count them apart.
+                if !(200..300).contains(&resp.status) {
+                    report.non_2xx += 1;
+                }
+            }
+            Err(_) => {
+                report.errors += 1;
+                // The connection is likely dead; reconnect once.
+                match Client::connect(&opts.addr) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let ingest_counter = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|w| {
+                let opts = &opts;
+                let counter = Arc::clone(&ingest_counter);
+                scope.spawn(move || run_worker(opts, w, &counter))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let errors: u64 = reports.iter().map(|r| r.errors).sum();
+    let non_2xx: u64 = reports.iter().map(|r| r.non_2xx).sum();
+    let throughput = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    println!("car-load against {}", opts.addr);
+    println!(
+        "  connections: {}   requests/conn: {}",
+        opts.connections, opts.requests_per_connection
+    );
+    println!(
+        "  completed: {completed}   non-2xx: {non_2xx}   transport errors: {errors}"
+    );
+    println!(
+        "  wall time: {:.3}s   throughput: {throughput:.0} req/s",
+        elapsed.as_secs_f64()
+    );
+    if !latencies.is_empty() {
+        println!(
+            "  latency: p50 {}µs   p95 {}µs   p99 {}µs   max {}µs",
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
+            latencies[latencies.len() - 1]
+        );
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal blocking HTTP/1.1 client for driving the daemon.
+//!
+//! Used by the `car-load` load generator and the integration tests; not
+//! a general-purpose client. Supports exactly what the daemon's server
+//! side emits: status line, headers, `Content-Length` bodies, keep-alive.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response from `reader`.
+///
+/// # Errors
+///
+/// I/O failures and malformed status lines / headers surface as
+/// [`io::Error`] with `InvalidData`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before status line",
+        ));
+    }
+    let status =
+        status_line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).ok_or_else(
+            || {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            },
+        )?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad header {line:?}"))
+        })?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse { status, headers, body })
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (any `ToSocketAddrs` string form).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends a request and reads the response on the same connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures in either direction.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let body = body.unwrap_or(b"");
+        write!(
+            self.writer,
+            "{method} {target} HTTP/1.1\r\nhost: car-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                    content-length: 2\r\n\r\n{}";
+        let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_text(), "{}");
+    }
+
+    #[test]
+    fn rejects_garbage_status_line() {
+        let raw = b"garbage\r\n\r\n";
+        assert!(read_response(&mut Cursor::new(raw.to_vec())).is_err());
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(resp.status, 204);
+        assert!(resp.body.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+use std::io;
+
+use car_core::ConfigError;
+
+/// Why the daemon could not start or keep running.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The mining configuration or window was invalid.
+    Config(ConfigError),
+    /// Binding or socket setup failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "invalid server configuration: {e}"),
+            ServeError::Io(e) => write!(f, "server i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ServeError::from(ConfigError::EmptyDatabase);
+        assert!(e.to_string().contains("no time units"));
+        let e = ServeError::from(io::Error::new(io::ErrorKind::AddrInUse, "busy"));
+        assert!(e.to_string().contains("busy"));
+    }
+}

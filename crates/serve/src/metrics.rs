@@ -1,0 +1,285 @@
+//! Daemon metrics: lock-free counters rendered as Prometheus text.
+//!
+//! Every counter is an [`AtomicU64`] bumped on the request path with
+//! relaxed ordering (metrics never synchronise anything), and the
+//! `/metrics` endpoint renders the standard text exposition format
+//! (`# HELP` / `# TYPE` / samples). Request latencies go into a fixed
+//! cumulative-bucket histogram, Prometheus-style, with bounds chosen for
+//! a local daemon (100µs – 2.5s).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The routes the daemon distinguishes in per-route counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/units`
+    IngestUnits,
+    /// `GET /v1/rules`
+    Rules,
+    /// `GET /v1/health`
+    Health,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /v1/shutdown`
+    Shutdown,
+    /// Anything else (404s, bad requests).
+    Other,
+}
+
+impl Route {
+    const ALL: [Route; 6] = [
+        Route::IngestUnits,
+        Route::Rules,
+        Route::Health,
+        Route::Metrics,
+        Route::Shutdown,
+        Route::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Route::IngestUnits => 0,
+            Route::Rules => 1,
+            Route::Health => 2,
+            Route::Metrics => 3,
+            Route::Shutdown => 4,
+            Route::Other => 5,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Route::IngestUnits => "ingest_units",
+            Route::Rules => "rules",
+            Route::Health => "health",
+            Route::Metrics => "metrics",
+            Route::Shutdown => "shutdown",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// Histogram bucket upper bounds, in microseconds.
+const BUCKET_BOUNDS_US: [u64; 10] =
+    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 100_000, 1_000_000, 2_500_000];
+
+/// Status classes tracked per route.
+const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+#[derive(Default)]
+struct RouteCounters {
+    by_class: [AtomicU64; 3],
+}
+
+/// All daemon counters. Cheap to share behind an `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [RouteCounters; 6],
+    latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    units_ingested: AtomicU64,
+    transactions_ingested: AtomicU64,
+    ingest_rejected: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one completed request: route, status code, latency.
+    pub fn record_request(&self, route: Route, status: u16, latency: Duration) {
+        let class = match status {
+            200..=299 => 0,
+            500..=599 => 2,
+            _ => 1,
+        };
+        self.requests[route.index()].by_class[class].fetch_add(1, Ordering::Relaxed);
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successfully enqueued unit with its transaction count.
+    pub fn record_ingest(&self, transactions: u64) {
+        self.units_ingested.fetch_add(1, Ordering::Relaxed);
+        self.transactions_ingested.fetch_add(transactions, Ordering::Relaxed);
+    }
+
+    /// Records a unit rejected by backpressure (503).
+    pub fn record_ingest_rejected(&self) {
+        self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that failed HTTP parsing.
+    pub fn record_parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded across all routes and classes.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .flat_map(|r| r.by_class.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total units ingested.
+    pub fn units_ingested(&self) -> u64 {
+        self.units_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus exposition text. `gauges` supplies
+    /// point-in-time values owned by other subsystems (queue depth,
+    /// retained rules, ...), each as `(name, help, value)`.
+    pub fn render_prometheus(&self, gauges: &[(&str, &str, f64)]) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP car_http_requests_total HTTP requests served, by route and status class.\n");
+        out.push_str("# TYPE car_http_requests_total counter\n");
+        for route in Route::ALL {
+            for (ci, class) in CLASSES.iter().enumerate() {
+                let n = self.requests[route.index()].by_class[ci].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "car_http_requests_total{{route=\"{}\",status=\"{}\"}} {}\n",
+                    route.label(),
+                    class,
+                    n
+                ));
+            }
+        }
+
+        out.push_str(
+            "# HELP car_http_request_duration_seconds Request handling latency.\n",
+        );
+        out.push_str("# TYPE car_http_request_duration_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "car_http_request_duration_seconds_bucket{{le=\"{}\"}} {}\n",
+                *bound as f64 / 1e6,
+                cumulative
+            ));
+        }
+        cumulative +=
+            self.latency_buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "car_http_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "car_http_request_duration_seconds_sum {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "car_http_request_duration_seconds_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        for (name, help, counter) in [
+            (
+                "car_units_ingested_total",
+                "Time units accepted into the ingest queue.",
+                &self.units_ingested,
+            ),
+            (
+                "car_transactions_ingested_total",
+                "Transactions accepted across all ingested units.",
+                &self.transactions_ingested,
+            ),
+            (
+                "car_ingest_rejected_total",
+                "Units rejected because the ingest queue was full.",
+                &self.ingest_rejected,
+            ),
+            (
+                "car_http_parse_errors_total",
+                "Requests rejected by the HTTP parser.",
+                &self.parse_errors,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+        }
+
+        for (name, help, value) in gauges {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_requests_by_class() {
+        let m = Metrics::new();
+        m.record_request(Route::Rules, 200, Duration::from_micros(300));
+        m.record_request(Route::Rules, 404, Duration::from_micros(50));
+        m.record_request(Route::IngestUnits, 503, Duration::from_micros(80));
+        assert_eq!(m.total_requests(), 3);
+        let text = m.render_prometheus(&[]);
+        assert!(
+            text.contains("car_http_requests_total{route=\"rules\",status=\"2xx\"} 1")
+        );
+        assert!(
+            text.contains("car_http_requests_total{route=\"rules\",status=\"4xx\"} 1")
+        );
+        assert!(text.contains(
+            "car_http_requests_total{route=\"ingest_units\",status=\"5xx\"} 1"
+        ));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record_request(Route::Health, 200, Duration::from_micros(90));
+        m.record_request(Route::Health, 200, Duration::from_micros(400));
+        m.record_request(Route::Health, 200, Duration::from_secs(10));
+        let text = m.render_prometheus(&[]);
+        assert!(
+            text.contains("car_http_request_duration_seconds_bucket{le=\"0.0001\"} 1")
+        );
+        assert!(
+            text.contains("car_http_request_duration_seconds_bucket{le=\"0.0005\"} 2")
+        );
+        assert!(text.contains("car_http_request_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("car_http_request_duration_seconds_count 3"));
+    }
+
+    #[test]
+    fn ingest_counters_and_gauges() {
+        let m = Metrics::new();
+        m.record_ingest(120);
+        m.record_ingest(80);
+        m.record_ingest_rejected();
+        m.record_parse_error();
+        assert_eq!(m.units_ingested(), 2);
+        let text = m.render_prometheus(&[(
+            "car_ingest_queue_depth",
+            "Units waiting in the ingest queue.",
+            3.0,
+        )]);
+        assert!(text.contains("car_units_ingested_total 2\n"));
+        assert!(text.contains("car_transactions_ingested_total 200\n"));
+        assert!(text.contains("car_ingest_rejected_total 1\n"));
+        assert!(text.contains("car_http_parse_errors_total 1\n"));
+        assert!(text.contains("# TYPE car_ingest_queue_depth gauge\n"));
+        assert!(text.contains("car_ingest_queue_depth 3\n"));
+    }
+}

@@ -1,0 +1,145 @@
+//! A fixed-size worker thread pool over an MPSC channel.
+//!
+//! Connections are handled by a small set of long-lived workers rather
+//! than a thread per connection: predictable memory, no spawn cost on
+//! the request path, and graceful shutdown for free — dropping the
+//! sender ends the channel, each worker drains what it already received
+//! and exits, and [`ThreadPool::join`] waits for that.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing queued jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` workers (at least 1) named `{name}-{i}`.
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        let size = size.max(1);
+        let (sender, receiver) = std::sync::mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers }
+    }
+
+    /// Queues a job. Jobs run in submission order per worker, across
+    /// workers in whatever order the scheduler picks.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            // Send fails only if every worker exited, which cannot
+            // happen while the pool owns their handles and jobs don't
+            // panic the worker loop (panics are contained per-job).
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Stops accepting jobs, lets queued jobs finish, and joins every
+    /// worker.
+    pub fn join(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        drop(self.sender.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                // A panicking connection handler must not take the
+                // worker down with it.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(4, "test");
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn join_drains_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(1, "drain");
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(1, "panic");
+        pool.execute(|| panic!("boom"));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0, "clamp");
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! Request routing and endpoint handlers.
+//!
+//! The API surface (all JSON unless noted):
+//!
+//! * `POST /v1/units` — ingest one time unit. Body:
+//!   `{"transactions": [[item ids...], ...]}`. Returns `202` with the
+//!   unit's sequence number, `503` when the ingest queue is full, or —
+//!   with `?wait=true` — `200` once the unit is applied to the miner.
+//! * `GET /v1/rules` — the current cyclic rules. Query parameters
+//!   `length`, `offset` (cycle filters) and `min_confidence` (stricter
+//!   per-unit confidence; must be ≥ the configured threshold to have an
+//!   effect). `409` while the window holds fewer units than `l_max`.
+//! * `GET /v1/health` — liveness and window occupancy.
+//! * `GET /metrics` — Prometheus text exposition (not JSON).
+//! * `POST /v1/shutdown` — begin graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use car_core::{CyclicRule, MinConfidence};
+use car_itemset::ItemSet;
+
+use crate::http::{Request, Response};
+use crate::json::{object, Json};
+use crate::metrics::Route;
+use crate::state::{AppState, EnqueueError};
+
+/// How long a `?wait=true` ingest will block for its unit to apply.
+const WAIT_APPLIED_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Item ids above this are rejected — the vocabulary is `u32`.
+const MAX_ITEM_ID: u64 = u32::MAX as u64;
+
+/// Dispatches a request, returning the route (for metrics) and the
+/// response.
+pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/units") => (Route::IngestUnits, ingest_units(state, req)),
+        ("GET", "/v1/rules") => (Route::Rules, get_rules(state, req)),
+        ("GET", "/v1/health") => (Route::Health, health(state)),
+        ("GET", "/metrics") => (Route::Metrics, metrics(state)),
+        ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
+        (_, "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown") => {
+            (Route::Other, Response::error(405, "method not allowed"))
+        }
+        _ => (Route::Other, Response::error(404, "no such endpoint")),
+    }
+}
+
+fn ingest_units(state: &Arc<AppState>, req: &Request) -> Response {
+    let unit = match parse_unit_body(&req.body) {
+        Ok(unit) => unit,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let num_transactions = unit.len() as u64;
+    let seq = match state.queue.enqueue(unit) {
+        Ok(seq) => seq,
+        Err(EnqueueError::Full) => {
+            state.metrics.record_ingest_rejected();
+            return Response::error(503, "ingest queue full; retry later");
+        }
+        Err(EnqueueError::ShuttingDown) => {
+            return Response::error(503, "server is shutting down");
+        }
+    };
+    state.metrics.record_ingest(num_transactions);
+
+    let wait = matches!(req.query_param("wait"), Some("true" | "1"));
+    if wait {
+        if !state.wait_applied(seq, WAIT_APPLIED_TIMEOUT) {
+            return Response::error(503, "timed out waiting for unit to apply");
+        }
+        let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+        return Response::json(
+            200,
+            &object([
+                ("unit_seq", Json::from(seq)),
+                ("applied", Json::from(true)),
+                ("units_retained", Json::from(miner.len())),
+                ("total_pushed", Json::from(miner.total_pushed())),
+            ]),
+        );
+    }
+    Response::json(
+        202,
+        &object([
+            ("unit_seq", Json::from(seq)),
+            ("applied", Json::from(false)),
+            ("queue_depth", Json::from(state.queue.depth())),
+        ]),
+    )
+}
+
+/// Parses `{"transactions": [[id, ...], ...]}` into a unit.
+fn parse_unit_body(body: &[u8]) -> Result<Vec<ItemSet>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let transactions = doc
+        .get("transactions")
+        .and_then(Json::as_array)
+        .ok_or("body must be an object with a `transactions` array")?;
+    let mut unit = Vec::with_capacity(transactions.len());
+    for (i, tx) in transactions.iter().enumerate() {
+        let items = tx
+            .as_array()
+            .ok_or_else(|| format!("transaction {i} must be an array of item ids"))?;
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item.as_u64().filter(|&id| id <= MAX_ITEM_ID).ok_or_else(|| {
+                format!("transaction {i} has an invalid item id (need 0..=2^32-1)")
+            })?;
+            ids.push(id as u32);
+        }
+        unit.push(ItemSet::from_ids(ids));
+    }
+    Ok(unit)
+}
+
+fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
+    let length = match parse_u32_param(req, "length") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let offset = match parse_u32_param(req, "offset") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let min_confidence = match req.query_param("min_confidence") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>().ok().and_then(MinConfidence::new) {
+            Some(q) => Some(q),
+            None => {
+                return Response::error(
+                    400,
+                    &format!("invalid min_confidence `{raw}` (need 0..=1)"),
+                )
+            }
+        },
+    };
+    if let Some(q) = min_confidence {
+        if q.value() < state.config.min_confidence.value() {
+            return Response::error(
+                400,
+                &format!(
+                    "min_confidence {} is below the mining threshold {}; \
+                     rules under the threshold are not retained",
+                    q.value(),
+                    state.config.min_confidence.value()
+                ),
+            );
+        }
+    }
+
+    let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+    let rules = match miner.query_rules(min_confidence) {
+        Ok(rules) => rules,
+        Err(e) => return Response::error(409, &e.to_string()),
+    };
+    let units_retained = miner.len();
+    let window = miner.window();
+    drop(miner);
+
+    let filtered: Vec<Json> =
+        rules.iter().filter_map(|r| rule_to_json(r, length, offset)).collect();
+    Response::json(
+        200,
+        &object([
+            ("units_retained", Json::from(units_retained)),
+            ("window", Json::from(window)),
+            ("count", Json::from(filtered.len())),
+            ("rules", Json::Array(filtered)),
+        ]),
+    )
+}
+
+/// Renders one rule, keeping only cycles matching the filters; a rule
+/// with no matching cycle is dropped entirely.
+fn rule_to_json(
+    rule: &CyclicRule,
+    length: Option<u32>,
+    offset: Option<u32>,
+) -> Option<Json> {
+    let cycles: Vec<Json> = rule
+        .cycles
+        .iter()
+        .filter(|c| length.map_or(true, |l| c.length() == l))
+        .filter(|c| offset.map_or(true, |o| c.offset() == o))
+        .map(|c| {
+            object([
+                ("length", Json::from(c.length())),
+                ("offset", Json::from(c.offset())),
+            ])
+        })
+        .collect();
+    if cycles.is_empty() {
+        return None;
+    }
+    let ids = |set: &ItemSet| {
+        Json::Array(set.iter().map(|item| Json::from(item.id())).collect())
+    };
+    Some(object([
+        ("rule", Json::from(rule.rule.to_string())),
+        ("antecedent", ids(&rule.rule.antecedent)),
+        ("consequent", ids(&rule.rule.consequent)),
+        ("cycles", Json::Array(cycles)),
+    ]))
+}
+
+fn parse_u32_param(req: &Request, name: &str) -> Result<Option<u32>, Response> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u32>().map(Some).map_err(|_| {
+            Response::error(400, &format!("invalid {name} `{raw}` (need a u32)"))
+        }),
+    }
+}
+
+fn health(state: &Arc<AppState>) -> Response {
+    let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+    let warming_up = miner.len() < state.config.cycle_bounds.l_max() as usize;
+    Response::json(
+        200,
+        &object([
+            (
+                "status",
+                Json::from(if state.is_shutting_down() { "shutting_down" } else { "ok" }),
+            ),
+            ("warming_up", Json::from(warming_up)),
+            ("units_retained", Json::from(miner.len())),
+            ("window", Json::from(miner.window())),
+            ("total_pushed", Json::from(miner.total_pushed())),
+            ("evictions", Json::from(miner.evictions())),
+            ("queue_depth", Json::from(state.queue.depth())),
+        ]),
+    )
+}
+
+fn metrics(state: &Arc<AppState>) -> Response {
+    let (retained_units, evictions, rule_entries, rules_current) = {
+        let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+        let rules_current = miner.current_rules().map(|r| r.len()).unwrap_or(0);
+        (miner.len(), miner.evictions(), miner.retained_rule_entries(), rules_current)
+    };
+    let text = state.metrics.render_prometheus(&[
+        (
+            "car_ingest_queue_depth",
+            "Units waiting in the ingest queue.",
+            state.queue.depth() as f64,
+        ),
+        (
+            "car_window_units_retained",
+            "Time units currently retained in the sliding window.",
+            retained_units as f64,
+        ),
+        (
+            "car_window_evictions_total",
+            "Units evicted from the sliding window.",
+            evictions as f64,
+        ),
+        (
+            "car_rules_held_entries",
+            "Per-unit rule hold entries retained in the window.",
+            rule_entries as f64,
+        ),
+        (
+            "car_rules_current",
+            "Cyclic rules over the retained window (0 while warming up).",
+            rules_current as f64,
+        ),
+    ]);
+    Response::text(200, text)
+}
+
+fn shutdown(state: &Arc<AppState>) -> Response {
+    state.begin_shutdown();
+    Response::json(200, &object([("status", Json::from("shutting_down"))])).with_close()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use car_core::MiningConfig;
+
+    fn test_state() -> Arc<AppState> {
+        let config = MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.5)
+            .cycle_bounds(2, 2)
+            .build()
+            .unwrap();
+        AppState::new(config, 4, 8).unwrap()
+    }
+
+    fn request(method: &str, path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            query: query.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_wrong_method_is_405() {
+        let state = test_state();
+        let (_, resp) = handle(&state, &request("GET", "/nope", &[], b""));
+        assert_eq!(resp.status, 404);
+        let (_, resp) = handle(&state, &request("DELETE", "/v1/rules", &[], b""));
+        assert_eq!(resp.status, 405);
+        let (_, resp) = handle(&state, &request("GET", "/v1/units", &[], b""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn ingest_validates_body() {
+        let state = test_state();
+        for bad in [
+            b"not json".as_slice(),
+            b"{}",
+            b"{\"transactions\": 3}",
+            b"{\"transactions\": [3]}",
+            b"{\"transactions\": [[-1]]}",
+            b"{\"transactions\": [[1.5]]}",
+            b"{\"transactions\": [[99999999999]]}",
+        ] {
+            let (_, resp) = handle(&state, &request("POST", "/v1/units", &[], bad));
+            assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn ingest_accepts_and_applies_backpressure() {
+        let state = test_state();
+        let body = br#"{"transactions": [[1, 2], [1, 2], [3]]}"#;
+        for expected in 1..=8u64 {
+            let (_, resp) = handle(&state, &request("POST", "/v1/units", &[], body));
+            assert_eq!(resp.status, 202);
+            let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            assert_eq!(doc.get("unit_seq").and_then(Json::as_u64), Some(expected));
+        }
+        // Queue capacity is 8 and no worker is draining: the 9th is shed.
+        let (_, resp) = handle(&state, &request("POST", "/v1/units", &[], body));
+        assert_eq!(resp.status, 503);
+        assert_eq!(state.metrics.units_ingested(), 8);
+    }
+
+    #[test]
+    fn rules_rejects_bad_params_and_warming_window() {
+        let state = test_state();
+        let (_, resp) =
+            handle(&state, &request("GET", "/v1/rules", &[("length", "banana")], b""));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = handle(
+            &state,
+            &request("GET", "/v1/rules", &[("min_confidence", "1.5")], b""),
+        );
+        assert_eq!(resp.status, 400);
+        // Below the mining threshold: cannot be answered from cached rules.
+        let (_, resp) = handle(
+            &state,
+            &request("GET", "/v1/rules", &[("min_confidence", "0.2")], b""),
+        );
+        assert_eq!(resp.status, 400);
+        // Empty window: 409 until l_max units have arrived.
+        let (_, resp) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(resp.status, 409);
+    }
+
+    #[test]
+    fn ingest_rules_round_trip_with_filters() {
+        let state = test_state();
+        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state));
+        let even = br#"{"transactions": [[1, 2], [1, 2], [1, 2], [1, 2]]}"#;
+        let odd = br#"{"transactions": [[9], [9], [9], [9]]}"#;
+        for day in 0..6 {
+            let body: &[u8] = if day % 2 == 0 { even } else { odd };
+            let (_, resp) =
+                handle(&state, &request("POST", "/v1/units", &[("wait", "true")], body));
+            assert_eq!(resp.status, 200);
+        }
+        let (_, resp) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let rules = doc.get("rules").and_then(Json::as_array).unwrap();
+        assert!(rules.iter().any(|r| {
+            r.get("rule").and_then(Json::as_str) == Some("{1} => {2}")
+                && r.get("cycles").and_then(Json::as_array).is_some_and(|cs| {
+                    cs.iter().any(|c| {
+                        c.get("length").and_then(Json::as_u64) == Some(2)
+                            && c.get("offset").and_then(Json::as_u64) == Some(0)
+                    })
+                })
+        }));
+        // Offset 1 holds the odd-day side; {1} => {2} must disappear.
+        let (_, resp) =
+            handle(&state, &request("GET", "/v1/rules", &[("offset", "1")], b""));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let rules = doc.get("rules").and_then(Json::as_array).unwrap();
+        assert!(rules
+            .iter()
+            .all(|r| r.get("rule").and_then(Json::as_str) != Some("{1} => {2}")));
+        state.begin_shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn health_and_metrics_render() {
+        let state = test_state();
+        let (_, resp) = handle(&state, &request("GET", "/v1/health", &[], b""));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("warming_up").and_then(Json::as_bool), Some(true));
+
+        let (_, resp) = handle(&state, &request("GET", "/metrics", &[], b""));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("car_ingest_queue_depth 0"));
+        assert!(text.contains("car_rules_current 0"));
+        assert!(text.contains("# TYPE car_http_requests_total counter"));
+    }
+
+    #[test]
+    fn shutdown_flips_state() {
+        let state = test_state();
+        let (_, resp) = handle(&state, &request("POST", "/v1/shutdown", &[], b""));
+        assert_eq!(resp.status, 200);
+        assert!(resp.close);
+        assert!(state.is_shutting_down());
+        let (_, resp) = handle(&state, &request("GET", "/v1/health", &[], b""));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("shutting_down"));
+    }
+}

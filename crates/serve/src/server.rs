@@ -1,0 +1,338 @@
+//! The daemon itself: listener, connection loop, graceful shutdown.
+//!
+//! The accept loop runs on its own thread with a non-blocking listener,
+//! polling a shutdown flag between accepts; each accepted connection is
+//! handed to the worker [`ThreadPool`](crate::pool::ThreadPool), which
+//! serves keep-alive requests until the client closes, an error occurs,
+//! or shutdown begins. Shutdown (via `POST /v1/shutdown`, SIGINT, or
+//! [`ServerHandle::trigger_shutdown`]) stops accepting, lets in-flight
+//! requests drain (the pool join), drains the ingest queue into the
+//! miner, and returns final statistics.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use car_core::MiningConfig;
+
+use crate::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::routes;
+use crate::state::{spawn_ingest_worker, AppState};
+use crate::ServeError;
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Requests served per connection before forcing a close (keeps a
+/// single chatty client from pinning a worker forever).
+const MAX_REQUESTS_PER_CONNECTION: usize = 10_000;
+
+/// Everything needed to boot a daemon.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Sliding-window length, in time units.
+    pub window: usize,
+    /// Ingest queue capacity (backpressure beyond this).
+    pub queue_capacity: usize,
+    /// The mining configuration.
+    pub mining: MiningConfig,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Maximum accepted request body size.
+    pub max_body_bytes: usize,
+    /// Install SIGINT/SIGTERM handlers and honour the process-wide
+    /// signal flag. Off in tests (the flag is shared by the whole
+    /// process), on in the CLI.
+    pub handle_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            window: 64,
+            queue_capacity: 256,
+            mining: MiningConfig::default(),
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Final statistics reported when the daemon drains and exits.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FinalStats {
+    /// HTTP requests served.
+    pub requests: u64,
+    /// Time units applied to the miner.
+    pub units_ingested: u64,
+    /// Units evicted from the window.
+    pub evictions: u64,
+    /// Units retained at shutdown.
+    pub units_retained: usize,
+    /// Seconds the daemon ran.
+    pub uptime: Duration,
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<AppState>,
+    accept_thread: JoinHandle<()>,
+    ingest_thread: JoinHandle<()>,
+    started: Instant,
+}
+
+impl ServerHandle {
+    /// The shared state (tests and embedding callers).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Asks the daemon to shut down gracefully (idempotent).
+    pub fn trigger_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has fully drained and exited, returning
+    /// final statistics.
+    pub fn wait(self) -> FinalStats {
+        let _ = self.accept_thread.join();
+        let _ = self.ingest_thread.join();
+        let miner = self.state.miner.read().unwrap_or_else(|e| e.into_inner());
+        FinalStats {
+            requests: self.state.metrics.total_requests(),
+            units_ingested: self.state.metrics.units_ingested(),
+            evictions: miner.evictions(),
+            units_retained: miner.len(),
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+/// Binds the listener and spawns the daemon threads.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for an invalid mining configuration or window,
+/// [`ServeError::Io`] when the address cannot be bound.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    let state = AppState::new(config.mining, config.window, config.queue_capacity)?;
+    let addrs: Vec<SocketAddr> =
+        config.addr.to_socket_addrs().map_err(ServeError::Io)?.collect();
+    let listener = TcpListener::bind(&addrs[..]).map_err(ServeError::Io)?;
+    listener.set_nonblocking(true).map_err(ServeError::Io)?;
+    let addr = listener.local_addr().map_err(ServeError::Io)?;
+
+    if config.handle_signals {
+        crate::shutdown::install_signal_handlers();
+    }
+    let ingest_thread = spawn_ingest_worker(Arc::clone(&state));
+    let accept_state = Arc::clone(&state);
+    let io_timeout = config.io_timeout;
+    let max_body = config.max_body_bytes;
+    let threads = config.threads;
+    let handle_signals = config.handle_signals;
+    let accept_thread = std::thread::Builder::new()
+        .name("car-accept".into())
+        .spawn(move || {
+            accept_loop(
+                &listener,
+                &accept_state,
+                threads,
+                io_timeout,
+                max_body,
+                handle_signals,
+            );
+        })
+        .expect("failed to spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread,
+        ingest_thread,
+        started: Instant::now(),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<AppState>,
+    threads: usize,
+    io_timeout: Duration,
+    max_body: usize,
+    handle_signals: bool,
+) {
+    let pool = crate::pool::ThreadPool::new(threads, "car-worker");
+    loop {
+        if state.is_shutting_down() || (handle_signals && crate::shutdown::signalled()) {
+            // A signal may arrive without anything having closed the
+            // ingest queue yet.
+            state.begin_shutdown();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                pool.execute(move || {
+                    serve_connection(stream, &state, io_timeout, max_body);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): back off
+                // briefly rather than spinning.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+    // In-flight connections drain here; the ingest queue is closed, so
+    // the ingest worker exits once it has applied everything accepted.
+    pool.join();
+}
+
+/// Serves one connection until close, error, limit, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    state: &Arc<AppState>,
+    io_timeout: Duration,
+    max_body: usize,
+) {
+    if stream.set_read_timeout(Some(io_timeout)).is_err()
+        || stream.set_write_timeout(Some(io_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    for _ in 0..MAX_REQUESTS_PER_CONNECTION {
+        let started = Instant::now();
+        let request = match http::read_request(&mut reader, max_body) {
+            Ok(request) => request,
+            Err(http::ParseError::ConnectionClosed) => return,
+            Err(e) => {
+                state.metrics.record_parse_error();
+                let (status, _) = e.status();
+                let _ = Response::error(status, &e.to_string())
+                    .with_close()
+                    .write_to(&mut writer);
+                return;
+            }
+        };
+        let (route, mut response) = routes::handle(state, &request);
+        // During shutdown, tell keep-alive clients to go away.
+        if request.wants_close() || state.is_shutting_down() {
+            response.close = true;
+        }
+        let close = response.close;
+        let write_result = response.write_to(&mut writer);
+        state.metrics.record_request(route, response.status, started.elapsed());
+        if close || write_result.is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            window: 8,
+            queue_capacity: 16,
+            mining: MiningConfig::builder()
+                .min_support_fraction(0.5)
+                .min_confidence(0.5)
+                .cycle_bounds(2, 2)
+                .build()
+                .unwrap(),
+            io_timeout: Duration::from_secs(2),
+            max_body_bytes: 64 * 1024,
+            handle_signals: false,
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_health_and_shuts_down() {
+        let handle = serve(test_config()).unwrap();
+        let addr = handle.addr;
+        let resp =
+            roundtrip(addr, b"GET /v1/health HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""));
+
+        let resp = roundtrip(addr, b"POST /v1/shutdown HTTP/1.1\r\n\r\n");
+        assert!(resp.contains("shutting_down"));
+        let stats = handle.wait();
+        assert_eq!(stats.requests, 2);
+        // The port is released after wait().
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // Some platforms accept briefly during teardown; a fresh
+                // bind proves the listener is gone.
+                TcpListener::bind(addr).is_ok()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_request_gets_4xx_over_the_wire() {
+        let handle = serve(test_config()).unwrap();
+        let resp = roundtrip(handle.addr, b"BOGUS-LINE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        handle.trigger_shutdown();
+        let stats = handle.wait();
+        assert_eq!(stats.requests, 0); // parse errors are counted separately
+    }
+
+    #[test]
+    fn invalid_window_is_a_config_error() {
+        let mut config = test_config();
+        config.window = 1; // below l_max = 2
+        assert!(matches!(serve(config), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let handle = serve(test_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        for _ in 0..3 {
+            stream.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let response = crate::client::read_response(&mut reader).expect("response");
+            assert_eq!(response.status, 200);
+        }
+        handle.trigger_shutdown();
+        handle.wait();
+    }
+}

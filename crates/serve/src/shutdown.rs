@@ -1,0 +1,88 @@
+//! SIGINT → graceful-shutdown bridge.
+//!
+//! The daemon exits cleanly on Ctrl-C: a signal handler sets a process-
+//! wide flag, and the accept loop polls it between accepts. The handler
+//! body is a single relaxed atomic store — async-signal-safe by
+//! construction.
+//!
+//! This is the only module in the workspace with unsafe code: installing
+//! the handler goes through libc's `signal(2)` directly (no external
+//! crates are available in this build environment). Non-Unix targets get
+//! a no-op install and a flag that can only be set programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has been received (or injected via
+/// [`raise`]).
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
+}
+
+/// Sets the flag as if a signal had arrived (tests, embedders).
+pub fn raise() {
+    SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" fn on_signal(_signum: c_int) {
+        super::SIGNALLED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    /// Installs the SIGINT/SIGTERM handler. Idempotent.
+    pub fn install() {
+        // SAFETY: `signal` is installing an async-signal-safe handler
+        // (one relaxed atomic store, no allocation, no locks) for
+        // signals whose default disposition would kill the process
+        // anyway. The handler stays valid for the program's lifetime
+        // (it is a static fn item).
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal support on this target; shutdown still works via the
+    /// endpoint and [`super::raise`].
+    pub fn install() {}
+}
+
+/// Installs handlers so SIGINT/SIGTERM trigger graceful shutdown.
+pub fn install_signal_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_sets_flag() {
+        // Note: the flag is process-wide; this test is the only one
+        // allowed to set it (the server tests use AppState shutdown).
+        assert!(!signalled());
+        raise();
+        assert!(signalled());
+    }
+
+    #[test]
+    fn install_is_safe_to_call() {
+        install_signal_handlers();
+        install_signal_handlers();
+    }
+}

@@ -1,0 +1,271 @@
+//! Shared daemon state: the sliding-window miner, the bounded ingest
+//! queue, and the ingest worker that connects them.
+//!
+//! Ingestion is asynchronous: `POST /v1/units` enqueues the unit and
+//! returns `202 Accepted` (or `503` when the queue is full — explicit
+//! backpressure instead of unbounded buffering), and a single dedicated
+//! ingest thread applies queued units to the miner in arrival order.
+//! Mining a unit is the expensive step (Apriori + rule generation), so
+//! keeping it off the request path keeps ingest latency flat; a single
+//! applier also means units are numbered and applied in exactly the
+//! order they were accepted.
+//!
+//! Queries take the miner read lock; the applier takes the write lock
+//! per unit. Clients that need read-your-writes (tests, benchmarks) pass
+//! `?wait=true` and block until their unit's sequence number is applied.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use car_core::window::SlidingWindowMiner;
+use car_core::{ConfigError, MiningConfig};
+use car_itemset::ItemSet;
+
+use crate::metrics::Metrics;
+
+/// Why a unit could not be enqueued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The bounded queue is at capacity — retry later.
+    Full,
+    /// The daemon is shutting down and no longer accepts units.
+    ShuttingDown,
+}
+
+struct QueueInner {
+    units: VecDeque<Vec<ItemSet>>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue of pending time units.
+pub struct IngestQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Units ever accepted (the enqueue ticket counter).
+    enqueued: AtomicU64,
+}
+
+impl IngestQueue {
+    fn new(capacity: usize) -> IngestQueue {
+        IngestQueue {
+            inner: Mutex::new(QueueInner { units: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            enqueued: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a unit, returning its 1-based sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::Full`] at capacity, [`EnqueueError::ShuttingDown`]
+    /// after close.
+    pub fn enqueue(&self, unit: Vec<ItemSet>) -> Result<u64, EnqueueError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(EnqueueError::ShuttingDown);
+        }
+        if inner.units.len() >= self.capacity {
+            return Err(EnqueueError::Full);
+        }
+        inner.units.push_back(unit);
+        let seq = self.enqueued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.not_empty.notify_one();
+        Ok(seq)
+    }
+
+    /// Units currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).units.len()
+    }
+
+    /// Stops accepting new units; the applier drains what remains.
+    fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Blocks until a unit is available or the queue is closed *and*
+    /// empty (drain semantics).
+    fn dequeue(&self) -> Option<Vec<ItemSet>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(unit) = inner.units.pop_front() {
+                return Some(unit);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Everything the request handlers share.
+pub struct AppState {
+    /// The mining configuration the miner was built with.
+    pub config: MiningConfig,
+    /// The sliding-window miner; readers query, the applier writes.
+    pub miner: RwLock<SlidingWindowMiner>,
+    /// Pending units awaiting application.
+    pub queue: IngestQueue,
+    /// Daemon counters.
+    pub metrics: Metrics,
+    /// Set once shutdown begins; checked by the accept loop and
+    /// keep-alive connections.
+    pub shutdown: AtomicBool,
+    /// Highest applied unit sequence number, with its condvar for
+    /// `?wait=true` ingests.
+    applied: Mutex<u64>,
+    applied_cv: Condvar,
+}
+
+impl AppState {
+    /// Builds state for a daemon retaining `window` units and queueing
+    /// at most `queue_capacity` pending units.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] when the window cannot satisfy the
+    /// configuration (e.g. shorter than `l_max`).
+    pub fn new(
+        config: MiningConfig,
+        window: usize,
+        queue_capacity: usize,
+    ) -> Result<Arc<AppState>, ConfigError> {
+        let miner = SlidingWindowMiner::new(config, window)?;
+        Ok(Arc::new(AppState {
+            config,
+            miner: RwLock::new(miner),
+            queue: IngestQueue::new(queue_capacity),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            applied: Mutex::new(0),
+            applied_cv: Condvar::new(),
+        }))
+    }
+
+    /// Begins shutdown: stop accepting units and wake all waiters.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until unit `seq` has been applied to the miner, or the
+    /// deadline passes. Returns whether the unit was applied.
+    pub fn wait_applied(&self, seq: u64, timeout: Duration) -> bool {
+        let guard = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        let (guard, _timed_out) = self
+            .applied_cv
+            .wait_timeout_while(guard, timeout, |applied| *applied < seq)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard >= seq
+    }
+
+    fn mark_applied(&self, seq: u64) {
+        let mut guard = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = seq;
+        self.applied_cv.notify_all();
+    }
+}
+
+/// Spawns the ingest applier thread. It drains the queue into the miner
+/// and exits once the queue is closed and empty.
+pub fn spawn_ingest_worker(state: Arc<AppState>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("car-ingest".into())
+        .spawn(move || {
+            let mut seq = 0u64;
+            while let Some(unit) = state.queue.dequeue() {
+                seq += 1;
+                {
+                    let mut miner =
+                        state.miner.write().unwrap_or_else(|e| e.into_inner());
+                    miner.push_unit(&unit);
+                }
+                state.mark_applied(seq);
+            }
+        })
+        .expect("failed to spawn ingest worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(queue_capacity: usize) -> Arc<AppState> {
+        let config = MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.5)
+            .cycle_bounds(2, 2)
+            .build()
+            .unwrap();
+        AppState::new(config, 6, queue_capacity).unwrap()
+    }
+
+    fn unit(day: usize) -> Vec<ItemSet> {
+        if day % 2 == 0 {
+            vec![ItemSet::from_ids([1, 2]); 4]
+        } else {
+            vec![ItemSet::from_ids([9]); 4]
+        }
+    }
+
+    #[test]
+    fn enqueue_respects_capacity() {
+        let state = test_state(2);
+        assert_eq!(state.queue.enqueue(unit(0)), Ok(1));
+        assert_eq!(state.queue.enqueue(unit(1)), Ok(2));
+        assert_eq!(state.queue.enqueue(unit(2)), Err(EnqueueError::Full));
+        assert_eq!(state.queue.depth(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let state = test_state(8);
+        state.queue.enqueue(unit(0)).unwrap();
+        state.begin_shutdown();
+        assert_eq!(state.queue.enqueue(unit(1)), Err(EnqueueError::ShuttingDown));
+        // The applier still drains the accepted unit.
+        let worker = spawn_ingest_worker(Arc::clone(&state));
+        worker.join().unwrap();
+        assert_eq!(state.miner.read().unwrap().total_pushed(), 1);
+    }
+
+    #[test]
+    fn worker_applies_in_order_and_wait_applied_sees_it() {
+        let state = test_state(64);
+        let worker = spawn_ingest_worker(Arc::clone(&state));
+        let mut last = 0;
+        for day in 0..10 {
+            last = state.queue.enqueue(unit(day)).unwrap();
+        }
+        assert!(state.wait_applied(last, Duration::from_secs(5)));
+        {
+            let miner = state.miner.read().unwrap();
+            assert_eq!(miner.total_pushed(), 10);
+            assert_eq!(miner.len(), 6); // window 6
+            assert_eq!(miner.evictions(), 4);
+        }
+        state.begin_shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_applied_times_out_without_worker() {
+        let state = test_state(8);
+        let seq = state.queue.enqueue(unit(0)).unwrap();
+        assert!(!state.wait_applied(seq, Duration::from_millis(20)));
+    }
+}

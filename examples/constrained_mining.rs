@@ -39,12 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // This quarter's promoted products: the items of the first three
     // planted patterns (in a real deployment, a product list).
-    let promoted: ItemSet = data
-        .planted
-        .iter()
-        .take(3)
-        .flat_map(|p| p.items.iter())
-        .collect();
+    let promoted: ItemSet =
+        data.planted.iter().take(3).flat_map(|p| p.items.iter()).collect();
     println!("promoted products: {promoted}");
 
     let constraints = RuleConstraints::any().with_consequent_within(promoted.clone());
@@ -54,16 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         InterleavedOptions::all(),
         &constraints,
     )?;
-    println!(
-        "rules concluding in promoted products: {}",
-        constrained.rules.len()
-    );
+    println!("rules concluding in promoted products: {}", constrained.rules.len());
     assert!(constrained.rules.len() < full.rules.len());
     assert_eq!(filter_outcome(&full, &constraints), constrained.rules);
-    assert!(constrained
-        .rules
-        .iter()
-        .all(|r| r.rule.consequent.is_subset_of(&promoted)));
+    assert!(constrained.rules.iter().all(|r| r.rule.consequent.is_subset_of(&promoted)));
 
     // Rank what's left by coverage and print the brief.
     let report = MiningReport::new(&constrained, data.db.num_units(), 8);

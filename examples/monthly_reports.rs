@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     for year in 2021..=2023 {
         for month in 1..=12u8 {
-            let month_start =
-                CivilDate { year, month, day: 1 }.to_days() * 86_400;
+            let month_start = CivilDate { year, month, day: 1 }.to_days() * 86_400;
             for purchase in 0..30 {
                 let t = month_start + purchase * 86_400 + (next_noise() % 3600) as i64;
                 let mut items = vec![bread];
@@ -73,11 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {} => {} @ {}",
             vocab.render(&r.rule.antecedent),
             vocab.render(&r.rule.consequent),
-            r.cycles
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
+            r.cycles.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
         );
     }
 
@@ -92,10 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .expect("heater => socks must be cyclic");
     assert!(
-        winter
-            .cycles
-            .iter()
-            .any(|c| (c.length(), c.offset()) == (12, 11)),
+        winter.cycles.iter().any(|c| (c.length(), c.offset()) == (12, 11)),
         "expected a yearly December cycle, got {:?}",
         winter.cycles
     );

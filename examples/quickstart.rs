@@ -29,9 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         })
         .collect();
-    let weekend: Vec<ItemSet> = (0..20)
-        .map(|_| ItemSet::from_ids([TEA, NEWSPAPER]))
-        .collect();
+    let weekend: Vec<ItemSet> =
+        (0..20).map(|_| ItemSet::from_ids([TEA, NEWSPAPER])).collect();
 
     let units: Vec<Vec<ItemSet>> = (0..9)
         .map(|u| if u % 3 == 0 { weekend.clone() } else { weekday.clone() })
@@ -66,11 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|r| r.rule.to_string() == "{1} => {2}")
         .expect("espresso => croissant should be cyclic");
     assert_eq!(
-        espresso_rule
-            .cycles
-            .iter()
-            .map(|c| (c.length(), c.offset()))
-            .collect::<Vec<_>>(),
+        espresso_rule.cycles.iter().map(|c| (c.length(), c.offset())).collect::<Vec<_>>(),
         vec![(3, 1), (3, 2)]
     );
     println!("recovered the planted weekday pattern: {espresso_rule}");

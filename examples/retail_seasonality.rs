@@ -19,9 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 56 daily units, 400 baskets a day, 300 products; 6 planted weekly
     // patterns (length 7, random weekday offsets).
     let config = CyclicConfig {
-        quest: QuestConfig::default()
-            .with_num_items(300)
-            .with_avg_transaction_len(6.0),
+        quest: QuestConfig::default().with_num_items(300).with_avg_transaction_len(6.0),
         num_units: 56,
         transactions_per_unit: 400,
         num_cyclic_patterns: 6,
@@ -42,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .min_confidence(0.5)
         .cycle_bounds(2, 14)
         .build()?;
-    let outcome = CyclicRuleMiner::new(mining, Algorithm::interleaved()).mine(&data.db)?;
+    let outcome =
+        CyclicRuleMiner::new(mining, Algorithm::interleaved()).mine(&data.db)?;
     println!("\nmined {} cyclic rules in total", outcome.rules.len());
 
     // Check recovery: for each planted pattern {a, b}, the rule {a} => {b}
@@ -71,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("  MISSED: {} (offset {})", p.items, p.offset),
         }
     }
-    println!(
-        "\nrecovered {recovered}/{} planted weekly schedules",
-        data.planted.len()
-    );
+    println!("\nrecovered {recovered}/{} planted weekly schedules", data.planted.len());
     assert_eq!(recovered, data.planted.len(), "all planted patterns must be found");
     Ok(())
 }

@@ -84,10 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exact mining: the skipped backup on day 3 breaks the daily cycle.
     let exact = CyclicRuleMiner::new(config, Algorithm::interleaved()).mine(&db)?;
-    let backup_rule = exact
-        .rules
-        .iter()
-        .find(|r| r.rule.to_string() == "{1} => {2}");
+    let backup_rule = exact.rules.iter().find(|r| r.rule.to_string() == "{1} => {2}");
     println!(
         "exact mining finds the backup rule: {}",
         backup_rule.map_or("no".to_string(), |r| r.to_string())

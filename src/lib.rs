@@ -49,7 +49,7 @@ pub use car_datagen as datagen;
 pub use car_itemset as itemset;
 
 pub use car_core::{
-    Algorithm, ConfigBuilder, ConfigError, CountStrategy, Cycle, CycleBounds,
-    CyclicRule, CyclicRuleMiner, InterleavedOptions, MinConfidence, MinSupport,
-    MiningConfig, MiningOutcome, MiningStats, Rule,
+    Algorithm, ConfigBuilder, ConfigError, CountStrategy, Cycle, CycleBounds, CyclicRule,
+    CyclicRuleMiner, InterleavedOptions, MinConfidence, MinSupport, MiningConfig,
+    MiningOutcome, MiningStats, Rule,
 };

@@ -83,9 +83,7 @@ fn growing_budget_grows_rule_set_monotonically() {
 fn timelines_explain_every_mined_rule() {
     let db = generated();
     let cfg = config();
-    let outcome = CyclicRuleMiner::new(cfg, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap();
+    let outcome = CyclicRuleMiner::new(cfg, Algorithm::interleaved()).mine(&db).unwrap();
     assert!(!outcome.rules.is_empty());
     for mined in &outcome.rules {
         let timeline = analyze_rule(&db, &cfg, &mined.rule).unwrap();

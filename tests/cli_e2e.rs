@@ -22,16 +22,31 @@ fn full_pipeline_gen_mine_analyze() {
 
     // Generate a small database with planted cycles.
     let gen_out = run(&[
-        "gen", "--units", "16", "--tx-per-unit", "200", "--items", "100",
-        "--cyclic", "3", "--cycle-min", "2", "--cycle-max", "4", "--boost",
-        "0.9", "--seed", "5", "--out", &data_str, "--show-planted",
+        "gen",
+        "--units",
+        "16",
+        "--tx-per-unit",
+        "200",
+        "--items",
+        "100",
+        "--cyclic",
+        "3",
+        "--cycle-min",
+        "2",
+        "--cycle-max",
+        "4",
+        "--boost",
+        "0.9",
+        "--seed",
+        "5",
+        "--out",
+        &data_str,
+        "--show-planted",
     ])
     .expect("gen must succeed");
     assert!(gen_out.contains("wrote 3200 transactions in 16 units"), "{gen_out}");
-    let planted: Vec<&str> = gen_out
-        .lines()
-        .filter(|l| l.starts_with("# planted"))
-        .collect();
+    let planted: Vec<&str> =
+        gen_out.lines().filter(|l| l.starts_with("# planted")).collect();
     assert_eq!(planted.len(), 3);
 
     // Stats over the generated file.
@@ -41,8 +56,17 @@ fn full_pipeline_gen_mine_analyze() {
 
     // Mine with both algorithms; identical rule listings.
     let base_args = [
-        "mine", "--input", &data_str, "--min-support", "0.3",
-        "--min-confidence", "0.5", "--l-min", "2", "--l-max", "4",
+        "mine",
+        "--input",
+        &data_str,
+        "--min-support",
+        "0.3",
+        "--min-confidence",
+        "0.5",
+        "--l-min",
+        "2",
+        "--l-max",
+        "4",
     ];
     let mut seq_args = base_args.to_vec();
     seq_args.extend(["--algorithm", "sequential"]);
@@ -72,9 +96,21 @@ fn full_pipeline_gen_mine_analyze() {
         let rhs = rest.split(" @ ").next().expect("rule format");
         let rhs_ids = rhs.trim_matches(['{', '}']).replace(' ', ",");
         let analyze_out = run(&[
-            "analyze", "--input", &data_str, "--antecedent", &lhs_ids,
-            "--consequent", &rhs_ids, "--min-support", "0.3",
-            "--min-confidence", "0.5", "--l-min", "2", "--l-max", "4",
+            "analyze",
+            "--input",
+            &data_str,
+            "--antecedent",
+            &lhs_ids,
+            "--consequent",
+            &rhs_ids,
+            "--min-support",
+            "0.3",
+            "--min-confidence",
+            "0.5",
+            "--l-min",
+            "2",
+            "--l-max",
+            "4",
         ])
         .expect("analyze");
         assert!(analyze_out.contains("cycles:"), "{analyze_out}");
@@ -86,15 +122,21 @@ fn full_pipeline_gen_mine_analyze() {
 
 #[test]
 fn detect_command_standalone() {
-    let out = run(&[
-        "detect", "--sequence", "100100100100", "--l-min", "2", "--l-max", "6",
-    ])
-    .expect("detect");
+    let out =
+        run(&["detect", "--sequence", "100100100100", "--l-min", "2", "--l-max", "6"])
+            .expect("detect");
     assert!(out.contains("(3,0)"), "{out}");
 
     let approx = run(&[
-        "detect", "--sequence", "100100000100", "--l-min", "3", "--l-max", "3",
-        "--max-misses", "1",
+        "detect",
+        "--sequence",
+        "100100000100",
+        "--l-min",
+        "3",
+        "--l-max",
+        "3",
+        "--max-misses",
+        "1",
     ])
     .expect("approx detect");
     assert!(approx.contains("misses 1/4"), "{approx}");
@@ -106,4 +148,84 @@ fn help_and_errors() {
     assert!(run(&[]).is_err());
     assert!(run(&["frobnicate"]).unwrap_err().contains("unknown command"));
     assert!(run(&["mine"]).unwrap_err().contains("--input"));
+}
+
+#[test]
+fn serve_command_boots_ingests_and_drains() {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// A `Write` the test can read while the serve command still owns it.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let mut thread_buf = buf.clone();
+    let server = std::thread::spawn(move || {
+        let argv: Vec<String> = [
+            "serve",
+            "--port",
+            "0",
+            "--threads",
+            "2",
+            "--window",
+            "4",
+            "--queue-capacity",
+            "8",
+            "--min-support",
+            "0.5",
+            "--min-confidence",
+            "0.5",
+            "--l-min",
+            "2",
+            "--l-max",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        car_cli::run(&argv, &mut thread_buf).map_err(|e| e.to_string())
+    });
+
+    // The daemon prints its bound address once listening.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        if let Some(line) = text.lines().find(|l| l.contains("listening on http://")) {
+            break line.split("http://").nth(1).unwrap().trim().to_string();
+        }
+        assert!(Instant::now() < deadline, "server never reported its address");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let mut client = car_serve::Client::connect(&addr).expect("connect to daemon");
+    let even = br#"{"transactions": [[1,2],[1,2],[1,2],[1,2]]}"#;
+    let odd = br#"{"transactions": [[9],[9],[9],[9]]}"#;
+    for day in 0..4 {
+        let body: &[u8] = if day % 2 == 0 { even } else { odd };
+        let resp =
+            client.request("POST", "/v1/units?wait=true", Some(body)).expect("ingest");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+    }
+    let resp = client.request("GET", "/v1/rules", None).expect("rules");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_text().contains("{1} => {2}"), "{}", resp.body_text());
+
+    let resp = client.request("POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    server.join().unwrap().expect("serve command exits cleanly");
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert!(text.contains("drained and stopped"), "{text}");
+    assert!(text.contains("ingested 4 units"), "{text}");
 }

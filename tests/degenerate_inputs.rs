@@ -27,9 +27,7 @@ fn all_algorithms() -> Vec<Algorithm> {
 fn zero_units_is_a_config_error() {
     let db = SegmentedDb::with_units(0);
     for algorithm in all_algorithms() {
-        let err = CyclicRuleMiner::new(config(1, 1), algorithm)
-            .mine(&db)
-            .unwrap_err();
+        let err = CyclicRuleMiner::new(config(1, 1), algorithm).mine(&db).unwrap_err();
         assert_eq!(err, ConfigError::EmptyDatabase);
     }
 }
@@ -38,9 +36,7 @@ fn zero_units_is_a_config_error() {
 fn all_empty_units_yield_no_rules() {
     let db = SegmentedDb::with_units(6);
     for algorithm in all_algorithms() {
-        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm)
-            .mine(&db)
-            .unwrap();
+        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm).mine(&db).unwrap();
         assert!(outcome.rules.is_empty());
     }
 }
@@ -49,9 +45,7 @@ fn all_empty_units_yield_no_rules() {
 fn single_unit_with_length_one_cycles() {
     let db = SegmentedDb::from_unit_itemsets(vec![vec![ItemSet::from_ids([1, 2]); 4]]);
     for algorithm in all_algorithms() {
-        let outcome = CyclicRuleMiner::new(config(1, 1), algorithm)
-            .mine(&db)
-            .unwrap();
+        let outcome = CyclicRuleMiner::new(config(1, 1), algorithm).mine(&db).unwrap();
         // Rules hold in the only unit → cycle (1,0).
         assert_eq!(outcome.rules.len(), 2, "{algorithm:?}");
         for r in &outcome.rules {
@@ -67,9 +61,7 @@ fn single_unit_with_length_one_cycles() {
 fn identical_units_give_every_offset() {
     let db = SegmentedDb::from_unit_itemsets(vec![vec![ItemSet::from_ids([5, 6]); 3]; 6]);
     for algorithm in all_algorithms() {
-        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm)
-            .mine(&db)
-            .unwrap();
+        let outcome = CyclicRuleMiner::new(config(2, 3), algorithm).mine(&db).unwrap();
         let r = &outcome.rules[0];
         // Rule holds everywhere: every (l, o) within bounds is a cycle
         // and none is a multiple of another within [2,3].
@@ -85,9 +77,7 @@ fn transactions_with_no_pairs_give_no_rules() {
         vec![ItemSet::from_ids([1]), ItemSet::from_ids([2])],
     ]);
     for algorithm in all_algorithms() {
-        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm)
-            .mine(&db)
-            .unwrap();
+        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm).mine(&db).unwrap();
         assert!(outcome.rules.is_empty(), "{algorithm:?}");
     }
 }
@@ -99,9 +89,7 @@ fn empty_transactions_are_harmless() {
         vec![ItemSet::empty(), ItemSet::from_ids([1, 2]), ItemSet::from_ids([1, 2])],
     ]);
     for algorithm in all_algorithms() {
-        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm)
-            .mine(&db)
-            .unwrap();
+        let outcome = CyclicRuleMiner::new(config(1, 2), algorithm).mine(&db).unwrap();
         assert!(
             outcome.rules.iter().any(|r| r.rule.to_string() == "{1} => {2}"),
             "{algorithm:?}"

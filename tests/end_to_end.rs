@@ -7,8 +7,9 @@ use cyclic_association_rules::{
     Algorithm, CyclicRuleMiner, InterleavedOptions, MiningConfig,
 };
 
-fn workload(seed: u64) -> (cyclic_association_rules::itemset::SegmentedDb, Vec<car_datagen::PlantedPattern>)
-{
+fn workload(
+    seed: u64,
+) -> (cyclic_association_rules::itemset::SegmentedDb, Vec<car_datagen::PlantedPattern>) {
     let config = CyclicConfig {
         quest: QuestConfig::default().with_num_items(200),
         num_units: 24,
@@ -40,9 +41,7 @@ fn sequential_and_interleaved_agree_on_generated_data() {
     for seed in [1u64, 2, 3] {
         let (db, _) = workload(seed);
         let config = mining_config();
-        let seq = CyclicRuleMiner::new(config, Algorithm::Sequential)
-            .mine(&db)
-            .unwrap();
+        let seq = CyclicRuleMiner::new(config, Algorithm::Sequential).mine(&db).unwrap();
         for opts in [
             InterleavedOptions::all(),
             InterleavedOptions::none(),
@@ -86,11 +85,7 @@ fn planted_patterns_are_recovered() {
             p.items,
             p.length,
             p.offset,
-            outcome
-                .rules
-                .iter()
-                .filter(|r| r.rule.antecedent == a)
-                .collect::<Vec<_>>()
+            outcome.rules.iter().filter(|r| r.rule.antecedent == a).collect::<Vec<_>>()
         );
     }
 }
@@ -99,15 +94,11 @@ fn planted_patterns_are_recovered() {
 fn interleaved_does_less_work_on_realistic_data() {
     let (db, _) = workload(5);
     let config = mining_config();
-    let int = CyclicRuleMiner::new(config, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap();
-    let unopt = CyclicRuleMiner::new(
-        config,
-        Algorithm::Interleaved(InterleavedOptions::none()),
-    )
-    .mine(&db)
-    .unwrap();
+    let int = CyclicRuleMiner::new(config, Algorithm::interleaved()).mine(&db).unwrap();
+    let unopt =
+        CyclicRuleMiner::new(config, Algorithm::Interleaved(InterleavedOptions::none()))
+            .mine(&db)
+            .unwrap();
     assert_eq!(int.rules, unopt.rules);
     assert!(
         int.stats.support_computations < unopt.stats.support_computations,
@@ -134,14 +125,10 @@ fn tightening_thresholds_shrinks_the_rule_set() {
         .cycle_bounds(2, 8)
         .build()
         .unwrap();
-    let loose_rules = CyclicRuleMiner::new(loose, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap()
-        .rules;
-    let tight_rules = CyclicRuleMiner::new(tight, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap()
-        .rules;
+    let loose_rules =
+        CyclicRuleMiner::new(loose, Algorithm::interleaved()).mine(&db).unwrap().rules;
+    let tight_rules =
+        CyclicRuleMiner::new(tight, Algorithm::interleaved()).mine(&db).unwrap().rules;
     assert!(tight_rules.len() <= loose_rules.len());
     // Every tight rule must appear among the loose ones (same rule; its
     // cycle set can only grow when thresholds loosen… in fact the loose

@@ -66,15 +66,11 @@ fn fimi_files_can_be_segmented_and_mined() {
 
     let db = segment_evenly(read_back, 8);
     assert_eq!(db.num_units(), 8);
-    let outcome = CyclicRuleMiner::new(config(), Algorithm::interleaved())
-        .mine(&db)
-        .unwrap();
+    let outcome =
+        CyclicRuleMiner::new(config(), Algorithm::interleaved()).mine(&db).unwrap();
     assert!(
-        outcome
-            .rules
-            .iter()
-            .any(|r| r.rule.to_string() == "{1} => {2}"
-                && r.cycles.iter().any(|c| (c.length(), c.offset()) == (2, 0))),
+        outcome.rules.iter().any(|r| r.rule.to_string() == "{1} => {2}"
+            && r.cycles.iter().any(|c| (c.length(), c.offset()) == (2, 0))),
         "{:?}",
         outcome.rules
     );

@@ -14,12 +14,9 @@ fn mine_both(config: &CyclicConfig, seed: u64, min_support: f64) -> (usize, usiz
         .max_itemset_size(4)
         .build()
         .unwrap();
-    let seq = CyclicRuleMiner::new(mining, Algorithm::Sequential)
-        .mine(&data.db)
-        .unwrap();
-    let int = CyclicRuleMiner::new(mining, Algorithm::interleaved())
-        .mine(&data.db)
-        .unwrap();
+    let seq = CyclicRuleMiner::new(mining, Algorithm::Sequential).mine(&data.db).unwrap();
+    let int =
+        CyclicRuleMiner::new(mining, Algorithm::interleaved()).mine(&data.db).unwrap();
     assert_eq!(seq.rules, int.rules);
     (data.db.num_transactions(), seq.rules.len())
 }

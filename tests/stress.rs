@@ -33,22 +33,16 @@ fn equivalence_holds_at_scale() {
         .cycle_bounds(2, 12)
         .build()
         .unwrap();
-    let seq = CyclicRuleMiner::new(config, Algorithm::Sequential)
-        .mine(&db)
-        .unwrap();
-    let int = CyclicRuleMiner::new(config, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap();
+    let seq = CyclicRuleMiner::new(config, Algorithm::Sequential).mine(&db).unwrap();
+    let int = CyclicRuleMiner::new(config, Algorithm::interleaved()).mine(&db).unwrap();
     assert_eq!(seq.rules, int.rules);
     assert!(!seq.rules.is_empty());
     // The headline claim at this scale: the optimizations save most of
     // the support computations.
-    let unopt = CyclicRuleMiner::new(
-        config,
-        Algorithm::Interleaved(InterleavedOptions::none()),
-    )
-    .mine(&db)
-    .unwrap();
+    let unopt =
+        CyclicRuleMiner::new(config, Algorithm::Interleaved(InterleavedOptions::none()))
+            .mine(&db)
+            .unwrap();
     assert_eq!(unopt.rules, int.rules);
     assert!(
         int.stats.support_computations * 2 < unopt.stats.support_computations,
@@ -82,12 +76,8 @@ fn deep_itemsets_mine_consistently() {
         .cycle_bounds(2, 6)
         .build()
         .unwrap();
-    let seq = CyclicRuleMiner::new(config, Algorithm::Sequential)
-        .mine(&db)
-        .unwrap();
-    let int = CyclicRuleMiner::new(config, Algorithm::interleaved())
-        .mine(&db)
-        .unwrap();
+    let seq = CyclicRuleMiner::new(config, Algorithm::Sequential).mine(&db).unwrap();
+    let int = CyclicRuleMiner::new(config, Algorithm::interleaved()).mine(&db).unwrap();
     assert_eq!(seq.rules, int.rules);
     // The 4-itemset yields rules with up to 3-item sides, all on (3,0).
     let deep = seq
@@ -95,10 +85,7 @@ fn deep_itemsets_mine_consistently() {
         .iter()
         .find(|r| r.rule.antecedent.len() + r.rule.consequent.len() == 4)
         .expect("4-item rules must surface");
-    assert!(deep
-        .cycles
-        .iter()
-        .any(|c| (c.length(), c.offset()) == (3, 0)));
+    assert!(deep.cycles.iter().any(|c| (c.length(), c.offset()) == (3, 0)));
     // Every subset-split of {1,2,3,4} passes confidence 1 here: 2^4 - 2
     // = 14 rules from the quad itself.
     let quad_rules = seq
