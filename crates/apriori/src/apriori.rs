@@ -87,10 +87,12 @@ impl Apriori {
         let mut item_counts: FastHashMap<Item, u64> = FastHashMap::default();
         for t in transactions {
             for item in t.iter() {
-                *item_counts.entry(item).or_insert(0) += 1;
+                let slot = item_counts.entry(item).or_insert(0);
+                *slot = slot.saturating_add(1);
             }
         }
-        stats.candidates_counted += item_counts.len() as u64;
+        stats.candidates_counted =
+            stats.candidates_counted.saturating_add(item_counts.len() as u64);
         stats.levels = 1;
         let mut large: Vec<ItemSet> = item_counts
             .iter()
@@ -114,8 +116,9 @@ impl Apriori {
             if candidates.is_empty() {
                 break;
             }
-            stats.candidates_counted += candidates.len() as u64;
-            stats.levels += 1;
+            stats.candidates_counted =
+                stats.candidates_counted.saturating_add(candidates.len() as u64);
+            stats.levels = stats.levels.saturating_add(1);
             let counts =
                 count_candidates(&candidates, transactions, self.config.counting);
             large = candidates

@@ -78,7 +78,7 @@ fn count_hashmap(candidates: &[ItemSet], transactions: &[ItemSet], k: usize) -> 
         }
         for sub in t.k_subsets(k) {
             if let Some(&i) = index.get(&sub) {
-                counts[i] += 1;
+                counts[i] = counts[i].saturating_add(1);
             }
         }
     }

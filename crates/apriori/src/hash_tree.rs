@@ -109,7 +109,10 @@ impl HashTree {
         if transaction.len() < self.k || self.candidates.is_empty() {
             return;
         }
-        self.next_stamp += 1;
+        // Wrapping (not saturating): a saturated stamp would compare
+        // equal forever and silently stop counting, while a u64 wrap is
+        // unreachable in practice and harmless if it ever happened.
+        self.next_stamp = self.next_stamp.wrapping_add(1);
         let stamp = self.next_stamp;
         // Split borrows: traversal reads the tree and candidate list and
         // mutates counts/stamps only.
@@ -146,7 +149,7 @@ impl HashTree {
                     let i = idx as usize;
                     if stamps[i] != stamp && candidates[i].is_subset_of_slice(full) {
                         stamps[i] = stamp;
-                        counts[i] += 1;
+                        counts[i] = counts[i].saturating_add(1);
                     }
                 }
             }
@@ -158,7 +161,9 @@ impl HashTree {
                     return;
                 }
                 let last_start = items.len() - remaining_needed;
+                let next_depth = depth + 1;
                 for i in 0..=last_start {
+                    let rest = items.get(i + 1..).unwrap_or(&[]);
                     Self::visit(
                         &children[bucket(items[i])],
                         candidates,
@@ -166,8 +171,8 @@ impl HashTree {
                         stamps,
                         stamp,
                         full,
-                        &items[i + 1..],
-                        depth + 1,
+                        rest,
+                        next_depth,
                         k,
                     );
                 }

@@ -1,0 +1,210 @@
+//! Baseline files: grandfathering known findings.
+//!
+//! A baseline is a JSON-lines file — one object per suppressed finding,
+//! exactly the objects `--format json` emits (`file`, `lint`,
+//! `snippet`; `line` is ignored so unrelated edits don't invalidate the
+//! baseline). Suppression is count-aware: a baseline with two
+//! `a1-unwrap` entries for a file suppresses at most two matching
+//! findings; a third is reported. `--write-baseline <path>` snapshots
+//! the current findings, and the tree is expected to keep the baseline
+//! empty once the grandfathered debt is paid down.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::findings::Finding;
+
+/// One baseline entry. `line` is intentionally absent.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Root-relative file path.
+    pub file: String,
+    /// Lint id.
+    pub lint: String,
+    /// Finding snippet (token text), narrowing the match.
+    pub snippet: String,
+}
+
+/// Parses a baseline file. Blank lines and `#` comments are skipped;
+/// a line that is not a recognisable entry is an error (a silently
+/// ignored suppression would be worse than a loud failure).
+pub fn load(path: &Path) -> io::Result<Vec<BaselineEntry>> {
+    let text = fs::read_to_string(path)?;
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let entry = parse_entry(line).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: malformed baseline entry", path.display(), idx + 1),
+            )
+        })?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Renders findings as baseline lines.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# car-audit baseline: grandfathered findings, one JSON object per line.\n\
+         # Remove entries as the underlying findings are fixed.\n",
+    );
+    for f in findings {
+        out.push_str(&format!(
+            "{{\"file\":{},\"lint\":{},\"snippet\":{}}}\n",
+            crate::findings::json_str(&f.file),
+            crate::findings::json_str(f.lint),
+            crate::findings::json_str(&f.snippet),
+        ));
+    }
+    out
+}
+
+/// Removes baselined findings (count-aware) and returns the survivors.
+pub fn apply(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Vec<Finding> {
+    let mut budget: BTreeMap<BaselineEntry, usize> = BTreeMap::new();
+    for e in baseline {
+        *budget.entry(e.clone()).or_insert(0) += 1;
+    }
+    findings
+        .into_iter()
+        .filter(|f| {
+            let key = BaselineEntry {
+                file: f.file.clone(),
+                lint: f.lint.to_string(),
+                snippet: f.snippet.clone(),
+            };
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .collect()
+}
+
+/// Extracts `"key":"value"` pairs from one flat JSON object line. This
+/// is not a general JSON parser — it handles exactly the objects this
+/// crate writes (string values with `\"`, `\\`, `\n`, `\t`, `\r`,
+/// `\uXXXX` escapes, plus the numeric `line` field, which it skips).
+fn parse_entry(line: &str) -> Option<BaselineEntry> {
+    let mut file = None;
+    let mut lint = None;
+    let mut snippet = None;
+    for key in ["file", "lint", "snippet"] {
+        let needle = format!("\"{key}\":");
+        let at = line.find(&needle)?;
+        let rest = line.get(at + needle.len()..)?;
+        let rest = rest.trim_start();
+        let value = parse_json_string(rest)?;
+        match key {
+            "file" => file = Some(value),
+            "lint" => lint = Some(value),
+            _ => snippet = Some(value),
+        }
+    }
+    Some(BaselineEntry { file: file?, lint: lint?, snippet: snippet? })
+}
+
+fn parse_json_string(s: &str) -> Option<String> {
+    let mut chars = s.chars();
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                '/' => out.push('/'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::lints;
+
+    fn finding(file: &str, lint: &'static str, snippet: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            lint,
+            snippet: snippet.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let f = finding("a/b.rs", lints::A1_UNWRAP, "unwrap");
+        let text = render(std::slice::from_ref(&f));
+        let entry = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(parse_entry)
+            .next()
+            .expect("one entry");
+        assert_eq!(entry.file, "a/b.rs");
+        assert_eq!(entry.lint, "a1-unwrap");
+        assert_eq!(entry.snippet, "unwrap");
+    }
+
+    #[test]
+    fn suppression_is_count_aware() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            lint: "a1-unwrap".into(),
+            snippet: "unwrap".into(),
+        }];
+        let findings = vec![
+            finding("a.rs", lints::A1_UNWRAP, "unwrap"),
+            finding("a.rs", lints::A1_UNWRAP, "unwrap"),
+        ];
+        let left = apply(findings, &baseline);
+        assert_eq!(left.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_findings_survive() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".into(),
+            lint: "a1-unwrap".into(),
+            snippet: "unwrap".into(),
+        }];
+        let findings = vec![finding("b.rs", lints::A1_UNWRAP, "unwrap")];
+        assert_eq!(apply(findings, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn escaped_strings_parse() {
+        let entry =
+            parse_entry(r#"{"file":"a\"b.rs","lint":"a1-panic","snippet":"x\\y"}"#)
+                .expect("parses");
+        assert_eq!(entry.file, "a\"b.rs");
+        assert_eq!(entry.snippet, "x\\y");
+    }
+}

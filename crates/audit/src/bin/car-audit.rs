@@ -1,0 +1,10 @@
+//! Standalone `car-audit` binary; the same engine is exposed as the
+//! `car audit` subcommand.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    ExitCode::from(car_audit::run_cli(&args, &mut stdout) as u8)
+}

@@ -1,0 +1,94 @@
+//! A4: discarded-Result lint for the daemon's I/O paths.
+//!
+//! `let _ = socket.write_all(...)` silently swallows an I/O error: the
+//! client sees a truncated response, the operator sees nothing in the
+//! logs, and the metrics stay green. The lint flags `let _ =`
+//! statements whose right-hand side calls a fallible I/O method, so the
+//! error must either be handled or explicitly logged.
+
+use crate::findings::{lints, Finding};
+use crate::lexer::Token;
+
+/// Method names whose `Result` must not be silently discarded.
+const IO_MARKERS: [&str; 11] = [
+    "write_to",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "join",
+    "send",
+    "recv",
+    "read_exact",
+    "read_to_string",
+    "write",
+    "writeln",
+];
+
+/// Runs the A4 pass over a test-stripped token stream.
+pub fn check(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_discard = tokens[i].is_ident("let")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("_"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("="));
+        if !is_discard {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        // Scan the right-hand side up to the statement's `;`.
+        let mut j = i + 3;
+        let mut marker: Option<&str> = None;
+        while j < tokens.len() && !tokens[j].is_punct(";") {
+            if let Some(&m) = IO_MARKERS.iter().find(|&&m| tokens[j].is_ident(m)) {
+                marker.get_or_insert(m);
+            }
+            j += 1;
+        }
+        if let Some(m) = marker {
+            out.push(Finding {
+                file: file.to_string(),
+                line,
+                lint: lints::A4_DISCARD,
+                snippet: format!("let _ = ...{m}(...)"),
+                message: format!(
+                    "`let _ =` discards the Result of `{m}`; handle or log the error"
+                ),
+            });
+        }
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn lints_of(src: &str) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        check("f.rs", &strip_test_code(lex(src).tokens), &mut out);
+        out.into_iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn flags_discarded_io() {
+        assert_eq!(lints_of("let _ = stream.write_all(buf);"), [lints::A4_DISCARD]);
+        assert_eq!(lints_of("let _ = handle.join();"), [lints::A4_DISCARD]);
+        assert_eq!(lints_of("let _ = tx.send(msg);"), [lints::A4_DISCARD]);
+    }
+
+    #[test]
+    fn non_io_discards_are_fine() {
+        assert!(lints_of("let _ = compute();").is_empty());
+        assert!(lints_of("let _ = guard;").is_empty());
+    }
+
+    #[test]
+    fn named_bindings_are_fine() {
+        assert!(lints_of("let n = stream.write_all(buf);").is_empty());
+        assert!(
+            lints_of("if stream.write_all(buf).is_err() { count_error(); }").is_empty()
+        );
+    }
+}

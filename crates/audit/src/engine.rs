@@ -1,0 +1,310 @@
+//! The audit engine: scope configuration, file walking, lint
+//! dispatch, and `audit:allow` suppression.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::findings::{lints, Finding};
+use crate::lexer::{lex, strip_test_code, Allow, Lexed};
+use crate::{arith, discard, locks, panic_free};
+
+/// Which files each lint family applies to. Entries are root-relative
+/// paths; a directory means "every `.rs` file underneath it".
+/// Missing entries are skipped silently so the config stays valid as
+/// files move.
+#[derive(Clone, Debug, Default)]
+pub struct AuditConfig {
+    /// A1 panic-freedom scope (hot-path files).
+    pub a1: Vec<String>,
+    /// A2 lock-order scope (everything that touches shared state).
+    pub a2: Vec<String>,
+    /// A3 checked-arithmetic scope (counting kernels).
+    pub a3: Vec<String>,
+    /// A4 discarded-Result scope (the daemon's I/O paths).
+    pub a4: Vec<String>,
+}
+
+/// The project's lint scopes, mirroring ISSUE/DESIGN docs: panic
+/// freedom on the request-handling and mining hot paths, lock analysis
+/// across the daemon and miner state, arithmetic checks on the counting
+/// kernels, and Result-discard checks on the whole daemon.
+pub fn default_config() -> AuditConfig {
+    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect();
+    AuditConfig {
+        a1: s(&[
+            "crates/serve/src/routes.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/http.rs",
+            "crates/serve/src/json.rs",
+            "crates/serve/src/state.rs",
+            "crates/core/src/window.rs",
+            "crates/core/src/interleaved.rs",
+            "crates/core/src/sequential.rs",
+            "crates/core/src/incremental.rs",
+        ]),
+        a2: s(&["crates/serve/src", "crates/core/src"]),
+        a3: s(&[
+            "crates/apriori/src/count.rs",
+            "crates/apriori/src/hash_tree.rs",
+            "crates/apriori/src/apriori.rs",
+        ]),
+        a4: s(&["crates/serve/src"]),
+    }
+}
+
+/// A lexed file, cached so overlapping scopes lex once.
+struct FileUnit {
+    rel: String,
+    lexed: Lexed,
+}
+
+/// Runs every lint pass over `root` and returns findings sorted by
+/// (file, line, lint), with `audit:allow` suppression applied.
+pub fn run_audit(root: &Path, config: &AuditConfig) -> io::Result<Vec<Finding>> {
+    let mut cache: BTreeMap<String, FileUnit> = BTreeMap::new();
+    let a1 = resolve_scope(root, &config.a1, &mut cache)?;
+    let a2 = resolve_scope(root, &config.a2, &mut cache)?;
+    let a3 = resolve_scope(root, &config.a3, &mut cache)?;
+    let a4 = resolve_scope(root, &config.a4, &mut cache)?;
+
+    let mut findings = Vec::new();
+
+    for rel in &a1 {
+        let unit = &cache[rel];
+        panic_free::check(rel, &unit.lexed.tokens, &mut findings);
+    }
+
+    // A2 is a whole-scope analysis: fields and call summaries are
+    // gathered across every in-scope file before edges are extracted.
+    let mut lock_names = BTreeSet::new();
+    for rel in &a2 {
+        locks::collect_lock_fields(&cache[rel].lexed.tokens, &mut lock_names);
+    }
+    let mut summaries = BTreeMap::new();
+    for rel in &a2 {
+        locks::function_summaries(&cache[rel].lexed.tokens, &lock_names, &mut summaries);
+    }
+    let mut edges = Vec::new();
+    for rel in &a2 {
+        locks::check(
+            rel,
+            &cache[rel].lexed.tokens,
+            &lock_names,
+            &summaries,
+            &mut edges,
+            &mut findings,
+        );
+    }
+    if std::env::var_os("CAR_AUDIT_DEBUG_EDGES").is_some() {
+        for e in &edges {
+            eprintln!("edge {} -> {} at {}:{}", e.from, e.to, e.file, e.line);
+        }
+    }
+    findings.extend(locks::detect_cycles(&edges));
+
+    for rel in &a3 {
+        arith::check(rel, &cache[rel].lexed.tokens, &mut findings);
+    }
+    for rel in &a4 {
+        discard::check(rel, &cache[rel].lexed.tokens, &mut findings);
+    }
+
+    let mut findings = apply_allows(findings, &cache);
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
+    });
+    Ok(findings)
+}
+
+/// Expands scope entries to root-relative `.rs` file paths, lexing and
+/// caching each file the first time it is seen.
+fn resolve_scope(
+    root: &Path,
+    entries: &[String],
+    cache: &mut BTreeMap<String, FileUnit>,
+) -> io::Result<Vec<String>> {
+    let mut rels = Vec::new();
+    for entry in entries {
+        let abs = root.join(entry);
+        if abs.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(&abs, &mut files)?;
+            files.sort();
+            for f in files {
+                if let Some(rel) = relative(root, &f) {
+                    rels.push(rel);
+                }
+            }
+        } else if abs.is_file() {
+            rels.push(entry.replace('\\', "/"));
+        }
+        // Missing paths are skipped: scopes describe intent, and the
+        // acceptance gate (zero findings) is unaffected by absences.
+    }
+    for rel in &rels {
+        if !cache.contains_key(rel) {
+            let source = fs::read_to_string(root.join(rel))?;
+            let mut lexed = lex(&source);
+            lexed.tokens = strip_test_code(lexed.tokens);
+            cache.insert(rel.clone(), FileUnit { rel: rel.clone(), lexed });
+        }
+    }
+    rels.dedup();
+    Ok(rels)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    path.strip_prefix(root).ok().map(|p| p.to_string_lossy().replace('\\', "/"))
+}
+
+/// Applies `audit:allow` directives: a directive suppresses matching
+/// findings on its own line and on the next line, but only when it
+/// carries a non-empty reason — a reasonless directive suppresses
+/// nothing and is itself reported as `allow-no-reason`.
+fn apply_allows(
+    findings: Vec<Finding>,
+    cache: &BTreeMap<String, FileUnit>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in findings {
+        let allows: &[Allow] =
+            cache.get(&f.file).map(|u| u.lexed.allows.as_slice()).unwrap_or(&[]);
+        let suppressed = allows.iter().any(|a| {
+            !a.reason.is_empty()
+                && (a.line == f.line || a.line + 1 == f.line)
+                && a.lints.iter().any(|l| l == f.lint)
+        });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    // Reasonless directives become findings of their own.
+    for unit in cache.values() {
+        for a in &unit.lexed.allows {
+            if a.reason.is_empty() {
+                out.push(Finding {
+                    file: unit.rel.clone(),
+                    line: a.line,
+                    lint: lints::ALLOW_NO_REASON,
+                    snippet: format!("audit:allow({})", a.lints.join(", ")),
+                    message: "audit:allow requires a non-empty reason=\"...\""
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end on a synthetic tree written to a temp dir.
+    fn with_tree(files: &[(&str, &str)], f: impl FnOnce(&Path)) {
+        let dir = std::env::temp_dir().join(format!(
+            "car-audit-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        for (rel, content) in files {
+            let path = dir.join(rel);
+            fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+            fs::write(&path, content).expect("write");
+        }
+        f(&dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        with_tree(
+            &[(
+                "src/hot.rs",
+                "fn f(x: Option<u32>) -> u32 {\n\
+                 // audit:allow(a1-unwrap) reason=\"checked by caller\"\n\
+                 x.unwrap()\n\
+                 }\n",
+            )],
+            |root| {
+                let config =
+                    AuditConfig { a1: vec!["src/hot.rs".into()], ..Default::default() };
+                let findings = run_audit(root, &config).expect("audit");
+                assert!(findings.is_empty(), "unexpected: {findings:?}");
+            },
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_reports_both() {
+        with_tree(
+            &[(
+                "src/hot.rs",
+                "fn f(x: Option<u32>) -> u32 {\n\
+                 x.unwrap() // audit:allow(a1-unwrap)\n\
+                 }\n",
+            )],
+            |root| {
+                let config =
+                    AuditConfig { a1: vec!["src/hot.rs".into()], ..Default::default() };
+                let findings = run_audit(root, &config).expect("audit");
+                let lints_found: Vec<_> = findings.iter().map(|f| f.lint).collect();
+                assert!(lints_found.contains(&lints::A1_UNWRAP));
+                assert!(lints_found.contains(&lints::ALLOW_NO_REASON));
+            },
+        );
+    }
+
+    #[test]
+    fn directory_scope_walks_recursively() {
+        with_tree(
+            &[
+                ("src/a.rs", "struct S { a: Mutex<u64>, b: Mutex<u64> }\n"),
+                (
+                    "src/sub/b.rs",
+                    "fn f(s: &S) { let ga = s.a.lock(); let gb = s.b.lock(); }\n",
+                ),
+                (
+                    "src/sub/c.rs",
+                    "fn g(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); }\n",
+                ),
+            ],
+            |root| {
+                let config = AuditConfig { a2: vec!["src".into()], ..Default::default() };
+                let findings = run_audit(root, &config).expect("audit");
+                assert!(
+                    findings.iter().any(|f| f.lint == lints::A2_ORDER),
+                    "expected a lock-order cycle, got {findings:?}"
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn missing_scope_entries_are_skipped() {
+        with_tree(&[("src/real.rs", "fn ok() {}\n")], |root| {
+            let config = AuditConfig {
+                a1: vec!["src/real.rs".into(), "src/not_there.rs".into()],
+                ..Default::default()
+            };
+            let findings = run_audit(root, &config).expect("audit");
+            assert!(findings.is_empty());
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Finding and lint-id types shared by all audit passes.
+
+use std::fmt;
+
+/// Stable lint identifiers.
+///
+/// These appear in diagnostics, `audit:allow(...)` directives, baseline
+/// files, and CI output; renaming one is a breaking change for all of
+/// those, so they are centralised here.
+pub mod lints {
+    /// `unwrap()` call in a panic-free scope.
+    pub const A1_UNWRAP: &str = "a1-unwrap";
+    /// `expect(...)` call in a panic-free scope.
+    pub const A1_EXPECT: &str = "a1-expect";
+    /// `panic!`/`unreachable!`/`assert!` macro in a panic-free scope.
+    pub const A1_PANIC: &str = "a1-panic";
+    /// `todo!`/`unimplemented!` macro in a panic-free scope.
+    pub const A1_TODO: &str = "a1-todo";
+    /// Slice/array index expression in a panic-free scope.
+    pub const A1_INDEX: &str = "a1-index";
+    /// Integer division (`/`, `/=`, `%`) in a panic-free scope.
+    pub const A1_DIV: &str = "a1-div";
+    /// Cycle in the global lock-ordering graph.
+    pub const A2_ORDER: &str = "a2-order";
+    /// Blocking call (`.join()`, `.recv()`, blocking send) while a lock
+    /// is held.
+    pub const A2_BLOCKING: &str = "a2-blocking";
+    /// Unchecked `+`/`*`/`+=`/`*=` on a support/confidence counter.
+    pub const A3_UNCHECKED: &str = "a3-unchecked";
+    /// `let _ =` discarding a fallible I/O result.
+    pub const A4_DISCARD: &str = "a4-discard";
+    /// `audit:allow` directive with a missing or empty reason.
+    pub const ALLOW_NO_REASON: &str = "allow-no-reason";
+
+    /// All lint ids, for `--help` and directive validation.
+    pub const ALL: [&str; 11] = [
+        A1_UNWRAP,
+        A1_EXPECT,
+        A1_PANIC,
+        A1_TODO,
+        A1_INDEX,
+        A1_DIV,
+        A2_ORDER,
+        A2_BLOCKING,
+        A3_UNCHECKED,
+        A4_DISCARD,
+        ALLOW_NO_REASON,
+    ];
+}
+
+/// One diagnostic produced by an audit pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the offending file, relative to the audited root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable lint id (one of [`lints`]).
+    pub lint: &'static str,
+    /// A short source snippet or token context.
+    pub snippet: String,
+    /// Human-readable explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} ({})",
+            self.file, self.line, self.lint, self.message, self.snippet
+        )
+    }
+}
+
+impl Finding {
+    /// Renders the finding as a JSON object (hand-rolled; the crate has
+    /// no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"lint\":{},\"snippet\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            json_str(self.lint),
+            json_str(&self.snippet),
+            json_str(&self.message),
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn finding_json_shape() {
+        let f = Finding {
+            file: "crates/serve/src/json.rs".into(),
+            line: 12,
+            lint: lints::A1_UNWRAP,
+            snippet: "x.unwrap()".into(),
+            message: "unwrap() may panic".into(),
+        };
+        let j = f.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"lint\":\"a1-unwrap\""));
+        assert!(j.contains("\"line\":12"));
+    }
+}

@@ -1,0 +1,585 @@
+//! A hand-rolled, comment/string/lifetime-aware Rust lexer.
+//!
+//! The auditor needs to reason about *code*, not about the contents of
+//! string literals, doc examples, or comments — a `// panic!` in prose
+//! must never trip the panic-freedom lint. Pulling in `syn` is not an
+//! option (the build environment has no crates registry), and a full
+//! parser is unnecessary: every project lint is expressible over a
+//! token stream with line numbers. So this module implements exactly
+//! the subset of Rust lexing the lints need:
+//!
+//! * line (`//`) and nested block (`/* */`) comments are skipped, but
+//!   scanned for `audit:allow(...)` directives;
+//! * string, raw string (`r#"..."#`), byte string, and char literals
+//!   are opaque single tokens;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity is resolved with
+//!   one byte of lookahead, the same way rustc's lexer does;
+//! * multi-byte operators the lints care about (`+=`, `*=`, `/=`, `..`,
+//!   `::`, `->`, `=>`, ...) come out as single punctuation tokens, so a
+//!   lint matching `/` never fires inside `/=` by accident.
+//!
+//! Everything else (keywords vs identifiers, expression structure) is
+//! left to the individual lints, which pattern-match short token
+//! windows.
+
+use std::fmt;
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Punctuation / operator, possibly multi-byte (`+=`, `::`, `{`).
+    Punct,
+    /// A numeric literal (`42`, `0x1F`, `2.5e-3`).
+    Num,
+    /// A string or byte-string literal (raw or not), content elided.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The kind of token.
+    pub kind: TokenKind,
+    /// The token text (elided to `""` for string literals — no lint
+    /// inspects their contents, and eliding keeps findings small).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TokenKind::Str => write!(f, "\"...\""),
+            _ => write!(f, "{}", self.text),
+        }
+    }
+}
+
+/// An `audit:allow` directive found in a comment.
+///
+/// Grammar (inside any comment):
+/// `audit:allow(<lint>[, <lint>...]) reason="<non-empty text>"`.
+/// The directive suppresses matching findings on its own line and on
+/// the line directly below it (trailing- and leading-comment styles).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Allow {
+    /// 1-based line of the comment containing the directive.
+    pub line: u32,
+    /// Lint ids the directive names.
+    pub lints: Vec<String>,
+    /// The reason text; empty when missing (itself a finding).
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Allow directives harvested from comments.
+    pub allows: Vec<Allow>,
+}
+
+/// Multi-byte punctuation, longest first so maximal-munch matching is a
+/// simple linear scan.
+const MULTI_PUNCT: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+/// Lexes `source` into tokens and allow directives.
+pub fn lex(source: &str) -> Lexed {
+    Lexer { bytes: source.as_bytes(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.scan_allow(&text, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        let mut depth = 0usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        // A block comment can span lines; attribute the directive to the
+        // comment's *last* line so "directly above the code" works.
+        self.scan_allow(&text, self.line.max(start_line));
+    }
+
+    /// Consumes a `"..."` literal (escape-aware, may span lines).
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Str, String::new(), line);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`).
+    fn quote(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(b'\\') => false,
+            Some(b) if is_ident_start(b) => self.peek(2) != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            // Char literal: consume to the closing quote, honouring `\`.
+            self.pos += 1;
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => self.pos += 2,
+                    b'\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            self.push(TokenKind::Char, String::new(), line);
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `b'x'`, `br#"..."#`.
+    /// Returns false when the `r`/`b` begins a plain identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let line = self.line;
+        let mut i = self.pos;
+        let mut raw = false;
+        if self.bytes.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.bytes.get(i) == Some(&b'r') {
+            raw = true;
+            i += 1;
+        }
+        let hashes_start = i;
+        while raw && self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        let hashes = i - hashes_start;
+        match self.bytes.get(i) {
+            Some(&b'"') => {
+                // A (raw/byte) string literal.
+                self.pos = i + 1;
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some(b'\n') => {
+                            self.line += 1;
+                            self.pos += 1;
+                        }
+                        Some(b'\\') if !raw => self.pos += 2,
+                        Some(b'"') => {
+                            self.pos += 1;
+                            if !raw || (0..hashes).all(|h| self.peek(h) == Some(b'#')) {
+                                self.pos += hashes;
+                                break;
+                            }
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+                self.push(TokenKind::Str, String::new(), line);
+                true
+            }
+            Some(&b'\'') if self.bytes.get(self.pos) == Some(&b'b') && !raw => {
+                // Byte literal b'x'.
+                self.pos = i; // at the quote
+                self.quote();
+                true
+            }
+            _ if raw && hashes > 0 => {
+                // Raw identifier r#foo: emit the identifier itself.
+                self.pos = i;
+                self.ident();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut prev = 0u8;
+        while let Some(b) = self.peek(0) {
+            let cont = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.'
+                    && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                    && prev != b'.')
+                || ((b == b'+' || b == b'-') && (prev == b'e' || prev == b'E'));
+            if !cont {
+                break;
+            }
+            prev = b;
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let rest = &self.bytes[self.pos..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, op.to_string(), line);
+                return;
+            }
+        }
+        let b = self.bytes[self.pos..self.pos + 1].to_vec();
+        self.pos += 1;
+        self.push(TokenKind::Punct, String::from_utf8_lossy(&b).into_owned(), line);
+    }
+
+    /// Parses `audit:allow(a, b) reason="..."` out of a comment's text.
+    fn scan_allow(&mut self, comment: &str, line: u32) {
+        let Some(at) = comment.find("audit:allow(") else {
+            return;
+        };
+        let after = &comment[at + "audit:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            return;
+        };
+        let lints: Vec<String> = after[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if lints.is_empty() {
+            return;
+        }
+        let tail = &after[close + 1..];
+        let reason = tail
+            .find("reason=\"")
+            .and_then(|r| {
+                let body = &tail[r + "reason=\"".len()..];
+                body.find('"').map(|end| body[..end].trim().to_string())
+            })
+            .unwrap_or_default();
+        self.out.allows.push(Allow { line, lints, reason });
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Removes the bodies of `#[cfg(test)]` items and `#[test]` functions
+/// from a token stream.
+///
+/// The project lints govern production code; test code is free to
+/// `unwrap()` at will. Detection is attribute-driven: an attribute whose
+/// tokens include `test` (and not `not`, so `#[cfg(not(test))]` and
+/// `#[cfg_attr(not(test), ...)]` survive) causes the next brace-balanced
+/// `{...}` block — the test module or test function body — to be
+/// dropped.
+pub fn strip_test_code(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // Collect the attribute's tokens.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() && depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("]") {
+                    depth -= 1;
+                } else if t.is_ident("test") {
+                    has_test = true;
+                } else if t.is_ident("not") {
+                    has_not = true;
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip item tokens up to its body, then the whole body.
+                while j < tokens.len() && !tokens[j].is_punct("{") {
+                    j += 1;
+                }
+                let mut braces = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("{") {
+                        braces += 1;
+                    } else if tokens[j].is_punct("}") {
+                        braces -= 1;
+                        if braces == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r#"
+            // a panic! in prose and x.unwrap() too
+            /* block unwrap() */
+            let s = "panic!(\"no\")";
+            let r = r#unused;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"unused".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let x = r#"contains "quotes" and unwrap()"# ; done"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn multibyte_ops_are_single_tokens() {
+        let toks = lex("a += 1; b /= 2; c .. d; e::f; g / h").tokens;
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"/="));
+        assert!(puncts.contains(&".."));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"/"));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = lex("1.5e-3 + 0x1F; 0..10; 9.0e15").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "0x1F", "0", "10", "9.0e15"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\n\"two\nline\"\nc").tokens;
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("c"), Some(6));
+    }
+
+    #[test]
+    fn allow_directive_with_reason() {
+        let lexed =
+            lex("// audit:allow(a1-unwrap, a1-index) reason=\"bounded above\"\nx");
+        assert_eq!(
+            lexed.allows,
+            vec![Allow {
+                line: 1,
+                lints: vec!["a1-unwrap".into(), "a1-index".into()],
+                reason: "bounded above".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_directive_without_reason_is_kept_with_empty_reason() {
+        let lexed = lex("let x = 1; // audit:allow(a1-unwrap)");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].reason.is_empty());
+    }
+
+    #[test]
+    fn strip_test_code_removes_cfg_test_modules() {
+        let src = "
+            fn real() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+            fn after() {}
+        ";
+        let toks = strip_test_code(lex(src).tokens);
+        let ids: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"real"));
+        assert!(ids.contains(&"after"));
+        assert!(!ids.contains(&"tests"));
+        assert!(!ids.contains(&"t"));
+        // exactly one unwrap survives (the real one)
+        assert_eq!(ids.iter().filter(|&&s| s == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn strip_test_code_keeps_cfg_not_test() {
+        let src = "
+            #[cfg(not(test))]
+            fn keep() { real_code(); }
+            #[cfg_attr(not(test), warn(missing_docs))]
+            mod m { fn also_kept() {} }
+        ";
+        let toks = strip_test_code(lex(src).tokens);
+        let ids: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(ids.contains(&"keep"));
+        assert!(ids.contains(&"also_kept"));
+    }
+}

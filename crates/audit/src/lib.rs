@@ -1,0 +1,225 @@
+//! car-audit: the project's zero-dependency static-analysis engine.
+//!
+//! The daemon (`car-serve`) and the mining kernels are meant to run for
+//! weeks unattended; a single `unwrap()` on a malformed request or a
+//! wrapped support counter is a production incident. This crate
+//! mechanically enforces the project's reliability lints on every PR:
+//!
+//! * **A1 panic-freedom** (`a1-unwrap`, `a1-expect`, `a1-panic`,
+//!   `a1-todo`, `a1-index`, `a1-div`) — no panicking constructs in the
+//!   request-handling and mining hot paths.
+//! * **A2 lock discipline** (`a2-order`, `a2-blocking`) — the global
+//!   lock-ordering graph must be acyclic, and no thread may block on
+//!   `.join()`/`.recv()` while holding a lock.
+//! * **A3 checked arithmetic** (`a3-unchecked`) — support/confidence
+//!   counters use `saturating_*`/`checked_*` forms.
+//! * **A4 no discarded Results** (`a4-discard`) — the daemon never
+//!   silently drops a fallible I/O result with `let _ =`.
+//!
+//! False positives and invariant-backed exceptions are annotated
+//! in-source with `// audit:allow(<lint>) reason="..."`; an empty
+//! reason is itself a finding (`allow-no-reason`).
+//!
+//! Everything is hand-rolled — lexer, JSON output, baseline parsing —
+//! because the build environment has no crates registry and the
+//! auditor must never be the thing that breaks the build.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod baseline;
+pub mod discard;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod locks;
+pub mod panic_free;
+
+pub use engine::{default_config, run_audit, AuditConfig};
+pub use findings::{lints, Finding};
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Usage text shared by `car-audit` and `car audit`.
+pub const USAGE: &str = "\
+car-audit: project static-analysis lints (panic-freedom, lock-order, arithmetic, discarded Results)
+
+USAGE:
+    car-audit [OPTIONS]
+
+OPTIONS:
+    --root <dir>             workspace root to audit (default: auto-detected)
+    --format <human|json>    diagnostic format (default: human)
+    --baseline <file>        suppress findings listed in a baseline file
+    --write-baseline <file>  write current findings as a new baseline and exit 0
+    --help                   show this help
+
+EXIT CODES:
+    0  clean (no findings beyond the baseline)
+    1  findings reported
+    2  usage or I/O error
+";
+
+/// Parsed command-line options.
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts =
+        Options { root: None, json: false, baseline: None, write_baseline: None };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--root" => {
+                let v = it.next().ok_or("--root requires a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format requires a value")?;
+                match v.as_str() {
+                    "human" => opts.json = false,
+                    "json" => opts.json = true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a value")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline requires a value")?;
+                opts.write_baseline = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Walks upward from the current directory to the workspace root (the
+/// first ancestor containing both `Cargo.toml` and `crates/`).
+fn detect_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Runs the audit CLI. `args` excludes the program name. Returns the
+/// process exit code; diagnostics go to `out`, errors to stderr.
+pub fn run_cli(args: &[String], out: &mut dyn Write) -> i32 {
+    let opts = match parse_options(args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            let _ = out.write_all(USAGE.as_bytes());
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("car-audit: {msg}");
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let root = match opts.root.clone().or_else(detect_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("car-audit: could not locate workspace root; pass --root <dir>");
+            return 2;
+        }
+    };
+    run_with_options(&root, &opts, out)
+}
+
+fn run_with_options(root: &Path, opts: &Options, out: &mut dyn Write) -> i32 {
+    let findings = match run_audit(root, &default_config()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("car-audit: audit failed: {e}");
+            return 2;
+        }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline::render(&findings)) {
+            eprintln!("car-audit: cannot write baseline {}: {e}", path.display());
+            return 2;
+        }
+        let _ =
+            writeln!(out, "wrote {} finding(s) to {}", findings.len(), path.display());
+        return 0;
+    }
+
+    let findings = match &opts.baseline {
+        Some(path) => match baseline::load(path) {
+            Ok(entries) => baseline::apply(findings, &entries),
+            Err(e) => {
+                eprintln!("car-audit: cannot read baseline {}: {e}", path.display());
+                return 2;
+            }
+        },
+        None => findings,
+    };
+
+    if opts.json {
+        let _ = writeln!(out, "[");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 < findings.len() { "," } else { "" };
+            let _ = writeln!(out, "  {}{comma}", f.to_json());
+        }
+        let _ = writeln!(out, "]");
+    } else {
+        for f in &findings {
+            let _ = writeln!(out, "{f}");
+        }
+        if findings.is_empty() {
+            let _ =
+                writeln!(out, "car-audit: clean ({} lints enforced)", lints::ALL.len());
+        } else {
+            let _ = writeln!(out, "car-audit: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_exits_zero() {
+        let mut out = Vec::new();
+        let code = run_cli(&["--help".to_string()], &mut out);
+        assert_eq!(code, 0);
+        assert!(String::from_utf8_lossy(&out).contains("car-audit"));
+    }
+
+    #[test]
+    fn unknown_option_exits_two() {
+        let mut out = Vec::new();
+        let code = run_cli(&["--bogus".to_string()], &mut out);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn unknown_format_exits_two() {
+        let mut out = Vec::new();
+        let code = run_cli(&["--format".to_string(), "xml".to_string()], &mut out);
+        assert_eq!(code, 2);
+    }
+}

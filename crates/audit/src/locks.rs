@@ -1,0 +1,554 @@
+//! A2: lock-ordering and blocking-while-locked analysis.
+//!
+//! The daemon guards its shared state with a small set of named
+//! `Mutex`/`RwLock` fields (`inner`, `miner`, `applied`, ...). Deadlock
+//! needs two ingredients: two threads acquiring the same locks in
+//! different orders, or a thread blocking indefinitely (`.join()`,
+//! channel `.recv()`) while holding a lock another thread needs. Both
+//! are checkable from the token stream:
+//!
+//! 1. **Field discovery** — struct fields declared as
+//!    `name: [Arc<]Mutex<...>` / `RwLock<...>` give the set of lock
+//!    names the analysis tracks.
+//! 2. **Per-function acquisition tracking** — inside each `fn` body,
+//!    `recv.lock()` / `recv.read()` / `recv.write()` and the project's
+//!    poison-recovering `*_or_recover()` variants (zero-argument,
+//!    receiver in the lock set) acquire; the guard releases when its
+//!    enclosing block closes, when `drop(binding)` runs, or — for
+//!    un-bound temporaries — at the end of the statement.
+//! 3. **Edges** — acquiring `B` while `A` is held adds the edge
+//!    `A -> B` to a global lock-ordering graph; a one-level call
+//!    summary (function name -> locks it acquires directly) also adds
+//!    edges for `held -> callee's locks`, so `self.queue.depth()`
+//!    called under the miner lock still contributes `miner -> inner`.
+//! 4. **Verdicts** — any cycle in the global graph is `a2-order`;
+//!    `.join()`/`.recv()` with a lock held is `a2-blocking`.
+//!
+//! `Condvar::wait*` is deliberately *not* a blocking violation: it
+//! atomically releases the guard it is given.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::{lints, Finding};
+use crate::lexer::Token;
+
+/// A directed lock-ordering edge with the location that created it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Lock held when the acquisition happened.
+    pub from: String,
+    /// Lock being acquired.
+    pub to: String,
+    /// File containing the acquisition.
+    pub file: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// Collects the names of `Mutex`/`RwLock` struct fields in a file.
+///
+/// Matches `name : ... Mutex <` (and `RwLock`), where `...` is any run
+/// of wrapper idents and path punctuation (`Arc`, `std`, `::`, `<`,
+/// `&`) — enough to see through `queue: Arc<Mutex<VecDeque<..>>>` in a
+/// struct and `receiver: &Mutex<Receiver<Job>>` in a parameter list.
+pub fn collect_lock_fields(tokens: &[Token], out: &mut BTreeSet<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            continue;
+        }
+        // Walk backwards over wrapper tokens to the `name :` that
+        // starts the field declaration.
+        let mut k = i;
+        while k > 0 {
+            let p = &tokens[k - 1];
+            let wrapper = (p.is_ident("Arc") || p.is_ident("std") || p.is_ident("sync"))
+                || p.is_punct("::")
+                || p.is_punct("<")
+                || p.is_punct("&");
+            if !wrapper {
+                break;
+            }
+            k -= 1;
+        }
+        if k >= 2 && tokens[k - 1].is_punct(":") {
+            let name = &tokens[k - 2];
+            if crate::lexer::TokenKind::Ident == name.kind {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+}
+
+/// One lock currently held while scanning a function body.
+struct Held {
+    lock: String,
+    binding: Option<String>,
+    depth: usize,
+    line: u32,
+}
+
+/// Iterates `fn` items in a token stream, yielding the function name
+/// and the index range of its brace-balanced body.
+fn for_each_function(tokens: &[Token], mut f: impl FnMut(&str, usize, usize)) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                break;
+            };
+            let name = name_tok.text.clone();
+            // Find the body's opening brace; a `;` first means a
+            // bodiless trait method.
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";")
+            {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("{") {
+                let start = j + 1;
+                let mut depth = 1usize;
+                j += 1;
+                while j < tokens.len() && depth > 0 {
+                    if tokens[j].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[j].is_punct("}") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                f(&name, start, j.saturating_sub(1));
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Detects `recv . lock|read|write ( )` at index `i` (pointing at the
+/// receiver ident) and returns the lock name.
+fn acquisition_at<'t>(
+    tokens: &'t [Token],
+    i: usize,
+    locks: &BTreeSet<String>,
+) -> Option<&'t str> {
+    let recv = tokens.get(i)?;
+    if !locks.contains(&recv.text) {
+        return None;
+    }
+    let dot = tokens.get(i + 1)?;
+    let method = tokens.get(i + 2)?;
+    let open = tokens.get(i + 3)?;
+    let close = tokens.get(i + 4)?;
+    let acquires = method.is_ident("lock")
+        || method.is_ident("read")
+        || method.is_ident("write")
+        || method.is_ident("lock_or_recover")
+        || method.is_ident("read_or_recover")
+        || method.is_ident("write_or_recover");
+    let is_acq =
+        dot.is_punct(".") && acquires && open.is_punct("(") && close.is_punct(")");
+    if is_acq {
+        Some(recv.text.as_str())
+    } else {
+        None
+    }
+}
+
+/// Finds the `let` binding, if any, of the statement containing index
+/// `i` (e.g. `guard` in `let mut guard = self.inner.lock()...;`).
+fn binding_of(tokens: &[Token], i: usize) -> Option<String> {
+    let mut k = i;
+    while k > 0 {
+        let t = &tokens[k - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        k -= 1;
+    }
+    let mut j = k;
+    while j < i {
+        if tokens[j].is_ident("let") {
+            let mut b = j + 1;
+            if tokens.get(b).is_some_and(|t| t.is_ident("mut")) {
+                b += 1;
+            }
+            return tokens.get(b).map(|t| t.text.clone());
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Computes one-level call summaries: function name -> set of locks the
+/// function acquires directly. Colliding names union their sets
+/// (conservative: more edges, never fewer).
+pub fn function_summaries(
+    tokens: &[Token],
+    locks: &BTreeSet<String>,
+    out: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    for_each_function(tokens, |name, start, end| {
+        let mut acquired = BTreeSet::new();
+        for i in start..end {
+            if let Some(lock) = acquisition_at(tokens, i, locks) {
+                acquired.insert(lock.to_string());
+            }
+        }
+        if !acquired.is_empty() {
+            out.entry(name.to_string()).or_default().extend(acquired);
+        }
+    });
+}
+
+/// Methods that block indefinitely and must not run under a lock.
+const BLOCKING: [&str; 3] = ["join", "recv", "recv_timeout"];
+
+/// Names never used for call-summary propagation: the `Condvar` wait
+/// family atomically *releases* the guard it is handed, so a call named
+/// `wait` under a lock is the one blocking call that is safe by
+/// construction — and the name-based summary map cannot tell
+/// `Condvar::wait` apart from a project function that happens to share
+/// the name.
+const CONDVAR_WAIT: [&str; 4] =
+    ["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Scans a file's functions, emitting lock-ordering edges and
+/// `a2-blocking` findings.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    locks: &BTreeSet<String>,
+    summaries: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut Vec<Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_function(tokens, |fn_name, start, end| {
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0usize;
+        let mut i = start;
+        while i < end {
+            let t = &tokens[i];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+            } else if t.is_punct(";") {
+                // Un-bound temporaries die at end of statement.
+                held.retain(|h| h.binding.is_some());
+            } else if t.is_ident("drop")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                if let Some(arg) = tokens.get(i + 2) {
+                    held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+                }
+            } else if let Some(lock) = acquisition_at(tokens, i, locks) {
+                for h in &held {
+                    edges.push(Edge {
+                        from: h.lock.clone(),
+                        to: lock.to_string(),
+                        file: file.to_string(),
+                        line: t.line,
+                    });
+                }
+                held.push(Held {
+                    lock: lock.to_string(),
+                    binding: binding_of(tokens, i),
+                    depth,
+                    line: t.line,
+                });
+                i += 5; // past `recv . method ( )`
+                continue;
+            } else if t.is_punct(".")
+                && tokens.get(i + 1).is_some_and(|m| BLOCKING.contains(&m.text.as_str()))
+                && tokens.get(i + 2).is_some_and(|p| p.is_punct("("))
+            {
+                if let Some(h) = held.first() {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: tokens[i + 1].line,
+                        lint: lints::A2_BLOCKING,
+                        snippet: format!(".{}()", tokens[i + 1].text),
+                        message: format!(
+                            "blocking call in `{}` while holding lock `{}` (acquired line {})",
+                            fn_name, h.lock, h.line
+                        ),
+                    });
+                }
+            } else if crate::lexer::TokenKind::Ident == t.kind
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+                && !held.is_empty()
+            {
+                // Call into a function known to acquire locks.
+                if CONDVAR_WAIT.contains(&t.text.as_str()) {
+                    i += 1;
+                    continue;
+                }
+                if let Some(callee_locks) = summaries.get(&t.text) {
+                    for callee_lock in callee_locks {
+                        for h in &held {
+                            edges.push(Edge {
+                                from: h.lock.clone(),
+                                to: callee_lock.clone(),
+                                file: file.to_string(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    });
+}
+
+/// Finds cycles in the global lock-ordering graph, reporting each
+/// distinct cycle once as an `a2-order` finding.
+pub fn detect_cycles(edges: &[Edge]) -> Vec<Finding> {
+    // Deduplicate edges, keeping the first location seen.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, (&str, u32)>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert((&e.file, e.line));
+    }
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        dfs(start, &adj, &mut path, &mut reported, &mut findings);
+    }
+    findings
+}
+
+fn dfs<'a>(
+    node: &str,
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, (&'a str, u32)>>,
+    path: &mut Vec<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    findings: &mut Vec<Finding>,
+) {
+    // Bounded by the number of lock names, so plain DFS is fine.
+    let Some(nexts) = adj.get(node) else {
+        return;
+    };
+    for (&next, &(file, line)) in nexts {
+        if let Some(pos) = path.iter().position(|&n| n == next) {
+            let cycle: Vec<&str> = path.get(pos..).unwrap_or_default().to_vec();
+            let mut canon: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+            canon.sort();
+            if reported.insert(canon) {
+                let mut desc: Vec<&str> = cycle.clone();
+                desc.push(next);
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    lint: lints::A2_ORDER,
+                    snippet: desc.join(" -> "),
+                    message: "lock-ordering cycle (potential deadlock)".to_string(),
+                });
+            }
+            continue;
+        }
+        if path.len() <= adj.len() {
+            path.push(next);
+            dfs(next, adj, path, reported, findings);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn analyze(src: &str) -> (Vec<Edge>, Vec<Finding>) {
+        let tokens = strip_test_code(lex(src).tokens);
+        let mut locks = BTreeSet::new();
+        collect_lock_fields(&tokens, &mut locks);
+        let mut summaries = BTreeMap::new();
+        function_summaries(&tokens, &locks, &mut summaries);
+        let mut edges = Vec::new();
+        let mut findings = Vec::new();
+        check("f.rs", &tokens, &locks, &summaries, &mut edges, &mut findings);
+        (edges, findings)
+    }
+
+    #[test]
+    fn discovers_lock_fields_through_arc() {
+        let src = "
+            struct S {
+                inner: Mutex<u64>,
+                miner: Arc<RwLock<Miner>>,
+                plain: u64,
+            }
+        ";
+        let mut locks = BTreeSet::new();
+        collect_lock_fields(&lex(src).tokens, &mut locks);
+        assert!(locks.contains("inner"));
+        assert!(locks.contains("miner"));
+        assert!(!locks.contains("plain"));
+    }
+
+    #[test]
+    fn discovers_lock_parameters_by_reference() {
+        let src = "fn worker(receiver: &Mutex<Receiver<Job>>) {}";
+        let mut locks = BTreeSet::new();
+        collect_lock_fields(&lex(src).tokens, &mut locks);
+        assert!(locks.contains("receiver"));
+    }
+
+    #[test]
+    fn nested_acquisition_creates_edge() {
+        let src = "
+            struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn f(s: &S) {
+                let ga = s.a.lock();
+                let gb = s.b.lock();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].from.as_str(), edges[0].to.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn drop_releases_before_next_acquisition() {
+        let src = "
+            struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn f(s: &S) {
+                let ga = s.a.lock();
+                drop(ga);
+                let gb = s.b.lock();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases() {
+        let src = "
+            struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn f(s: &S) {
+                { let ga = s.a.lock(); }
+                let gb = s.b.lock();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "
+            struct S { a: Mutex<Vec<u64>>, b: Mutex<u64> }
+            fn f(s: &S) {
+                s.a.lock().push(1);
+                let gb = s.b.lock();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn blocking_call_under_lock_is_flagged() {
+        let src = "
+            struct S { receiver: Mutex<Receiver<u64>> }
+            fn f(s: &S) {
+                let guard = s.receiver.lock();
+                let msg = guard.recv();
+            }
+        ";
+        let (_, findings) = analyze(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, lints::A2_BLOCKING);
+    }
+
+    #[test]
+    fn or_recover_acquisitions_are_tracked() {
+        let src = "
+            struct S { a: Mutex<u64>, b: RwLock<u64> }
+            fn f(s: &S) {
+                let ga = s.a.lock_or_recover();
+                let gb = s.b.write_or_recover();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].from.as_str(), edges[0].to.as_str()), ("a", "b"));
+    }
+
+    #[test]
+    fn condvar_wait_under_lock_is_not_an_edge() {
+        let src = "
+            struct S { a: Mutex<u64>, cv: Condvar }
+            fn wait(s: &S) { let g = s.a.lock(); }
+            fn f(s: &S, other: &Mutex<u64>) {
+                let g = other.lock();
+                let g = s.cv.wait(g);
+            }
+        ";
+        let (edges, findings) = analyze(src);
+        assert!(edges.is_empty(), "unexpected edges: {edges:?}");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn call_summary_adds_indirect_edge() {
+        let src = "
+            struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn depth(s: &S) -> u64 { let g = s.b.lock(); 0 }
+            fn f(s: &S) {
+                let ga = s.a.lock();
+                let d = depth(s);
+            }
+        ";
+        let (edges, _) = analyze(src);
+        assert!(edges.iter().any(|e| e.from == "a" && e.to == "b"));
+    }
+
+    #[test]
+    fn cycle_detection_reports_once() {
+        let edges = vec![
+            Edge { from: "a".into(), to: "b".into(), file: "x.rs".into(), line: 1 },
+            Edge { from: "b".into(), to: "a".into(), file: "y.rs".into(), line: 2 },
+            Edge { from: "b".into(), to: "c".into(), file: "z.rs".into(), line: 3 },
+        ];
+        let findings = detect_cycles(&edges);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, lints::A2_ORDER);
+        assert!(findings[0].snippet.contains("a"));
+        assert!(findings[0].snippet.contains("b"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let edges = vec![
+            Edge { from: "a".into(), to: "b".into(), file: "x.rs".into(), line: 1 },
+            Edge { from: "a".into(), to: "c".into(), file: "x.rs".into(), line: 2 },
+            Edge { from: "b".into(), to: "c".into(), file: "y.rs".into(), line: 3 },
+        ];
+        assert!(detect_cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn double_lock_of_same_mutex_is_a_cycle() {
+        let src = "
+            struct S { a: Mutex<u64> }
+            fn f(s: &S) {
+                let g1 = s.a.lock();
+                let g2 = s.a.lock();
+            }
+        ";
+        let (edges, _) = analyze(src);
+        let findings = detect_cycles(&edges);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, lints::A2_ORDER);
+    }
+}

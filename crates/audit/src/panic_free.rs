@@ -1,0 +1,218 @@
+//! A1: panic-freedom lint for request-handling and mining hot paths.
+//!
+//! Scans the token stream of an in-scope file for constructs that can
+//! panic at runtime:
+//!
+//! * `.unwrap()` / `.expect(...)` on `Option`/`Result`;
+//! * panicking macros: `panic!`, `unreachable!`, `assert!`-family,
+//!   `todo!`, `unimplemented!`;
+//! * slice/array index expressions `expr[...]` (out-of-bounds panics);
+//! * `/`, `/=`, `%` division and remainder (divide-by-zero panics).
+//!
+//! The pass is syntactic: it cannot see types, so a handful of
+//! heuristics keep false positives out (see the individual checks).
+//! Residual false positives are handled with `audit:allow` directives,
+//! which require a written reason.
+
+use crate::findings::{lints, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Runs the A1 pass over a test-stripped token stream.
+pub fn check(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => check_ident(file, tokens, i, out),
+            TokenKind::Punct => check_punct(file, tokens, i, out),
+            _ => {}
+        }
+    }
+}
+
+fn check_ident(file: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    let next_is = |s: &str| tokens.get(i + 1).is_some_and(|n| n.is_punct(s));
+    // Method calls: require a preceding `.` so free functions named
+    // `unwrap`/`expect` (none exist, but cheap insurance) don't fire.
+    let after_dot = i > 0 && tokens[i - 1].is_punct(".");
+    match t.text.as_str() {
+        "unwrap" | "unwrap_unchecked" if after_dot && next_is("(") => {
+            push(
+                file,
+                t,
+                lints::A1_UNWRAP,
+                "unwrap() may panic; handle the None/Err case",
+                out,
+            );
+        }
+        "expect" if after_dot && next_is("(") => {
+            push(
+                file,
+                t,
+                lints::A1_EXPECT,
+                "expect() may panic; propagate the error instead",
+                out,
+            );
+        }
+        "panic" | "unreachable" | "assert" | "assert_eq" | "assert_ne"
+        | "debug_assert" | "debug_assert_eq" | "debug_assert_ne"
+            if next_is("!") =>
+        {
+            push(file, t, lints::A1_PANIC, "panicking macro in a panic-free scope", out);
+        }
+        "todo" | "unimplemented" if next_is("!") => {
+            push(
+                file,
+                t,
+                lints::A1_TODO,
+                "placeholder macro left in production code",
+                out,
+            );
+        }
+        _ => {}
+    }
+}
+
+fn check_punct(file: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    match t.text.as_str() {
+        "[" => check_index(file, tokens, i, out),
+        "/" | "/=" | "%" | "%=" => {
+            push(
+                file,
+                t,
+                lints::A1_DIV,
+                "division/remainder may panic on zero; use checked_div or guard",
+                out,
+            );
+        }
+        _ => {}
+    }
+}
+
+/// `[` opens an *index expression* only when the preceding token could
+/// end an expression: an identifier, a closing `)`/`]`, or a literal.
+/// That excludes attributes (`#[...]`), macro brackets (`vec![...]` —
+/// preceded by `!`), array types (`<[u8; 4]>` — preceded by `<` or
+/// `&`), and array literals in statement position (preceded by `=`,
+/// `(`, `,`, ...).
+fn check_index(file: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+        return;
+    };
+    let is_index = match prev.kind {
+        TokenKind::Ident => !is_keyword(&prev.text),
+        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    };
+    if !is_index {
+        return;
+    }
+    // `&x[..]` — indexing by the full range returns the whole slice and
+    // cannot panic; allow it without an annotation.
+    if let (Some(a), Some(b)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+        if a.is_punct("..") && b.is_punct("]") {
+            return;
+        }
+    }
+    push(
+        file,
+        &tokens[i],
+        lints::A1_INDEX,
+        "index expression may panic out of bounds; use .get()/.get_mut()",
+        out,
+    );
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "in"
+            | "for"
+            | "while"
+            | "loop"
+            | "break"
+            | "continue"
+            | "as"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "dyn"
+            | "impl"
+            | "where"
+    )
+}
+
+fn push(file: &str, t: &Token, lint: &'static str, msg: &str, out: &mut Vec<Finding>) {
+    out.push(Finding {
+        file: file.to_string(),
+        line: t.line,
+        lint,
+        snippet: t.text.clone(),
+        message: msg.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check("f.rs", &strip_test_code(lex(src).tokens), &mut out);
+        out
+    }
+
+    fn lints_of(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_calls() {
+        assert_eq!(lints_of("x.unwrap();"), [lints::A1_UNWRAP]);
+        assert_eq!(lints_of("x.expect(\"msg\");"), [lints::A1_EXPECT]);
+        // method definitions / non-dotted uses are not calls
+        assert!(lints_of("fn expect_byte(&mut self) {}").is_empty());
+        assert!(lints_of("self.expect_byte(b'x')").is_empty());
+    }
+
+    #[test]
+    fn flags_panicking_macros() {
+        assert_eq!(lints_of("panic!(\"boom\")"), [lints::A1_PANIC]);
+        assert_eq!(lints_of("todo!()"), [lints::A1_TODO]);
+        assert_eq!(lints_of("assert_eq!(a, b)"), [lints::A1_PANIC]);
+        // identifiers that merely contain the word are fine
+        assert!(lints_of("let panic_count = 3;").is_empty());
+    }
+
+    #[test]
+    fn flags_index_expressions_only() {
+        assert_eq!(lints_of("let y = xs[i];"), [lints::A1_INDEX]);
+        assert_eq!(lints_of("f(a)[0]"), [lints::A1_INDEX]);
+        assert!(lints_of("#[derive(Debug)] struct S;").is_empty());
+        assert!(lints_of("let v = vec![1, 2];").is_empty());
+        assert!(lints_of("fn f(b: &[u8]) -> [u8; 4] { todo() }").is_empty());
+        assert!(lints_of("let s = &buf[..];").is_empty());
+        assert!(lints_of("for x in [1, 2] {}").is_empty());
+    }
+
+    #[test]
+    fn flags_division() {
+        assert_eq!(lints_of("let r = a / b;"), [lints::A1_DIV]);
+        assert_eq!(lints_of("a /= b;"), [lints::A1_DIV]);
+        assert_eq!(lints_of("let m = a % b;"), [lints::A1_DIV]);
+        // comments containing slashes never reach the token stream
+        assert!(lints_of("// a / b\nlet x = 1;").is_empty());
+    }
+
+    #[test]
+    fn line_numbers_are_reported() {
+        let f = run("let a = 1;\nlet b = xs[a];");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fixture corpus tests: every seeded violation is reported with the
+//! expected lint id and line, and every clean counterpart audits clean.
+//!
+//! The fixtures live under `tests/fixtures/` (not compiled by cargo)
+//! and are audited with a config scoping exactly one lint family at the
+//! file under test, mirroring how the real scopes pin lints to paths.
+
+use std::path::Path;
+
+use car_audit::{run_audit, AuditConfig, Finding};
+
+fn audit_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> String {
+    format!("tests/fixtures/{name}")
+}
+
+fn audit_a1(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a1: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn audit_a2(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a2: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn audit_a3(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a3: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn audit_a4(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a4: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn lint_lines(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.lint, f.line)).collect()
+}
+
+#[test]
+fn a1_bad_reports_every_panicking_construct_with_exact_lines() {
+    let findings = audit_a1("a1_bad.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![
+            ("a1-unwrap", 5),
+            ("a1-expect", 9),
+            ("a1-panic", 13),
+            ("a1-todo", 17),
+            ("a1-index", 21),
+            ("a1-div", 25),
+        ],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a1_clean_audits_clean() {
+    let findings = audit_a1("a1_clean.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a2_bad_reports_cycle_and_blocking_with_exact_lines() {
+    let findings = audit_a2("a2_bad.rs");
+    let lints = lint_lines(&findings);
+    assert!(
+        lints.contains(&("a2-order", 16)),
+        "expected the reverse acquisition on line 16 to close the cycle: {findings:#?}"
+    );
+    assert!(
+        lints.contains(&("a2-blocking", 21)),
+        "expected recv() under lock on line 21: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 2, "findings: {findings:#?}");
+    let order = findings.iter().find(|f| f.lint == "a2-order").expect("order finding");
+    assert!(order.snippet.contains("first") && order.snippet.contains("second"));
+}
+
+#[test]
+fn a2_clean_audits_clean() {
+    let findings = audit_a2("a2_clean.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a3_bad_reports_unchecked_counter_arithmetic_with_exact_lines() {
+    let findings = audit_a3("a3_bad.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![("a3-unchecked", 6), ("a3-unchecked", 7), ("a3-unchecked", 11)],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a3_clean_audits_clean() {
+    let findings = audit_a3("a3_clean.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a4_bad_reports_discarded_io_with_exact_lines() {
+    let findings = audit_a4("a4_bad.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![("a4-discard", 4), ("a4-discard", 8)],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a4_clean_audits_clean() {
+    let findings = audit_a4("a4_clean.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn reasonless_allow_reports_both_lints() {
+    let findings = audit_a1("allow_no_reason.rs");
+    let lints = lint_lines(&findings);
+    assert!(lints.contains(&("a1-unwrap", 5)), "findings: {findings:#?}");
+    assert!(lints.contains(&("allow-no-reason", 5)), "findings: {findings:#?}");
+    assert_eq!(findings.len(), 2);
+}

@@ -1,0 +1,26 @@
+//! Seeded A1 violations. fixture_tests asserts the exact lint id and
+//! line of every finding, so edits here must keep line numbers stable.
+
+fn unwrap_it(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expect_it(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn panic_it() {
+    panic!("boom")
+}
+
+fn todo_it() {
+    todo!()
+}
+
+fn index_it(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+fn div_it(a: u32, b: u32) -> u32 {
+    a / b
+}

@@ -1,0 +1,32 @@
+//! Panic-free counterparts of every A1 pattern, plus one violation
+//! suppressed by a reasoned `audit:allow`. Must audit clean.
+
+fn no_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn no_expect(x: Option<u32>) -> Result<u32, &'static str> {
+    x.ok_or("missing")
+}
+
+fn no_index(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or_default()
+}
+
+fn full_range_is_fine(xs: &[u32]) -> &[u32] {
+    &xs[..]
+}
+
+fn no_div(a: u32, b: u32) -> u32 {
+    a.checked_div(b).unwrap_or(0)
+}
+
+fn allowed_with_reason(xs: &[u32]) -> u32 {
+    // audit:allow(a1-index) reason="index 0 is guarded by the caller's non-empty check"
+    xs[0]
+}
+
+fn prose_only() {
+    // an unwrap() or panic! in a comment is not code
+    let _message = "neither is x.unwrap() in a string";
+}

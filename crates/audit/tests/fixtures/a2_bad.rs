@@ -1,0 +1,22 @@
+//! Seeded A2 violations: a lock-order cycle between `first` and
+//! `second`, and a channel `recv()` under a lock.
+
+struct Shared {
+    first: Mutex<u64>,
+    second: Mutex<u64>,
+}
+
+fn forward(s: &Shared) {
+    let a = s.first.lock();
+    let b = s.second.lock();
+}
+
+fn backward(s: &Shared) {
+    let b = s.second.lock();
+    let a = s.first.lock();
+}
+
+fn block_under_lock(s: &Shared, rx: &Receiver<u64>) {
+    let a = s.first.lock();
+    let item = rx.recv();
+}

@@ -1,0 +1,35 @@
+//! Disciplined locking: every function acquires `first` before
+//! `second`, guards drop before blocking calls, and `Condvar::wait`
+//! under a lock is fine (it releases the guard). Must audit clean.
+
+struct Shared {
+    first: Mutex<u64>,
+    second: Mutex<u64>,
+    ready: Condvar,
+}
+
+fn forward(s: &Shared) {
+    let a = s.first.lock();
+    let b = s.second.lock();
+}
+
+fn also_forward(s: &Shared) {
+    {
+        let a = s.first.lock();
+    }
+    let a = s.first.lock();
+    let b = s.second.lock();
+    drop(b);
+    drop(a);
+}
+
+fn drop_then_block(s: &Shared, rx: &Receiver<u64>) {
+    let a = s.first.lock();
+    drop(a);
+    let item = rx.recv();
+}
+
+fn condvar_wait_is_fine(s: &Shared) {
+    let mut a = s.first.lock();
+    a = s.ready.wait(a);
+}

@@ -1,0 +1,12 @@
+//! Seeded A3 violations: unchecked arithmetic on counter-named
+//! bindings.
+
+fn tally(counts: &mut [u64], hits: usize) {
+    let mut support_count = 0u64;
+    support_count += 1;
+    counts[hits] += 1;
+}
+
+fn combine(freq: u64, weight: u64) -> u64 {
+    freq * weight
+}

@@ -1,0 +1,24 @@
+//! Checked counterparts of the A3 patterns, plus the loop-index
+//! exemption. Must audit clean.
+
+fn tally(counts: &mut [u64], hits: usize) {
+    let mut support_count = 0u64;
+    support_count = support_count.saturating_add(1);
+    if let Some(slot) = counts.get_mut(hits) {
+        *slot = slot.saturating_add(1);
+    }
+}
+
+fn combine(freq: u64, weight: u64) -> u64 {
+    freq.saturating_mul(weight)
+}
+
+fn loop_indices_are_not_counters(n: usize) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    while i < n {
+        i += 1;
+        j += 2;
+    }
+    j
+}

@@ -1,0 +1,9 @@
+//! Seeded A4 violations: silently discarded fallible I/O.
+
+fn ship(stream: &mut TcpStream, buf: &[u8]) {
+    let _ = stream.write_all(buf);
+}
+
+fn reap(handle: JoinHandle<()>) {
+    let _ = handle.join();
+}

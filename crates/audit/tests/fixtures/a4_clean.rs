@@ -1,0 +1,17 @@
+//! Handled counterparts of the A4 patterns. Must audit clean.
+
+fn ship(stream: &mut TcpStream, buf: &[u8], errors: &Counter) {
+    if stream.write_all(buf).is_err() {
+        errors.increment();
+    }
+}
+
+fn reap(handle: JoinHandle<()>) {
+    if handle.join().is_err() {
+        log_warn("worker panicked");
+    }
+}
+
+fn non_io_discard_is_fine(guard: MutexGuard<u64>) {
+    let _ = guard;
+}

@@ -1,0 +1,6 @@
+//! A reasonless `audit:allow` suppresses nothing and is itself a
+//! finding: expect both `a1-unwrap` and `allow-no-reason` on line 5.
+
+fn suppressed_badly(x: Option<u32>) -> u32 {
+    x.unwrap() // audit:allow(a1-unwrap)
+}

@@ -1,0 +1,38 @@
+//! `car audit` — run the project's static-analysis lints.
+//!
+//! A thin wrapper over [`car_audit::run_cli`]: the same engine ships as
+//! the standalone `car-audit` binary (which CI runs), and as this
+//! subcommand for interactive use. Arguments pass through verbatim —
+//! see `car audit --help` for the flag list.
+
+use std::io::Write;
+
+use crate::error::CliError;
+
+/// Runs the `audit` command. `argv` is everything after `audit`.
+pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
+    match car_audit::run_cli(argv, out) {
+        0 => Ok(()),
+        1 => Err(CliError::Audit("findings reported (see above)".to_string())),
+        _ => Err(CliError::Audit("usage or I/O error".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_passes_through() {
+        let mut out = Vec::new();
+        run(&["--help".to_string()], &mut out).expect("help is ok");
+        assert!(String::from_utf8_lossy(&out).contains("car-audit"));
+    }
+
+    #[test]
+    fn bad_flag_is_an_audit_error() {
+        let mut out = Vec::new();
+        let err = run(&["--bogus".to_string()], &mut out).expect_err("must fail");
+        assert!(matches!(err, CliError::Audit(_)));
+    }
+}

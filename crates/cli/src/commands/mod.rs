@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 pub mod analyze;
+pub mod audit;
 pub mod detect;
 pub mod gen;
 pub mod mine;

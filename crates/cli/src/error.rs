@@ -13,6 +13,8 @@ pub enum CliError {
     Data(car_itemset::Error),
     /// The mining configuration was rejected.
     Config(car_core::ConfigError),
+    /// `car audit` found lint violations or could not run.
+    Audit(String),
 }
 
 impl fmt::Display for CliError {
@@ -22,6 +24,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Data(e) => write!(f, "invalid input data: {e}"),
             CliError::Config(e) => write!(f, "invalid mining configuration: {e}"),
+            CliError::Audit(msg) => write!(f, "audit: {msg}"),
         }
     }
 }
@@ -29,7 +32,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Audit(_) => None,
             CliError::Io(e) => Some(e),
             CliError::Data(e) => Some(e),
             CliError::Config(e) => Some(e),

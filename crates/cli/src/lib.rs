@@ -37,6 +37,11 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         return Err(CliError::Usage(USAGE.to_string()));
     }
     let command = argv[0].as_str();
+    if command == "audit" {
+        // The audit engine owns its flag grammar (e.g. `--format json`);
+        // pass everything after `audit` through verbatim.
+        return commands::audit::run(&argv[1..], out);
+    }
     let args = Args::parse(&argv[1..])?;
     match command {
         "gen" => commands::gen::run(&args, out),
@@ -83,5 +88,9 @@ COMMANDS:
              [--host H] [--port P] [--threads N] [--window N]
              [--queue-capacity N] [--min-support F] [--min-confidence F]
              [--l-min L] [--l-max L] [--io-timeout-secs S]
+    audit    Run the project's static-analysis lints (panic-freedom,
+             lock-order, checked arithmetic, discarded Results)
+             [--root DIR] [--format human|json] [--baseline FILE]
+             [--write-baseline FILE]
     help     Show this message
 ";

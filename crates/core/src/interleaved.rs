@@ -230,7 +230,9 @@ fn find_cyclic_itemsets(
                 continue;
             }
             stats.support_computations += 1;
-            let item = state.itemset.as_slice()[0];
+            let Some(&item) = state.itemset.as_slice().first() else {
+                continue; // level-1 states always hold a single item
+            };
             let count = unit_counts.get(&item).copied().unwrap_or(0);
             if count >= threshold {
                 state.supports.insert(i as u32, count);
@@ -272,9 +274,10 @@ fn find_cyclic_itemsets(
                     let cycles = if options.cycle_pruning {
                         let mut acc: Option<CycleSet> = None;
                         for sub in candidate.immediate_subsets() {
-                            let sub_cycles = cycle_lookup
-                                .get(&sub)
-                                .expect("apriori_gen guarantees large subsets");
+                            // apriori_gen guarantees every immediate
+                            // subset is large; a miss means the candidate
+                            // cannot be large either, so drop it.
+                            let sub_cycles = cycle_lookup.get(&sub)?;
                             match &mut acc {
                                 None => acc = Some((*sub_cycles).clone()),
                                 Some(a) => a.intersect_with(sub_cycles),
@@ -283,7 +286,9 @@ fn find_cyclic_itemsets(
                                 break;
                             }
                         }
-                        acc.expect("candidates have at least two subsets")
+                        // Candidates have at least two immediate subsets,
+                        // so the intersection is always populated.
+                        acc?
                     } else {
                         CycleSet::full(bounds)
                     };
@@ -306,10 +311,11 @@ fn find_cyclic_itemsets(
 
         // Scan all units for this level.
         for i in 0..n {
-            let active: Vec<usize> = (0..states.len())
-                .filter(|&idx| {
-                    !options.cycle_skipping || states[idx].cycles.includes_unit(i)
-                })
+            let active: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !options.cycle_skipping || s.cycles.includes_unit(i))
+                .map(|(idx, _)| idx)
                 .collect();
             stats.skipped_counts += (states.len() - active.len()) as u64;
             if active.is_empty() {
@@ -319,13 +325,17 @@ fn find_cyclic_itemsets(
 
             let transactions = db.unit(i);
             let threshold = config.min_support.threshold(transactions.len());
-            let candidate_sets: Vec<ItemSet> =
-                active.iter().map(|&idx| states[idx].itemset.clone()).collect();
+            let candidate_sets: Vec<ItemSet> = active
+                .iter()
+                .filter_map(|&idx| states.get(idx).map(|s| s.itemset.clone()))
+                .collect();
             let counts = count_candidates(&candidate_sets, transactions, config.counting);
             stats.support_computations += active.len() as u64;
 
             for (&idx, &count) in active.iter().zip(&counts) {
-                let state = &mut states[idx];
+                let Some(state) = states.get_mut(idx) else {
+                    continue; // `active` indexes into `states` by construction
+                };
                 if count >= threshold {
                     state.supports.insert(i as u32, count);
                 } else if options.cycle_elimination {
@@ -369,9 +379,13 @@ fn generate_cyclic_rules(
         let covered = z.cycles.covered_units(num_units);
         for antecedent in z.itemset.proper_nonempty_subsets() {
             stats.rules_checked += 1;
-            let x_state = &cyclic[*lookup
-                .get(&antecedent)
-                .expect("subsets of a cyclic itemset are cyclic")];
+            // Subsets of a cyclic itemset are always cyclic, so the
+            // antecedent is present; skip the rule rather than panic if
+            // the invariant is ever violated.
+            let Some(x_state) = lookup.get(&antecedent).and_then(|&idx| cyclic.get(idx))
+            else {
+                continue;
+            };
 
             // The rule's cycles start from Z's: a rule can only hold
             // where Z is large, and C_Z ⊆ C_X guarantees X's counts are
@@ -381,14 +395,19 @@ fn generate_cyclic_rules(
                 if options.cycle_skipping && !rule_cycles.includes_unit(u) {
                     continue;
                 }
-                let z_count = *z
-                    .supports
-                    .get(&(u as u32))
-                    .expect("Z is large on every unit of its cycles");
-                let x_count = *x_state
-                    .supports
-                    .get(&(u as u32))
-                    .expect("X is large wherever Z is large");
+                // Z is large on every unit of its cycles and X is large
+                // wherever Z is, so both counts are recorded; if either
+                // is somehow missing, the rule is unverifiable at this
+                // unit and its cycles through it must die.
+                let (Some(&z_count), Some(&x_count)) =
+                    (z.supports.get(&(u as u32)), x_state.supports.get(&(u as u32)))
+                else {
+                    rule_cycles.eliminate(u);
+                    if rule_cycles.is_empty() {
+                        break;
+                    }
+                    continue;
+                };
                 if !config.min_confidence.accepts(z_count, x_count) {
                     rule_cycles.eliminate(u);
                     if rule_cycles.is_empty() {

@@ -264,8 +264,8 @@ fn percent_decode(raw: &str) -> Option<String> {
     let bytes = raw.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3)?;
                 let hex = std::str::from_utf8(hex).ok()?;

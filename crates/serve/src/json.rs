@@ -11,8 +11,10 @@
 
 use std::fmt;
 
-/// Maximum nesting depth accepted by [`Json::parse`].
-const MAX_DEPTH: usize = 64;
+/// Maximum nesting depth accepted by [`Json::parse`]. Deeper documents
+/// are rejected with a parse error (the daemon maps it to a 400) well
+/// before the recursive parser could exhaust the stack.
+const MAX_DEPTH: usize = 128;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -241,13 +243,19 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Everything from the cursor to the end of input (empty once past
+    /// the end, so callers never index out of bounds).
+    fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -275,7 +283,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self.rest().starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -292,7 +300,7 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
             .map_err(|_| self.err("invalid number"))?;
         let n: f64 = text.parse().map_err(|_| JsonError {
             offset: start,
@@ -308,7 +316,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -344,9 +352,11 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Copy one UTF-8 scalar (input is a &str, so this is
                     // always a valid boundary walk).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    let rest = std::str::from_utf8(self.rest())
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -358,7 +368,7 @@ impl<'a> Parser<'a> {
         let first = self.hex4()?;
         // Combine surrogate pairs; unpaired surrogates are an error.
         if (0xD800..=0xDBFF).contains(&first) {
-            if self.bytes[self.pos..].starts_with(b"\\u") {
+            if self.rest().starts_with(b"\\u") {
                 self.pos += 2;
                 let second = self.hex4()?;
                 if (0xDC00..=0xDFFF).contains(&second) {
@@ -376,11 +386,11 @@ impl<'a> Parser<'a> {
 
     fn hex4(&mut self) -> Result<u16, JsonError> {
         let end = self.pos + 4;
-        if end > self.bytes.len() {
+        let Some(raw) = self.bytes.get(self.pos..end) else {
             return Err(self.err("truncated \\u escape"));
-        }
-        let text = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("invalid \\u escape"))?;
+        };
+        let text =
+            std::str::from_utf8(raw).map_err(|_| self.err("invalid \\u escape"))?;
         let v =
             u16::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos = end;
@@ -388,7 +398,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -412,7 +422,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -423,7 +433,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value(depth + 1)?;
             pairs.push((key, value));
             self.skip_ws();
@@ -494,9 +504,9 @@ mod tests {
 
     #[test]
     fn rejects_deep_nesting() {
-        let deep = "[".repeat(100) + &"]".repeat(100);
+        let deep = "[".repeat(MAX_DEPTH + 10) + &"]".repeat(MAX_DEPTH + 10);
         assert!(Json::parse(&deep).is_err());
-        let ok = "[".repeat(30) + &"]".repeat(30);
+        let ok = "[".repeat(MAX_DEPTH / 2) + &"]".repeat(MAX_DEPTH / 2);
         assert!(Json::parse(&ok).is_ok());
     }
 

@@ -10,6 +10,8 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::sync::{log_warn, LockExt};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of worker threads executing queued jobs.
@@ -20,30 +22,37 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Spawns `size` workers (at least 1) named `{name}-{i}`.
-    pub fn new(size: usize, name: &str) -> ThreadPool {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error when a worker thread cannot be spawned
+    /// (already-spawned workers wind down via the dropped channel).
+    pub fn new(size: usize, name: &str) -> std::io::Result<ThreadPool> {
         let size = size.max(1);
         let (sender, receiver) = std::sync::mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..size)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let receiver = Arc::clone(&receiver);
+            workers.push(
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
-                    .spawn(move || worker_loop(&receiver))
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
-        ThreadPool { sender: Some(sender), workers }
+                    .spawn(move || worker_loop(&receiver))?,
+            );
+        }
+        Ok(ThreadPool { sender: Some(sender), workers })
     }
 
     /// Queues a job. Jobs run in submission order per worker, across
     /// workers in whatever order the scheduler picks.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         if let Some(sender) = &self.sender {
-            // Send fails only if every worker exited, which cannot
-            // happen while the pool owns their handles and jobs don't
-            // panic the worker loop (panics are contained per-job).
-            let _ = sender.send(Box::new(job));
+            // Send fails only if every worker exited, which should be
+            // impossible while the pool owns their handles — so a
+            // dropped job is worth a log line, not a panic.
+            if sender.send(Box::new(job)).is_err() {
+                log_warn("thread pool has no live workers; dropping job");
+            }
         }
     }
 
@@ -56,7 +65,11 @@ impl ThreadPool {
     fn shutdown(&mut self) {
         drop(self.sender.take());
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                // Jobs run under catch_unwind, so this means the loop
+                // itself panicked — report it rather than hiding it.
+                log_warn("a pool worker panicked before exit");
+            }
         }
     }
 }
@@ -70,7 +83,8 @@ impl Drop for ThreadPool {
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
     loop {
         let job = {
-            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            let guard = receiver.lock_or_recover();
+            // audit:allow(a2-blocking) reason="the receiver mutex exists only to serialise recv() among pool workers; holding it across the blocking recv IS the job-distribution mechanism, and no other lock is ever taken with it"
             guard.recv()
         };
         match job {
@@ -92,7 +106,7 @@ mod tests {
     #[test]
     fn runs_all_jobs() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let pool = ThreadPool::new(4, "test");
+        let pool = ThreadPool::new(4, "test").unwrap();
         for _ in 0..100 {
             let counter = Arc::clone(&counter);
             pool.execute(move || {
@@ -106,7 +120,7 @@ mod tests {
     #[test]
     fn join_drains_queued_jobs() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let pool = ThreadPool::new(1, "drain");
+        let pool = ThreadPool::new(1, "drain").unwrap();
         for _ in 0..10 {
             let counter = Arc::clone(&counter);
             pool.execute(move || {
@@ -121,7 +135,7 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_worker() {
         let counter = Arc::new(AtomicUsize::new(0));
-        let pool = ThreadPool::new(1, "panic");
+        let pool = ThreadPool::new(1, "panic").unwrap();
         pool.execute(|| panic!("boom"));
         let c = Arc::clone(&counter);
         pool.execute(move || {
@@ -133,7 +147,7 @@ mod tests {
 
     #[test]
     fn zero_size_is_clamped_to_one() {
-        let pool = ThreadPool::new(0, "clamp");
+        let pool = ThreadPool::new(0, "clamp").unwrap();
         let done = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&done);
         pool.execute(move || {

@@ -24,6 +24,7 @@ use crate::http::{Request, Response};
 use crate::json::{object, Json};
 use crate::metrics::Route;
 use crate::state::{AppState, EnqueueError};
+use crate::sync::RwLockExt;
 
 /// How long a `?wait=true` ingest will block for its unit to apply.
 const WAIT_APPLIED_TIMEOUT: Duration = Duration::from_secs(10);
@@ -70,7 +71,7 @@ fn ingest_units(state: &Arc<AppState>, req: &Request) -> Response {
         if !state.wait_applied(seq, WAIT_APPLIED_TIMEOUT) {
             return Response::error(503, "timed out waiting for unit to apply");
         }
-        let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+        let miner = state.miner.read_or_recover();
         return Response::json(
             200,
             &object([
@@ -151,7 +152,7 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
         }
     }
 
-    let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+    let miner = state.miner.read_or_recover();
     let rules = match miner.query_rules(min_confidence) {
         Ok(rules) => rules,
         Err(e) => return Response::error(409, &e.to_string()),
@@ -216,7 +217,11 @@ fn parse_u32_param(req: &Request, name: &str) -> Result<Option<u32>, Response> {
 }
 
 fn health(state: &Arc<AppState>) -> Response {
-    let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+    // Read the queue depth before taking the miner lock: queue.depth()
+    // locks the queue internally, and nothing may acquire `inner` while
+    // holding `miner` (lock order is inner-free under miner).
+    let queue_depth = state.queue.depth();
+    let miner = state.miner.read_or_recover();
     let warming_up = miner.len() < state.config.cycle_bounds.l_max() as usize;
     Response::json(
         200,
@@ -230,14 +235,14 @@ fn health(state: &Arc<AppState>) -> Response {
             ("window", Json::from(miner.window())),
             ("total_pushed", Json::from(miner.total_pushed())),
             ("evictions", Json::from(miner.evictions())),
-            ("queue_depth", Json::from(state.queue.depth())),
+            ("queue_depth", Json::from(queue_depth)),
         ]),
     )
 }
 
 fn metrics(state: &Arc<AppState>) -> Response {
     let (retained_units, evictions, rule_entries, rules_current) = {
-        let miner = state.miner.read().unwrap_or_else(|e| e.into_inner());
+        let miner = state.miner.read_or_recover();
         let rules_current = miner.current_rules().map(|r| r.len()).unwrap_or(0);
         (miner.len(), miner.evictions(), miner.retained_rule_entries(), rules_current)
     };
@@ -370,7 +375,7 @@ mod tests {
     #[test]
     fn ingest_rules_round_trip_with_filters() {
         let state = test_state();
-        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state));
+        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state)).unwrap();
         let even = br#"{"transactions": [[1, 2], [1, 2], [1, 2], [1, 2]]}"#;
         let odd = br#"{"transactions": [[9], [9], [9], [9]]}"#;
         for day in 0..6 {

@@ -20,6 +20,7 @@ use car_core::MiningConfig;
 use crate::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
 use crate::routes;
 use crate::state::{spawn_ingest_worker, AppState};
+use crate::sync::{log_warn, RwLockExt};
 use crate::ServeError;
 
 /// How often the accept loop re-checks the shutdown flag.
@@ -106,9 +107,13 @@ impl ServerHandle {
     /// Blocks until the daemon has fully drained and exited, returning
     /// final statistics.
     pub fn wait(self) -> FinalStats {
-        let _ = self.accept_thread.join();
-        let _ = self.ingest_thread.join();
-        let miner = self.state.miner.read().unwrap_or_else(|e| e.into_inner());
+        if self.accept_thread.join().is_err() {
+            log_warn("accept thread panicked; final stats may undercount");
+        }
+        if self.ingest_thread.join().is_err() {
+            log_warn("ingest thread panicked; final stats may undercount");
+        }
+        let miner = self.state.miner.read_or_recover();
         FinalStats {
             requests: self.state.metrics.total_requests(),
             units_ingested: self.state.metrics.units_ingested(),
@@ -136,25 +141,39 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     if config.handle_signals {
         crate::shutdown::install_signal_handlers();
     }
-    let ingest_thread = spawn_ingest_worker(Arc::clone(&state));
+    let ingest_thread =
+        spawn_ingest_worker(Arc::clone(&state)).map_err(ServeError::Io)?;
+    // Build the pool here, not in the accept loop, so a failed worker
+    // spawn surfaces as a startup error instead of a panic mid-serve.
+    let pool = crate::pool::ThreadPool::new(config.threads, "car-worker")
+        .map_err(ServeError::Io)?;
     let accept_state = Arc::clone(&state);
     let io_timeout = config.io_timeout;
     let max_body = config.max_body_bytes;
-    let threads = config.threads;
     let handle_signals = config.handle_signals;
-    let accept_thread = std::thread::Builder::new()
-        .name("car-accept".into())
-        .spawn(move || {
+    let spawn_result =
+        std::thread::Builder::new().name("car-accept".into()).spawn(move || {
             accept_loop(
                 &listener,
                 &accept_state,
-                threads,
+                pool,
                 io_timeout,
                 max_body,
                 handle_signals,
             );
-        })
-        .expect("failed to spawn accept thread");
+        });
+    let accept_thread = match spawn_result {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Unwind the already-running applier before reporting the
+            // startup failure, so no thread outlives the error.
+            state.begin_shutdown();
+            if ingest_thread.join().is_err() {
+                log_warn("ingest thread panicked during startup unwind");
+            }
+            return Err(ServeError::Io(e));
+        }
+    };
 
     Ok(ServerHandle {
         addr,
@@ -168,12 +187,11 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<AppState>,
-    threads: usize,
+    pool: crate::pool::ThreadPool,
     io_timeout: Duration,
     max_body: usize,
     handle_signals: bool,
 ) {
-    let pool = crate::pool::ThreadPool::new(threads, "car-worker");
     loop {
         if state.is_shutting_down() || (handle_signals && crate::shutdown::signalled()) {
             // A signal may arrive without anything having closed the
@@ -230,6 +248,7 @@ fn serve_connection(
             Err(e) => {
                 state.metrics.record_parse_error();
                 let (status, _) = e.status();
+                // audit:allow(a4-discard) reason="best-effort courtesy reply on a connection that already failed parsing; if the write also fails there is no one left to tell and the connection closes either way"
                 let _ = Response::error(status, &e.to_string())
                     .with_close()
                     .write_to(&mut writer);

@@ -25,6 +25,7 @@ use car_core::{ConfigError, MiningConfig};
 use car_itemset::ItemSet;
 
 use crate::metrics::Metrics;
+use crate::sync::{LockExt, RwLockExt};
 
 /// Why a unit could not be enqueued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,7 +67,7 @@ impl IngestQueue {
     /// [`EnqueueError::Full`] at capacity, [`EnqueueError::ShuttingDown`]
     /// after close.
     pub fn enqueue(&self, unit: Vec<ItemSet>) -> Result<u64, EnqueueError> {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock_or_recover();
         if inner.closed {
             return Err(EnqueueError::ShuttingDown);
         }
@@ -81,12 +82,12 @@ impl IngestQueue {
 
     /// Units currently waiting.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).units.len()
+        self.inner.lock_or_recover().units.len()
     }
 
     /// Stops accepting new units; the applier drains what remains.
     fn close(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock_or_recover();
         inner.closed = true;
         self.not_empty.notify_all();
     }
@@ -94,7 +95,7 @@ impl IngestQueue {
     /// Blocks until a unit is available or the queue is closed *and*
     /// empty (drain semantics).
     fn dequeue(&self) -> Option<Vec<ItemSet>> {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock_or_recover();
         loop {
             if let Some(unit) = inner.units.pop_front() {
                 return Some(unit);
@@ -165,7 +166,7 @@ impl AppState {
     /// Blocks until unit `seq` has been applied to the miner, or the
     /// deadline passes. Returns whether the unit was applied.
     pub fn wait_applied(&self, seq: u64, timeout: Duration) -> bool {
-        let guard = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.applied.lock_or_recover();
         let (guard, _timed_out) = self
             .applied_cv
             .wait_timeout_while(guard, timeout, |applied| *applied < seq)
@@ -174,7 +175,7 @@ impl AppState {
     }
 
     fn mark_applied(&self, seq: u64) {
-        let mut guard = self.applied.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.applied.lock_or_recover();
         *guard = seq;
         self.applied_cv.notify_all();
     }
@@ -182,22 +183,23 @@ impl AppState {
 
 /// Spawns the ingest applier thread. It drains the queue into the miner
 /// and exits once the queue is closed and empty.
-pub fn spawn_ingest_worker(state: Arc<AppState>) -> JoinHandle<()> {
-    std::thread::Builder::new()
-        .name("car-ingest".into())
-        .spawn(move || {
-            let mut seq = 0u64;
-            while let Some(unit) = state.queue.dequeue() {
-                seq += 1;
-                {
-                    let mut miner =
-                        state.miner.write().unwrap_or_else(|e| e.into_inner());
-                    miner.push_unit(&unit);
-                }
-                state.mark_applied(seq);
+///
+/// # Errors
+///
+/// Propagates the OS error when the thread cannot be spawned, so the
+/// daemon fails to start instead of running without an applier.
+pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name("car-ingest".into()).spawn(move || {
+        let mut seq = 0u64;
+        while let Some(unit) = state.queue.dequeue() {
+            seq += 1;
+            {
+                let mut miner = state.miner.write_or_recover();
+                miner.push_unit(&unit);
             }
-        })
-        .expect("failed to spawn ingest worker")
+            state.mark_applied(seq);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -238,7 +240,7 @@ mod tests {
         state.begin_shutdown();
         assert_eq!(state.queue.enqueue(unit(1)), Err(EnqueueError::ShuttingDown));
         // The applier still drains the accepted unit.
-        let worker = spawn_ingest_worker(Arc::clone(&state));
+        let worker = spawn_ingest_worker(Arc::clone(&state)).unwrap();
         worker.join().unwrap();
         assert_eq!(state.miner.read().unwrap().total_pushed(), 1);
     }
@@ -246,7 +248,7 @@ mod tests {
     #[test]
     fn worker_applies_in_order_and_wait_applied_sees_it() {
         let state = test_state(64);
-        let worker = spawn_ingest_worker(Arc::clone(&state));
+        let worker = spawn_ingest_worker(Arc::clone(&state)).unwrap();
         let mut last = 0;
         for day in 0..10 {
             last = state.queue.enqueue(unit(day)).unwrap();

@@ -1,0 +1,106 @@
+//! Poison-recovering lock acquisition and operational warnings.
+//!
+//! A mutex is poisoned when a thread panics while holding it. For this
+//! daemon, the data under every lock stays consistent across a panic —
+//! the miner applies a unit atomically before releasing the write lock,
+//! and the queue pushes/pops whole units — so abandoning the daemon
+//! over a poisoned lock would turn one crashed request into a full
+//! outage. Instead, every acquisition goes through these helpers: they
+//! recover the guard, log that it happened (a panic somewhere is still
+//! worth an operator's attention), and carry on.
+//!
+//! Method-call syntax (`state.miner.read_or_recover()`) is deliberate:
+//! the car-audit lock-order analysis recognises acquisitions by the
+//! `receiver.method()` token shape, so the helpers stay visible to it.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Writes an operational warning to stderr (the daemon's log stream).
+pub fn log_warn(msg: &str) {
+    let thread = std::thread::current();
+    eprintln!("car-serve: warning [{}]: {msg}", thread.name().unwrap_or("?"));
+}
+
+/// Poison-recovering [`Mutex`] acquisition.
+pub trait LockExt<T> {
+    /// Locks, recovering the guard if a previous holder panicked.
+    fn lock_or_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_or_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|poisoned| {
+            log_warn("recovering a poisoned mutex (a holder panicked)");
+            poisoned.into_inner()
+        })
+    }
+}
+
+/// Poison-recovering [`RwLock`] acquisition.
+pub trait RwLockExt<T> {
+    /// Acquires a read guard, recovering from poison.
+    fn read_or_recover(&self) -> RwLockReadGuard<'_, T>;
+    /// Acquires the write guard, recovering from poison.
+    fn write_or_recover(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn read_or_recover(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(|poisoned| {
+            log_warn("recovering a poisoned rwlock for reading (a holder panicked)");
+            poisoned.into_inner()
+        })
+    }
+
+    fn write_or_recover(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(|poisoned| {
+            log_warn("recovering a poisoned rwlock for writing (a holder panicked)");
+            poisoned.into_inner()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_or_recover(), 7);
+        // And again: recovery is repeatable, not one-shot.
+        *m.lock_or_recover() = 8;
+        assert_eq!(*m.lock_or_recover(), 8);
+    }
+
+    #[test]
+    fn recovers_poisoned_rwlock() {
+        let l = Arc::new(RwLock::new(1u64));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(*l.read_or_recover(), 1);
+        *l.write_or_recover() = 2;
+        assert_eq!(*l.read_or_recover(), 2);
+    }
+
+    #[test]
+    fn healthy_locks_pass_through() {
+        let m = Mutex::new(1u64);
+        assert_eq!(*m.lock_or_recover(), 1);
+        let l = RwLock::new(2u64);
+        assert_eq!(*l.read_or_recover(), 2);
+    }
+}

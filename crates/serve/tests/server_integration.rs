@@ -238,6 +238,52 @@ fn malformed_requests_get_clean_4xx_not_hangs() {
 }
 
 #[test]
+fn hostile_bodies_are_rejected_and_the_worker_survives() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = test_server(4);
+    let mut client = Client::connect(&handle.addr.to_string()).unwrap();
+
+    // A body nested beyond the JSON parser's depth limit must come back
+    // as a clean 400 — the recursive parser bails at MAX_DEPTH instead
+    // of overflowing the worker's stack.
+    let deep = format!("{{\"transactions\": {}{}}}", "[".repeat(300), "]".repeat(300));
+    let resp = client.request("POST", "/v1/units", Some(deep.as_bytes())).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_text());
+
+    // Keep-alive means the next request rides the same connection, and a
+    // connection is pinned to one pool worker — a 200 here proves that
+    // worker survived the hostile body.
+    let resp = client.request("GET", "/v1/health", None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Malformed JSON: clean 400, worker still alive.
+    let resp = client.request("POST", "/v1/units", Some(b"{not json")).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body_text());
+    let resp = client.request("GET", "/v1/health", None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Oversized body: 413 rejected from the declared length alone (the
+    // parse error closes that connection by design).
+    let mut stream = TcpStream::connect(handle.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .write_all(b"POST /v1/units HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+
+    // The daemon as a whole still serves; nothing leaked or wedged.
+    let resp = client.request("GET", "/v1/health", None).unwrap();
+    assert_eq!(resp.status, 200);
+
+    handle.trigger_shutdown();
+    handle.wait();
+}
+
+#[test]
 fn shutdown_endpoint_drains_gracefully() {
     let handle = test_server(8);
     let mut client = Client::connect(&handle.addr.to_string()).unwrap();
