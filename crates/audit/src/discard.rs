@@ -10,7 +10,7 @@ use crate::findings::{lints, Finding};
 use crate::lexer::Token;
 
 /// Method names whose `Result` must not be silently discarded.
-const IO_MARKERS: [&str; 11] = [
+const IO_MARKERS: [&str; 14] = [
     "write_to",
     "write_all",
     "write_fmt",
@@ -22,6 +22,11 @@ const IO_MARKERS: [&str; 11] = [
     "read_to_string",
     "write",
     "writeln",
+    // Durability: a dropped fsync error is an unkept promise that data
+    // is on disk — recovery code must never `let _ =` these.
+    "sync_data",
+    "sync_all",
+    "set_len",
 ];
 
 /// Runs the A4 pass over a test-stripped token stream.

@@ -39,6 +39,7 @@ pub fn default_config() -> AuditConfig {
             "crates/serve/src/http.rs",
             "crates/serve/src/json.rs",
             "crates/serve/src/state.rs",
+            "crates/serve/src/persist",
             "crates/core/src/window.rs",
             "crates/core/src/interleaved.rs",
             "crates/core/src/sequential.rs",

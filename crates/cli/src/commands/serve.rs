@@ -4,7 +4,7 @@ use std::io::Write;
 use std::time::Duration;
 
 use car_core::MiningConfig;
-use car_serve::{serve, ServerConfig};
+use car_serve::{serve, FsyncPolicy, PersistConfig, ServerConfig};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -29,6 +29,36 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         .cycle_bounds(l_min, l_max)
         .build()?;
 
+    let persist = match args.get("data-dir") {
+        Some(dir) => {
+            let mut persist = PersistConfig::new(dir);
+            if let Some(raw) = args.get("fsync") {
+                persist.fsync = raw
+                    .parse::<FsyncPolicy>()
+                    .map_err(|msg| CliError::Usage(format!("--fsync: {msg}")))?;
+            }
+            persist.snapshot_every = args.parse_or("snapshot-every", 64)?;
+            Some(persist)
+        }
+        None => {
+            if args.get("fsync").is_some() || args.get("snapshot-every").is_some() {
+                return Err(CliError::Usage(
+                    "--fsync/--snapshot-every require --data-dir".into(),
+                ));
+            }
+            None
+        }
+    };
+
+    let durability = persist.as_ref().map(|p| {
+        format!(
+            "  durable: data dir {}, fsync {}, snapshot every {} units",
+            p.data_dir.display(),
+            p.fsync,
+            p.snapshot_every
+        )
+    });
+
     let config = ServerConfig {
         addr: format!("{host}:{port}"),
         threads,
@@ -37,6 +67,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         mining,
         io_timeout: Duration::from_secs(io_timeout_secs.max(1)),
         handle_signals: true,
+        persist,
         ..ServerConfig::default()
     };
 
@@ -49,6 +80,9 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         out,
         "  window {window} units, {threads} workers, queue capacity {queue_capacity}"
     )?;
+    if let Some(line) = &durability {
+        writeln!(out, "{line}")?;
+    }
     writeln!(
         out,
         "  endpoints: POST /v1/units  GET /v1/rules  GET /v1/health  GET /metrics"

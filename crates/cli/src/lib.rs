@@ -88,6 +88,8 @@ COMMANDS:
              [--host H] [--port P] [--threads N] [--window N]
              [--queue-capacity N] [--min-support F] [--min-confidence F]
              [--l-min L] [--l-max L] [--io-timeout-secs S]
+             [--data-dir DIR] [--fsync always|never|every=N]
+             [--snapshot-every N]
     audit    Run the project's static-analysis lints (panic-freedom,
              lock-order, checked arithmetic, discarded Results)
              [--root DIR] [--format human|json] [--baseline FILE]

@@ -15,9 +15,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use car_serve::Client;
+use car_serve::{Client, ClientResponse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +27,8 @@ struct Options {
     requests_per_connection: usize,
     mode: Mode,
     seed: u64,
+    max_retries: u32,
+    timeout: Duration,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -43,12 +45,18 @@ car-load — load generator for the car-serve daemon
 USAGE:
     car-load --addr HOST:PORT [--connections N] [--requests N]
              [--mode rules|health|ingest|mixed] [--seed S]
+             [--max-retries N] [--timeout-ms MS]
 
     --addr         daemon address (required)
     --connections  concurrent keep-alive connections   [default: 4]
     --requests     requests per connection             [default: 250]
     --mode         request mix                         [default: mixed]
     --seed         RNG seed for bodies and mixing      [default: 7]
+    --max-retries  retries per request on 503 or a     [default: 4]
+                   broken connection (exponential
+                   backoff with jitter)
+    --timeout-ms   per-request connect/read/write      [default: 5000]
+                   timeout, in milliseconds
 ";
 
 fn parse_options() -> Result<Options, String> {
@@ -59,6 +67,8 @@ fn parse_options() -> Result<Options, String> {
         requests_per_connection: 250,
         mode: Mode::Mixed,
         seed: 7,
+        max_retries: 4,
+        timeout: Duration::from_millis(5_000),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -91,6 +101,20 @@ fn parse_options() -> Result<Options, String> {
             "--seed" => {
                 opts.seed =
                     need_value(i)?.parse().map_err(|_| "invalid --seed".to_string())?;
+            }
+            "--max-retries" => {
+                opts.max_retries = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --max-retries".to_string())?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --timeout-ms".to_string())?;
+                if ms == 0 {
+                    return Err("--timeout-ms must be positive".to_string());
+                }
+                opts.timeout = Duration::from_millis(ms);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -137,6 +161,57 @@ struct WorkerReport {
     latencies_us: Vec<u64>,
     errors: u64,
     non_2xx: u64,
+    retries: u64,
+}
+
+/// Exponential backoff with jitter before retry `attempt` (1-based):
+/// 50ms doubling per attempt, capped at 2s, plus up to 50% jitter so
+/// concurrent workers don't retry in lockstep against a recovering
+/// daemon.
+fn backoff(rng: &mut StdRng, attempt: u32) -> Duration {
+    let base_ms = (50u64 << attempt.saturating_sub(1).min(6)).min(2_000);
+    let jitter = rng.gen_range(0..=(base_ms >> 1));
+    Duration::from_millis(base_ms + jitter)
+}
+
+/// Issues one request, retrying on transport errors and 503s (daemon
+/// restarting, recovering, or shedding load) with backoff. `client` is
+/// reconnected in place when the connection dies. Returns the final
+/// response, or `None` when every attempt failed at the transport level.
+fn request_with_retry(
+    client: &mut Option<Client>,
+    opts: &Options,
+    rng: &mut StdRng,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+    retries: &mut u64,
+) -> Option<ClientResponse> {
+    let mut last_response = None;
+    for attempt in 0..=opts.max_retries {
+        if attempt > 0 {
+            *retries += 1;
+            std::thread::sleep(backoff(rng, attempt));
+        }
+        if client.is_none() {
+            *client = Client::connect_with_timeout(&opts.addr, opts.timeout).ok();
+        }
+        let Some(conn) = client.as_mut() else { continue };
+        match conn.request(method, target, body) {
+            Ok(resp) if resp.status == 503 => {
+                // Retryable daemon answer (recovering / backpressure /
+                // shutting down); keep the connection, back off, retry.
+                last_response = Some(resp);
+            }
+            Ok(resp) => return Some(resp),
+            Err(_) => {
+                // Connection reset (daemon died?): drop it and retry
+                // with a fresh connection after backoff.
+                *client = None;
+            }
+        }
+    }
+    last_response
 }
 
 fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> WorkerReport {
@@ -145,14 +220,9 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
         latencies_us: Vec::with_capacity(opts.requests_per_connection),
         errors: 0,
         non_2xx: 0,
+        retries: 0,
     };
-    let mut client = match Client::connect(&opts.addr) {
-        Ok(c) => c,
-        Err(_) => {
-            report.errors += opts.requests_per_connection as u64;
-            return report;
-        }
-    };
+    let mut client = Client::connect_with_timeout(&opts.addr, opts.timeout).ok();
     for _ in 0..opts.requests_per_connection {
         let mode = match opts.mode {
             Mode::Mixed => match rng.gen_range(0u32..10) {
@@ -165,33 +235,51 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
         };
         let started = Instant::now();
         let result = match mode {
-            Mode::Rules => client.request("GET", "/v1/rules", None),
-            Mode::Health => client.request("GET", "/v1/health", None),
+            Mode::Rules => request_with_retry(
+                &mut client,
+                opts,
+                &mut rng,
+                "GET",
+                "/v1/rules",
+                None,
+                &mut report.retries,
+            ),
+            Mode::Health => request_with_retry(
+                &mut client,
+                opts,
+                &mut rng,
+                "GET",
+                "/v1/health",
+                None,
+                &mut report.retries,
+            ),
             Mode::Ingest => {
                 let n = ingest_counter.fetch_add(1, Ordering::Relaxed);
                 let body = unit_body(&mut rng, n);
-                client.request("POST", "/v1/units", Some(&body))
+                request_with_retry(
+                    &mut client,
+                    opts,
+                    &mut rng,
+                    "POST",
+                    "/v1/units",
+                    Some(&body),
+                    &mut report.retries,
+                )
             }
             Mode::Mixed => unreachable!(),
         };
         match result {
-            Ok(resp) => {
+            Some(resp) => {
                 let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                 report.latencies_us.push(us);
-                // 409 (warming up) and 503 (backpressure) are expected
-                // daemon answers, not client errors; count them apart.
+                // 409 (warming up) and a final 503 (backpressure that
+                // outlasted the retries) are daemon answers, not client
+                // errors; count them apart.
                 if !(200..300).contains(&resp.status) {
                     report.non_2xx += 1;
                 }
             }
-            Err(_) => {
-                report.errors += 1;
-                // The connection is likely dead; reconnect once.
-                match Client::connect(&opts.addr) {
-                    Ok(c) => client = c,
-                    Err(_) => break,
-                }
-            }
+            None => report.errors += 1,
         }
     }
     report
@@ -234,6 +322,7 @@ fn main() {
     let completed = latencies.len() as u64;
     let errors: u64 = reports.iter().map(|r| r.errors).sum();
     let non_2xx: u64 = reports.iter().map(|r| r.non_2xx).sum();
+    let retries: u64 = reports.iter().map(|r| r.retries).sum();
     let throughput = completed as f64 / elapsed.as_secs_f64().max(1e-9);
 
     println!("car-load against {}", opts.addr);
@@ -242,7 +331,7 @@ fn main() {
         opts.connections, opts.requests_per_connection
     );
     println!(
-        "  completed: {completed}   non-2xx: {non_2xx}   transport errors: {errors}"
+        "  completed: {completed}   non-2xx: {non_2xx}   transport errors: {errors}   retries: {retries}"
     );
     println!(
         "  wall time: {:.3}s   throughput: {throughput:.0} req/s",

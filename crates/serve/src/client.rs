@@ -5,7 +5,8 @@
 //! side emits: status line, headers, `Content-Length` bodies, keep-alive.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A parsed response.
 #[derive(Clone, Debug)]
@@ -98,6 +99,29 @@ impl Client {
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Connects to `addr` with `timeout` bounding the connection attempt
+    /// and every subsequent read and write, so a stalled daemon (e.g.
+    /// mid-recovery) surfaces as a timed-out request instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; `TimedOut` when the deadline
+    /// passes, `AddrNotAvailable` when `addr` resolves to nothing.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                format!("{addr} resolved to no addresses"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let writer = stream.try_clone()?;
         Ok(Client { reader: BufReader::new(stream), writer })
     }

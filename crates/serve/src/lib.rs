@@ -56,6 +56,7 @@ mod error;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 mod pool;
 pub mod routes;
 mod server;
@@ -65,4 +66,6 @@ pub mod sync;
 
 pub use client::{Client, ClientResponse};
 pub use error::ServeError;
+pub use persist::wal::FsyncPolicy;
+pub use persist::PersistConfig;
 pub use server::{serve, FinalStats, ServerConfig, ServerHandle};

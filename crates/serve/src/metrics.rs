@@ -83,6 +83,11 @@ pub struct Metrics {
     transactions_ingested: AtomicU64,
     ingest_rejected: AtomicU64,
     parse_errors: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_errors: AtomicU64,
+    snapshots: AtomicU64,
+    recovery_truncated: AtomicU64,
 }
 
 impl Metrics {
@@ -125,6 +130,32 @@ impl Metrics {
         self.parse_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a successful WAL append of `bytes` on-disk bytes.
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one WAL fsync.
+    pub fn record_wal_fsync(&self) {
+        self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a durability-layer failure (failed append/fsync/snapshot).
+    pub fn record_wal_error(&self) {
+        self.wal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed snapshot.
+    pub fn record_snapshot(&self) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` WAL records discarded by boot recovery (torn/corrupt
+    /// tails and untrusted segments after them).
+    pub fn record_recovery_truncated(&self, n: u64) {
+        self.recovery_truncated.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Total requests recorded across all routes and classes.
     pub fn total_requests(&self) -> u64 {
         self.requests
@@ -137,6 +168,31 @@ impl Metrics {
     /// Total units ingested.
     pub fn units_ingested(&self) -> u64 {
         self.units_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Total WAL fsyncs performed.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal_fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes appended to the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total durability-layer failures.
+    pub fn wal_errors(&self) -> u64 {
+        self.wal_errors.load(Ordering::Relaxed)
+    }
+
+    /// Total snapshots written.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Total WAL records discarded by recovery.
+    pub fn recovery_truncated(&self) -> u64 {
+        self.recovery_truncated.load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus exposition text. `gauges` supplies
@@ -206,6 +262,27 @@ impl Metrics {
                 "car_http_parse_errors_total",
                 "Requests rejected by the HTTP parser.",
                 &self.parse_errors,
+            ),
+            (
+                "car_wal_bytes_total",
+                "Bytes appended to the write-ahead log.",
+                &self.wal_bytes,
+            ),
+            (
+                "car_wal_fsyncs_total",
+                "Write-ahead log fsyncs performed.",
+                &self.wal_fsyncs,
+            ),
+            (
+                "car_wal_errors_total",
+                "Durability-layer failures (append, fsync, snapshot).",
+                &self.wal_errors,
+            ),
+            ("car_snapshots_total", "Window snapshots written.", &self.snapshots),
+            (
+                "car_recovery_truncated_records",
+                "WAL records discarded by boot recovery (torn or corrupt).",
+                &self.recovery_truncated,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n"));

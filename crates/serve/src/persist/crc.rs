@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3) for WAL records and snapshots.
+//!
+//! The durability layer checksums every length-prefixed WAL record and
+//! every snapshot payload so torn writes and bit flips are detected at
+//! recovery time instead of silently corrupting the mined window. The
+//! build environment has no route to a crates registry, so the checksum
+//! is hand-rolled: the standard reflected CRC-32 with the 0xEDB88320
+//! polynomial, table-driven, with the table built at compile time.
+
+/// The reflected CRC-32 polynomial (IEEE 802.3, zlib, PNG, ...).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one shift-reduce step per byte.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { POLY ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        // audit:allow(a1-index) reason="i is bounded by the `while i < 256` loop over a 256-entry table; const-evaluated at compile time"
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        // audit:allow(a1-index) reason="idx is masked with & 0xFF, always within the 256-entry table"
+        crc = TABLE[idx] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = crc32(b"hello, wal");
+        let mut corrupted = b"hello, wal".to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8u8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

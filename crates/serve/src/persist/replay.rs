@@ -1,0 +1,270 @@
+//! Boot-time recovery: snapshot + WAL tail → the retained window.
+//!
+//! Recovery is deliberately forgiving about *tails* and strict about
+//! *prefixes*: everything up to the first torn, corrupt, or
+//! out-of-sequence record is trusted (each record carried a CRC the
+//! writer computed before acknowledging the unit), and everything from
+//! that point on is discarded — physically truncated from the segment
+//! and counted in `recovery_truncated_records` — because a record after
+//! damage has unknown provenance even when its own checksum passes.
+//! Recovery never panics on corrupt input; the worst disk state recovers
+//! to the longest verifiable prefix.
+
+use std::io;
+use std::path::Path;
+
+use car_itemset::ItemSet;
+
+use crate::persist::snapshot::load_snapshot;
+use crate::persist::wal::{list_segments, parse_records};
+use crate::sync::log_warn;
+
+/// Everything recovery reconstructed from the data directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Units to re-apply to the miner in order: the snapshot window
+    /// first, then the replayed WAL tail.
+    pub units: Vec<Vec<ItemSet>>,
+    /// Sequence number of the newest recovered unit (0 = empty store).
+    pub last_seq: u64,
+    /// How many of `units` came from the snapshot.
+    pub snapshot_units: usize,
+    /// How many of `units` were replayed from the WAL tail.
+    pub replayed_units: usize,
+    /// Corrupt-tail events plus whole records discarded after the first
+    /// point of damage. Zero on a clean boot.
+    pub truncated_records: u64,
+}
+
+/// Truncates `path` to `len` bytes and syncs, so the corruption cannot
+/// be re-discovered (or mis-parsed differently) on the next boot.
+fn truncate_segment(path: &Path, len: u64) {
+    let result = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .and_then(|file| file.set_len(len).and_then(|()| file.sync_all()));
+    if let Err(e) = result {
+        log_warn(&format!(
+            "could not truncate corrupt WAL tail in {}: {e} \
+             (recovery will re-truncate next boot)",
+            path.display()
+        ));
+    }
+}
+
+/// Loads the latest valid snapshot and replays the WAL tail.
+///
+/// Corruption is handled, not propagated: the scan stops at the first
+/// bad record, the segment is truncated to its valid prefix, later
+/// segments are deleted, and the discarded work is tallied in
+/// [`Recovery::truncated_records`].
+///
+/// # Errors
+///
+/// Only environmental failures (unreadable directory or segment) are
+/// errors; corrupt *contents* are recovered from.
+pub fn recover(dir: &Path) -> io::Result<Recovery> {
+    let mut out = Recovery::default();
+    if let Some(snapshot) = load_snapshot(dir) {
+        out.last_seq = snapshot.last_seq;
+        out.snapshot_units = snapshot.units.len();
+        out.units = snapshot.units;
+    }
+
+    let segments = list_segments(dir)?;
+    let mut stop_replay = false;
+    for segment in &segments {
+        if stop_replay {
+            // Everything after the first damaged segment is untrusted;
+            // count what parses so the operator sees the loss.
+            let parsed = parse_records(&std::fs::read(&segment.path)?);
+            out.truncated_records =
+                out.truncated_records.saturating_add(parsed.records.len() as u64);
+            if let Err(e) = std::fs::remove_file(&segment.path) {
+                log_warn(&format!(
+                    "could not delete untrusted WAL segment {}: {e}",
+                    segment.path.display()
+                ));
+            }
+            continue;
+        }
+        let bytes = std::fs::read(&segment.path)?;
+        let parsed = parse_records(&bytes);
+        for (seq, unit) in parsed.records {
+            if seq <= out.last_seq {
+                // Already covered by the snapshot (or a duplicate from a
+                // crash between snapshot rename and segment prune).
+                continue;
+            }
+            if out.last_seq != 0 && seq != out.last_seq.saturating_add(1) {
+                log_warn(&format!(
+                    "WAL sequence gap in {}: expected {}, found {seq}; \
+                     truncating here",
+                    segment.path.display(),
+                    out.last_seq.saturating_add(1)
+                ));
+                out.truncated_records = out.truncated_records.saturating_add(1);
+                stop_replay = true;
+                break;
+            }
+            out.last_seq = seq;
+            out.replayed_units = out.replayed_units.saturating_add(1);
+            out.units.push(unit);
+        }
+        if let Some(why) = parsed.corruption {
+            if !stop_replay {
+                log_warn(&format!(
+                    "WAL segment {} damaged after byte {}: {why}; \
+                     truncating to the last valid record",
+                    segment.path.display(),
+                    parsed.valid_len
+                ));
+                out.truncated_records = out.truncated_records.saturating_add(1);
+            }
+            if parsed.valid_len < bytes.len() as u64 {
+                truncate_segment(&segment.path, parsed.valid_len);
+            }
+            stop_replay = true;
+        } else if stop_replay {
+            // Sequence gap stopped replay mid-segment: drop the rest of
+            // this segment's bytes too.
+            truncate_segment(&segment.path, 0);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::persist::fault::{append_garbage, chop_tail, flip_bit};
+    use crate::persist::snapshot::write_snapshot;
+    use crate::persist::wal::{FsyncPolicy, Wal};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir() -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "car-replay-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn unit(id: u32) -> Vec<ItemSet> {
+        vec![ItemSet::from_ids([id, id + 1]), ItemSet::from_ids([id])]
+    }
+
+    fn write_units(dir: &Path, next_seq: u64, ids: &[u32]) {
+        let metrics = Metrics::new();
+        let mut wal = Wal::open(dir, FsyncPolicy::Always, None, next_seq).unwrap();
+        let units: Vec<Vec<ItemSet>> = ids.iter().map(|&i| unit(i)).collect();
+        wal.append_batch(&units, &metrics).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_recovers_empty() {
+        let dir = temp_dir();
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 0);
+        assert!(r.units.is_empty());
+        assert_eq!(r.truncated_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_only_recovery() {
+        let dir = temp_dir();
+        write_units(&dir, 1, &[10, 20, 30]);
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 3);
+        assert_eq!(r.units, vec![unit(10), unit(20), unit(30)]);
+        assert_eq!((r.snapshot_units, r.replayed_units), (0, 3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_skips_covered_records() {
+        let dir = temp_dir();
+        write_units(&dir, 1, &[10, 20, 30, 40]);
+        // Snapshot covers seqs 1–3 but retains only the last two units.
+        write_snapshot(&dir, 3, &[unit(20), unit(30)]).unwrap();
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 4);
+        assert_eq!(r.units, vec![unit(20), unit(30), unit(40)]);
+        assert_eq!((r.snapshot_units, r.replayed_units), (2, 1));
+        assert_eq!(r.truncated_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_once() {
+        let dir = temp_dir();
+        write_units(&dir, 1, &[10, 20, 30]);
+        let seg = &list_segments(&dir).unwrap()[0];
+        chop_tail(&seg.path, 3).unwrap();
+
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 2, "third record was torn");
+        assert_eq!(r.truncated_records, 1);
+
+        // The file was physically truncated: a second boot is clean.
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 2);
+        assert_eq!(r.truncated_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_damaged_record() {
+        let dir = temp_dir();
+        write_units(&dir, 1, &[10, 20]);
+        let seg = &list_segments(&dir).unwrap()[0];
+        // Damage the first record: everything is discarded.
+        flip_bit(&seg.path, 10, 3).unwrap();
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 0);
+        assert!(r.units.is_empty());
+        assert!(r.truncated_records >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_tail_is_detected() {
+        let dir = temp_dir();
+        write_units(&dir, 1, &[10]);
+        let seg = &list_segments(&dir).unwrap()[0];
+        append_garbage(&seg.path, 13).unwrap();
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 1);
+        assert_eq!(r.truncated_records, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_after_damage_are_dropped_and_counted() {
+        let dir = temp_dir();
+        let metrics = Metrics::new();
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, None, 1).unwrap();
+        wal.append_batch(&[unit(10), unit(20)], &metrics).unwrap();
+        // Rotate with an uncovering snapshot seq so both segments stay.
+        wal.rotate_and_prune(0, &metrics).unwrap();
+        wal.append_batch(&[unit(30), unit(40)], &metrics).unwrap();
+        drop(wal);
+        assert_eq!(list_segments(&dir).unwrap().len(), 2);
+        let first = &list_segments(&dir).unwrap()[0];
+        chop_tail(&first.path, 2).unwrap();
+
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.last_seq, 1, "seq 2 torn; 3–4 untrusted");
+        // 1 torn event + 2 discarded later records.
+        assert_eq!(r.truncated_records, 3);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

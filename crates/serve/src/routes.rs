@@ -4,8 +4,12 @@
 //!
 //! * `POST /v1/units` — ingest one time unit. Body:
 //!   `{"transactions": [[item ids...], ...]}`. Returns `202` with the
-//!   unit's sequence number, `503` when the ingest queue is full, or —
-//!   with `?wait=true` — `200` once the unit is applied to the miner.
+//!   unit's sequence number, `503` when the ingest queue is full (or
+//!   while boot recovery runs), or — with `?wait=true` — `200` once the
+//!   unit is applied to the miner. The body may also be a top-level JSON
+//!   *array* of such objects: the batch is accepted with one WAL append
+//!   and one queue pass, and the response carries per-unit accounting
+//!   (`202` if at least one unit was accepted, else `503`).
 //! * `GET /v1/rules` — the current cyclic rules. Query parameters
 //!   `length`, `offset` (cycle filters) and `min_confidence` (stricter
 //!   per-unit confidence; must be ≥ the configured threshold to have an
@@ -48,21 +52,39 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
     }
 }
 
+/// Maps an enqueue rejection to its HTTP response, recording metrics.
+fn enqueue_error_response(state: &Arc<AppState>, e: EnqueueError) -> Response {
+    match e {
+        EnqueueError::Full => {
+            state.metrics.record_ingest_rejected();
+            Response::error(503, "ingest queue full; retry later")
+        }
+        EnqueueError::ShuttingDown => Response::error(503, "server is shutting down"),
+        EnqueueError::Recovering => {
+            Response::error(503, "recovering the window from disk; retry later")
+        }
+        EnqueueError::Persistence => Response::error(
+            503,
+            "durability failure: the write-ahead log cannot accept units",
+        ),
+    }
+}
+
 fn ingest_units(state: &Arc<AppState>, req: &Request) -> Response {
-    let unit = match parse_unit_body(&req.body) {
-        Ok(unit) => unit,
+    let (units, is_batch) = match parse_units_body(&req.body) {
+        Ok(parsed) => parsed,
         Err(msg) => return Response::error(400, &msg),
     };
+    if is_batch {
+        return ingest_batch(state, req, units);
+    }
+    let Some(unit) = units.into_iter().next() else {
+        return Response::error(400, "empty unit batch");
+    };
     let num_transactions = unit.len() as u64;
-    let seq = match state.queue.enqueue(unit) {
+    let seq = match state.ingest_unit(unit) {
         Ok(seq) => seq,
-        Err(EnqueueError::Full) => {
-            state.metrics.record_ingest_rejected();
-            return Response::error(503, "ingest queue full; retry later");
-        }
-        Err(EnqueueError::ShuttingDown) => {
-            return Response::error(503, "server is shutting down");
-        }
+        Err(e) => return enqueue_error_response(state, e),
     };
     state.metrics.record_ingest(num_transactions);
 
@@ -92,10 +114,95 @@ fn ingest_units(state: &Arc<AppState>, req: &Request) -> Response {
     )
 }
 
-/// Parses `{"transactions": [[id, ...], ...]}` into a unit.
-fn parse_unit_body(body: &[u8]) -> Result<Vec<ItemSet>, String> {
+/// Handles a top-level-array body: one WAL append + one queue pass for
+/// the whole batch, per-unit accounting in the response.
+fn ingest_batch(
+    state: &Arc<AppState>,
+    req: &Request,
+    units: Vec<Vec<ItemSet>>,
+) -> Response {
+    if units.is_empty() {
+        return Response::error(400, "empty unit batch");
+    }
+    let tx_counts: Vec<u64> = units.iter().map(|u| u.len() as u64).collect();
+    let results = state.ingest_batch(units);
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut last_seq = None;
+    let mut per_unit = Vec::with_capacity(results.len());
+    for (result, txs) in results.iter().zip(&tx_counts) {
+        match result {
+            Ok(seq) => {
+                state.metrics.record_ingest(*txs);
+                accepted += 1;
+                last_seq = Some(*seq);
+                per_unit.push(object([
+                    ("status", Json::from(202u64)),
+                    ("unit_seq", Json::from(*seq)),
+                ]));
+            }
+            Err(e) => {
+                if *e == EnqueueError::Full {
+                    state.metrics.record_ingest_rejected();
+                }
+                rejected += 1;
+                per_unit.push(object([
+                    ("status", Json::from(503u64)),
+                    ("error", Json::from(enqueue_error_label(*e))),
+                ]));
+            }
+        }
+    }
+
+    let wait = matches!(req.query_param("wait"), Some("true" | "1"));
+    let mut applied = false;
+    if wait {
+        if let Some(seq) = last_seq {
+            applied = state.wait_applied(seq, WAIT_APPLIED_TIMEOUT);
+        }
+    }
+    let status = if accepted > 0 { 202 } else { 503 };
+    Response::json(
+        status,
+        &object([
+            ("accepted", Json::from(accepted)),
+            ("rejected", Json::from(rejected)),
+            ("applied", Json::from(applied)),
+            ("units", Json::Array(per_unit)),
+            ("queue_depth", Json::from(state.queue.depth())),
+        ]),
+    )
+}
+
+fn enqueue_error_label(e: EnqueueError) -> &'static str {
+    match e {
+        EnqueueError::Full => "queue_full",
+        EnqueueError::ShuttingDown => "shutting_down",
+        EnqueueError::Recovering => "recovering",
+        EnqueueError::Persistence => "persistence_failure",
+    }
+}
+
+/// Parses the ingest body: either `{"transactions": [[id, ...], ...]}`
+/// (one unit) or a top-level array of such objects (a batch). Returns
+/// the units and whether the body was the batch form.
+fn parse_units_body(body: &[u8]) -> Result<(Vec<Vec<ItemSet>>, bool), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if let Some(batch) = doc.as_array() {
+        let mut units = Vec::with_capacity(batch.len());
+        for (i, entry) in batch.iter().enumerate() {
+            units
+                .push(parse_unit(entry).map_err(|msg| format!("batch unit {i}: {msg}"))?);
+        }
+        return Ok((units, true));
+    }
+    Ok((vec![parse_unit(&doc)?], false))
+}
+
+/// Parses one `{"transactions": [[id, ...], ...]}` object into a unit.
+fn parse_unit(doc: &Json) -> Result<Vec<ItemSet>, String> {
     let transactions = doc
         .get("transactions")
         .and_then(Json::as_array)
@@ -118,6 +225,12 @@ fn parse_unit_body(body: &[u8]) -> Result<Vec<ItemSet>, String> {
 }
 
 fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
+    if state.recovery.is_recovering() {
+        return Response::error(
+            503,
+            "recovering the window from disk; rules are not yet consistent",
+        );
+    }
     let length = match parse_u32_param(req, "length") {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -221,23 +334,39 @@ fn health(state: &Arc<AppState>) -> Response {
     // locks the queue internally, and nothing may acquire `inner` while
     // holding `miner` (lock order is inner-free under miner).
     let queue_depth = state.queue.depth();
+    let recovering = state.recovery.is_recovering();
     let miner = state.miner.read_or_recover();
     let warming_up = miner.len() < state.config.cycle_bounds.l_max() as usize;
-    Response::json(
-        200,
-        &object([
-            (
-                "status",
-                Json::from(if state.is_shutting_down() { "shutting_down" } else { "ok" }),
-            ),
-            ("warming_up", Json::from(warming_up)),
-            ("units_retained", Json::from(miner.len())),
-            ("window", Json::from(miner.window())),
-            ("total_pushed", Json::from(miner.total_pushed())),
-            ("evictions", Json::from(miner.evictions())),
-            ("queue_depth", Json::from(queue_depth)),
-        ]),
-    )
+    let status = if recovering {
+        "recovering"
+    } else if state.is_shutting_down() {
+        "shutting_down"
+    } else {
+        "ok"
+    };
+    let ready = !recovering && !state.is_shutting_down();
+    let mut fields: Vec<(String, Json)> = vec![
+        ("status".into(), Json::from(status)),
+        ("ready".into(), Json::from(ready)),
+        ("warming_up".into(), Json::from(warming_up)),
+        ("units_retained".into(), Json::from(miner.len())),
+        ("window".into(), Json::from(miner.window())),
+        ("total_pushed".into(), Json::from(miner.total_pushed())),
+        ("evictions".into(), Json::from(miner.evictions())),
+        ("queue_depth".into(), Json::from(queue_depth)),
+    ];
+    if state.persist.is_some() {
+        fields.push((
+            "recovery".into(),
+            object([
+                ("complete", Json::from(!recovering)),
+                ("snapshot_units", Json::from(state.recovery.snapshot_units())),
+                ("replayed_units", Json::from(state.recovery.replayed_units())),
+                ("truncated_records", Json::from(state.metrics.recovery_truncated())),
+            ]),
+        ));
+    }
+    Response::json(200, &Json::Object(fields))
 }
 
 fn metrics(state: &Arc<AppState>) -> Response {
@@ -293,7 +422,7 @@ mod tests {
             .cycle_bounds(2, 2)
             .build()
             .unwrap();
-        AppState::new(config, 4, 8).unwrap()
+        AppState::new(config, 4, 8, None).unwrap()
     }
 
     fn request(method: &str, path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {

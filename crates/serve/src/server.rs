@@ -51,6 +51,9 @@ pub struct ServerConfig {
     /// signal flag. Off in tests (the flag is shared by the whole
     /// process), on in the CLI.
     pub handle_signals: bool,
+    /// Durability configuration: data directory, fsync policy, snapshot
+    /// cadence. `None` keeps the window memory-only (lost on restart).
+    pub persist: Option<crate::persist::PersistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             handle_signals: false,
+            persist: None,
         }
     }
 }
@@ -131,7 +135,12 @@ impl ServerHandle {
 /// [`ServeError::Config`] for an invalid mining configuration or window,
 /// [`ServeError::Io`] when the address cannot be bound.
 pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
-    let state = AppState::new(config.mining, config.window, config.queue_capacity)?;
+    let state = AppState::new(
+        config.mining,
+        config.window,
+        config.queue_capacity,
+        config.persist.clone(),
+    )?;
     let addrs: Vec<SocketAddr> =
         config.addr.to_socket_addrs().map_err(ServeError::Io)?.collect();
     let listener = TcpListener::bind(&addrs[..]).map_err(ServeError::Io)?;
@@ -289,6 +298,7 @@ mod tests {
             io_timeout: Duration::from_secs(2),
             max_body_bytes: 64 * 1024,
             handle_signals: false,
+            persist: None,
         }
     }
 

@@ -1,0 +1,108 @@
+//! Property tests for the WAL wire format.
+//!
+//! Recovery trusts `parse_records` to draw the line between "what
+//! happened" and "what a crash left behind", so the properties here
+//! pin down that line exactly: any full-frame prefix of a log parses
+//! to exactly those records, any cut inside a frame is flagged as
+//! corruption at a record boundary, and no single-bit flip ever
+//! produces a phantom record.
+
+use car_itemset::ItemSet;
+use car_serve::persist::wal::{
+    decode_payload, encode_payload, encode_record_into, parse_records,
+};
+use proptest::prelude::*;
+
+fn arb_unit() -> impl Strategy<Value = Vec<ItemSet>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..10_000, 0..6).prop_map(ItemSet::from_ids),
+        0..6,
+    )
+}
+
+/// Encodes `units` as consecutive records (seqs starting at `first_seq`)
+/// and returns the buffer plus the frame boundaries, starting with 0.
+fn encode_log(units: &[Vec<ItemSet>], first_seq: u64) -> (Vec<u8>, Vec<usize>) {
+    let mut buf = Vec::new();
+    let mut boundaries = vec![0usize];
+    for (i, unit) in units.iter().enumerate() {
+        encode_record_into(first_seq + i as u64, unit, &mut buf);
+        boundaries.push(buf.len());
+    }
+    (buf, boundaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn payload_round_trips_and_rejects_every_truncation(
+        seq in 0u64..1_000_000_000,
+        unit in arb_unit(),
+    ) {
+        let payload = encode_payload(seq, &unit);
+        prop_assert_eq!(decode_payload(&payload), Some((seq, unit)));
+        // Every strict prefix is malformed: the decoder must never
+        // hallucinate a unit out of a partially-written payload.
+        for cut in 0..payload.len() {
+            prop_assert_eq!(decode_payload(&payload[..cut]), None, "cut {}", cut);
+        }
+        // So is trailing garbage.
+        let mut long = payload.clone();
+        long.push(0);
+        prop_assert_eq!(decode_payload(&long), None);
+    }
+
+    #[test]
+    fn parse_keeps_exactly_the_fully_framed_prefix(
+        units in proptest::collection::vec(arb_unit(), 1..6),
+        cut_fraction in 0.0f64..=1.0,
+    ) {
+        let (buf, boundaries) = encode_log(&units, 100);
+        // Truncate at an arbitrary byte — a crash does not respect
+        // record boundaries.
+        let cut = (((buf.len() as f64) * cut_fraction).round() as usize).min(buf.len());
+        let parsed = parse_records(&buf[..cut]);
+
+        // Exactly the records whose full frames fit survive…
+        let fit = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        prop_assert_eq!(parsed.records.len(), fit);
+        // …the valid prefix ends on the last surviving frame boundary…
+        prop_assert_eq!(parsed.valid_len, boundaries[fit] as u64);
+        // …and corruption is reported iff the cut fell inside a frame.
+        let at_boundary = boundaries.contains(&cut);
+        prop_assert_eq!(parsed.corruption.is_some(), !at_boundary);
+
+        for (i, (seq, unit)) in parsed.records.iter().enumerate() {
+            prop_assert_eq!(*seq, 100 + i as u64);
+            prop_assert_eq!(unit, &units[i]);
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_never_yields_phantom_records(
+        units in proptest::collection::vec(arb_unit(), 1..5),
+        byte_sel in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let (buf, boundaries) = encode_log(&units, 1);
+        let offset = byte_sel % buf.len();
+        let mut flipped = buf.clone();
+        flipped[offset] ^= 1 << bit;
+
+        // The record containing the flipped byte.
+        let damaged = boundaries.iter().filter(|&&b| b > 0 && b <= offset).count();
+        let parsed = parse_records(&flipped);
+
+        // Records before the damaged one are untouched and parse
+        // intact; the checksum (or framing) stops the scan at the
+        // damaged record, and nothing after it is trusted.
+        prop_assert_eq!(parsed.records.len(), damaged);
+        prop_assert!(parsed.corruption.is_some());
+        prop_assert_eq!(parsed.valid_len, boundaries[damaged] as u64);
+        for (i, (seq, unit)) in parsed.records.iter().enumerate() {
+            prop_assert_eq!(*seq, 1 + i as u64);
+            prop_assert_eq!(unit, &units[i]);
+        }
+    }
+}
