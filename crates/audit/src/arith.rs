@@ -47,6 +47,14 @@ pub fn check(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
             if !prev_ends_expr {
                 continue;
             }
+            // `$(...)+` / `$(...)*` are macro-rules repetition operators,
+            // not arithmetic: skip a `+`/`*` whose preceding `)` closes a
+            // group opened by `$(`.
+            if tokens.get(i.wrapping_sub(1)).is_some_and(|p| p.is_punct(")"))
+                && is_macro_repetition(tokens, i - 1)
+            {
+                continue;
+            }
         }
         // Look back across the statement's left-hand side for a
         // counter-flavoured identifier.
@@ -79,6 +87,28 @@ pub fn check(file: &str, tokens: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// Whether the `)` at `close` ends a macro repetition group, i.e. its
+/// matching `(` is immediately preceded by `$`.
+fn is_macro_repetition(tokens: &[Token], close: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        let t = &tokens[j];
+        if t.is_punct(")") {
+            depth += 1;
+        } else if t.is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return j > 0 && tokens[j - 1].is_punct("$");
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +137,18 @@ mod tests {
     fn flags_binary_plus_on_counters() {
         assert_eq!(lints_of("let t = count + extra;"), [lints::A3_UNCHECKED]);
         assert!(lints_of("let t = count.saturating_add(extra);").is_empty());
+    }
+
+    #[test]
+    fn macro_repetition_operators_are_not_arithmetic() {
+        assert!(lints_of(
+            "macro_rules! m { ($level:expr, $($arg:tt)+) => { f($($arg)+) }; }"
+        )
+        .is_empty());
+        assert!(lints_of("macro_rules! m { ($($count:expr),*) => { g($($count),*) }; }")
+            .is_empty());
+        // A real addition whose right operand is parenthesised still trips.
+        assert_eq!(lints_of("let t = (count) + extra;"), [lints::A3_UNCHECKED]);
     }
 
     #[test]

@@ -44,12 +44,14 @@ pub fn default_config() -> AuditConfig {
             "crates/core/src/interleaved.rs",
             "crates/core/src/sequential.rs",
             "crates/core/src/incremental.rs",
+            "crates/obs/src",
         ]),
         a2: s(&["crates/serve/src", "crates/core/src"]),
         a3: s(&[
             "crates/apriori/src/count.rs",
             "crates/apriori/src/hash_tree.rs",
             "crates/apriori/src/apriori.rs",
+            "crates/obs/src",
         ]),
         a4: s(&["crates/serve/src"]),
     }

@@ -1,0 +1,49 @@
+//! Observability overhead guard.
+//!
+//! The car-obs instrumentation inside the mining kernels must be free
+//! when disarmed: with `CAR_LOG` unset and spans disabled, each span
+//! site costs one relaxed atomic load and each run one counter flush.
+//! This bench pins INTERLEAVED mining in both states so a regression in
+//! the disarmed path (the production default) shows up as a spread
+//! between `spans_off` and `spans_on`, and a regression against the
+//! pre-instrumentation baseline shows up in `spans_off` itself.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use car_bench::{scenario, ScenarioParams};
+use car_core::{Algorithm, CyclicRuleMiner, InterleavedOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn params() -> ScenarioParams {
+    let mut p = ScenarioParams::default();
+    p.units = 32;
+    p.tx_per_unit = 100;
+    p.l_max = 4;
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let s = scenario("obs_overhead", params());
+    let miner =
+        CyclicRuleMiner::new(s.config, Algorithm::Interleaved(InterleavedOptions::all()));
+
+    car_obs::set_spans_enabled(false);
+    group.bench_with_input("spans_off", &s.db, |b, db| {
+        b.iter(|| miner.mine(db).expect("valid scenario"))
+    });
+
+    car_obs::set_spans_enabled(true);
+    group.bench_with_input("spans_on", &s.db, |b, db| {
+        b.iter(|| miner.mine(db).expect("valid scenario"))
+    });
+    car_obs::set_spans_enabled(false);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

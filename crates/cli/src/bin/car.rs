@@ -3,6 +3,9 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Honour CAR_LOG / CAR_LOG_FORMAT / CAR_SPANS for every subcommand,
+    // so `CAR_LOG=mine=debug car mine …` works without per-command setup.
+    car_obs::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();

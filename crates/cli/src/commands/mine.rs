@@ -66,7 +66,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
             let threads: usize = args.parse_or("threads", 0)?;
             let outcome =
                 car_core::parallel::mine_sequential_parallel(&db, &config, threads)?;
-            print_outcome(out, &outcome, args.flag("stats"))?;
+            print_outcome(out, &outcome, stats_mode(args)?)?;
             return Ok(());
         }
         other => {
@@ -83,32 +83,82 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         write!(out, "{}", report.render())?;
         return Ok(());
     }
-    print_outcome(out, &outcome, args.flag("stats"))
+    print_outcome(out, &outcome, stats_mode(args)?)
+}
+
+/// How (and whether) to report the per-run [`car_core::MiningStats`].
+#[derive(Clone, Copy, PartialEq)]
+enum StatsMode {
+    Off,
+    Human,
+    Json,
+}
+
+fn stats_mode(args: &Args) -> Result<StatsMode, CliError> {
+    if !args.flag("stats") {
+        return Ok(StatsMode::Off);
+    }
+    match args.get("stats-format").unwrap_or("human") {
+        "human" => Ok(StatsMode::Human),
+        "json" => Ok(StatsMode::Json),
+        other => Err(CliError::Usage(format!(
+            "unknown stats format `{other}` (expected human or json)"
+        ))),
+    }
 }
 
 fn print_outcome<W: Write>(
     out: &mut W,
     outcome: &car_core::MiningOutcome,
-    stats: bool,
+    stats: StatsMode,
 ) -> Result<(), CliError> {
     writeln!(out, "# {} cyclic association rules", outcome.rules.len())?;
     for r in &outcome.rules {
         writeln!(out, "{r}")?;
     }
-    if stats {
-        let s = &outcome.stats;
-        writeln!(out, "# stats:")?;
-        writeln!(out, "#   units                 {}", s.num_units)?;
-        writeln!(out, "#   transactions          {}", s.num_transactions)?;
-        writeln!(out, "#   support computations  {}", s.support_computations)?;
-        writeln!(out, "#   skipped counts        {}", s.skipped_counts)?;
-        writeln!(out, "#   candidates generated  {}", s.candidates_generated)?;
-        writeln!(out, "#   pruned by cycles      {}", s.candidates_pruned_by_cycles)?;
-        writeln!(out, "#   cycles eliminated     {}", s.cycles_eliminated)?;
-        writeln!(out, "#   cyclic itemsets       {}", s.cyclic_itemsets)?;
-        writeln!(out, "#   rules checked         {}", s.rules_checked)?;
-        writeln!(out, "#   phase1                {:?}", s.phase1)?;
-        writeln!(out, "#   phase2                {:?}", s.phase2)?;
+    let s = &outcome.stats;
+    match stats {
+        StatsMode::Off => {}
+        StatsMode::Human => {
+            writeln!(out, "# stats:")?;
+            writeln!(out, "#   units                 {}", s.num_units)?;
+            writeln!(out, "#   transactions          {}", s.num_transactions)?;
+            writeln!(out, "#   support computations  {}", s.support_computations)?;
+            writeln!(out, "#   skipped counts        {}", s.skipped_counts)?;
+            writeln!(out, "#   candidates generated  {}", s.candidates_generated)?;
+            writeln!(out, "#   pruned by cycles      {}", s.candidates_pruned_by_cycles)?;
+            writeln!(out, "#   cycles eliminated     {}", s.cycles_eliminated)?;
+            writeln!(out, "#   cyclic itemsets       {}", s.cyclic_itemsets)?;
+            writeln!(out, "#   rules checked         {}", s.rules_checked)?;
+            writeln!(out, "#   phase1                {:?}", s.phase1)?;
+            writeln!(out, "#   phase2                {:?}", s.phase2)?;
+        }
+        StatsMode::Json => {
+            // One machine-readable line, mirroring the names the daemon
+            // exports as `car_mine_*` Prometheus counters.
+            writeln!(
+                out,
+                concat!(
+                    "{{\"rules\":{},\"units\":{},\"transactions\":{},",
+                    "\"support_computations\":{},\"skipped_counts\":{},",
+                    "\"candidates_generated\":{},\"candidates_pruned_by_cycles\":{},",
+                    "\"cycles_eliminated\":{},\"cyclic_itemsets\":{},",
+                    "\"rules_checked\":{},\"phase1_us\":{},\"phase2_us\":{}}}"
+                ),
+                outcome.rules.len(),
+                s.num_units,
+                s.num_transactions,
+                s.support_computations,
+                s.skipped_counts,
+                s.candidates_generated,
+                s.candidates_pruned_by_cycles,
+                s.cycles_eliminated,
+                s.cyclic_itemsets,
+                s.rules_checked,
+                s.phase1.as_micros(),
+                s.phase2.as_micros(),
+            )?;
+        }
     }
     Ok(())
 }
@@ -230,6 +280,26 @@ mod tests {
     fn stats_flag_prints_counters() {
         let text = run_mine(&["--stats"]).unwrap();
         assert!(text.contains("support computations"), "{text}");
+    }
+
+    #[test]
+    fn stats_json_emits_machine_readable_line() {
+        let text = run_mine(&["--stats", "--stats-format", "json"]).unwrap();
+        let json_line =
+            text.lines().find(|l| l.starts_with("{\"")).expect("a JSON stats line");
+        assert!(json_line.contains("\"support_computations\":"), "{json_line}");
+        assert!(json_line.contains("\"skipped_counts\":"), "{json_line}");
+        assert!(json_line.contains("\"candidates_pruned_by_cycles\":"), "{json_line}");
+        assert!(json_line.contains("\"cycles_eliminated\":"), "{json_line}");
+        assert!(json_line.ends_with('}'), "{json_line}");
+    }
+
+    #[test]
+    fn unknown_stats_format_rejected() {
+        assert!(matches!(
+            run_mine(&["--stats", "--stats-format", "xml"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         out,
         "  endpoints: POST /v1/units  GET /v1/rules  GET /v1/health  GET /metrics"
     )?;
+    writeln!(out, "  debug: GET /v1/debug/profile  GET /v1/debug/events")?;
     writeln!(out, "  stop with Ctrl-C or POST /v1/shutdown")?;
     out.flush()?;
 

@@ -74,7 +74,8 @@ COMMANDS:
              --input FILE [--min-support F] [--min-confidence F]
              [--l-min L] [--l-max L] [--algorithm interleaved|sequential|parallel]
              [--no-pruning] [--no-skipping] [--no-elimination]
-             [--max-misses M] [--stats] [--report [--top N]]
+             [--max-misses M] [--stats [--stats-format human|json]]
+             [--report [--top N]]
     detect   Detect cycles in a 0/1 sequence
              --sequence BITS [--l-min L] [--l-max L] [--max-misses M]
              [--spectrum]
@@ -95,4 +96,9 @@ COMMANDS:
              [--root DIR] [--format human|json] [--baseline FILE]
              [--write-baseline FILE]
     help     Show this message
+
+ENVIRONMENT:
+    CAR_LOG         log filter, e.g. `info` or `mine=debug,wal=info` (default warn)
+    CAR_LOG_FORMAT  `logfmt` (default) or `json`
+    CAR_SPANS       `1` to enable span timing (see /v1/debug/profile under serve)
 ";

@@ -156,14 +156,41 @@ pub fn mine_interleaved(
     };
 
     let phase1_start = Instant::now();
+    let phase1_span = car_obs::time_span!("mine.int.itemsets");
     let cyclic = find_cyclic_itemsets(db, config, options, &mut stats);
     stats.cyclic_itemsets = cyclic.len() as u64;
+    drop(phase1_span);
     stats.phase1 = phase1_start.elapsed();
 
     let phase2_start = Instant::now();
+    let phase2_span = car_obs::time_span!("mine.int.rule_gen");
     let rules =
         generate_cyclic_rules(db.num_units(), config, options, &cyclic, &mut stats);
+    drop(phase2_span);
     stats.phase2 = phase2_start.elapsed();
+
+    // Flush this run's totals into the process-global counters exactly
+    // once; the hot loops above only touch the local `stats` struct.
+    car_obs::counters::MINE.record_run(
+        stats.candidates_generated,
+        stats.candidates_pruned_by_cycles,
+        stats.skipped_counts,
+        stats.cycles_eliminated,
+        stats.support_computations,
+    );
+    car_obs::debug!(
+        "mine",
+        [
+            algo = "interleaved",
+            units = stats.num_units,
+            rules = rules.len(),
+            supports = stats.support_computations,
+            skipped = stats.skipped_counts,
+            pruned = stats.candidates_pruned_by_cycles,
+            eliminated = stats.cycles_eliminated
+        ],
+        "mining run complete"
+    );
 
     Ok(MiningOutcome { rules, stats })
 }
@@ -188,6 +215,7 @@ fn find_cyclic_itemsets(
     let mut states: Vec<CandidateState> = Vec::new();
     let mut index: FastHashMap<Item, usize> = FastHashMap::default();
 
+    let level1_span = car_obs::time_span!("mine.int.level1_scan");
     for i in 0..n {
         let transactions = db.unit(i);
         let threshold = config.min_support.threshold(transactions.len());
@@ -243,6 +271,7 @@ fn find_cyclic_itemsets(
             }
         }
     }
+    drop(level1_span);
 
     let mut survivors: Vec<CandidateState> = states
         .into_iter()
@@ -264,6 +293,7 @@ fn find_cyclic_itemsets(
         let next_states: Vec<CandidateState> = if at_cap {
             Vec::new()
         } else {
+            let _span = car_obs::time_span!("mine.int.candidate_gen");
             let large_sets: Vec<ItemSet> =
                 survivors.iter().map(|s| s.itemset.clone()).collect();
             let cycle_lookup: FastHashMap<&ItemSet, &CycleSet> =
@@ -310,6 +340,7 @@ fn find_cyclic_itemsets(
         }
 
         // Scan all units for this level.
+        let scan_span = car_obs::time_span!("mine.int.support_count");
         for i in 0..n {
             let active: Vec<usize> = states
                 .iter()
@@ -345,6 +376,7 @@ fn find_cyclic_itemsets(
                 }
             }
         }
+        drop(scan_span);
 
         survivors = states
             .into_iter()

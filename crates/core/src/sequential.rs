@@ -46,6 +46,7 @@ pub fn mine_sequential(
     // Phase 1: mine every unit independently and record, per rule, the
     // units in which it held.
     let phase1_start = Instant::now();
+    let phase1_span = car_obs::time_span!("mine.seq.unit_mining");
     let mut sequences: FastHashMap<Rule, BitSeq> = FastHashMap::default();
     let mut apriori_config =
         AprioriConfig::new(config.min_support).with_counting(config.counting);
@@ -64,10 +65,12 @@ pub fn mine_sequential(
             sequences.entry(r.rule).or_insert_with(|| BitSeq::zeros(n)).set(unit, true);
         }
     }
+    drop(phase1_span);
     stats.phase1 = phase1_start.elapsed();
 
     // Phase 2: detect cycles per rule sequence.
     let phase2_start = Instant::now();
+    let phase2_span = car_obs::time_span!("mine.seq.cycle_detect");
     let mut rules: Vec<CyclicRule> = Vec::new();
     for (rule, seq) in sequences {
         let set = detect_cycles(&seq, config.cycle_bounds);
@@ -78,7 +81,29 @@ pub fn mine_sequential(
         rules.push(CyclicRule { rule, cycles });
     }
     rules.sort();
+    drop(phase2_span);
     stats.phase2 = phase2_start.elapsed();
+
+    // SEQUENTIAL performs none of the INTERLEAVED optimizations, so the
+    // pruned / skipped / eliminated globals receive exact zeros here —
+    // the paper's baseline-vs-optimized comparison, visible in /metrics.
+    car_obs::counters::MINE.record_run(
+        stats.candidates_generated,
+        stats.candidates_pruned_by_cycles,
+        stats.skipped_counts,
+        stats.cycles_eliminated,
+        stats.support_computations,
+    );
+    car_obs::debug!(
+        "mine",
+        [
+            algo = "sequential",
+            units = stats.num_units,
+            rules = rules.len(),
+            supports = stats.support_computations
+        ],
+        "mining run complete"
+    );
 
     Ok(MiningOutcome { rules, stats })
 }

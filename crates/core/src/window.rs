@@ -131,6 +131,7 @@ impl SlidingWindowMiner {
     /// Ingests the next unit, evicting the oldest once the window is
     /// full. Returns the number of units evicted (0 or 1).
     pub fn push_unit(&mut self, transactions: &[ItemSet]) -> usize {
+        let _span = car_obs::time_span!("window.push_unit");
         let frequent = self.apriori.mine(transactions);
         let rules: Vec<HeldRule> = generate_rules(&frequent, self.config.min_confidence)
             .into_iter()
@@ -178,6 +179,7 @@ impl SlidingWindowMiner {
         &self,
         min_confidence: Option<MinConfidence>,
     ) -> Result<Vec<CyclicRule>, ConfigError> {
+        let _span = car_obs::time_span!("window.query_rules");
         let n = self.unit_rules.len();
         self.config.validate_for(n)?;
         let escalated =

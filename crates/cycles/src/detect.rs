@@ -20,12 +20,22 @@ use crate::{BitSeq, Cycle, CycleBounds, CycleSet};
 /// vacuously. Mining configurations validate `l_max ≤ num_units` to keep
 /// every reported cycle supported by at least one observation.
 pub fn detect_cycles(seq: &BitSeq, bounds: CycleBounds) -> CycleSet {
+    // Deliberately no span here: this runs once per candidate rule, so a
+    // per-call timer would dwarf the detection itself. The stage spans
+    // (`mine.seq.cycle_detect`, `mine.int.rule_gen`) time it in bulk.
     let mut set = CycleSet::full(bounds);
+    let mut eliminated: u64 = 0;
     for zero in seq.iter_zeros() {
-        set.eliminate(zero);
+        eliminated += set.eliminate(zero) as u64;
         if set.is_empty() {
             break;
         }
+    }
+    // Global diagnostic only; deliberately separate from the INTERLEAVED
+    // cycle-elimination optimization counter, which must stay zero when
+    // this a-posteriori detector is doing the eliminating.
+    if eliminated > 0 {
+        car_obs::counters::MINE.add_detect_eliminations(eliminated);
     }
     set
 }

@@ -1,0 +1,163 @@
+//! Process-global, monotonic mining counters.
+//!
+//! The mining kernels already keep exact per-run statistics in
+//! `MiningStats`; these globals exist so long-lived processes (the
+//! daemon, a CLI run with `--stats`) can expose cumulative totals
+//! without holding every run's stats. Kernels accumulate locally as
+//! before and flush once per run via [`MiningCounters::record_run`] —
+//! the hot loops never touch these atomics.
+//!
+//! The three INTERLEAVED optimization counters mirror the ICDE'98
+//! techniques by name: *cycle pruning* (candidates discarded because
+//! they inherit no cycles), *cycle skipping* (unit support counts
+//! avoided), and *cycle elimination* (candidate cycles killed early by
+//! below-threshold counts). Under SEQUENTIAL all three stay zero —
+//! that algorithm does the full work and detects cycles a posteriori —
+//! which is exactly the paper's comparison, now visible in `/metrics`.
+//!
+//! All updates use relaxed ordering: each counter is an independent
+//! statistic, nothing synchronizes *through* them, and a scrape that is
+//! a few events stale is fine (see DESIGN.md §9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The global mining counters; use the [`MINE`] static.
+pub struct MiningCounters {
+    runs: AtomicU64,
+    candidates_generated: AtomicU64,
+    candidates_pruned: AtomicU64,
+    unit_counts_skipped: AtomicU64,
+    cycles_eliminated: AtomicU64,
+    support_computations: AtomicU64,
+    detect_eliminations: AtomicU64,
+}
+
+/// Process-wide totals across every mining run since start.
+pub static MINE: MiningCounters = MiningCounters {
+    runs: AtomicU64::new(0),
+    candidates_generated: AtomicU64::new(0),
+    candidates_pruned: AtomicU64::new(0),
+    unit_counts_skipped: AtomicU64::new(0),
+    cycles_eliminated: AtomicU64::new(0),
+    support_computations: AtomicU64::new(0),
+    detect_eliminations: AtomicU64::new(0),
+};
+
+impl MiningCounters {
+    /// Folds one finished run's totals into the globals. Called once
+    /// per `mine_interleaved` / `mine_sequential` invocation, after the
+    /// run completes.
+    pub fn record_run(
+        &self,
+        candidates_generated: u64,
+        candidates_pruned: u64,
+        unit_counts_skipped: u64,
+        cycles_eliminated: u64,
+        support_computations: u64,
+    ) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.candidates_generated.fetch_add(candidates_generated, Ordering::Relaxed);
+        self.candidates_pruned.fetch_add(candidates_pruned, Ordering::Relaxed);
+        self.unit_counts_skipped.fetch_add(unit_counts_skipped, Ordering::Relaxed);
+        self.cycles_eliminated.fetch_add(cycles_eliminated, Ordering::Relaxed);
+        self.support_computations.fetch_add(support_computations, Ordering::Relaxed);
+    }
+
+    /// Counts candidate cycles discarded inside `detect_cycles` — the
+    /// a-posteriori detector shared by SEQUENTIAL and the window
+    /// miner's query path. Kept separate from the INTERLEAVED
+    /// `cycles_eliminated` optimization counter so the latter stays
+    /// zero under SEQUENTIAL.
+    pub fn add_detect_eliminations(&self, n: u64) {
+        self.detect_eliminations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter (relaxed loads; fields may
+    /// be mutually inconsistent by a few in-flight events).
+    pub fn snapshot(&self) -> MiningCounterSnapshot {
+        MiningCounterSnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            candidates_generated: self.candidates_generated.load(Ordering::Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            unit_counts_skipped: self.unit_counts_skipped.load(Ordering::Relaxed),
+            cycles_eliminated: self.cycles_eliminated.load(Ordering::Relaxed),
+            support_computations: self.support_computations.load(Ordering::Relaxed),
+            detect_eliminations: self.detect_eliminations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`MiningCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MiningCounterSnapshot {
+    /// Completed mining runs.
+    pub runs: u64,
+    /// Candidate itemsets generated across all runs and time units.
+    pub candidates_generated: u64,
+    /// Candidates discarded by cycle pruning before counting.
+    pub candidates_pruned: u64,
+    /// Per-unit support counts avoided by cycle skipping.
+    pub unit_counts_skipped: u64,
+    /// Candidate cycles killed by interleaved cycle elimination.
+    pub cycles_eliminated: u64,
+    /// Itemset-per-unit support computations actually performed.
+    pub support_computations: u64,
+    /// Cycles discarded by the a-posteriori detector (`detect_cycles`).
+    pub detect_eliminations: u64,
+}
+
+impl MiningCounterSnapshot {
+    /// Per-field difference `self - earlier`, saturating at zero so a
+    /// stale `earlier` cannot produce wrap-around garbage.
+    pub fn delta_since(&self, earlier: &MiningCounterSnapshot) -> MiningCounterSnapshot {
+        MiningCounterSnapshot {
+            runs: self.runs.saturating_sub(earlier.runs),
+            candidates_generated: self
+                .candidates_generated
+                .saturating_sub(earlier.candidates_generated),
+            candidates_pruned: self
+                .candidates_pruned
+                .saturating_sub(earlier.candidates_pruned),
+            unit_counts_skipped: self
+                .unit_counts_skipped
+                .saturating_sub(earlier.unit_counts_skipped),
+            cycles_eliminated: self
+                .cycles_eliminated
+                .saturating_sub(earlier.cycles_eliminated),
+            support_computations: self
+                .support_computations
+                .saturating_sub(earlier.support_computations),
+            detect_eliminations: self
+                .detect_eliminations
+                .saturating_sub(earlier.detect_eliminations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_run_accumulates_into_globals() {
+        let before = MINE.snapshot();
+        MINE.record_run(100, 40, 2000, 7, 60);
+        MINE.add_detect_eliminations(3);
+        let after = MINE.snapshot();
+        let delta = after.delta_since(&before);
+        assert!(delta.runs >= 1);
+        assert!(delta.candidates_generated >= 100);
+        assert!(delta.candidates_pruned >= 40);
+        assert!(delta.unit_counts_skipped >= 2000);
+        assert!(delta.cycles_eliminated >= 7);
+        assert!(delta.support_computations >= 60);
+        assert!(delta.detect_eliminations >= 3);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let small = MiningCounterSnapshot::default();
+        let big = MiningCounterSnapshot { runs: 5, ..MiningCounterSnapshot::default() };
+        assert_eq!(small.delta_since(&big).runs, 0);
+    }
+}

@@ -293,6 +293,37 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[rank.min(sorted_us.len() - 1)]
 }
 
+/// Client-side latency histogram over the same bucket bounds as the
+/// daemon's `car_http_request_duration_seconds` (the shared const in
+/// car-obs), so the two distributions can be compared bucket for
+/// bucket. Returns one count per bound plus the overflow bucket.
+fn client_histogram(
+    latencies_us: &[u64],
+) -> [u64; car_obs::LATENCY_BUCKET_BOUNDS_US.len() + 1] {
+    let mut counts = [0u64; car_obs::LATENCY_BUCKET_BOUNDS_US.len() + 1];
+    for &us in latencies_us {
+        let bucket = car_obs::LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(car_obs::LATENCY_BUCKET_BOUNDS_US.len());
+        counts[bucket] += 1;
+    }
+    counts
+}
+
+fn print_histogram(latencies_us: &[u64]) {
+    let counts = client_histogram(latencies_us);
+    println!("  latency histogram (daemon-shared bucket bounds):");
+    let mut cumulative = 0u64;
+    for (count, bound) in counts.iter().zip(car_obs::LATENCY_BUCKET_BOUNDS_US.iter()) {
+        cumulative += count;
+        println!("    le {:>9}µs  {:>7}  (cumulative {cumulative})", bound, count);
+    }
+    let overflow = counts[car_obs::LATENCY_BUCKET_BOUNDS_US.len()];
+    cumulative += overflow;
+    println!("    le      +Inf   {overflow:>7}  (cumulative {cumulative})");
+}
+
 fn main() {
     let opts = match parse_options() {
         Ok(opts) => opts,
@@ -345,6 +376,7 @@ fn main() {
             percentile(&latencies, 0.99),
             latencies[latencies.len() - 1]
         );
+        print_histogram(&latencies);
     }
     if errors > 0 {
         std::process::exit(1);

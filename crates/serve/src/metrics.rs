@@ -23,17 +23,23 @@ pub enum Route {
     Metrics,
     /// `POST /v1/shutdown`
     Shutdown,
+    /// `GET /v1/debug/profile`
+    DebugProfile,
+    /// `GET /v1/debug/events`
+    DebugEvents,
     /// Anything else (404s, bad requests).
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 6] = [
+    const ALL: [Route; 8] = [
         Route::IngestUnits,
         Route::Rules,
         Route::Health,
         Route::Metrics,
         Route::Shutdown,
+        Route::DebugProfile,
+        Route::DebugEvents,
         Route::Other,
     ];
 
@@ -44,7 +50,9 @@ impl Route {
             Route::Health => 2,
             Route::Metrics => 3,
             Route::Shutdown => 4,
-            Route::Other => 5,
+            Route::DebugProfile => 5,
+            Route::DebugEvents => 6,
+            Route::Other => 7,
         }
     }
 
@@ -55,14 +63,17 @@ impl Route {
             Route::Health => "health",
             Route::Metrics => "metrics",
             Route::Shutdown => "shutdown",
+            Route::DebugProfile => "debug_profile",
+            Route::DebugEvents => "debug_events",
             Route::Other => "other",
         }
     }
 }
 
-/// Histogram bucket upper bounds, in microseconds.
-const BUCKET_BOUNDS_US: [u64; 10] =
-    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 100_000, 1_000_000, 2_500_000];
+/// Histogram bucket upper bounds, in microseconds — the workspace-wide
+/// const, shared with car-load's client-side histogram so server-side
+/// and client-side latency distributions stay directly comparable.
+const BUCKET_BOUNDS_US: [u64; 10] = car_obs::LATENCY_BUCKET_BOUNDS_US;
 
 /// Status classes tracked per route.
 const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
@@ -75,7 +86,7 @@ struct RouteCounters {
 /// All daemon counters. Cheap to share behind an `Arc`.
 #[derive(Default)]
 pub struct Metrics {
-    requests: [RouteCounters; 6],
+    requests: [RouteCounters; 8],
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
@@ -290,6 +301,78 @@ impl Metrics {
             out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
         }
 
+        // Process-global mining counters (car-obs): the paper's three
+        // INTERLEAVED optimizations plus the work actually performed.
+        let mine = car_obs::counters::MINE.snapshot();
+        for (name, help, value) in [
+            ("car_mine_runs_total", "Completed mining runs in this process.", mine.runs),
+            (
+                "car_mine_candidates_generated_total",
+                "Candidate itemsets generated across mining runs.",
+                mine.candidates_generated,
+            ),
+            (
+                "car_mine_candidates_pruned_total",
+                "Candidates discarded by INTERLEAVED cycle pruning.",
+                mine.candidates_pruned,
+            ),
+            (
+                "car_mine_unit_counts_skipped_total",
+                "Per-unit support counts avoided by INTERLEAVED cycle skipping.",
+                mine.unit_counts_skipped,
+            ),
+            (
+                "car_mine_cycles_eliminated_total",
+                "Candidate cycles killed by INTERLEAVED cycle elimination.",
+                mine.cycles_eliminated,
+            ),
+            (
+                "car_mine_support_computations_total",
+                "Itemset-per-unit support computations performed.",
+                mine.support_computations,
+            ),
+            (
+                "car_mine_detect_eliminations_total",
+                "Cycles discarded by the a-posteriori detector (detect_cycles).",
+                mine.detect_eliminations,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+
+        // Span profile summaries (car-obs flat profile). Sum/count give
+        // Prometheus a rate-able average; the observed maximum rides
+        // along as a gauge since summaries cannot carry it.
+        let profile = car_obs::profile_snapshot();
+        out.push_str(
+            "# HELP car_span_duration_seconds Time spent inside instrumented spans.\n",
+        );
+        out.push_str("# TYPE car_span_duration_seconds summary\n");
+        for stat in &profile {
+            out.push_str(&format!(
+                "car_span_duration_seconds_sum{{span=\"{}\"}} {}\n",
+                stat.name,
+                stat.total_ns as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "car_span_duration_seconds_count{{span=\"{}\"}} {}\n",
+                stat.name, stat.count
+            ));
+        }
+        out.push_str(
+            "# HELP car_span_duration_max_seconds Longest single recorded span duration.\n",
+        );
+        out.push_str("# TYPE car_span_duration_max_seconds gauge\n");
+        for stat in &profile {
+            out.push_str(&format!(
+                "car_span_duration_max_seconds{{span=\"{}\"}} {}\n",
+                stat.name,
+                stat.max_ns as f64 / 1e9
+            ));
+        }
+
         for (name, help, value) in gauges {
             out.push_str(&format!("# HELP {name} {help}\n"));
             out.push_str(&format!("# TYPE {name} gauge\n"));
@@ -337,6 +420,20 @@ mod tests {
         );
         assert!(text.contains("car_http_request_duration_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("car_http_request_duration_seconds_count 3"));
+    }
+
+    #[test]
+    fn mining_and_span_sections_render() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(&[]);
+        // The paper's three INTERLEAVED optimization counters are always
+        // present, even before any mining run.
+        assert!(text.contains("# TYPE car_mine_candidates_pruned_total counter"));
+        assert!(text.contains("# TYPE car_mine_unit_counts_skipped_total counter"));
+        assert!(text.contains("# TYPE car_mine_cycles_eliminated_total counter"));
+        assert!(text.contains("# TYPE car_mine_runs_total counter"));
+        assert!(text.contains("# TYPE car_span_duration_seconds summary"));
+        assert!(text.contains("# TYPE car_span_duration_max_seconds gauge"));
     }
 
     #[test]

@@ -183,6 +183,7 @@ impl Persistence {
     /// WAL segments. Failures are logged, never fatal: the WAL is still
     /// the source of truth and the old snapshot remains valid.
     pub fn snapshot_now(&self, metrics: &Metrics) {
+        let _span = car_obs::time_span!("wal.snapshot");
         let (last_seq, units) = {
             let retained = self.retained.lock_or_recover();
             let units: Vec<Vec<ItemSet>> = retained.units.iter().cloned().collect();
@@ -195,6 +196,11 @@ impl Persistence {
             return;
         }
         metrics.record_snapshot();
+        car_obs::debug!(
+            "wal",
+            [last_seq = last_seq, units = units.len()],
+            "snapshot written"
+        );
         let mut slot = self.wal.lock_or_recover();
         if let WalSlot::Open(wal) = &mut *slot {
             match wal.rotate_and_prune(last_seq, metrics) {

@@ -395,6 +395,7 @@ impl Wal {
         units: &[Vec<ItemSet>],
         metrics: &Metrics,
     ) -> io::Result<u64> {
+        let _span = car_obs::time_span!("wal.append");
         if self.failed {
             return Err(io::Error::other("write-ahead log is in the failed state"));
         }
@@ -463,6 +464,7 @@ impl Wal {
     }
 
     fn sync(&mut self, metrics: &Metrics) -> io::Result<()> {
+        let _span = car_obs::time_span!("wal.fsync");
         if let Some(plan) = &self.faults {
             plan.on_fsync()?;
         }

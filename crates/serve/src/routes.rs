@@ -16,6 +16,10 @@
 //!   effect). `409` while the window holds fewer units than `l_max`.
 //! * `GET /v1/health` — liveness and window occupancy.
 //! * `GET /metrics` — Prometheus text exposition (not JSON).
+//! * `GET /v1/debug/profile` — the car-obs span profile (per-span
+//!   count / total / max nanoseconds) plus the global mining counters.
+//! * `GET /v1/debug/events` — recent log events from the car-obs
+//!   capture ring (bounded; oldest first).
 //! * `POST /v1/shutdown` — begin graceful shutdown.
 
 use std::sync::Arc;
@@ -44,10 +48,14 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
         ("GET", "/v1/rules") => (Route::Rules, get_rules(state, req)),
         ("GET", "/v1/health") => (Route::Health, health(state)),
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
+        ("GET", "/v1/debug/profile") => (Route::DebugProfile, debug_profile()),
+        ("GET", "/v1/debug/events") => (Route::DebugEvents, debug_events()),
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
-        (_, "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown") => {
-            (Route::Other, Response::error(405, "method not allowed"))
-        }
+        (
+            _,
+            "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown"
+            | "/v1/debug/profile" | "/v1/debug/events",
+        ) => (Route::Other, Response::error(405, "method not allowed")),
         _ => (Route::Other, Response::error(404, "no such endpoint")),
     }
 }
@@ -405,6 +413,64 @@ fn metrics(state: &Arc<AppState>) -> Response {
     Response::text(200, text)
 }
 
+/// `GET /v1/debug/profile`: the car-obs flat span profile and the
+/// process-global mining counters, as JSON.
+fn debug_profile() -> Response {
+    let spans: Vec<Json> = car_obs::profile_snapshot()
+        .into_iter()
+        .map(|s| {
+            object([
+                ("name", Json::from(s.name)),
+                ("count", Json::from(s.count)),
+                ("total_ns", Json::from(s.total_ns)),
+                ("max_ns", Json::from(s.max_ns)),
+            ])
+        })
+        .collect();
+    let mine = car_obs::counters::MINE.snapshot();
+    Response::json(
+        200,
+        &object([
+            ("spans_enabled", Json::from(car_obs::spans_enabled())),
+            ("spans", Json::Array(spans)),
+            (
+                "mine",
+                object([
+                    ("runs", Json::from(mine.runs)),
+                    ("candidates_generated", Json::from(mine.candidates_generated)),
+                    ("candidates_pruned", Json::from(mine.candidates_pruned)),
+                    ("unit_counts_skipped", Json::from(mine.unit_counts_skipped)),
+                    ("cycles_eliminated", Json::from(mine.cycles_eliminated)),
+                    ("support_computations", Json::from(mine.support_computations)),
+                    ("detect_eliminations", Json::from(mine.detect_eliminations)),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// `GET /v1/debug/events`: the ring-buffered recent log events.
+fn debug_events() -> Response {
+    let events: Vec<Json> = car_obs::recent_events()
+        .into_iter()
+        .map(|e| {
+            let fields: Vec<(String, Json)> =
+                e.fields.into_iter().map(|(k, v)| (k, Json::from(v))).collect();
+            object([
+                ("ts_us", Json::from(e.ts_us)),
+                ("level", Json::from(e.level.as_str())),
+                ("target", Json::from(e.target)),
+                ("message", Json::from(e.message)),
+                ("fields", Json::Object(fields)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &object([("count", Json::from(events.len())), ("events", Json::Array(events))]),
+    )
+}
+
 fn shutdown(state: &Arc<AppState>) -> Response {
     state.begin_shutdown();
     Response::json(200, &object([("status", Json::from("shutting_down"))])).with_close()
@@ -553,6 +619,55 @@ mod tests {
         assert!(text.contains("car_ingest_queue_depth 0"));
         assert!(text.contains("car_rules_current 0"));
         assert!(text.contains("# TYPE car_http_requests_total counter"));
+    }
+
+    #[test]
+    fn debug_profile_reports_spans_and_mine_counters() {
+        let state = test_state();
+        car_obs::set_spans_enabled(true);
+        {
+            let _span = car_obs::time_span!("test.routes.debug");
+        }
+        car_obs::set_spans_enabled(false);
+        let (route, resp) =
+            handle(&state, &request("GET", "/v1/debug/profile", &[], b""));
+        assert_eq!(route, Route::DebugProfile);
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+        assert!(spans.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("test.routes.debug")
+                && s.get("count").and_then(Json::as_u64).is_some_and(|c| c >= 1)
+        }));
+        let mine = doc.get("mine").unwrap();
+        for key in
+            ["candidates_pruned", "unit_counts_skipped", "cycles_eliminated", "runs"]
+        {
+            assert!(mine.get(key).and_then(Json::as_u64).is_some(), "missing {key}");
+        }
+        // Wrong method is 405, like every other endpoint.
+        let (_, resp) = handle(&state, &request("POST", "/v1/debug/profile", &[], b""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn debug_events_returns_captured_ring() {
+        let state = test_state();
+        car_obs::set_capture(true);
+        car_obs::warn!("serve", [probe = 41], "debug-events route test event");
+        let (route, resp) = handle(&state, &request("GET", "/v1/debug/events", &[], b""));
+        car_obs::set_capture(false);
+        assert_eq!(route, Route::DebugEvents);
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let events = doc.get("events").and_then(Json::as_array).unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("message").and_then(Json::as_str)
+                == Some("debug-events route test event")
+                && e.get("fields").and_then(|f| f.get("probe")).and_then(Json::as_str)
+                    == Some("41")
+                && e.get("level").and_then(Json::as_str) == Some("warn")
+        }));
     }
 
     #[test]

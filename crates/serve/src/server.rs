@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use car_core::MiningConfig;
 
 use crate::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::metrics::Route;
 use crate::routes;
 use crate::state::{spawn_ingest_worker, AppState};
 use crate::sync::{log_warn, RwLockExt};
@@ -135,6 +136,12 @@ impl ServerHandle {
 /// [`ServeError::Config`] for an invalid mining configuration or window,
 /// [`ServeError::Io`] when the address cannot be bound.
 pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    // Observability: honour CAR_LOG / CAR_LOG_FORMAT / CAR_SPANS, then
+    // turn on span recording and event capture — the daemon serves them
+    // back out through /metrics and the /v1/debug endpoints.
+    car_obs::init_from_env();
+    car_obs::set_spans_enabled(true);
+    car_obs::set_capture(true);
     let state = AppState::new(
         config.mining,
         config.window,
@@ -184,6 +191,11 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
         }
     };
 
+    car_obs::info!(
+        "serve",
+        [addr = addr, threads = config.threads, window = config.window],
+        "daemon listening"
+    );
     Ok(ServerHandle {
         addr,
         state,
@@ -261,9 +273,25 @@ fn serve_connection(
                 let _ = Response::error(status, &e.to_string())
                     .with_close()
                     .write_to(&mut writer);
+                // A parse failure is still a served request: record it
+                // under the catch-all route so it appears in the request
+                // totals and the latency histogram, not only in the
+                // dedicated parse-error counter. An idle keep-alive
+                // timeout is excluded — no request bytes ever arrived,
+                // so there is no request to count.
+                if !matches!(e, http::ParseError::Timeout) {
+                    state.metrics.record_request(Route::Other, status, started.elapsed());
+                    car_obs::debug!(
+                        "serve",
+                        [id = car_obs::next_request_id(), status = status],
+                        "request rejected by the HTTP parser: {e}"
+                    );
+                }
                 return;
             }
         };
+        let request_id = car_obs::next_request_id();
+        let request_span = car_obs::time_span!("serve.request");
         let (route, mut response) = routes::handle(state, &request);
         // During shutdown, tell keep-alive clients to go away.
         if request.wants_close() || state.is_shutting_down() {
@@ -271,7 +299,19 @@ fn serve_connection(
         }
         let close = response.close;
         let write_result = response.write_to(&mut writer);
+        drop(request_span);
         state.metrics.record_request(route, response.status, started.elapsed());
+        car_obs::debug!(
+            "serve",
+            [
+                id = request_id,
+                status = response.status,
+                us = started.elapsed().as_micros()
+            ],
+            "{} {}",
+            request.method,
+            request.path
+        );
         if close || write_result.is_err() {
             return;
         }
@@ -340,7 +380,9 @@ mod tests {
         assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
         handle.trigger_shutdown();
         let stats = handle.wait();
-        assert_eq!(stats.requests, 0); // parse errors are counted separately
+        // Parse failures are served requests too: counted under the
+        // catch-all route (and in the parse-error counter).
+        assert_eq!(stats.requests, 1);
     }
 
     #[test]

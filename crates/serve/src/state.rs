@@ -421,6 +421,7 @@ impl AppState {
 pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new().name("car-ingest".into()).spawn(move || {
         if let Some(persist) = &state.persist {
+            let recovery_span = car_obs::time_span!("recovery.boot");
             match persist.recover(&state.metrics) {
                 Ok(recovery) => {
                     {
@@ -429,6 +430,15 @@ pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<(
                             miner.push_unit(unit);
                         }
                     }
+                    car_obs::info!(
+                        "recovery",
+                        [
+                            snapshot_units = recovery.snapshot_units,
+                            replayed_units = recovery.replayed_units,
+                            last_seq = recovery.last_seq
+                        ],
+                        "boot recovery complete"
+                    );
                     state.recovery.finish(
                         recovery.snapshot_units as u64,
                         recovery.replayed_units as u64,
@@ -436,17 +446,20 @@ pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<(
                     state.mark_applied(recovery.last_seq);
                 }
                 Err(e) => {
-                    log_warn(&format!(
+                    car_obs::error!(
+                        "recovery",
                         "boot recovery failed: {e}; refusing ingest \
                          (durability cannot be promised)"
-                    ));
+                    );
                     state.metrics.record_wal_error();
                     *persist.wal.lock_or_recover() = WalSlot::Failed;
                     state.recovery.finish(0, 0);
                 }
             }
+            drop(recovery_span);
         }
         while let Some((seq, unit)) = state.queue.dequeue() {
+            let apply_span = car_obs::time_span!("serve.apply_unit");
             {
                 let mut miner = state.miner.write_or_recover();
                 miner.push_unit(&unit);
@@ -455,6 +468,8 @@ pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<(
             if let Some(persist) = &state.persist {
                 persist.record_applied(seq, &unit, &state.metrics);
             }
+            drop(apply_span);
+            car_obs::trace!("serve", [seq = seq, txs = unit.len()], "unit applied");
         }
         if let Some(persist) = &state.persist {
             persist.flush_on_shutdown(&state.metrics);

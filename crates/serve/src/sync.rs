@@ -15,10 +15,11 @@
 
 use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// Writes an operational warning to stderr (the daemon's log stream).
+/// Emits an operational warning through car-obs under the `serve`
+/// target (visible with the default `CAR_LOG` filter, and captured by
+/// the `/v1/debug/events` ring when the daemon is running).
 pub fn log_warn(msg: &str) {
-    let thread = std::thread::current();
-    eprintln!("car-serve: warning [{}]: {msg}", thread.name().unwrap_or("?"));
+    car_obs::warn!("serve", "{msg}");
 }
 
 /// Poison-recovering [`Mutex`] acquisition.
