@@ -40,10 +40,12 @@ pub fn default_config() -> AuditConfig {
             "crates/serve/src/json.rs",
             "crates/serve/src/state.rs",
             "crates/serve/src/persist",
+            "crates/serve/src/cache.rs",
             "crates/core/src/window.rs",
             "crates/core/src/interleaved.rs",
             "crates/core/src/sequential.rs",
             "crates/core/src/incremental.rs",
+            "crates/core/src/parallel.rs",
             "crates/obs/src",
         ]),
         a2: s(&["crates/serve/src", "crates/core/src"]),

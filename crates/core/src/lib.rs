@@ -100,7 +100,7 @@ pub use constraints::RuleConstraints;
 pub use interleaved::InterleavedOptions;
 pub use miner::{Algorithm, CyclicRuleMiner};
 pub use report::{MiningReport, RankedRule};
-pub use result::{CyclicRule, MiningOutcome, MiningStats};
+pub use result::{CyclicRule, MiningOutcome, MiningStats, RuleView};
 
 // Re-export the vocabulary types callers need.
 pub use car_apriori::{CountStrategy, MinConfidence, MinSupport, Rule};

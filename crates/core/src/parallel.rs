@@ -82,7 +82,7 @@ pub fn mine_sequential_parallel(
                 (out, support_computations, rules_checked)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        join_all(handles)
     });
 
     let mut sequences: FastHashMap<Rule, BitSeq> = FastHashMap::default();
@@ -113,11 +113,40 @@ pub fn mine_sequential_parallel(
     Ok(MiningOutcome { rules, stats })
 }
 
+/// Joins every worker handle, then re-raises the first panic payload
+/// (if any) on the calling thread.
+///
+/// Joining *all* handles before resuming matters: aborting at the
+/// first panicked worker would leave the rest running while the scope
+/// unwinds, and `std::thread::scope` would then block on (and possibly
+/// double-panic over) the stragglers. This way every worker has fully
+/// stopped before the caller observes the panic, and a successful join
+/// never mixes partial results into the output.
+fn join_all<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut panicked = None;
+    for handle in handles {
+        match handle.join() {
+            Ok(value) => out.push(value),
+            Err(payload) => {
+                if panicked.is_none() {
+                    panicked = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = panicked {
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sequential::mine_sequential;
     use car_itemset::ItemSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn set(ids: &[u32]) -> ItemSet {
         ItemSet::from_ids(ids.iter().copied())
@@ -178,5 +207,35 @@ mod tests {
         let db = db(3);
         let cfg = config(); // l_max 6 > 3 units
         assert!(mine_sequential_parallel(&db, &cfg, 2).is_err());
+    }
+
+    #[test]
+    fn join_all_propagates_panic_after_joining_every_worker() {
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                let slow = scope.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    finished.fetch_add(1, Ordering::SeqCst);
+                    7
+                });
+                let bad = scope.spawn(|| panic!("worker exploded"));
+                join_all(vec![bad, slow])
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(message, "worker exploded");
+        // The slow worker ran to completion before the payload resumed.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_all_returns_results_in_handle_order() {
+        let values = std::thread::scope(|scope| {
+            let handles = (0..4).map(|i| scope.spawn(move || i * 10)).collect::<Vec<_>>();
+            join_all(handles)
+        });
+        assert_eq!(values, vec![0, 10, 20, 30]);
     }
 }

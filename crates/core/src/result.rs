@@ -37,6 +37,13 @@ impl fmt::Display for CyclicRule {
     }
 }
 
+/// A shared, immutable snapshot of the rules over some window — what
+/// [`SlidingWindowMiner::query_rules`](crate::window::SlidingWindowMiner::query_rules)
+/// returns. Cloning a `RuleView` bumps a reference count; the rule data
+/// itself is assembled once per window epoch and never deep-copied per
+/// query.
+pub type RuleView = std::sync::Arc<Vec<CyclicRule>>;
+
 /// Work and timing counters for one mining run.
 ///
 /// The counter semantics follow the cost model of the ICDE'98 paper:

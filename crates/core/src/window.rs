@@ -9,20 +9,37 @@
 //! evicted, and queries see a database of exactly the retained units,
 //! re-indexed so the oldest retained unit is unit 0.
 //!
-//! Results are identical to batch-mining the retained window
-//! (equivalence-tested), with per-unit mining work paid once per unit —
-//! eviction never requires re-mining because per-unit rule sets are
-//! cached verbatim.
+//! # Query fast path
+//!
+//! Cycle state is maintained *online*: every push folds the unit's
+//! held rules into per-rule [`OnlineRuleCycles`] counters (the paper's
+//! cycle-elimination rule, incrementally — a miss at unit `u` kills
+//! candidates `(l, u mod l)`, expressed here as a hold-count falling
+//! behind the class total), and eviction re-anchors by decrementing
+//! counters rather than re-detecting. A default-confidence query
+//! ([`query_rules`](SlidingWindowMiner::query_rules) with `None`) is
+//! therefore a read of already-maintained state — assembled once after
+//! each ingest, memoised as a shared [`RuleView`], and handed out by
+//! `Arc` clone until the next push invalidates it. Escalated-confidence
+//! queries (`Some(q)` above the mining threshold) change which units
+//! count as holds, so they bypass the online state and re-detect — in
+//! parallel, via [`detect_cycles_batch`].
+//!
+//! Results are identical to batch-mining the retained units
+//! (equivalence property-tested), with per-unit mining work paid once
+//! per unit — eviction never requires re-mining because per-unit rule
+//! sets are cached verbatim.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use car_apriori::hash::FastHashMap;
 use car_apriori::{generate_rules, Apriori, AprioriConfig, MinConfidence, Rule};
-use car_cycles::{detect_cycles, minimal_cycles, BitSeq};
+use car_cycles::{detect_cycles_batch, minimal_cycles, BitSeq, OnlineRuleCycles};
 use car_itemset::ItemSet;
 
 use crate::config::{ConfigError, MiningConfig};
-use crate::result::CyclicRule;
+use crate::result::{CyclicRule, RuleView};
 
 /// A rule that held in one retained unit, with the counts needed to
 /// re-evaluate its confidence at query time.
@@ -69,6 +86,13 @@ pub struct SlidingWindowMiner {
     /// Per retained unit (oldest first): the rules that held there, with
     /// the counts backing their confidence.
     unit_rules: VecDeque<Vec<HeldRule>>,
+    /// Per-rule online cycle-candidate state in absolute coordinates;
+    /// rules with no retained hold are removed.
+    online: FastHashMap<Rule, OnlineRuleCycles>,
+    /// Memoised `query_rules(None)` view; cleared by every push. A
+    /// `Mutex` (not `RwLock`) because fills are rare and reads clone an
+    /// `Arc` in nanoseconds.
+    view: Mutex<Option<RuleView>>,
     /// Total units ever pushed (for diagnostics).
     total_pushed: u64,
 }
@@ -93,6 +117,8 @@ impl SlidingWindowMiner {
             apriori: Apriori::new(apriori_config),
             window,
             unit_rules: VecDeque::with_capacity(window + 1),
+            online: FastHashMap::default(),
+            view: Mutex::new(None),
             total_pushed: 0,
         })
     }
@@ -128,6 +154,12 @@ impl SlidingWindowMiner {
         self.unit_rules.iter().map(Vec::len).sum()
     }
 
+    /// Distinct rules with online cycle state (held in ≥ 1 retained
+    /// unit).
+    pub fn tracked_rules(&self) -> usize {
+        self.online.len()
+    }
+
     /// Ingests the next unit, evicting the oldest once the window is
     /// full. Returns the number of units evicted (0 or 1).
     pub fn push_unit(&mut self, transactions: &[ItemSet]) -> usize {
@@ -141,14 +173,48 @@ impl SlidingWindowMiner {
                 antecedent_count: r.antecedent_count,
             })
             .collect();
+        // Fold this unit's holds into the online cycle state. Rules
+        // absent from the unit need no visit: their hold counts simply
+        // fall behind the growing class totals, which *is* the cycle
+        // elimination (see `OnlineRuleCycles`).
+        let abs_unit = self.total_pushed;
+        for held in &rules {
+            match self.online.get_mut(&held.rule) {
+                Some(state) => state.record_hold(abs_unit),
+                None => {
+                    let mut state = OnlineRuleCycles::new(self.config.cycle_bounds);
+                    state.record_hold(abs_unit);
+                    self.online.insert(held.rule.clone(), state);
+                }
+            }
+        }
+        car_obs::counters::MINE.add_online_holds(rules.len() as u64);
         self.unit_rules.push_back(rules);
         self.total_pushed += 1;
-        if self.unit_rules.len() > self.window {
-            self.unit_rules.pop_front();
+        let evicted = if self.unit_rules.len() > self.window {
+            // The evicted unit's absolute index: the retained range
+            // before popping is `(abs_unit - window) ..= abs_unit`.
+            let abs_evicted = abs_unit - self.window as u64;
+            if let Some(old) = self.unit_rules.pop_front() {
+                for held in &old {
+                    let drop_rule = match self.online.get_mut(&held.rule) {
+                        Some(state) => {
+                            state.record_evict(abs_evicted);
+                            state.is_empty()
+                        }
+                        None => false,
+                    };
+                    if drop_rule {
+                        self.online.remove(&held.rule);
+                    }
+                }
+            }
             1
         } else {
             0
-        }
+        };
+        *self.view_slot() = None;
+        evicted
     }
 
     /// The cyclic rules over the retained window, with unit 0 the oldest
@@ -158,18 +224,22 @@ impl SlidingWindowMiner {
     ///
     /// Returns a [`ConfigError`] while fewer than `l_max` units are
     /// retained.
-    pub fn current_rules(&self) -> Result<Vec<CyclicRule>, ConfigError> {
+    pub fn current_rules(&self) -> Result<RuleView, ConfigError> {
         self.query_rules(None)
     }
 
     /// The cyclic rules over the retained window, optionally re-evaluated
     /// at a *stricter* minimum confidence than the mining configuration.
     ///
-    /// With `Some(q)` and `q` above the configured threshold, a rule
-    /// counts as holding in a unit only when its cached per-unit counts
-    /// pass `q` — identical to batch-mining the retained window at
-    /// confidence `q`. A `q` at or below the configured threshold is a
-    /// no-op (rules below the mining threshold were never cached).
+    /// With `None` (or a `q` at or below the configured threshold — a
+    /// no-op, since rules below the mining threshold were never cached),
+    /// this is the fast path: a clone of the memoised [`RuleView`]
+    /// assembled from online cycle state, costing an `Arc` bump after
+    /// the first query per ingest. With `Some(q)` above the threshold,
+    /// which units count as holds changes, so the online state does not
+    /// apply: the rule sequences are rebuilt under `q` and re-detected
+    /// in parallel via [`detect_cycles_batch`] — identical to
+    /// batch-mining the retained window at confidence `q`.
     ///
     /// # Errors
     ///
@@ -178,19 +248,54 @@ impl SlidingWindowMiner {
     pub fn query_rules(
         &self,
         min_confidence: Option<MinConfidence>,
-    ) -> Result<Vec<CyclicRule>, ConfigError> {
-        let _span = car_obs::time_span!("window.query_rules");
-        let n = self.unit_rules.len();
-        self.config.validate_for(n)?;
+    ) -> Result<RuleView, ConfigError> {
         let escalated =
             min_confidence.filter(|q| q.value() > self.config.min_confidence.value());
+        match escalated {
+            None => self.query_fast(),
+            Some(q) => self.query_detect(q),
+        }
+    }
+
+    /// Fast path: memoised view over online cycle state.
+    fn query_fast(&self) -> Result<RuleView, ConfigError> {
+        let _span = car_obs::time_span!("window.query_rules.fast");
+        self.config.validate_for(self.unit_rules.len())?;
+        let mut slot = self.view_slot();
+        if let Some(view) = slot.as_ref() {
+            return Ok(Arc::clone(view));
+        }
+        let view: RuleView = Arc::new(self.assemble_from_online());
+        *slot = Some(Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// Rebuilds the default-confidence result directly from online
+    /// cycle state, bypassing the memoised view — the cost
+    /// `query_rules(None)` pays only on the first query after an
+    /// ingest. Exposed so benchmarks can measure the online-assembly
+    /// path in isolation from memoisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] while fewer than `l_max` units are
+    /// retained.
+    pub fn assemble_view(&self) -> Result<RuleView, ConfigError> {
+        self.config.validate_for(self.unit_rules.len())?;
+        Ok(Arc::new(self.assemble_from_online()))
+    }
+
+    /// Escalated path: rebuild sequences under `q`, re-detect in
+    /// parallel.
+    fn query_detect(&self, q: MinConfidence) -> Result<RuleView, ConfigError> {
+        let _span = car_obs::time_span!("window.query_rules.detect");
+        let n = self.unit_rules.len();
+        self.config.validate_for(n)?;
         let mut sequences: FastHashMap<&Rule, BitSeq> = FastHashMap::default();
         for (u, rules) in self.unit_rules.iter().enumerate() {
             for held in rules {
-                if let Some(q) = escalated {
-                    if !q.accepts(held.rule_count, held.antecedent_count) {
-                        continue;
-                    }
+                if !q.accepts(held.rule_count, held.antecedent_count) {
+                    continue;
                 }
                 sequences
                     .entry(&held.rule)
@@ -198,16 +303,48 @@ impl SlidingWindowMiner {
                     .set(u, true);
             }
         }
+        let (rules, seqs): (Vec<&Rule>, Vec<BitSeq>) = sequences.into_iter().unzip();
+        let sets = detect_cycles_batch(&seqs, self.config.cycle_bounds, 0);
         let mut out: Vec<CyclicRule> = Vec::new();
-        for (rule, seq) in sequences {
-            let set = detect_cycles(&seq, self.config.cycle_bounds);
+        for (rule, set) in rules.into_iter().zip(sets) {
             if set.is_empty() {
                 continue;
             }
             out.push(CyclicRule { rule: rule.clone(), cycles: minimal_cycles(&set) });
         }
         out.sort();
-        Ok(out)
+        Ok(Arc::new(out))
+    }
+
+    /// Materialises the current window's cyclic rules from the online
+    /// per-rule counters (no bit sequences, no re-detection).
+    fn assemble_from_online(&self) -> Vec<CyclicRule> {
+        let n = self.unit_rules.len();
+        let base = self.total_pushed.saturating_sub(n as u64);
+        let candidates = self.config.cycle_bounds.num_cycles() as u64;
+        let mut eliminated: u64 = 0;
+        let mut out: Vec<CyclicRule> = Vec::with_capacity(self.online.len());
+        for (rule, state) in &self.online {
+            let live = state.live_cycles(base, n);
+            eliminated =
+                eliminated.saturating_add(candidates.saturating_sub(live.len() as u64));
+            if live.is_empty() {
+                continue;
+            }
+            out.push(CyclicRule { rule: rule.clone(), cycles: minimal_cycles(&live) });
+        }
+        if eliminated > 0 {
+            car_obs::counters::MINE.add_online_eliminations(eliminated);
+        }
+        out.sort();
+        out
+    }
+
+    /// The memoised-view slot, recovering from (impossible in practice)
+    /// poisoning: the view is pure derived data, so a poisoned slot is
+    /// safe to reuse or overwrite.
+    fn view_slot(&self) -> MutexGuard<'_, Option<RuleView>> {
+        self.view.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -259,14 +396,61 @@ mod tests {
                     SegmentedDb::from_unit_itemsets(history[start..].to_vec());
                 let batch = mine_sequential(&window_db, &cfg).unwrap();
                 assert_eq!(
-                    miner.current_rules().unwrap(),
+                    *miner.current_rules().unwrap(),
                     batch.rules,
                     "after day {day}"
                 );
+                // The uncached rebuild must agree with the memoised view.
+                assert_eq!(*miner.assemble_view().unwrap(), batch.rules);
             }
         }
         assert_eq!(miner.total_pushed(), 15);
         assert_eq!(miner.len(), 6);
+    }
+
+    #[test]
+    fn repeated_queries_share_the_memoised_view() {
+        let mut miner = SlidingWindowMiner::new(config(2), 4).unwrap();
+        for day in 0..4 {
+            miner.push_unit(&unit_for(day));
+        }
+        let first = miner.current_rules().unwrap();
+        let second = miner.current_rules().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same epoch must share one view");
+        miner.push_unit(&unit_for(4));
+        let third = miner.current_rules().unwrap();
+        assert!(!Arc::ptr_eq(&first, &third), "push must invalidate the view");
+    }
+
+    #[test]
+    fn escalated_query_matches_batch_at_that_confidence() {
+        // Units where {1} => {2} holds at confidence 2/3: two {1,2}
+        // transactions and one {1} without 2.
+        let strong = vec![set(&[1, 2]), set(&[1, 2]), set(&[1, 2])];
+        let weak = vec![set(&[1, 2]), set(&[1, 2]), set(&[1])];
+        let cfg = config(2);
+        let mut miner = SlidingWindowMiner::new(cfg, 6).unwrap();
+        let mut history: Vec<Vec<ItemSet>> = Vec::new();
+        for day in 0..6 {
+            let unit = if day % 2 == 0 { strong.clone() } else { weak.clone() };
+            history.push(unit.clone());
+            miner.push_unit(&unit);
+        }
+        let strict = MinConfidence::new(0.9).unwrap();
+        let served = miner.query_rules(Some(strict)).unwrap();
+        let strict_cfg = MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.9)
+            .cycle_bounds(2, 2)
+            .build()
+            .unwrap();
+        let batch =
+            mine_sequential(&SegmentedDb::from_unit_itemsets(history), &strict_cfg)
+                .unwrap();
+        assert_eq!(*served, batch.rules);
+        // The weak units fail 0.9, so {1} => {2} should alternate -> (2, 0).
+        assert!(served.iter().any(|r| r.rule.to_string() == "{1} => {2}"
+            && r.cycles.iter().any(|c| (c.length(), c.offset()) == (2, 0))));
     }
 
     #[test]
@@ -283,7 +467,7 @@ mod tests {
             .iter()
             .any(|r| r.rule.to_string() == "{1} => {2}"));
         // Phase 2: the pattern stops; after `window` quiet units it must
-        // vanish from the results.
+        // vanish from the results — and its online state must be dropped.
         for _ in 0..4 {
             miner.push_unit(&vec![set(&[7]); 4]);
         }
@@ -292,6 +476,9 @@ mod tests {
             .unwrap()
             .iter()
             .all(|r| r.rule.to_string() != "{1} => {2}"));
+        // Single-item {7} units generate no rules, so once the pattern
+        // units slide out the online state must be fully reclaimed.
+        assert_eq!(miner.tracked_rules(), 0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Equivalence properties for the sliding-window query fast path:
+//! under random push/evict/query interleavings, with and without
+//! confidence escalation, `SlidingWindowMiner::query_rules` must match
+//! batch-mining the retained window exactly.
+//!
+//! This is the contract that lets the online cycle state replace
+//! per-query re-detection: the memoised fast path, the uncached online
+//! rebuild, and the parallel escalated path all have to agree with
+//! `mine_sequential` over the retained units at every point of the
+//! stream.
+
+use car_core::window::SlidingWindowMiner;
+use car_core::{sequential::mine_sequential, CyclicRule, MinConfidence, MiningConfig};
+use car_itemset::{ItemSet, SegmentedDb};
+use proptest::prelude::*;
+
+fn arb_units() -> impl Strategy<Value = Vec<Vec<ItemSet>>> {
+    // 6..18 units, 0..8 transactions each, items 0..6, lengths 0..4.
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 0..4).prop_map(ItemSet::from_ids),
+            0..8,
+        ),
+        6..18,
+    )
+}
+
+fn arb_window_config() -> impl Strategy<Value = (usize, MiningConfig)> {
+    (
+        1u64..4,      // absolute per-unit support count
+        0.0f64..=1.0, // min confidence
+        1u32..=3,     // l_min
+        0u32..=2,     // l_max - l_min
+        4usize..=8,   // window length
+    )
+        .prop_map(|(count, conf, lo, extra, window)| {
+            let hi = (lo + extra).min(window as u32);
+            let lo = lo.min(hi);
+            let config = MiningConfig::builder()
+                .min_support_count(count)
+                .min_confidence(conf)
+                .cycle_bounds(lo, hi)
+                .build()
+                .expect("valid generated config");
+            (window, config)
+        })
+}
+
+/// Batch oracle: mine the last `window` units of `history` from scratch.
+fn batch_rules(
+    history: &[Vec<ItemSet>],
+    window: usize,
+    cfg: &MiningConfig,
+) -> Vec<CyclicRule> {
+    let start = history.len().saturating_sub(window);
+    let db = SegmentedDb::from_unit_itemsets(history[start..].to_vec());
+    mine_sequential(&db, cfg).expect("batch config valid").rules
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn online_fast_path_matches_batch_at_every_push(
+        units in arb_units(),
+        window_config in arb_window_config(),
+    ) {
+        let (window, cfg) = window_config;
+        let mut miner = SlidingWindowMiner::new(cfg, window).unwrap();
+        for (day, unit) in units.iter().enumerate() {
+            miner.push_unit(unit);
+            if miner.len() < cfg.cycle_bounds.l_max() as usize {
+                prop_assert!(miner.current_rules().is_err(), "day {}", day);
+                continue;
+            }
+            let batch = batch_rules(&units[..=day], window, &cfg);
+            // Memoised fast path (first query fills, second reads).
+            prop_assert_eq!(&*miner.current_rules().unwrap(), &batch, "day {}", day);
+            prop_assert_eq!(
+                &*miner.current_rules().unwrap(), &batch,
+                "memoised day {}", day
+            );
+            // Uncached online rebuild agrees too.
+            prop_assert_eq!(
+                &*miner.assemble_view().unwrap(), &batch,
+                "uncached day {}", day
+            );
+        }
+    }
+
+    #[test]
+    fn escalated_queries_match_batch_and_leave_the_fast_path_intact(
+        units in arb_units(),
+        window_config in arb_window_config(),
+        bump in 0.0f64..=1.0,
+    ) {
+        let (window, cfg) = window_config;
+        // An escalated threshold interpolated between the configured
+        // confidence and 1.0 (clamped against fp drift).
+        let base = cfg.min_confidence.value();
+        let q = MinConfidence::new((base + (1.0 - base) * bump).min(1.0))
+            .expect("interpolant stays in 0..=1");
+        let mut strict_cfg = cfg;
+        strict_cfg.min_confidence = q;
+        let mut miner = SlidingWindowMiner::new(cfg, window).unwrap();
+        for (day, unit) in units.iter().enumerate() {
+            miner.push_unit(unit);
+            if miner.len() < cfg.cycle_bounds.l_max() as usize {
+                continue;
+            }
+            // Query at interleaved points, not every push, so pushes and
+            // queries genuinely interleave.
+            if day % 3 != 0 {
+                continue;
+            }
+            let strict_batch = batch_rules(&units[..=day], window, &strict_cfg);
+            prop_assert_eq!(
+                &*miner.query_rules(Some(q)).unwrap(), &strict_batch,
+                "escalated day {}", day
+            );
+            // The detour through re-detection must not disturb the
+            // default-confidence fast path.
+            let batch = batch_rules(&units[..=day], window, &cfg);
+            prop_assert_eq!(
+                &*miner.query_rules(None).unwrap(), &batch,
+                "fast path after escalation, day {}", day
+            );
+        }
+    }
+}

@@ -48,6 +48,7 @@ mod bounds;
 mod cycle;
 mod cycleset;
 mod detect;
+mod online;
 pub mod spectrum;
 
 pub use approx::{detect_approx_cycles, ApproxCycle};
@@ -55,5 +56,6 @@ pub use bitseq::BitSeq;
 pub use bounds::CycleBounds;
 pub use cycle::Cycle;
 pub use cycleset::CycleSet;
-pub use detect::{detect_cycles, has_any_cycle, minimal_cycles};
+pub use detect::{detect_cycles, detect_cycles_batch, has_any_cycle, minimal_cycles};
+pub use online::OnlineRuleCycles;
 pub use spectrum::{autocorrelation, dominant_period, spectrum, PeriodStrength};

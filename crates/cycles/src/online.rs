@@ -1,0 +1,223 @@
+//! Online (push-time) cycle-candidate maintenance for sliding windows.
+//!
+//! [`detect_cycles`](crate::detect_cycles) is a-posteriori: it walks a
+//! finished binary sequence and eliminates candidates at every miss.
+//! The elimination rule itself is naturally incremental — a miss at
+//! unit `u` kills exactly the candidates `(l, u mod l)` — but a
+//! *sliding* window also **forgets**: when the unit that killed a cycle
+//! is evicted, that cycle must come back. Destructive elimination (as
+//! in [`CycleSet::eliminate`](crate::CycleSet::eliminate)) cannot
+//! express that revival, so [`OnlineRuleCycles`] keeps *counts*
+//! instead of tombstones.
+//!
+//! For one rule, `held[l - l_min][r]` counts the retained units with
+//! absolute index `≡ r (mod l)` at which the rule held. The retained
+//! window is always a contiguous absolute range `[base, base + n)`
+//! (`base = total_pushed - n`), so the *total* number of retained
+//! units in a residue class needs no storage at all — re-anchored to
+//! window coordinates `o = (r - base) mod l`, it is the closed form
+//! [`Cycle::num_units`]. A cycle is live iff `held == total`, i.e. the
+//! class contains zero misses:
+//!
+//! * a push where the rule holds increments `held` (and `total`);
+//! * a push where the rule misses leaves `held` behind `total` — the
+//!   class dies without ever visiting the rule (elimination is
+//!   implicit, which is what makes pushes O(rules *present* in the
+//!   unit));
+//! * evicting a hold decrements both sides; evicting a miss decrements
+//!   only `total` — the natural revival that tombstones cannot do.
+//!
+//! Offsets are stored in absolute coordinates precisely so that
+//! eviction is a counter decrement; the re-anchoring to window
+//! coordinates happens once per query in [`OnlineRuleCycles::live_cycles`].
+
+use crate::{Cycle, CycleBounds, CycleSet};
+
+/// Per-rule online cycle-candidate state over a sliding unit window.
+///
+/// Feed it every retained unit at which the rule held
+/// ([`record_hold`](Self::record_hold) on push,
+/// [`record_evict`](Self::record_evict) when that unit leaves the
+/// window), then ask for the surviving cycles of the current window
+/// with [`live_cycles`](Self::live_cycles). Units at which the rule
+/// did *not* hold are never reported — absence is the miss.
+#[derive(Clone, Debug)]
+pub struct OnlineRuleCycles {
+    bounds: CycleBounds,
+    /// `held[l - l_min][r]`: retained holds at absolute units `≡ r (mod l)`.
+    held: Vec<Vec<u32>>,
+    /// Total retained holds (for cheap emptiness checks).
+    holds: usize,
+}
+
+impl OnlineRuleCycles {
+    /// Creates empty state for cycle lengths within `bounds`.
+    pub fn new(bounds: CycleBounds) -> Self {
+        OnlineRuleCycles {
+            bounds,
+            held: bounds.lengths().map(|l| vec![0u32; l as usize]).collect(),
+            holds: 0,
+        }
+    }
+
+    /// The cycle-length bounds this state tracks.
+    pub fn bounds(&self) -> CycleBounds {
+        self.bounds
+    }
+
+    /// Number of retained units at which the rule held.
+    pub fn holds(&self) -> usize {
+        self.holds
+    }
+
+    /// True when no retained unit holds — the rule can be dropped.
+    pub fn is_empty(&self) -> bool {
+        self.holds == 0
+    }
+
+    /// Records that the rule held at absolute unit `abs_unit` (which
+    /// just entered the window).
+    pub fn record_hold(&mut self, abs_unit: u64) {
+        for (row, l) in self.held.iter_mut().zip(self.bounds.lengths()) {
+            let r = (abs_unit % u64::from(l)) as usize;
+            if let Some(count) = row.get_mut(r) {
+                *count = count.saturating_add(1);
+            }
+        }
+        self.holds = self.holds.saturating_add(1);
+    }
+
+    /// Records that absolute unit `abs_unit`, at which the rule held,
+    /// left the window. Evicted misses need no call — they were never
+    /// recorded.
+    pub fn record_evict(&mut self, abs_unit: u64) {
+        for (row, l) in self.held.iter_mut().zip(self.bounds.lengths()) {
+            let r = (abs_unit % u64::from(l)) as usize;
+            if let Some(count) = row.get_mut(r) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        self.holds = self.holds.saturating_sub(1);
+    }
+
+    /// The rule's surviving cycles over the retained window, in window
+    /// coordinates (window unit 0 = absolute unit `base`), where the
+    /// window retains absolute units `[base, base + len)`.
+    ///
+    /// Matches `detect_cycles` on the rule's window bit sequence
+    /// whenever `bounds.l_max() <= len` — the precondition every
+    /// mining query already validates (`CycleBoundExceedsUnits`), which
+    /// rules out vacuous offsets `>= len`.
+    pub fn live_cycles(&self, base: u64, len: usize) -> CycleSet {
+        let mut live = CycleSet::empty(self.bounds);
+        for (row, l) in self.held.iter().zip(self.bounds.lengths()) {
+            let base_rem = base % u64::from(l);
+            for (r, &count) in row.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let offset = ((r as u64 + u64::from(l) - base_rem) % u64::from(l)) as u32;
+                let cycle = Cycle::make(l, offset);
+                if count as usize == cycle.num_units(len) {
+                    live.insert(cycle);
+                }
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect_cycles, BitSeq};
+
+    /// Brute-force oracle: batch-detect over the retained slice.
+    fn batch(history: &[bool], window: usize, bounds: CycleBounds) -> CycleSet {
+        let start = history.len().saturating_sub(window);
+        detect_cycles(&BitSeq::from_bits(history[start..].iter().copied()), bounds)
+    }
+
+    /// Drives a full hold/miss history through the tracker with the
+    /// given window size and checks `live_cycles` against the oracle
+    /// after every push once the window is at least `l_max` deep.
+    fn check_stream(history: &[bool], window: usize, bounds: CycleBounds) {
+        let mut state = OnlineRuleCycles::new(bounds);
+        for (abs, &held) in history.iter().enumerate() {
+            if held {
+                state.record_hold(abs as u64);
+            }
+            if abs >= window && history[abs - window] {
+                state.record_evict((abs - window) as u64);
+            }
+            let len = (abs + 1).min(window);
+            if len < bounds.l_max() as usize {
+                continue;
+            }
+            let base = (abs + 1 - len) as u64;
+            let live = state.live_cycles(base, len);
+            let oracle = batch(&history[..=abs], window, bounds);
+            assert_eq!(
+                live.to_vec(),
+                oracle.to_vec(),
+                "window ending at abs {abs} (len {len}, base {base})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_batch_detection_on_simple_streams() {
+        let bounds = CycleBounds::make(1, 3);
+        // Alternating, all-ones, all-zeros, and an irregular stream.
+        check_stream(&[false, true, false, true, false, true, false, true], 4, bounds);
+        check_stream(&[true; 10], 5, bounds);
+        check_stream(&[false; 10], 5, bounds);
+        check_stream(
+            &[true, true, false, true, true, true, false, true, true],
+            6,
+            bounds,
+        );
+    }
+
+    #[test]
+    fn eviction_revives_a_cycle_killed_by_an_old_miss() {
+        // Window 4, length-2 cycles. A miss at abs 1 kills (2, 1);
+        // once abs 1 slides out, every odd retained unit holds again.
+        let bounds = CycleBounds::make(2, 2);
+        let history = [true, false, true, true, true, true, true];
+        let mut state = OnlineRuleCycles::new(bounds);
+        for (abs, &held) in history.iter().enumerate() {
+            if held {
+                state.record_hold(abs as u64);
+            }
+            if abs >= 4 && history[abs - 4] {
+                state.record_evict((abs - 4) as u64);
+            }
+        }
+        // Retained: abs 3..=6, all holds -> both length-2 cycles live.
+        let live = state.live_cycles(3, 4);
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn exhaustive_small_streams_match_batch() {
+        // Every 9-unit binary history, window 5, lengths 1..=4.
+        let bounds = CycleBounds::make(1, 4);
+        for pattern in 0u32..512 {
+            let history: Vec<bool> = (0..9).map(|i| pattern & (1 << i) != 0).collect();
+            check_stream(&history, 5, bounds);
+        }
+    }
+
+    #[test]
+    fn empty_state_reports_no_cycles_and_is_droppable() {
+        let bounds = CycleBounds::make(1, 3);
+        let mut state = OnlineRuleCycles::new(bounds);
+        assert!(state.is_empty());
+        assert_eq!(state.live_cycles(0, 3).len(), 0);
+        state.record_hold(7);
+        assert!(!state.is_empty());
+        state.record_evict(7);
+        assert!(state.is_empty());
+    }
+}

@@ -30,6 +30,8 @@ pub struct MiningCounters {
     cycles_eliminated: AtomicU64,
     support_computations: AtomicU64,
     detect_eliminations: AtomicU64,
+    online_holds: AtomicU64,
+    online_eliminations: AtomicU64,
 }
 
 /// Process-wide totals across every mining run since start.
@@ -41,6 +43,8 @@ pub static MINE: MiningCounters = MiningCounters {
     cycles_eliminated: AtomicU64::new(0),
     support_computations: AtomicU64::new(0),
     detect_eliminations: AtomicU64::new(0),
+    online_holds: AtomicU64::new(0),
+    online_eliminations: AtomicU64::new(0),
 };
 
 impl MiningCounters {
@@ -72,6 +76,22 @@ impl MiningCounters {
         self.detect_eliminations.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts `(rule, unit)` hold entries folded into online cycle
+    /// state by the sliding-window miner at push time — the work the
+    /// query fast path amortises away.
+    pub fn add_online_holds(&self, n: u64) {
+        self.online_holds.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts candidate cycle classes found dead while assembling a
+    /// rule view from online state (hold count behind the class
+    /// total). The online path never eliminates eagerly — absent rules
+    /// are not visited at push time — so this is observed at view
+    /// assembly, once per window epoch.
+    pub fn add_online_eliminations(&self, n: u64) {
+        self.online_eliminations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter (relaxed loads; fields may
     /// be mutually inconsistent by a few in-flight events).
     pub fn snapshot(&self) -> MiningCounterSnapshot {
@@ -83,6 +103,8 @@ impl MiningCounters {
             cycles_eliminated: self.cycles_eliminated.load(Ordering::Relaxed),
             support_computations: self.support_computations.load(Ordering::Relaxed),
             detect_eliminations: self.detect_eliminations.load(Ordering::Relaxed),
+            online_holds: self.online_holds.load(Ordering::Relaxed),
+            online_eliminations: self.online_eliminations.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,6 +126,10 @@ pub struct MiningCounterSnapshot {
     pub support_computations: u64,
     /// Cycles discarded by the a-posteriori detector (`detect_cycles`).
     pub detect_eliminations: u64,
+    /// `(rule, unit)` hold entries folded into online cycle state.
+    pub online_holds: u64,
+    /// Candidate cycle classes observed dead at online view assembly.
+    pub online_eliminations: u64,
 }
 
 impl MiningCounterSnapshot {
@@ -130,6 +156,10 @@ impl MiningCounterSnapshot {
             detect_eliminations: self
                 .detect_eliminations
                 .saturating_sub(earlier.detect_eliminations),
+            online_holds: self.online_holds.saturating_sub(earlier.online_holds),
+            online_eliminations: self
+                .online_eliminations
+                .saturating_sub(earlier.online_eliminations),
         }
     }
 }
@@ -143,6 +173,8 @@ mod tests {
         let before = MINE.snapshot();
         MINE.record_run(100, 40, 2000, 7, 60);
         MINE.add_detect_eliminations(3);
+        MINE.add_online_holds(11);
+        MINE.add_online_eliminations(5);
         let after = MINE.snapshot();
         let delta = after.delta_since(&before);
         assert!(delta.runs >= 1);
@@ -152,6 +184,8 @@ mod tests {
         assert!(delta.cycles_eliminated >= 7);
         assert!(delta.support_computations >= 60);
         assert!(delta.detect_eliminations >= 3);
+        assert!(delta.online_holds >= 11);
+        assert!(delta.online_eliminations >= 5);
     }
 
     #[test]

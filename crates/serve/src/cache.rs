@@ -1,0 +1,189 @@
+//! Epoch-keyed response cache for `GET /v1/rules`.
+//!
+//! The window only changes when the applier pushes a unit, so between
+//! ingests every rules query with the same parameters produces the
+//! same bytes. This cache stores fully-rendered JSON response bodies
+//! keyed by [`RulesQueryKey`] and stamped with the **epoch** — the
+//! miner's `total_pushed` at assembly time, a value that changes on
+//! every apply and never repeats. The applier calls
+//! [`QueryCache::advance`] after each apply (and *before* waking
+//! `?wait=true` clients), which clears all entries; a client that has
+//! observed its unit applied can therefore never be served a body from
+//! the previous epoch.
+//!
+//! Inserts re-check the epoch under the entries lock: a slow request
+//! that assembled its body at epoch `e` but lost the race with an
+//! apply finds the current epoch `> e` and discards the body instead
+//! of resurrecting stale state. A hit costs one mutex acquisition and
+//! one body clone — the miner lock is not touched.
+//!
+//! Lock discipline: the internal entries mutex is a leaf lock — no
+//! other lock is ever acquired while it is held, and callers hold no
+//! miner/WAL/queue lock across any method of this type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Cached entries kept per epoch; oldest is dropped beyond this. A
+/// dashboard fleet polls a handful of distinct filter combinations, so
+/// a small cap bounds memory without hurting the hit rate.
+const MAX_ENTRIES: usize = 64;
+
+/// The query parameters that select a distinct `GET /v1/rules` body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RulesQueryKey {
+    /// Escalated confidence threshold as `f64::to_bits` (bit-exact
+    /// equality; the value is validated finite in `0..=1` upstream).
+    pub min_confidence_bits: Option<u64>,
+    /// `length` cycle filter.
+    pub length: Option<u32>,
+    /// `offset` cycle filter.
+    pub offset: Option<u32>,
+}
+
+/// Rendered response bodies for the current window epoch.
+pub struct QueryCache {
+    /// The epoch the stored entries belong to (`total_pushed` of the
+    /// last advance). Entries are cleared on every advance, so all
+    /// stored bodies are from this epoch by construction.
+    epoch: AtomicU64,
+    entries: Mutex<Vec<(RulesQueryKey, Arc<Vec<u8>>)>>,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryCache {
+    /// Creates an empty cache at epoch 0 (before any apply).
+    pub fn new() -> QueryCache {
+        QueryCache { epoch: AtomicU64::new(0), entries: Mutex::new(Vec::new()) }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of bodies currently cached.
+    pub fn len(&self) -> usize {
+        self.lock_entries().len()
+    }
+
+    /// Whether the cache currently holds no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves the cache to `epoch`, dropping every cached body. Called
+    /// by the applier after each apply, before `?wait=true` clients
+    /// are woken — the invalidation that makes a post-apply query
+    /// unable to observe the previous epoch.
+    pub fn advance(&self, epoch: u64) {
+        let mut entries = self.lock_entries();
+        self.epoch.store(epoch, Ordering::SeqCst);
+        entries.clear();
+    }
+
+    /// The cached body for `key`, if one was assembled at the current
+    /// epoch.
+    pub fn lookup(&self, key: &RulesQueryKey) -> Option<Arc<Vec<u8>>> {
+        let entries = self.lock_entries();
+        entries.iter().find(|(k, _)| k == key).map(|(_, body)| Arc::clone(body))
+    }
+
+    /// Stores a body assembled at `epoch`. Discarded silently when an
+    /// apply advanced the cache since assembly — inserting it would
+    /// serve pre-apply state to post-apply readers.
+    pub fn insert(&self, epoch: u64, key: RulesQueryKey, body: Arc<Vec<u8>>) {
+        let mut entries = self.lock_entries();
+        if self.epoch.load(Ordering::SeqCst) != epoch {
+            return;
+        }
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = body;
+            return;
+        }
+        if entries.len() >= MAX_ENTRIES {
+            entries.remove(0);
+        }
+        entries.push((key, body));
+    }
+
+    fn lock_entries(&self) -> MutexGuard<'_, Vec<(RulesQueryKey, Arc<Vec<u8>>)>> {
+        // Cached bodies are pure derived data; a poisoned cache is safe
+        // to keep using (worst case it re-renders).
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(conf: Option<u64>, length: Option<u32>) -> RulesQueryKey {
+        RulesQueryKey { min_confidence_bits: conf, length, offset: None }
+    }
+
+    fn body(text: &str) -> Arc<Vec<u8>> {
+        Arc::new(text.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn stores_and_serves_within_an_epoch() {
+        let cache = QueryCache::new();
+        cache.advance(1);
+        assert!(cache.lookup(&key(None, None)).is_none());
+        cache.insert(1, key(None, None), body("a"));
+        cache.insert(1, key(None, Some(2)), body("b"));
+        assert_eq!(cache.lookup(&key(None, None)).unwrap().as_slice(), b"a");
+        assert_eq!(cache.lookup(&key(None, Some(2))).unwrap().as_slice(), b"b");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn advance_clears_every_entry() {
+        let cache = QueryCache::new();
+        cache.advance(1);
+        cache.insert(1, key(None, None), body("stale"));
+        cache.advance(2);
+        assert!(cache.lookup(&key(None, None)).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_discarded() {
+        let cache = QueryCache::new();
+        cache.advance(1);
+        // A slow request assembled its body at epoch 1, but an apply
+        // advanced the cache before the insert landed.
+        cache.advance(2);
+        cache.insert(1, key(None, None), body("pre-apply"));
+        assert!(cache.lookup(&key(None, None)).is_none());
+    }
+
+    #[test]
+    fn same_key_reinsert_replaces() {
+        let cache = QueryCache::new();
+        cache.advance(1);
+        cache.insert(1, key(None, None), body("first"));
+        cache.insert(1, key(None, None), body("second"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key(None, None)).unwrap().as_slice(), b"second");
+    }
+
+    #[test]
+    fn capacity_drops_the_oldest_entry() {
+        let cache = QueryCache::new();
+        cache.advance(1);
+        for i in 0..(MAX_ENTRIES as u32 + 5) {
+            cache.insert(1, key(None, Some(i)), body("x"));
+        }
+        assert_eq!(cache.len(), MAX_ENTRIES);
+        assert!(cache.lookup(&key(None, Some(0))).is_none(), "oldest evicted");
+        assert!(cache.lookup(&key(None, Some(MAX_ENTRIES as u32))).is_some());
+    }
+}

@@ -312,6 +312,18 @@ impl Response {
         }
     }
 
+    /// A JSON response from pre-rendered body bytes — the cached-view
+    /// path, where the body was rendered once and is served repeatedly.
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            reason: reason_for(status),
+            content_type: "application/json",
+            body,
+            close: false,
+        }
+    }
+
     /// A plain-text response.
     pub fn text(status: u16, body: impl Into<String>) -> Response {
         Response {

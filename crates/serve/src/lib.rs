@@ -51,6 +51,7 @@
 // up at the compiler level for the most common offender.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod cache;
 pub mod client;
 mod error;
 pub mod http;

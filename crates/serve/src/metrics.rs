@@ -94,6 +94,8 @@ pub struct Metrics {
     transactions_ingested: AtomicU64,
     ingest_rejected: AtomicU64,
     parse_errors: AtomicU64,
+    query_cache_hits: AtomicU64,
+    query_cache_misses: AtomicU64,
     wal_bytes: AtomicU64,
     wal_fsyncs: AtomicU64,
     wal_errors: AtomicU64,
@@ -134,6 +136,27 @@ impl Metrics {
     /// Records a unit rejected by backpressure (503).
     pub fn record_ingest_rejected(&self) {
         self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rules query served from the epoch-keyed cache.
+    pub fn record_query_cache_hit(&self) {
+        self.query_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rules query that had to assemble its body from miner
+    /// state.
+    pub fn record_query_cache_miss(&self) {
+        self.query_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rules queries served from the cache.
+    pub fn query_cache_hits(&self) -> u64 {
+        self.query_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total rules queries that missed the cache.
+    pub fn query_cache_misses(&self) -> u64 {
+        self.query_cache_misses.load(Ordering::Relaxed)
     }
 
     /// Records a request that failed HTTP parsing.
@@ -275,6 +298,16 @@ impl Metrics {
                 &self.parse_errors,
             ),
             (
+                "car_query_cache_hits",
+                "Rules queries served from the epoch-keyed response cache.",
+                &self.query_cache_hits,
+            ),
+            (
+                "car_query_cache_misses",
+                "Rules queries assembled from miner state (cache miss).",
+                &self.query_cache_misses,
+            ),
+            (
                 "car_wal_bytes_total",
                 "Bytes appended to the write-ahead log.",
                 &self.wal_bytes,
@@ -335,6 +368,16 @@ impl Metrics {
                 "car_mine_detect_eliminations_total",
                 "Cycles discarded by the a-posteriori detector (detect_cycles).",
                 mine.detect_eliminations,
+            ),
+            (
+                "car_mine_online_holds_total",
+                "Rule-unit hold entries folded into online cycle state at push.",
+                mine.online_holds,
+            ),
+            (
+                "car_mine_online_eliminations_total",
+                "Candidate cycle classes found dead at online view assembly.",
+                mine.online_eliminations,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n"));
@@ -443,7 +486,12 @@ mod tests {
         m.record_ingest(80);
         m.record_ingest_rejected();
         m.record_parse_error();
+        m.record_query_cache_hit();
+        m.record_query_cache_hit();
+        m.record_query_cache_miss();
         assert_eq!(m.units_ingested(), 2);
+        assert_eq!(m.query_cache_hits(), 2);
+        assert_eq!(m.query_cache_misses(), 1);
         let text = m.render_prometheus(&[(
             "car_ingest_queue_depth",
             "Units waiting in the ingest queue.",
@@ -453,6 +501,9 @@ mod tests {
         assert!(text.contains("car_transactions_ingested_total 200\n"));
         assert!(text.contains("car_ingest_rejected_total 1\n"));
         assert!(text.contains("car_http_parse_errors_total 1\n"));
+        assert!(text.contains("car_query_cache_hits 2\n"));
+        assert!(text.contains("car_query_cache_misses 1\n"));
+        assert!(text.contains("# TYPE car_query_cache_hits counter\n"));
         assert!(text.contains("# TYPE car_ingest_queue_depth gauge\n"));
         assert!(text.contains("car_ingest_queue_depth 3\n"));
     }

@@ -14,6 +14,9 @@
 //!   `length`, `offset` (cycle filters) and `min_confidence` (stricter
 //!   per-unit confidence; must be ≥ the configured threshold to have an
 //!   effect). `409` while the window holds fewer units than `l_max`.
+//!   Responses are served from an epoch-keyed body cache invalidated on
+//!   every apply — repeated polls with the same parameters between
+//!   ingests cost one mutex and one body clone, no miner lock.
 //! * `GET /v1/health` — liveness and window occupancy.
 //! * `GET /metrics` — Prometheus text exposition (not JSON).
 //! * `GET /v1/debug/profile` — the car-obs span profile (per-span
@@ -28,6 +31,7 @@ use std::time::Duration;
 use car_core::{CyclicRule, MinConfidence};
 use car_itemset::ItemSet;
 
+use crate::cache::RulesQueryKey;
 use crate::http::{Request, Response};
 use crate::json::{object, Json};
 use crate::metrics::Route;
@@ -48,7 +52,7 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
         ("GET", "/v1/rules") => (Route::Rules, get_rules(state, req)),
         ("GET", "/v1/health") => (Route::Health, health(state)),
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
-        ("GET", "/v1/debug/profile") => (Route::DebugProfile, debug_profile()),
+        ("GET", "/v1/debug/profile") => (Route::DebugProfile, debug_profile(state)),
         ("GET", "/v1/debug/events") => (Route::DebugEvents, debug_events()),
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
         (
@@ -273,6 +277,18 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
         }
     }
 
+    // Epoch-keyed body cache: a hit skips the miner lock entirely.
+    let key = RulesQueryKey {
+        min_confidence_bits: min_confidence.map(|q| q.value().to_bits()),
+        length,
+        offset,
+    };
+    if let Some(body) = state.query_cache.lookup(&key) {
+        state.metrics.record_query_cache_hit();
+        return Response::json_bytes(200, body.as_ref().clone());
+    }
+    state.metrics.record_query_cache_miss();
+
     let miner = state.miner.read_or_recover();
     let rules = match miner.query_rules(min_confidence) {
         Ok(rules) => rules,
@@ -280,19 +296,24 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     };
     let units_retained = miner.len();
     let window = miner.window();
+    // The epoch this body belongs to, read under the same lock as the
+    // rules; the insert below is discarded if an apply raced us.
+    let epoch = miner.total_pushed();
     drop(miner);
 
     let filtered: Vec<Json> =
         rules.iter().filter_map(|r| rule_to_json(r, length, offset)).collect();
-    Response::json(
-        200,
-        &object([
-            ("units_retained", Json::from(units_retained)),
-            ("window", Json::from(window)),
-            ("count", Json::from(filtered.len())),
-            ("rules", Json::Array(filtered)),
-        ]),
-    )
+    let body = object([
+        ("units_retained", Json::from(units_retained)),
+        ("window", Json::from(window)),
+        ("count", Json::from(filtered.len())),
+        ("rules", Json::Array(filtered)),
+    ])
+    .render()
+    .into_bytes();
+    let shared = std::sync::Arc::new(body);
+    state.query_cache.insert(epoch, key, std::sync::Arc::clone(&shared));
+    Response::json_bytes(200, shared.as_ref().clone())
 }
 
 /// Renders one rule, keeping only cycles matching the filters; a rule
@@ -378,10 +399,16 @@ fn health(state: &Arc<AppState>) -> Response {
 }
 
 fn metrics(state: &Arc<AppState>) -> Response {
-    let (retained_units, evictions, rule_entries, rules_current) = {
+    let (retained_units, evictions, rule_entries, rules_current, rules_tracked) = {
         let miner = state.miner.read_or_recover();
         let rules_current = miner.current_rules().map(|r| r.len()).unwrap_or(0);
-        (miner.len(), miner.evictions(), miner.retained_rule_entries(), rules_current)
+        (
+            miner.len(),
+            miner.evictions(),
+            miner.retained_rule_entries(),
+            rules_current,
+            miner.tracked_rules(),
+        )
     };
     let text = state.metrics.render_prometheus(&[
         (
@@ -409,13 +436,23 @@ fn metrics(state: &Arc<AppState>) -> Response {
             "Cyclic rules over the retained window (0 while warming up).",
             rules_current as f64,
         ),
+        (
+            "car_rules_tracked",
+            "Distinct rules with online cycle state in the window miner.",
+            rules_tracked as f64,
+        ),
+        (
+            "car_query_cache_entries",
+            "Rendered rule bodies cached for the current window epoch.",
+            state.query_cache.len() as f64,
+        ),
     ]);
     Response::text(200, text)
 }
 
-/// `GET /v1/debug/profile`: the car-obs flat span profile and the
-/// process-global mining counters, as JSON.
-fn debug_profile() -> Response {
+/// `GET /v1/debug/profile`: the car-obs flat span profile, the
+/// process-global mining counters, and the query-cache state, as JSON.
+fn debug_profile(state: &Arc<AppState>) -> Response {
     let spans: Vec<Json> = car_obs::profile_snapshot()
         .into_iter()
         .map(|s| {
@@ -443,6 +480,17 @@ fn debug_profile() -> Response {
                     ("cycles_eliminated", Json::from(mine.cycles_eliminated)),
                     ("support_computations", Json::from(mine.support_computations)),
                     ("detect_eliminations", Json::from(mine.detect_eliminations)),
+                    ("online_holds", Json::from(mine.online_holds)),
+                    ("online_eliminations", Json::from(mine.online_eliminations)),
+                ]),
+            ),
+            (
+                "query_cache",
+                object([
+                    ("epoch", Json::from(state.query_cache.epoch())),
+                    ("entries", Json::from(state.query_cache.len())),
+                    ("hits", Json::from(state.metrics.query_cache_hits())),
+                    ("misses", Json::from(state.metrics.query_cache_misses())),
                 ]),
             ),
         ]),
@@ -600,6 +648,48 @@ mod tests {
         assert!(rules
             .iter()
             .all(|r| r.get("rule").and_then(Json::as_str) != Some("{1} => {2}")));
+        state.begin_shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn rules_cache_hits_within_epoch_and_never_serves_stale_after_ingest() {
+        let state = test_state();
+        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state)).unwrap();
+        let even = br#"{"transactions": [[1, 2], [1, 2], [1, 2], [1, 2]]}"#;
+        let odd = br#"{"transactions": [[9], [9], [9], [9]]}"#;
+        for day in 0..4 {
+            let body: &[u8] = if day % 2 == 0 { even } else { odd };
+            let (_, resp) =
+                handle(&state, &request("POST", "/v1/units", &[("wait", "true")], body));
+            assert_eq!(resp.status, 200);
+        }
+        // First query misses, second identical query hits with the same
+        // bytes and without touching the miner.
+        let (_, first) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(first.status, 200);
+        assert_eq!(state.metrics.query_cache_misses(), 1);
+        let (_, second) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(second.body, first.body);
+        assert_eq!(state.metrics.query_cache_hits(), 1);
+        // Distinct parameters are distinct cache entries.
+        let (_, filtered) =
+            handle(&state, &request("GET", "/v1/rules", &[("offset", "1")], b""));
+        assert_eq!(filtered.status, 200);
+        assert_eq!(state.metrics.query_cache_misses(), 2);
+        assert_eq!(state.query_cache.len(), 2);
+
+        // Ingest one more unit (observed applied): the next query must
+        // reflect the new epoch, not the cached pre-apply body.
+        let (_, resp) =
+            handle(&state, &request("POST", "/v1/units", &[("wait", "true")], even));
+        assert_eq!(resp.status, 200);
+        assert_eq!(state.query_cache.len(), 0, "apply must clear the cache");
+        let (_, third) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(third.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&third.body).unwrap()).unwrap();
+        assert_eq!(doc.get("units_retained").and_then(Json::as_u64), Some(4));
+        assert_ne!(third.body, first.body, "stale epoch body must not be served");
         state.begin_shutdown();
         worker.join().unwrap();
     }

@@ -37,6 +37,7 @@ use car_core::window::SlidingWindowMiner;
 use car_core::MiningConfig;
 use car_itemset::ItemSet;
 
+use crate::cache::QueryCache;
 use crate::metrics::Metrics;
 use crate::persist::{PersistConfig, Persistence, WalSlot};
 use crate::sync::{log_warn, LockExt, RwLockExt};
@@ -251,6 +252,9 @@ pub struct AppState {
     pub queue: IngestQueue,
     /// Daemon counters.
     pub metrics: Metrics,
+    /// Rendered `GET /v1/rules` bodies for the current window epoch;
+    /// advanced (cleared) by the applier after every apply.
+    pub query_cache: QueryCache,
     /// The durability layer, when a data directory was configured.
     pub persist: Option<Persistence>,
     /// Boot-recovery progress.
@@ -296,6 +300,7 @@ impl AppState {
             miner: RwLock::new(miner),
             queue: IngestQueue::new(queue_capacity),
             metrics: Metrics::new(),
+            query_cache: QueryCache::new(),
             persist,
             recovery,
             shutdown: AtomicBool::new(false),
@@ -424,12 +429,14 @@ pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<(
             let recovery_span = car_obs::time_span!("recovery.boot");
             match persist.recover(&state.metrics) {
                 Ok(recovery) => {
-                    {
+                    let total = {
                         let mut miner = state.miner.write_or_recover();
                         for unit in &recovery.units {
                             miner.push_unit(unit);
                         }
-                    }
+                        miner.total_pushed()
+                    };
+                    state.query_cache.advance(total);
                     car_obs::info!(
                         "recovery",
                         [
@@ -460,10 +467,15 @@ pub fn spawn_ingest_worker(state: Arc<AppState>) -> std::io::Result<JoinHandle<(
         }
         while let Some((seq, unit)) = state.queue.dequeue() {
             let apply_span = car_obs::time_span!("serve.apply_unit");
-            {
+            let total = {
                 let mut miner = state.miner.write_or_recover();
                 miner.push_unit(&unit);
-            }
+                miner.total_pushed()
+            };
+            // Invalidate cached rule bodies *before* waking `?wait=true`
+            // clients: a client that has observed its unit applied must
+            // never be served a body from the previous epoch.
+            state.query_cache.advance(total);
             state.mark_applied(seq);
             if let Some(persist) = &state.persist {
                 persist.record_applied(seq, &unit, &state.metrics);
