@@ -47,6 +47,7 @@ pub fn default_config() -> AuditConfig {
             "crates/core/src/incremental.rs",
             "crates/core/src/parallel.rs",
             "crates/obs/src",
+            "crates/shard/src",
         ]),
         a2: s(&["crates/serve/src", "crates/core/src"]),
         a3: s(&[
@@ -55,7 +56,7 @@ pub fn default_config() -> AuditConfig {
             "crates/apriori/src/apriori.rs",
             "crates/obs/src",
         ]),
-        a4: s(&["crates/serve/src"]),
+        a4: s(&["crates/serve/src", "crates/shard/src"]),
     }
 }
 

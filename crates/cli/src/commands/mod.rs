@@ -6,6 +6,7 @@ pub mod detect;
 pub mod gen;
 pub mod mine;
 pub mod serve;
+pub mod shard;
 pub mod stats;
 
 use std::fs::File;

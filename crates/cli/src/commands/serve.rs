@@ -4,7 +4,7 @@ use std::io::Write;
 use std::time::Duration;
 
 use car_core::MiningConfig;
-use car_serve::{serve, FsyncPolicy, PersistConfig, ServerConfig};
+use car_serve::{serve, FsyncPolicy, PersistConfig, ServerConfig, ShardIdentity};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -23,11 +23,39 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let min_confidence: f64 = args.parse_or("min-confidence", 0.6)?;
     let l_min: u32 = args.parse_or("l-min", 2)?;
     let l_max: u32 = args.parse_or("l-max", 16)?;
-    let mining = MiningConfig::builder()
+    let mut builder = MiningConfig::builder()
         .min_support_fraction(min_support)
         .min_confidence(min_confidence)
-        .cycle_bounds(l_min, l_max)
-        .build()?;
+        .cycle_bounds(l_min, l_max);
+    // An absolute support count partitions exactly across shards (a
+    // fraction of per-shard transaction volume does not), so the shard
+    // router requires its workers to run with --min-support-count.
+    if let Some(raw) = args.get("min-support-count") {
+        let count: u64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("invalid value `{raw}` for --min-support-count"))
+        })?;
+        builder = builder.min_support_count(count);
+    }
+    let mining = builder.build()?;
+
+    let shard = match (args.get("shard-id"), args.get("shard-count")) {
+        (None, None) => None,
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--shard-id and --shard-count must be given together".into(),
+            ));
+        }
+        (Some(_), Some(_)) => {
+            let shard_id: u32 = args.parse_or("shard-id", 0)?;
+            let shard_count: u32 = args.parse_or("shard-count", 1)?;
+            if shard_id >= shard_count {
+                return Err(CliError::Usage(format!(
+                    "--shard-id {shard_id} out of range for --shard-count {shard_count}"
+                )));
+            }
+            Some(ShardIdentity { shard_id, shard_count })
+        }
+    };
 
     let persist = match args.get("data-dir") {
         Some(dir) => {
@@ -68,6 +96,7 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         io_timeout: Duration::from_secs(io_timeout_secs.max(1)),
         handle_signals: true,
         persist,
+        shard,
         ..ServerConfig::default()
     };
 
@@ -80,6 +109,9 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         out,
         "  window {window} units, {threads} workers, queue capacity {queue_capacity}"
     )?;
+    if let Some(s) = shard {
+        writeln!(out, "  shard {} of {}", s.shard_id, s.shard_count)?;
+    }
     if let Some(line) = &durability {
         writeln!(out, "{line}")?;
     }

@@ -50,6 +50,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "detect" => commands::detect::run(&args, out),
         "stats" => commands::stats::run(&args, out),
         "serve" => commands::serve::run(&args, out),
+        "shard" => commands::shard::run(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -87,10 +88,18 @@ COMMANDS:
              --input FILE
     serve    Run the online rule-serving HTTP daemon
              [--host H] [--port P] [--threads N] [--window N]
-             [--queue-capacity N] [--min-support F] [--min-confidence F]
-             [--l-min L] [--l-max L] [--io-timeout-secs S]
-             [--data-dir DIR] [--fsync always|never|every=N]
-             [--snapshot-every N]
+             [--queue-capacity N] [--min-support F] [--min-support-count N]
+             [--min-confidence F] [--l-min L] [--l-max L]
+             [--io-timeout-secs S] [--data-dir DIR]
+             [--fsync always|never|every=N] [--snapshot-every N]
+             [--shard-id I --shard-count N]
+    shard    Run the sharded-cluster router over car-serve workers
+             (--workers a:p,b:p,... | --shards N)
+             [--host H] [--port P] [--threads N]
+             [--partition-key min-item|max-item] [--probe-interval-ms MS]
+             [--replay-capacity N] [--retry N] [--timeout-secs S]
+             spawn mode forwards: [--min-support-count N] [--min-confidence F]
+             [--l-min L] [--l-max L] [--window N] [--queue-capacity N]
     audit    Run the project's static-analysis lints (panic-freedom,
              lock-order, checked arithmetic, discarded Results)
              [--root DIR] [--format human|json] [--baseline FILE]

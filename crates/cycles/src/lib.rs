@@ -48,6 +48,7 @@ mod bounds;
 mod cycle;
 mod cycleset;
 mod detect;
+mod merge;
 mod online;
 pub mod spectrum;
 
@@ -57,5 +58,6 @@ pub use bounds::CycleBounds;
 pub use cycle::Cycle;
 pub use cycleset::CycleSet;
 pub use detect::{detect_cycles, detect_cycles_batch, has_any_cycle, minimal_cycles};
+pub use merge::merge_minimal_cycle_lists;
 pub use online::OnlineRuleCycles;
 pub use spectrum::{autocorrelation, dominant_period, spectrum, PeriodStrength};

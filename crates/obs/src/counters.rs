@@ -164,6 +164,104 @@ impl MiningCounterSnapshot {
     }
 }
 
+/// Process-global counters for the shard router; use the [`SHARD`]
+/// static. A standalone daemon never touches these — they exist so the
+/// `car shard` router can expose its fan-out, degradation, and catch-up
+/// activity through `/metrics` with the same relaxed-atomic discipline
+/// as the mining counters.
+pub struct ShardCounters {
+    fanout_legs: AtomicU64,
+    fanout_failures: AtomicU64,
+    down_transitions: AtomicU64,
+    readmissions: AtomicU64,
+    catchup_units: AtomicU64,
+    units_routed: AtomicU64,
+    partial_responses: AtomicU64,
+}
+
+/// Process-wide shard-router totals since start.
+pub static SHARD: ShardCounters = ShardCounters {
+    fanout_legs: AtomicU64::new(0),
+    fanout_failures: AtomicU64::new(0),
+    down_transitions: AtomicU64::new(0),
+    readmissions: AtomicU64::new(0),
+    catchup_units: AtomicU64::new(0),
+    units_routed: AtomicU64::new(0),
+    partial_responses: AtomicU64::new(0),
+};
+
+impl ShardCounters {
+    /// Counts one per-shard leg of a query fan-out.
+    pub fn add_fanout_legs(&self, n: u64) {
+        self.fanout_legs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a fan-out leg that failed (transport error, timeout, or an
+    /// unusable response).
+    pub fn add_fanout_failures(&self, n: u64) {
+        self.fanout_failures.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a worker transitioning from live to down.
+    pub fn add_down_transition(&self) {
+        self.down_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a worker re-admitted after passing a health check (and any
+    /// required catch-up replay).
+    pub fn add_readmission(&self) {
+        self.readmissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts units replayed to a returning worker from the catch-up
+    /// buffer.
+    pub fn add_catchup_units(&self, n: u64) {
+        self.catchup_units.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts units the router has routed (split and forwarded).
+    pub fn add_units_routed(&self, n: u64) {
+        self.units_routed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts merged rule responses served with `partial=true`.
+    pub fn add_partial_response(&self) {
+        self.partial_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter (relaxed loads).
+    pub fn snapshot(&self) -> ShardCounterSnapshot {
+        ShardCounterSnapshot {
+            fanout_legs: self.fanout_legs.load(Ordering::Relaxed),
+            fanout_failures: self.fanout_failures.load(Ordering::Relaxed),
+            down_transitions: self.down_transitions.load(Ordering::Relaxed),
+            readmissions: self.readmissions.load(Ordering::Relaxed),
+            catchup_units: self.catchup_units.load(Ordering::Relaxed),
+            units_routed: self.units_routed.load(Ordering::Relaxed),
+            partial_responses: self.partial_responses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`ShardCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounterSnapshot {
+    /// Query fan-out legs issued to live workers.
+    pub fanout_legs: u64,
+    /// Fan-out legs that failed.
+    pub fanout_failures: u64,
+    /// Live-to-down worker transitions.
+    pub down_transitions: u64,
+    /// Workers re-admitted after recovery.
+    pub readmissions: u64,
+    /// Units replayed from the catch-up buffer.
+    pub catchup_units: u64,
+    /// Units routed (split and forwarded) by the router.
+    pub units_routed: u64,
+    /// Merged responses served with `partial=true`.
+    pub partial_responses: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +284,26 @@ mod tests {
         assert!(delta.detect_eliminations >= 3);
         assert!(delta.online_holds >= 11);
         assert!(delta.online_eliminations >= 5);
+    }
+
+    #[test]
+    fn shard_counters_accumulate_into_globals() {
+        let before = SHARD.snapshot();
+        SHARD.add_fanout_legs(3);
+        SHARD.add_fanout_failures(1);
+        SHARD.add_down_transition();
+        SHARD.add_readmission();
+        SHARD.add_catchup_units(7);
+        SHARD.add_units_routed(2);
+        SHARD.add_partial_response();
+        let after = SHARD.snapshot();
+        assert!(after.fanout_legs >= before.fanout_legs + 3);
+        assert!(after.fanout_failures >= before.fanout_failures + 1);
+        assert!(after.down_transitions >= before.down_transitions + 1);
+        assert!(after.readmissions >= before.readmissions + 1);
+        assert!(after.catchup_units >= before.catchup_units + 7);
+        assert!(after.units_routed >= before.units_routed + 2);
+        assert!(after.partial_responses >= before.partial_responses + 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use car_serve::{Client, ClientResponse};
+use car_serve::{RetryPolicy, RetryingClient};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -164,65 +164,17 @@ struct WorkerReport {
     retries: u64,
 }
 
-/// Exponential backoff with jitter before retry `attempt` (1-based):
-/// 50ms doubling per attempt, capped at 2s, plus up to 50% jitter so
-/// concurrent workers don't retry in lockstep against a recovering
-/// daemon.
-fn backoff(rng: &mut StdRng, attempt: u32) -> Duration {
-    let base_ms = (50u64 << attempt.saturating_sub(1).min(6)).min(2_000);
-    let jitter = rng.gen_range(0..=(base_ms >> 1));
-    Duration::from_millis(base_ms + jitter)
-}
-
-/// Issues one request, retrying on transport errors and 503s (daemon
-/// restarting, recovering, or shedding load) with backoff. `client` is
-/// reconnected in place when the connection dies. Returns the final
-/// response, or `None` when every attempt failed at the transport level.
-fn request_with_retry(
-    client: &mut Option<Client>,
-    opts: &Options,
-    rng: &mut StdRng,
-    method: &str,
-    target: &str,
-    body: Option<&[u8]>,
-    retries: &mut u64,
-) -> Option<ClientResponse> {
-    let mut last_response = None;
-    for attempt in 0..=opts.max_retries {
-        if attempt > 0 {
-            *retries += 1;
-            std::thread::sleep(backoff(rng, attempt));
-        }
-        if client.is_none() {
-            *client = Client::connect_with_timeout(&opts.addr, opts.timeout).ok();
-        }
-        let Some(conn) = client.as_mut() else { continue };
-        match conn.request(method, target, body) {
-            Ok(resp) if resp.status == 503 => {
-                // Retryable daemon answer (recovering / backpressure /
-                // shutting down); keep the connection, back off, retry.
-                last_response = Some(resp);
-            }
-            Ok(resp) => return Some(resp),
-            Err(_) => {
-                // Connection reset (daemon died?): drop it and retry
-                // with a fresh connection after backoff.
-                *client = None;
-            }
-        }
-    }
-    last_response
-}
-
 fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> WorkerReport {
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ (worker as u64).wrapping_mul(0x9E37));
+    let worker_seed = opts.seed ^ (worker as u64).wrapping_mul(0x9E37);
+    let mut rng = StdRng::seed_from_u64(worker_seed);
     let mut report = WorkerReport {
         latencies_us: Vec::with_capacity(opts.requests_per_connection),
         errors: 0,
         non_2xx: 0,
         retries: 0,
     };
-    let mut client = Client::connect_with_timeout(&opts.addr, opts.timeout).ok();
+    let policy = RetryPolicy { max_retries: opts.max_retries, timeout: opts.timeout };
+    let mut client = RetryingClient::with_seed(&opts.addr, policy, worker_seed);
     for _ in 0..opts.requests_per_connection {
         let mode = match opts.mode {
             Mode::Mixed => match rng.gen_range(0u32..10) {
@@ -235,36 +187,12 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
         };
         let started = Instant::now();
         let result = match mode {
-            Mode::Rules => request_with_retry(
-                &mut client,
-                opts,
-                &mut rng,
-                "GET",
-                "/v1/rules",
-                None,
-                &mut report.retries,
-            ),
-            Mode::Health => request_with_retry(
-                &mut client,
-                opts,
-                &mut rng,
-                "GET",
-                "/v1/health",
-                None,
-                &mut report.retries,
-            ),
+            Mode::Rules => client.request("GET", "/v1/rules", None),
+            Mode::Health => client.request("GET", "/v1/health", None),
             Mode::Ingest => {
                 let n = ingest_counter.fetch_add(1, Ordering::Relaxed);
                 let body = unit_body(&mut rng, n);
-                request_with_retry(
-                    &mut client,
-                    opts,
-                    &mut rng,
-                    "POST",
-                    "/v1/units",
-                    Some(&body),
-                    &mut report.retries,
-                )
+                client.request("POST", "/v1/units", Some(&body))
             }
             Mode::Mixed => unreachable!(),
         };
@@ -282,6 +210,7 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
             None => report.errors += 1,
         }
     }
+    report.retries = client.retries();
     report
 }
 

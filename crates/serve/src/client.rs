@@ -1,8 +1,15 @@
 //! A minimal blocking HTTP/1.1 client for driving the daemon.
 //!
-//! Used by the `car-load` load generator and the integration tests; not
-//! a general-purpose client. Supports exactly what the daemon's server
-//! side emits: status line, headers, `Content-Length` bodies, keep-alive.
+//! Used by the `car-load` load generator, the shard router, and the
+//! integration tests; not a general-purpose client. Supports exactly
+//! what the daemon's server side emits: status line, headers,
+//! `Content-Length` bodies, keep-alive.
+//!
+//! [`RetryingClient`] layers the retry machinery every driver needs on
+//! top of the raw [`Client`]: exponential backoff with jitter on
+//! transport errors and `503`s, in-place reconnection when the
+//! connection dies, and a per-request timeout. `car-load` and the
+//! `car shard` router share this one implementation.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -146,6 +153,156 @@ impl Client {
         self.writer.write_all(body)?;
         self.writer.flush()?;
         read_response(&mut self.reader)
+    }
+}
+
+/// Retry configuration for [`RetryingClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try exactly once).
+    pub max_retries: u32,
+    /// Per-request connect/read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 4, timeout: Duration::from_millis(5_000) }
+    }
+}
+
+/// Exponential backoff with jitter before retry `attempt` (1-based):
+/// 50ms doubling per attempt, capped at 2s, plus up to 50% jitter so
+/// concurrent callers don't retry in lockstep against a recovering
+/// daemon. `jitter_state` is advanced in place (xorshift64*), keeping
+/// the schedule deterministic for a given seed.
+pub fn backoff_delay(attempt: u32, jitter_state: &mut u64) -> Duration {
+    let base_ms = (50u64 << attempt.saturating_sub(1).min(6)).min(2_000);
+    let mut x = (*jitter_state).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *jitter_state = x;
+    let jitter = x % ((base_ms >> 1).max(1));
+    Duration::from_millis(base_ms + jitter)
+}
+
+/// A keep-alive connection with retry, backoff, and reconnection.
+///
+/// Retries on transport errors (dropping and re-establishing the
+/// connection) and on `503` responses (daemon recovering, shedding
+/// load, or restarting — the connection is kept). Any other response,
+/// including 4xx, is returned as-is: those are answers, not failures.
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    jitter_state: u64,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates a client for `addr`; no connection is made until the
+    /// first request. The jitter seed is derived from the address so
+    /// distinct clients de-synchronize naturally.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryingClient {
+        let addr = addr.into();
+        let seed = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
+        Self::with_seed(addr, policy, seed)
+    }
+
+    /// Creates a client with an explicit jitter seed (deterministic
+    /// backoff schedules for tests and load generators).
+    pub fn with_seed(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> RetryingClient {
+        RetryingClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            jitter_state: seed.max(1),
+            retries: 0,
+        }
+    }
+
+    /// The address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total retries performed since construction.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Drops the current connection (the next request reconnects).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Issues one request, retrying per the policy. Returns the final
+    /// response — possibly a `503` that outlasted every retry — or
+    /// `None` when every attempt failed at the transport level.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> Option<ClientResponse> {
+        let mut last_response = None;
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                self.retries += 1;
+                std::thread::sleep(backoff_delay(attempt, &mut self.jitter_state));
+            }
+            if self.conn.is_none() {
+                self.conn =
+                    Client::connect_with_timeout(&self.addr, self.policy.timeout).ok();
+            }
+            let Some(conn) = self.conn.as_mut() else { continue };
+            match conn.request(method, target, body) {
+                Ok(resp) if resp.status == 503 => {
+                    // Retryable daemon answer (recovering / backpressure
+                    // / shutting down); keep the connection, back off,
+                    // retry.
+                    last_response = Some(resp);
+                }
+                Ok(resp) => return Some(resp),
+                Err(_) => {
+                    // Connection reset (daemon died?): drop it and retry
+                    // with a fresh connection after backoff.
+                    self.conn = None;
+                }
+            }
+        }
+        last_response
+    }
+
+    /// Issues one request without any retry (a single attempt over the
+    /// existing or a fresh connection). Used for probes where the caller
+    /// owns the retry cadence.
+    pub fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&[u8]>,
+    ) -> Option<ClientResponse> {
+        if self.conn.is_none() {
+            self.conn =
+                Client::connect_with_timeout(&self.addr, self.policy.timeout).ok();
+        }
+        let conn = self.conn.as_mut()?;
+        match conn.request(method, target, body) {
+            Ok(resp) => Some(resp),
+            Err(_) => {
+                self.conn = None;
+                None
+            }
+        }
     }
 }
 

@@ -298,6 +298,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether to close the connection after this response.
     pub close: bool,
+    /// Additional response headers beyond `content-type` and
+    /// `content-length` (e.g. `X-Car-Epoch`), written verbatim in order.
+    pub extra_headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -309,6 +312,7 @@ impl Response {
             content_type: "application/json",
             body: body.render().into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -321,6 +325,7 @@ impl Response {
             content_type: "application/json",
             body,
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -332,6 +337,7 @@ impl Response {
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -349,6 +355,14 @@ impl Response {
         self
     }
 
+    /// Adds a custom response header. The name must not collide with the
+    /// headers the writer emits itself (`content-type`, `content-length`,
+    /// `connection`); values must be header-safe (no CR/LF).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
     /// Writes the response (status line, headers, body) to `w`.
     ///
     /// # Errors
@@ -363,6 +377,9 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
         if self.close {
             write!(w, "connection: close\r\n")?;
         }

@@ -58,15 +58,16 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod persist;
-mod pool;
+pub mod pool;
 pub mod routes;
 mod server;
 pub mod shutdown;
 pub mod state;
 pub mod sync;
 
-pub use client::{Client, ClientResponse};
+pub use client::{Client, ClientResponse, RetryPolicy, RetryingClient};
 pub use error::ServeError;
 pub use persist::wal::FsyncPolicy;
 pub use persist::PersistConfig;
 pub use server::{serve, FinalStats, ServerConfig, ServerHandle};
+pub use state::ShardIdentity;

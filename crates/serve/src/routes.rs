@@ -199,7 +199,14 @@ fn enqueue_error_label(e: EnqueueError) -> &'static str {
 /// Parses the ingest body: either `{"transactions": [[id, ...], ...]}`
 /// (one unit) or a top-level array of such objects (a batch). Returns
 /// the units and whether the body was the batch form.
-fn parse_units_body(body: &[u8]) -> Result<(Vec<Vec<ItemSet>>, bool), String> {
+///
+/// Public so the `car shard` router can parse an ingest body once and
+/// re-split it per shard using the same grammar the workers enforce.
+///
+/// # Errors
+///
+/// A human-readable message describing the first malformed element.
+pub fn parse_units_body(body: &[u8]) -> Result<(Vec<Vec<ItemSet>>, bool), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     if let Some(batch) = doc.as_array() {
@@ -214,7 +221,11 @@ fn parse_units_body(body: &[u8]) -> Result<(Vec<Vec<ItemSet>>, bool), String> {
 }
 
 /// Parses one `{"transactions": [[id, ...], ...]}` object into a unit.
-fn parse_unit(doc: &Json) -> Result<Vec<ItemSet>, String> {
+///
+/// # Errors
+///
+/// A human-readable message describing the first malformed transaction.
+pub fn parse_unit(doc: &Json) -> Result<Vec<ItemSet>, String> {
     let transactions = doc
         .get("transactions")
         .and_then(Json::as_array)
@@ -285,7 +296,7 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     };
     if let Some(body) = state.query_cache.lookup(&key) {
         state.metrics.record_query_cache_hit();
-        return Response::json_bytes(200, body.as_ref().clone());
+        return rules_response(state, state.query_cache.epoch(), body.as_ref().clone());
     }
     state.metrics.record_query_cache_miss();
 
@@ -313,12 +324,29 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     .into_bytes();
     let shared = std::sync::Arc::new(body);
     state.query_cache.insert(epoch, key, std::sync::Arc::clone(&shared));
-    Response::json_bytes(200, shared.as_ref().clone())
+    rules_response(state, epoch, shared.as_ref().clone())
+}
+
+/// Wraps a rendered rules body with the cluster-facing headers:
+/// `X-Car-Epoch` (units pushed when the body was rendered, so the
+/// router can report view freshness) and — on shard workers —
+/// `X-Car-Shard-Id`.
+fn rules_response(state: &Arc<AppState>, epoch: u64, body: Vec<u8>) -> Response {
+    let mut resp =
+        Response::json_bytes(200, body).with_header("x-car-epoch", epoch.to_string());
+    if let Some(shard) = state.shard {
+        resp = resp.with_header("x-car-shard-id", shard.shard_id.to_string());
+    }
+    resp
 }
 
 /// Renders one rule, keeping only cycles matching the filters; a rule
 /// with no matching cycle is dropped entirely.
-fn rule_to_json(
+///
+/// Public so the `car shard` router renders merged rules through the
+/// exact same serializer a single node uses — merged responses are
+/// byte-identical to standalone ones, rule for rule.
+pub fn rule_to_json(
     rule: &CyclicRule,
     length: Option<u32>,
     offset: Option<u32>,
@@ -384,6 +412,16 @@ fn health(state: &Arc<AppState>) -> Response {
         ("evictions".into(), Json::from(miner.evictions())),
         ("queue_depth".into(), Json::from(queue_depth)),
     ];
+    // Cluster identity: real values on shard workers, explicit nulls
+    // standalone so clients need no presence check.
+    let (shard_id, shard_count) = match state.shard {
+        Some(s) => {
+            (Json::from(u64::from(s.shard_id)), Json::from(u64::from(s.shard_count)))
+        }
+        None => (Json::Null, Json::Null),
+    };
+    fields.push(("shard_id".into(), shard_id));
+    fields.push(("shard_count".into(), shard_count));
     if state.persist.is_some() {
         fields.push((
             "recovery".into(),
@@ -758,6 +796,59 @@ mod tests {
                     == Some("41")
                 && e.get("level").and_then(Json::as_str) == Some("warn")
         }));
+    }
+
+    #[test]
+    fn health_reports_null_shard_identity_standalone() {
+        let state = test_state();
+        let (_, resp) = handle(&state, &request("GET", "/v1/health", &[], b""));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("shard_id"), Some(&Json::Null));
+        assert_eq!(doc.get("shard_count"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn health_reports_shard_identity_on_workers() {
+        let config = MiningConfig::builder()
+            .min_support_fraction(0.5)
+            .min_confidence(0.5)
+            .cycle_bounds(2, 2)
+            .build()
+            .unwrap();
+        let state = AppState::new_with_shard(
+            config,
+            4,
+            8,
+            None,
+            Some(crate::state::ShardIdentity { shard_id: 2, shard_count: 3 }),
+        )
+        .unwrap();
+        let (_, resp) = handle(&state, &request("GET", "/v1/health", &[], b""));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("shard_id").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("shard_count").and_then(Json::as_u64), Some(3));
+
+        // Rule responses from a shard worker carry the shard id and the
+        // epoch; the epoch also appears standalone (tested implicitly by
+        // the absence of x-car-shard-id there).
+        let even = br#"{"transactions": [[1, 2], [1, 2]]}"#;
+        let odd = br#"{"transactions": [[9], [9]]}"#;
+        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state)).unwrap();
+        for day in 0..4 {
+            let body: &[u8] = if day % 2 == 0 { even } else { odd };
+            let (_, resp) =
+                handle(&state, &request("POST", "/v1/units", &[("wait", "true")], body));
+            assert_eq!(resp.status, 200);
+        }
+        let (_, resp) = handle(&state, &request("GET", "/v1/rules", &[], b""));
+        assert_eq!(resp.status, 200);
+        let header = |name: &str| {
+            resp.extra_headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        };
+        assert_eq!(header("x-car-epoch"), Some("4"));
+        assert_eq!(header("x-car-shard-id"), Some("2"));
+        state.begin_shutdown();
+        worker.join().unwrap();
     }
 
     #[test]

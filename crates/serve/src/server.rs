@@ -55,6 +55,9 @@ pub struct ServerConfig {
     /// Durability configuration: data directory, fsync policy, snapshot
     /// cadence. `None` keeps the window memory-only (lost on restart).
     pub persist: Option<crate::persist::PersistConfig>,
+    /// Cluster identity when this daemon runs as a shard worker under
+    /// the `car shard` router; `None` for a standalone daemon.
+    pub shard: Option<crate::state::ShardIdentity>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +72,7 @@ impl Default for ServerConfig {
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             handle_signals: false,
             persist: None,
+            shard: None,
         }
     }
 }
@@ -142,11 +146,12 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     car_obs::init_from_env();
     car_obs::set_spans_enabled(true);
     car_obs::set_capture(true);
-    let state = AppState::new(
+    let state = AppState::new_with_shard(
         config.mining,
         config.window,
         config.queue_capacity,
         config.persist.clone(),
+        config.shard,
     )?;
     let addrs: Vec<SocketAddr> =
         config.addr.to_socket_addrs().map_err(ServeError::Io)?.collect();
@@ -339,6 +344,7 @@ mod tests {
             max_body_bytes: 64 * 1024,
             handle_signals: false,
             persist: None,
+            shard: None,
         }
     }
 

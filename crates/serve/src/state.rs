@@ -43,6 +43,19 @@ use crate::persist::{PersistConfig, Persistence, WalSlot};
 use crate::sync::{log_warn, LockExt, RwLockExt};
 use crate::ServeError;
 
+/// The daemon's place in a sharded cluster, when launched by (or for)
+/// the `car shard` router. Surfaces in `/v1/health` and as
+/// `X-Car-Shard-Id` on rule responses so operators and the router can
+/// tell shard workers apart; standalone daemons carry `None` and report
+/// `"shard_id": null` / `"shard_count": null`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// Zero-based index of this worker in the cluster.
+    pub shard_id: u32,
+    /// Total workers in the cluster.
+    pub shard_count: u32,
+}
+
 /// Why a unit could not be enqueued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EnqueueError {
@@ -257,6 +270,9 @@ pub struct AppState {
     pub query_cache: QueryCache,
     /// The durability layer, when a data directory was configured.
     pub persist: Option<Persistence>,
+    /// Cluster identity when running as a shard worker; `None`
+    /// standalone.
+    pub shard: Option<ShardIdentity>,
     /// Boot-recovery progress.
     pub recovery: RecoveryInfo,
     /// Set once shutdown begins; checked by the accept loop and
@@ -284,6 +300,22 @@ impl AppState {
         queue_capacity: usize,
         persist: Option<PersistConfig>,
     ) -> Result<Arc<AppState>, ServeError> {
+        Self::new_with_shard(config, window, queue_capacity, persist, None)
+    }
+
+    /// [`AppState::new`] with a cluster identity attached; used by the
+    /// `car serve --shard-id/--shard-count` worker mode.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AppState::new`].
+    pub fn new_with_shard(
+        config: MiningConfig,
+        window: usize,
+        queue_capacity: usize,
+        persist: Option<PersistConfig>,
+        shard: Option<ShardIdentity>,
+    ) -> Result<Arc<AppState>, ServeError> {
         let miner = SlidingWindowMiner::new(config, window)?;
         let persist = match persist {
             Some(cfg) => Some(Persistence::new(cfg, window)?),
@@ -302,6 +334,7 @@ impl AppState {
             metrics: Metrics::new(),
             query_cache: QueryCache::new(),
             persist,
+            shard,
             recovery,
             shutdown: AtomicBool::new(false),
             applied: Mutex::new(0),

@@ -1,0 +1,188 @@
+//! Parsing and merging per-shard rule views at the router.
+//!
+//! Each live worker answers `GET /v1/rules` with its own view of the
+//! cyclic rules over its item-space partition. The router parses those
+//! JSON bodies back into real [`CyclicRule`] values, merges views that
+//! report the same rule (possible only when the partition-purity client
+//! contract is violated), re-establishes cycle minimality across the
+//! union with [`merge_minimal_cycle_lists`], and sorts the result
+//! exactly as a single node sorts its query output — so the merged
+//! `rules` array is byte-identical, rule for rule, once re-rendered
+//! through the worker's own serializer
+//! ([`car_serve::routes::rule_to_json`]).
+
+use std::collections::BTreeMap;
+
+use car_core::{CyclicRule, Rule};
+use car_cycles::{merge_minimal_cycle_lists, Cycle};
+use car_itemset::ItemSet;
+use car_serve::json::Json;
+
+/// One worker's parsed `GET /v1/rules` response.
+#[derive(Clone, Debug)]
+pub struct ShardView {
+    /// Units the worker currently retains.
+    pub units_retained: u64,
+    /// The worker's configured window length.
+    pub window: u64,
+    /// The worker's rules, in its own (sorted) order.
+    pub rules: Vec<CyclicRule>,
+}
+
+/// Parses a worker's rules body back into typed rules.
+///
+/// # Errors
+///
+/// A message naming the first missing or malformed field. A worker
+/// answering `200` with an unparsable body is treated by the router as
+/// a failed fan-out leg, not as an empty view.
+pub fn parse_rules_body(text: &str) -> Result<ShardView, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let units_retained = doc
+        .get("units_retained")
+        .and_then(Json::as_u64)
+        .ok_or("missing units_retained")?;
+    let window = doc.get("window").and_then(Json::as_u64).ok_or("missing window")?;
+    let rules_json = doc.get("rules").and_then(Json::as_array).ok_or("missing rules")?;
+    let mut rules = Vec::with_capacity(rules_json.len());
+    for (i, entry) in rules_json.iter().enumerate() {
+        rules.push(parse_rule(entry).map_err(|msg| format!("rule {i}: {msg}"))?);
+    }
+    Ok(ShardView { units_retained, window, rules })
+}
+
+fn parse_rule(entry: &Json) -> Result<CyclicRule, String> {
+    let antecedent = parse_ids(entry.get("antecedent"))?;
+    let consequent = parse_ids(entry.get("consequent"))?;
+    let rule = Rule::new(antecedent, consequent)
+        .ok_or("antecedent/consequent must be non-empty and disjoint")?;
+    let cycles_json =
+        entry.get("cycles").and_then(Json::as_array).ok_or("missing cycles array")?;
+    let mut cycles = Vec::with_capacity(cycles_json.len());
+    for c in cycles_json {
+        let length = c.get("length").and_then(Json::as_u64).ok_or("missing length")?;
+        let offset = c.get("offset").and_then(Json::as_u64).ok_or("missing offset")?;
+        let length = u32::try_from(length).map_err(|_| "length out of range")?;
+        let offset = u32::try_from(offset).map_err(|_| "offset out of range")?;
+        cycles.push(Cycle::new(length, offset).ok_or("invalid cycle")?);
+    }
+    Ok(CyclicRule { rule, cycles })
+}
+
+fn parse_ids(value: Option<&Json>) -> Result<ItemSet, String> {
+    let items = value.and_then(Json::as_array).ok_or("missing item id array")?;
+    let mut ids = Vec::with_capacity(items.len());
+    for item in items {
+        let id = item
+            .as_u64()
+            .and_then(|id| u32::try_from(id).ok())
+            .ok_or("invalid item id")?;
+        ids.push(id);
+    }
+    Ok(ItemSet::from_ids(ids))
+}
+
+/// Merges several shard rule views into one, re-minimalizing cycle
+/// lists for rules reported by more than one shard and sorting the
+/// result in the single-node reporting order (the derived
+/// [`CyclicRule`] ordering every worker sorts by).
+///
+/// A rule whose merged cycle list collapses to empty is dropped — it
+/// cannot happen from well-formed worker views (workers never report a
+/// rule without cycles), but a merge must not invent one.
+pub fn merge_rule_views<I>(views: I) -> Vec<CyclicRule>
+where
+    I: IntoIterator<Item = Vec<CyclicRule>>,
+{
+    let mut by_rule: BTreeMap<Rule, Vec<Vec<Cycle>>> = BTreeMap::new();
+    for view in views {
+        for cr in view {
+            by_rule.entry(cr.rule).or_default().push(cr.cycles);
+        }
+    }
+    let mut merged: Vec<CyclicRule> = by_rule
+        .into_iter()
+        .filter_map(|(rule, lists)| {
+            let cycles = merge_minimal_cycle_lists(lists.iter().map(Vec::as_slice));
+            (!cycles.is_empty()).then_some(CyclicRule { rule, cycles })
+        })
+        .collect();
+    merged.sort();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(a: &[u32], c: &[u32], cycles: &[(u32, u32)]) -> CyclicRule {
+        CyclicRule {
+            rule: Rule::new(
+                ItemSet::from_ids(a.iter().copied()),
+                ItemSet::from_ids(c.iter().copied()),
+            )
+            .unwrap(),
+            cycles: cycles.iter().map(|&(l, o)| Cycle::make(l, o)).collect(),
+        }
+    }
+
+    #[test]
+    fn disjoint_views_concatenate_in_sorted_order() {
+        let a = vec![rule(&[5], &[6], &[(2, 0)])];
+        let b = vec![rule(&[1], &[2], &[(3, 1)])];
+        let merged = merge_rule_views([a.clone(), b.clone()]);
+        assert_eq!(merged.len(), 2);
+        let mut expected = [b, a].concat();
+        expected.sort();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn same_rule_across_shards_merges_cycles_minimally() {
+        let a = vec![rule(&[1], &[2], &[(4, 1)])];
+        let b = vec![rule(&[1], &[2], &[(2, 1), (3, 0)])];
+        let merged = merge_rule_views([a, b]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].cycles, vec![Cycle::make(2, 1), Cycle::make(3, 0)]);
+    }
+
+    #[test]
+    fn rules_body_round_trips_through_parse() {
+        // Render through the worker serializer, parse back, compare.
+        let original = vec![rule(&[1, 3], &[2], &[(2, 0), (3, 1)])];
+        let rendered: Vec<Json> = original
+            .iter()
+            .filter_map(|r| car_serve::routes::rule_to_json(r, None, None))
+            .collect();
+        let body = car_serve::json::object([
+            ("units_retained", Json::from(4u64)),
+            ("window", Json::from(8u64)),
+            ("count", Json::from(rendered.len())),
+            ("rules", Json::Array(rendered)),
+        ])
+        .render();
+        let view = parse_rules_body(&body).unwrap();
+        assert_eq!(view.units_retained, 4);
+        assert_eq!(view.window, 8);
+        assert_eq!(view.rules, original);
+    }
+
+    #[test]
+    fn malformed_bodies_are_errors_not_empty_views() {
+        assert!(parse_rules_body("not json").is_err());
+        assert!(parse_rules_body("{}").is_err());
+        assert!(parse_rules_body(
+            r#"{"units_retained":1,"window":2,"rules":[{"antecedent":[],"consequent":[1],"cycles":[]}]}"#
+        )
+        .is_err());
+        assert!(parse_rules_body(
+            r#"{"units_retained":1,"window":2,"rules":[{"antecedent":[1],"consequent":[2],"cycles":[{"length":0,"offset":0}]}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_views_merge_to_empty() {
+        assert!(merge_rule_views([Vec::new(), Vec::new()]).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Item-space partitioning: rendezvous (highest-random-weight) hashing
+//! of transactions onto shard workers.
+//!
+//! Every transaction is assigned to exactly one shard by hashing a
+//! single *partition key* item ([`PartitionKey`]) against each shard id
+//! and picking the highest weight. Rendezvous hashing was chosen over a
+//! ring of virtual nodes because the shard count is small and static
+//! per cluster run: it needs no ring state, gives perfectly
+//! deterministic placement (the proptest oracle recomputes it
+//! independently), and keeps the minimal-disruption property if a
+//! resize is ever implemented.
+//!
+//! [`ShardRing::split_unit`] preserves the unit structure: every shard
+//! receives a (possibly empty) sub-unit for *every* routed unit, so
+//! unit indices — and therefore cycle offsets — stay aligned across the
+//! cluster. An empty sub-unit is the mechanism that keeps a shard's
+//! clock ticking even when no transaction hashed to it.
+
+use car_itemset::ItemSet;
+
+/// Which item of a transaction selects the shard it is routed to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionKey {
+    /// The smallest item id in the transaction (the default). Under the
+    /// partition-pure client contract — all items of a transaction drawn
+    /// from one shard's item pool — any item of the transaction selects
+    /// the same shard, so the choice is arbitrary but must be fixed.
+    #[default]
+    MinItem,
+    /// The largest item id in the transaction.
+    MaxItem,
+}
+
+impl std::str::FromStr for PartitionKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "min-item" => Ok(PartitionKey::MinItem),
+            "max-item" => Ok(PartitionKey::MaxItem),
+            other => Err(format!("unknown partition key `{other}` (min-item|max-item)")),
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PartitionKey::MinItem => "min-item",
+            PartitionKey::MaxItem => "max-item",
+        })
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fixed set of `count` shards with rendezvous-hash placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRing {
+    count: u32,
+}
+
+impl ShardRing {
+    /// Creates a ring over `count` shards; `None` when `count == 0`.
+    pub fn new(count: u32) -> Option<ShardRing> {
+        (count > 0).then_some(ShardRing { count })
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The shard owning `key`: the shard id whose mixed weight
+    /// `mix(key ⊕ mix(shard))` is highest (ties broken toward the lower
+    /// id, though the mixer makes them vanishingly rare).
+    pub fn owner_of_key(&self, key: u64) -> u32 {
+        let mut best = 0u32;
+        let mut best_weight = 0u64;
+        for shard in 0..self.count {
+            let weight = mix(key ^ mix(u64::from(shard) | 1 << 32));
+            if shard == 0 || weight > best_weight {
+                best = shard;
+                best_weight = weight;
+            }
+        }
+        best
+    }
+
+    /// The shard owning a transaction, keyed by `key`. Empty
+    /// transactions carry no item to hash and go to shard 0; they hold
+    /// no itemset, so placement cannot affect any rule's counts.
+    pub fn owner_of(&self, tx: &ItemSet, key: PartitionKey) -> u32 {
+        let ids = tx.iter().map(|item| item.id());
+        let keyed = match key {
+            PartitionKey::MinItem => ids.min(),
+            PartitionKey::MaxItem => ids.max(),
+        };
+        match keyed {
+            Some(id) => self.owner_of_key(u64::from(id)),
+            None => 0,
+        }
+    }
+
+    /// Splits one time unit into `count` aligned sub-units: sub-unit
+    /// `i` holds exactly the transactions owned by shard `i`, and every
+    /// shard gets an entry (possibly empty) so unit indices advance in
+    /// lockstep across the cluster.
+    pub fn split_unit(&self, unit: &[ItemSet], key: PartitionKey) -> Vec<Vec<ItemSet>> {
+        let mut out: Vec<Vec<ItemSet>> = (0..self.count).map(|_| Vec::new()).collect();
+        for tx in unit {
+            let owner = self.owner_of(tx, key) as usize;
+            if let Some(sub) = out.get_mut(owner) {
+                sub.push(tx.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(ShardRing::new(0).is_none());
+        assert!(ShardRing::new(1).is_some());
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        let ring = ShardRing::new(5).unwrap();
+        for key in 0..2_000u64 {
+            let a = ring.owner_of_key(key);
+            assert!(a < 5);
+            assert_eq!(a, ring.owner_of_key(key), "placement must be stable");
+        }
+    }
+
+    #[test]
+    fn placement_spreads_keys_across_shards() {
+        let ring = ShardRing::new(4).unwrap();
+        let mut counts = [0usize; 4];
+        for key in 0..4_000u64 {
+            counts[ring.owner_of_key(key) as usize] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            // Perfect balance would be 1000; demand a loose band.
+            assert!((700..1300).contains(&n), "shard {shard} got {n} of 4000 keys");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ShardRing::new(1).unwrap();
+        for key in 0..100 {
+            assert_eq!(ring.owner_of_key(key), 0);
+        }
+    }
+
+    #[test]
+    fn min_and_max_item_keys_differ_when_items_span_shards() {
+        let ring = ShardRing::new(3).unwrap();
+        // Find an itemset whose min and max items land on different shards.
+        let mut found = false;
+        for a in 0..50u32 {
+            for b in (a + 1)..50u32 {
+                if ring.owner_of_key(u64::from(a)) != ring.owner_of_key(u64::from(b)) {
+                    let tx = ItemSet::from_ids([a, b]);
+                    assert_eq!(
+                        ring.owner_of(&tx, PartitionKey::MinItem),
+                        ring.owner_of_key(u64::from(a))
+                    );
+                    assert_eq!(
+                        ring.owner_of(&tx, PartitionKey::MaxItem),
+                        ring.owner_of_key(u64::from(b))
+                    );
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "3 shards must split 50 items somewhere");
+    }
+
+    #[test]
+    fn split_preserves_every_transaction_exactly_once() {
+        let ring = ShardRing::new(3).unwrap();
+        let unit: Vec<ItemSet> = (0..30u32)
+            .map(|i| ItemSet::from_ids([i, i + 1, i + 2]))
+            .chain([ItemSet::from_ids::<[u32; 0]>([])])
+            .collect();
+        let splits = ring.split_unit(&unit, PartitionKey::MinItem);
+        assert_eq!(splits.len(), 3);
+        let total: usize = splits.iter().map(Vec::len).sum();
+        assert_eq!(total, unit.len());
+        // Every transaction appears in its owner's sub-unit.
+        for tx in &unit {
+            let owner = ring.owner_of(tx, PartitionKey::MinItem) as usize;
+            assert!(splits[owner].contains(tx));
+        }
+        // The empty transaction went to shard 0.
+        assert!(splits[0].iter().any(|tx| tx.is_empty()));
+    }
+
+    #[test]
+    fn split_emits_empty_subunits_to_keep_indices_aligned() {
+        let ring = ShardRing::new(4).unwrap();
+        // A unit whose single transaction lands on exactly one shard:
+        // the other three shards still receive (empty) sub-units.
+        let unit = vec![ItemSet::from_ids([7u32])];
+        let splits = ring.split_unit(&unit, PartitionKey::MinItem);
+        assert_eq!(splits.len(), 4);
+        assert_eq!(splits.iter().filter(|s| !s.is_empty()).count(), 1);
+    }
+}

@@ -1,0 +1,1005 @@
+//! The shard router: a standalone HTTP daemon that fronts a cluster of
+//! `car-serve` workers.
+//!
+//! * `POST /v1/units` — parses the ingest body once, splits every unit
+//!   into per-shard sub-units ([`crate::ring::ShardRing::split_unit`]),
+//!   and forwards each worker its sub-batch in parallel. Every routed
+//!   unit is also appended to a bounded replay ring so a worker that
+//!   misses units can be caught up exactly.
+//! * `GET /v1/rules` — fans the query out to all live workers in
+//!   parallel, merges their rule views ([`crate::merge`]), re-filters
+//!   cycles at the router, and renders the merged rules through the
+//!   worker serializer. Down shards are excluded; degraded responses
+//!   carry `partial=true` and an `X-Car-Shards-Degraded` header.
+//! * `GET /v1/health`, `GET /metrics`, `POST /v1/shutdown` — router
+//!   health, Prometheus metrics (`car_shard_*`), graceful shutdown.
+//!
+//! ## Worker lifecycle
+//!
+//! A worker is `Up` (receives ingest and queries), `Down` (excluded;
+//! probed for recovery), or `Stale` (fell further behind than the
+//! replay ring remembers — terminally excluded until the operator
+//! resets it). Any failed send marks the worker `Down`. A background
+//! prober re-checks `Down` workers every probe interval; when one
+//! answers healthy again, the router computes exactly how many units it
+//! missed from its accepted-unit count (`total_pushed + queue_depth`,
+//! baselined at first contact), replays precisely those sub-units from
+//! the ring with `?wait=true`, and only then re-admits it. Unit indices
+//! therefore stay aligned across the cluster even through a worker
+//! crash and restart (WAL recovery restores the acknowledged prefix;
+//! the router replays the rest).
+//!
+//! ## Lock order
+//!
+//! `ingest` (the routing/replay state) is acquired before any
+//! `workers[i]` mutex; a thread never holds two worker mutexes. The
+//! rules fan-out takes worker mutexes only.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use car_itemset::ItemSet;
+use car_obs::counters::SHARD;
+use car_serve::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
+use car_serve::json::{object, Json};
+use car_serve::metrics::{Metrics, Route};
+use car_serve::sync::{log_warn, LockExt};
+use car_serve::{RetryPolicy, RetryingClient};
+
+use crate::ring::{PartitionKey, ShardRing};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Requests served per connection before forcing a close.
+const MAX_REQUESTS_PER_CONNECTION: usize = 10_000;
+
+/// Router startup/runtime errors.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Invalid router configuration.
+    Config(String),
+    /// Socket or thread-spawn failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Config(msg) => write!(f, "configuration error: {msg}"),
+            RouterError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Everything needed to boot a router.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker addresses; index in this list is the worker's shard id.
+    pub workers: Vec<String>,
+    /// Threads serving router connections.
+    pub threads: usize,
+    /// Which transaction item selects the owning shard.
+    pub key: PartitionKey,
+    /// Retry policy for data-path requests to workers (per-request
+    /// timeout plus exponential backoff with jitter on failures).
+    pub retry: RetryPolicy,
+    /// How often the prober re-checks worker health.
+    pub probe_interval: Duration,
+    /// Full units kept for catch-up replay; a worker that falls further
+    /// behind than this is marked stale and stays excluded.
+    pub replay_capacity: usize,
+    /// Propagate `POST /v1/shutdown` to workers when the router stops
+    /// (spawn mode owns its workers; attach mode leaves them running).
+    pub shutdown_workers: bool,
+    /// Per-connection socket read/write timeout on the router side.
+    pub io_timeout: Duration,
+    /// Maximum accepted request body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:7979".into(),
+            workers: Vec::new(),
+            threads: 4,
+            key: PartitionKey::MinItem,
+            retry: RetryPolicy { max_retries: 2, timeout: Duration::from_secs(2) },
+            probe_interval: Duration::from_millis(250),
+            replay_capacity: 512,
+            shutdown_workers: false,
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// A worker's admission state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Healthy: receives ingest and rule queries.
+    Up,
+    /// Unreachable or failing: excluded, probed for recovery.
+    Down,
+    /// Fell behind the replay ring; cannot be caught up exactly, so it
+    /// stays excluded (restart the cluster or the worker's data dir).
+    Stale,
+}
+
+impl WorkerState {
+    fn label(self) -> &'static str {
+        match self {
+            WorkerState::Up => "up",
+            WorkerState::Down => "down",
+            WorkerState::Stale => "stale",
+        }
+    }
+}
+
+struct Worker {
+    shard_id: u32,
+    addr: String,
+    client: RetryingClient,
+    state: WorkerState,
+    /// The worker's accepted-unit count at first contact; units routed
+    /// by this router are measured relative to it, so a worker with
+    /// pre-existing history (recovered WAL) accounts correctly.
+    baseline: Option<u64>,
+}
+
+impl Worker {
+    /// Marks the worker down after a failed exchange (idempotent;
+    /// `Stale` is terminal and never demoted to plain `Down`).
+    fn mark_down(&mut self) {
+        if self.state == WorkerState::Up {
+            self.state = WorkerState::Down;
+            SHARD.add_down_transition();
+            car_obs::warn!(
+                "shard",
+                [shard = self.shard_id, addr = self.addr.as_str()],
+                "worker marked down"
+            );
+        }
+    }
+}
+
+/// A worker's parsed health answer, reduced to what the router needs.
+struct HealthView {
+    ready: bool,
+    /// Units the worker has accepted responsibility for: applied
+    /// (`total_pushed`) plus queued (`queue_depth`).
+    accepted: u64,
+}
+
+fn probe_health(client: &mut RetryingClient) -> Option<HealthView> {
+    let resp = client.request_once("GET", "/v1/health", None)?;
+    if resp.status != 200 {
+        return None;
+    }
+    let doc = Json::parse(&resp.body_text()).ok()?;
+    let ready = doc.get("ready").and_then(Json::as_bool)?;
+    let total = doc.get("total_pushed").and_then(Json::as_u64)?;
+    let depth = doc.get("queue_depth").and_then(Json::as_u64)?;
+    Some(HealthView { ready, accepted: total.saturating_add(depth) })
+}
+
+/// Routing state shared by ingest and the prober; guarded by one mutex
+/// so catch-up replay and new ingest serialize.
+struct IngestState {
+    units_routed: u64,
+    replay: VecDeque<Vec<ItemSet>>,
+}
+
+/// Everything the router's request handlers share.
+pub struct RouterState {
+    config: RouterConfig,
+    ring: ShardRing,
+    workers: Vec<Mutex<Worker>>,
+    ingest: Mutex<IngestState>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// Outcome of routing one ingest batch.
+struct RouteOutcome {
+    applied: bool,
+    units_routed: u64,
+    /// Post-send state per worker, in shard order.
+    shards: Vec<(u32, WorkerState)>,
+}
+
+impl RouteOutcome {
+    fn degraded(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .filter(|(_, s)| *s != WorkerState::Up)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    fn live(&self) -> usize {
+        self.shards.iter().filter(|(_, s)| *s == WorkerState::Up).count()
+    }
+}
+
+/// One fan-out leg's disposition.
+enum Leg {
+    Ok(crate::merge::ShardView),
+    Skipped(u32),
+    Failed(u32),
+    Warming,
+    BadRequest(Response),
+}
+
+fn units_to_body(units: &[Vec<ItemSet>]) -> Vec<u8> {
+    let batch: Vec<Json> = units
+        .iter()
+        .map(|unit| {
+            let txs: Vec<Json> = unit
+                .iter()
+                .map(|tx| {
+                    Json::Array(tx.iter().map(|item| Json::from(item.id())).collect())
+                })
+                .collect();
+            object([("transactions", Json::Array(txs))])
+        })
+        .collect();
+    Json::Array(batch).render().into_bytes()
+}
+
+impl RouterState {
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begins shutdown (idempotent).
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Worker states in shard order (brief per-worker locks).
+    fn worker_states(&self) -> Vec<(u32, WorkerState)> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let w = w.lock_or_recover();
+                (w.shard_id, w.state)
+            })
+            .collect()
+    }
+
+    /// Routes a batch of full units: records them for replay, then
+    /// sends each live worker its aligned sub-batch in parallel.
+    fn route_units(&self, units: Vec<Vec<ItemSet>>, wait: bool) -> RouteOutcome {
+        let n = units.len();
+        let count = self.ring.count() as usize;
+        let mut ingest = self.ingest.lock_or_recover();
+
+        // splits[shard] = this batch's sub-units for that shard.
+        let mut splits: Vec<Vec<Vec<ItemSet>>> =
+            (0..count).map(|_| Vec::with_capacity(n)).collect();
+        for unit in &units {
+            for (sub, per_shard) in
+                self.ring.split_unit(unit, self.config.key).into_iter().zip(&mut splits)
+            {
+                per_shard.push(sub);
+            }
+        }
+        for unit in units {
+            if ingest.replay.len() >= self.config.replay_capacity {
+                ingest.replay.pop_front();
+            }
+            ingest.replay.push_back(unit);
+        }
+        ingest.units_routed = ingest.units_routed.saturating_add(n as u64);
+        SHARD.add_units_routed(n as u64);
+        let units_routed = ingest.units_routed;
+
+        let target = if wait { "/v1/units?wait=true" } else { "/v1/units" };
+        let sends: Vec<(u32, WorkerState, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter()
+                .zip(splits)
+                .map(|(worker, sub_batch)| {
+                    scope.spawn(move || {
+                        let mut w = worker.lock_or_recover();
+                        if w.state != WorkerState::Up {
+                            return (w.shard_id, w.state, false);
+                        }
+                        let body = units_to_body(&sub_batch);
+                        let applied = match w.client.request("POST", target, Some(&body))
+                        {
+                            Some(resp) if resp.status == 200 || resp.status == 202 => {
+                                match batch_fully_accepted(&resp.body, n) {
+                                    Some(applied) => applied,
+                                    None => {
+                                        w.mark_down();
+                                        false
+                                    }
+                                }
+                            }
+                            _ => {
+                                w.mark_down();
+                                false
+                            }
+                        };
+                        (w.shard_id, w.state, applied)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(send) => send,
+                    Err(_) => {
+                        log_warn("shard send thread panicked");
+                        (u32::MAX, WorkerState::Down, false)
+                    }
+                })
+                .collect()
+        });
+        drop(ingest);
+
+        let applied = wait
+            && sends.iter().any(|(_, s, _)| *s == WorkerState::Up)
+            && sends.iter().all(|(_, s, applied)| *s != WorkerState::Up || *applied);
+        RouteOutcome {
+            applied,
+            units_routed,
+            shards: sends.iter().map(|&(id, s, _)| (id, s)).collect(),
+        }
+    }
+
+    /// Attempts to re-admit worker `i`: verifies it is healthy, computes
+    /// exactly how many routed units it has not accepted, replays those
+    /// sub-units from the ring, and marks it `Up`. Holding the ingest
+    /// lock throughout keeps new units from racing past the replay.
+    fn try_readmit(&self, i: usize) {
+        let Some(worker) = self.workers.get(i) else { return };
+        let ingest = self.ingest.lock_or_recover();
+        let mut w = worker.lock_or_recover();
+        if w.state != WorkerState::Down {
+            return;
+        }
+        let Some(health) = probe_health(&mut w.client) else { return };
+        if !health.ready {
+            return;
+        }
+        let baseline = *w.baseline.get_or_insert(health.accepted);
+        let caught_up = health.accepted.saturating_sub(baseline);
+        let behind = ingest.units_routed.saturating_sub(caught_up);
+        if behind > ingest.replay.len() as u64 {
+            w.state = WorkerState::Stale;
+            car_obs::error!(
+                "shard",
+                [shard = w.shard_id, behind = behind, ring = ingest.replay.len()],
+                "worker is behind the replay ring; marking stale (cannot catch up)"
+            );
+            return;
+        }
+        if behind > 0 {
+            let skip = ingest.replay.len().saturating_sub(behind as usize);
+            let sub_units: Vec<Vec<ItemSet>> = ingest
+                .replay
+                .iter()
+                .skip(skip)
+                .filter_map(|unit| {
+                    self.ring.split_unit(unit, self.config.key).into_iter().nth(i)
+                })
+                .collect();
+            let body = units_to_body(&sub_units);
+            let ok = match w.client.request("POST", "/v1/units?wait=true", Some(&body)) {
+                Some(resp) if resp.status == 200 || resp.status == 202 => {
+                    batch_fully_accepted(&resp.body, sub_units.len()).is_some()
+                }
+                _ => false,
+            };
+            if !ok {
+                // Still flaky; stay down, the prober will try again.
+                return;
+            }
+        }
+        w.state = WorkerState::Up;
+        SHARD.add_readmission();
+        SHARD.add_catchup_units(behind);
+        car_obs::info!(
+            "shard",
+            [shard = w.shard_id, replayed = behind],
+            "worker re-admitted after catch-up"
+        );
+    }
+
+    /// One prober pass: verify `Up` workers, try to re-admit `Down`
+    /// ones.
+    fn probe_once(&self) {
+        for (i, worker) in self.workers.iter().enumerate() {
+            let state = {
+                let w = worker.lock_or_recover();
+                w.state
+            };
+            match state {
+                WorkerState::Up => {
+                    let mut w = worker.lock_or_recover();
+                    if w.state != WorkerState::Up {
+                        continue;
+                    }
+                    match probe_health(&mut w.client) {
+                        Some(h) if h.ready => {}
+                        _ => w.mark_down(),
+                    }
+                }
+                WorkerState::Down => self.try_readmit(i),
+                WorkerState::Stale => {}
+            }
+        }
+    }
+}
+
+/// Parses a worker's batch-ingest response and confirms every unit was
+/// accepted; returns the response's `applied` flag, or `None` when the
+/// worker rejected any unit (it must then be caught up via replay).
+fn batch_fully_accepted(body: &[u8], expected: usize) -> Option<bool> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    let accepted = doc.get("accepted").and_then(Json::as_u64)?;
+    if accepted != expected as u64 {
+        return None;
+    }
+    Some(doc.get("applied").and_then(Json::as_bool).unwrap_or(false))
+}
+
+// ---------------------------------------------------------------------------
+// Request handlers
+// ---------------------------------------------------------------------------
+
+/// Dispatches one router request.
+pub fn handle(state: &Arc<RouterState>, req: &http::Request) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/units") => (Route::IngestUnits, ingest(state, req)),
+        ("GET", "/v1/rules") => (Route::Rules, rules(state, req)),
+        ("GET", "/v1/health") => (Route::Health, health(state)),
+        ("GET", "/metrics") => (Route::Metrics, metrics(state)),
+        ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
+        (_, "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown") => {
+            (Route::Other, Response::error(405, "method not allowed"))
+        }
+        _ => (Route::Other, Response::error(404, "no such endpoint")),
+    }
+}
+
+/// Adds the degraded marker header and counts the partial response.
+fn degrade(resp: Response, degraded: &[u32]) -> Response {
+    if degraded.is_empty() {
+        return resp;
+    }
+    SHARD.add_partial_response();
+    resp.with_header("X-Car-Shards-Degraded", degraded.len().to_string())
+}
+
+fn shard_state_json(shards: &[(u32, WorkerState)]) -> Json {
+    Json::Array(
+        shards
+            .iter()
+            .map(|&(id, s)| {
+                object([
+                    ("shard_id", Json::from(u64::from(id))),
+                    ("state", Json::from(s.label())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn ingest(state: &Arc<RouterState>, req: &http::Request) -> Response {
+    if state.is_shutting_down() {
+        return Response::error(503, "router is shutting down");
+    }
+    let (units, _) = match car_serve::routes::parse_units_body(&req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if units.is_empty() {
+        return Response::error(400, "empty unit batch");
+    }
+    let n = units.len();
+    let wait = matches!(req.query_param("wait"), Some("true" | "1"));
+    let outcome = state.route_units(units, wait);
+    let degraded = outcome.degraded();
+    if outcome.live() == 0 {
+        let resp =
+            Response::error(503, "no live shard workers; units buffered for replay");
+        return degrade(resp, &degraded);
+    }
+    let status = if wait && outcome.applied { 200 } else { 202 };
+    let body = object([
+        ("accepted", Json::from(n)),
+        ("applied", Json::from(outcome.applied)),
+        ("partial", Json::from(!degraded.is_empty())),
+        ("units_routed", Json::from(outcome.units_routed)),
+        ("shards", shard_state_json(&outcome.shards)),
+    ]);
+    degrade(Response::json(status, &body), &degraded)
+}
+
+/// Re-encodes the query string for worker fan-out (parameters arrive
+/// decoded; the grammar — numbers and simple flags — needs no escaping).
+fn worker_rules_target(req: &http::Request) -> String {
+    let mut target = String::from("/v1/rules");
+    for (i, (name, value)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(name);
+        target.push('=');
+        target.push_str(value);
+    }
+    target
+}
+
+fn parse_u32_param(req: &http::Request, name: &str) -> Result<Option<u32>, Response> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u32>().map(Some).map_err(|_| {
+            Response::error(400, &format!("invalid {name} `{raw}` (need a u32)"))
+        }),
+    }
+}
+
+fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
+    let length = match parse_u32_param(req, "length") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let offset = match parse_u32_param(req, "offset") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let target = worker_rules_target(req);
+
+    let legs: Vec<Leg> = std::thread::scope(|scope| {
+        let handles: Vec<_> = state
+            .workers
+            .iter()
+            .map(|worker| {
+                let target = target.as_str();
+                scope.spawn(move || {
+                    let mut w = worker.lock_or_recover();
+                    if w.state != WorkerState::Up {
+                        return Leg::Skipped(w.shard_id);
+                    }
+                    SHARD.add_fanout_legs(1);
+                    match w.client.request("GET", target, None) {
+                        Some(resp) if resp.status == 200 => {
+                            match crate::merge::parse_rules_body(&resp.body_text()) {
+                                Ok(view) => Leg::Ok(view),
+                                Err(msg) => {
+                                    SHARD.add_fanout_failures(1);
+                                    car_obs::warn!(
+                                        "shard",
+                                        [shard = w.shard_id],
+                                        "unparsable rules body: {msg}"
+                                    );
+                                    Leg::Failed(w.shard_id)
+                                }
+                            }
+                        }
+                        Some(resp) if resp.status == 409 => Leg::Warming,
+                        Some(resp) if resp.status == 400 => {
+                            Leg::BadRequest(Response::error(400, &resp.body_text()))
+                        }
+                        Some(_) => {
+                            SHARD.add_fanout_failures(1);
+                            w.mark_down();
+                            Leg::Failed(w.shard_id)
+                        }
+                        None => {
+                            SHARD.add_fanout_failures(1);
+                            w.mark_down();
+                            Leg::Failed(w.shard_id)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(leg) => leg,
+                Err(_) => {
+                    log_warn("shard fan-out thread panicked");
+                    Leg::Failed(u32::MAX)
+                }
+            })
+            .collect()
+    });
+
+    let mut views = Vec::new();
+    let mut degraded = Vec::new();
+    let mut warming = false;
+    for leg in legs {
+        match leg {
+            Leg::Ok(view) => views.push(view),
+            Leg::Skipped(id) | Leg::Failed(id) => degraded.push(id),
+            Leg::Warming => warming = true,
+            // A worker rejected the parameters; every worker shares the
+            // configuration, so forward its answer as ours.
+            Leg::BadRequest(resp) => return resp,
+        }
+    }
+    degraded.sort_unstable();
+    if warming {
+        return degrade(
+            Response::error(409, "the window holds fewer units than l_max"),
+            &degraded,
+        );
+    }
+    if views.is_empty() {
+        return degrade(Response::error(503, "no live shard workers"), &degraded);
+    }
+
+    let units_retained = views.iter().map(|v| v.units_retained).max().unwrap_or(0);
+    let window = views.iter().map(|v| v.window).max().unwrap_or(0);
+    let merged = crate::merge::merge_rule_views(views.into_iter().map(|v| v.rules));
+    let rendered: Vec<Json> = merged
+        .iter()
+        .filter_map(|r| car_serve::routes::rule_to_json(r, length, offset))
+        .collect();
+    let body = object([
+        ("units_retained", Json::from(units_retained)),
+        ("window", Json::from(window)),
+        ("count", Json::from(rendered.len())),
+        ("partial", Json::from(!degraded.is_empty())),
+        (
+            "degraded",
+            Json::Array(degraded.iter().map(|&id| Json::from(u64::from(id))).collect()),
+        ),
+        ("rules", Json::Array(rendered)),
+    ]);
+    degrade(Response::json(200, &body), &degraded)
+}
+
+fn health(state: &Arc<RouterState>) -> Response {
+    let shards = state.worker_states();
+    let degraded = shards.iter().filter(|(_, s)| *s != WorkerState::Up).count();
+    let units_routed = state.ingest.lock_or_recover().units_routed;
+    let status = if state.is_shutting_down() { "shutting_down" } else { "ok" };
+    Response::json(
+        200,
+        &object([
+            ("status", Json::from(status)),
+            ("ready", Json::from(!state.is_shutting_down())),
+            ("role", Json::from("router")),
+            ("shard_count", Json::from(u64::from(state.ring.count()))),
+            ("degraded_shards", Json::from(degraded)),
+            ("units_routed", Json::from(units_routed)),
+            ("workers", shard_state_json(&shards)),
+        ]),
+    )
+}
+
+fn metrics(state: &Arc<RouterState>) -> Response {
+    let shards = state.worker_states();
+    let count_state =
+        |s: WorkerState| shards.iter().filter(|(_, w)| *w == s).count() as f64;
+    let replay_buffered = state.ingest.lock_or_recover().replay.len() as f64;
+    let mut text = state.metrics.render_prometheus(&[
+        ("car_shard_workers_up", "Shard workers currently admitted.", {
+            count_state(WorkerState::Up)
+        }),
+        ("car_shard_workers_down", "Shard workers currently excluded.", {
+            count_state(WorkerState::Down)
+        }),
+        (
+            "car_shard_workers_stale",
+            "Shard workers terminally behind the replay ring.",
+            count_state(WorkerState::Stale),
+        ),
+        (
+            "car_shard_replay_buffered_units",
+            "Full units retained for catch-up replay.",
+            replay_buffered,
+        ),
+    ]);
+    let snap = SHARD.snapshot();
+    for (name, help, value) in [
+        (
+            "car_shard_fanout_total",
+            "Rule-query legs fanned out to live shard workers.",
+            snap.fanout_legs,
+        ),
+        (
+            "car_shard_fanout_failures_total",
+            "Fan-out legs that failed or returned an unusable body.",
+            snap.fanout_failures,
+        ),
+        (
+            "car_shard_down_total",
+            "Transitions of a worker into the down state.",
+            snap.down_transitions,
+        ),
+        (
+            "car_shard_readmissions_total",
+            "Workers re-admitted after catch-up replay.",
+            snap.readmissions,
+        ),
+        (
+            "car_shard_catchup_units_total",
+            "Units replayed to re-admitted workers.",
+            snap.catchup_units,
+        ),
+        (
+            "car_shard_units_routed_total",
+            "Full units routed across the cluster.",
+            snap.units_routed,
+        ),
+        (
+            "car_shard_partial_responses_total",
+            "Responses served with one or more shards excluded.",
+            snap.partial_responses,
+        ),
+    ] {
+        text.push_str("# HELP ");
+        text.push_str(name);
+        text.push(' ');
+        text.push_str(help);
+        text.push_str("\n# TYPE ");
+        text.push_str(name);
+        text.push_str(" counter\n");
+        text.push_str(name);
+        text.push(' ');
+        text.push_str(&value.to_string());
+        text.push('\n');
+    }
+    Response::text(200, text)
+}
+
+fn shutdown(state: &Arc<RouterState>) -> Response {
+    state.begin_shutdown();
+    Response::json(200, &object([("status", Json::from("shutting_down"))])).with_close()
+}
+
+// ---------------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------------
+
+/// Final statistics reported when the router exits.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RouterStats {
+    /// HTTP requests served by the router.
+    pub requests: u64,
+    /// Full units routed across the cluster.
+    pub units_routed: u64,
+    /// Seconds the router ran.
+    pub uptime: Duration,
+}
+
+/// A running router.
+pub struct RouterHandle {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    state: Arc<RouterState>,
+    accept_thread: JoinHandle<()>,
+    prober_thread: JoinHandle<()>,
+    started: Instant,
+}
+
+impl RouterHandle {
+    /// The shared state (tests and embedding callers).
+    pub fn state(&self) -> &Arc<RouterState> {
+        &self.state
+    }
+
+    /// Asks the router to shut down gracefully (idempotent).
+    pub fn trigger_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Blocks until the router has exited; optionally shuts workers
+    /// down too (`RouterConfig::shutdown_workers`).
+    pub fn wait(self) -> RouterStats {
+        if self.accept_thread.join().is_err() {
+            log_warn("router accept thread panicked");
+        }
+        if self.prober_thread.join().is_err() {
+            log_warn("router prober thread panicked");
+        }
+        if self.state.config.shutdown_workers {
+            for worker in &self.state.workers {
+                let mut w = worker.lock_or_recover();
+                // audit:allow(a4-discard) reason="best-effort shutdown propagation to a worker that may already be gone; there is nothing useful to do with a failure here"
+                let _ = w.client.request_once("POST", "/v1/shutdown", None);
+            }
+        }
+        RouterStats {
+            requests: self.state.metrics.total_requests(),
+            units_routed: self.state.ingest.lock_or_recover().units_routed,
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+/// Boots the router: binds the listener, contacts every worker once
+/// (workers that do not answer start `Down` and are re-admitted by the
+/// prober), and spawns the accept and prober threads.
+///
+/// # Errors
+///
+/// [`RouterError::Config`] for an empty worker list,
+/// [`RouterError::Io`] when the address cannot be bound or threads
+/// cannot spawn.
+pub fn run_router(config: RouterConfig) -> Result<RouterHandle, RouterError> {
+    car_obs::init_from_env();
+    let worker_count = u32::try_from(config.workers.len())
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| RouterError::Config("at least one worker is required".into()))?;
+    let Some(ring) = ShardRing::new(worker_count) else {
+        return Err(RouterError::Config("at least one worker is required".into()));
+    };
+
+    let workers: Vec<Mutex<Worker>> = config
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let mut client = RetryingClient::new(addr.clone(), config.retry);
+            let (state, baseline) = match probe_health(&mut client) {
+                Some(h) if h.ready => (WorkerState::Up, Some(h.accepted)),
+                _ => {
+                    SHARD.add_down_transition();
+                    (WorkerState::Down, None)
+                }
+            };
+            Mutex::new(Worker {
+                shard_id: i as u32,
+                addr: addr.clone(),
+                client,
+                state,
+                baseline,
+            })
+        })
+        .collect();
+
+    let state = Arc::new(RouterState {
+        ring,
+        workers,
+        ingest: Mutex::new(IngestState {
+            units_routed: 0,
+            replay: VecDeque::with_capacity(config.replay_capacity),
+        }),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let addrs: Vec<SocketAddr> =
+        state.config.addr.to_socket_addrs().map_err(RouterError::Io)?.collect();
+    let listener = TcpListener::bind(&addrs[..]).map_err(RouterError::Io)?;
+    listener.set_nonblocking(true).map_err(RouterError::Io)?;
+    let addr = listener.local_addr().map_err(RouterError::Io)?;
+
+    let pool = car_serve::pool::ThreadPool::new(state.config.threads, "car-shard-worker")
+        .map_err(RouterError::Io)?;
+    let accept_state = Arc::clone(&state);
+    let accept_thread = std::thread::Builder::new()
+        .name("car-shard-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_state, pool))
+        .map_err(RouterError::Io)?;
+
+    let prober_state = Arc::clone(&state);
+    let prober_thread = std::thread::Builder::new()
+        .name("car-shard-probe".into())
+        .spawn(move || prober_loop(&prober_state))
+        .map_err(|e| {
+            // Unwind the accept loop before reporting the failure.
+            state.begin_shutdown();
+            RouterError::Io(e)
+        })?;
+
+    car_obs::info!(
+        "shard",
+        [addr = addr, shards = state.ring.count()],
+        "shard router listening"
+    );
+    Ok(RouterHandle {
+        addr,
+        state,
+        accept_thread,
+        prober_thread,
+        started: Instant::now(),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<RouterState>,
+    pool: car_serve::pool::ThreadPool,
+) {
+    loop {
+        if state.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                pool.execute(move || serve_connection(stream, &state));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    pool.join();
+}
+
+fn prober_loop(state: &Arc<RouterState>) {
+    while !state.is_shutting_down() {
+        // Sleep in short slices so shutdown is prompt.
+        let mut remaining = state.config.probe_interval;
+        while !remaining.is_zero() && !state.is_shutting_down() {
+            let slice = remaining.min(ACCEPT_POLL);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if state.is_shutting_down() {
+            break;
+        }
+        state.probe_once();
+    }
+}
+
+/// Serves one router connection until close, error, limit, or shutdown.
+fn serve_connection(stream: TcpStream, state: &Arc<RouterState>) {
+    let io_timeout = state.config.io_timeout;
+    if stream.set_read_timeout(Some(io_timeout)).is_err()
+        || stream.set_write_timeout(Some(io_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    for _ in 0..MAX_REQUESTS_PER_CONNECTION {
+        let started = Instant::now();
+        let request = match http::read_request(&mut reader, state.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(http::ParseError::ConnectionClosed) => return,
+            Err(e) => {
+                state.metrics.record_parse_error();
+                let (status, _) = e.status();
+                // audit:allow(a4-discard) reason="best-effort courtesy reply on a connection that already failed parsing; the connection closes either way"
+                let _ = Response::error(status, &e.to_string())
+                    .with_close()
+                    .write_to(&mut writer);
+                if !matches!(e, http::ParseError::Timeout) {
+                    state.metrics.record_request(Route::Other, status, started.elapsed());
+                }
+                return;
+            }
+        };
+        let (route, mut response) = handle(state, &request);
+        if request.wants_close() || state.is_shutting_down() {
+            response.close = true;
+        }
+        let close = response.close;
+        let write_result = response.write_to(&mut writer);
+        state.metrics.record_request(route, response.status, started.elapsed());
+        if close || write_result.is_err() {
+            return;
+        }
+    }
+}

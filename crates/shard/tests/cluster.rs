@@ -1,0 +1,299 @@
+//! In-process cluster tests: real workers and a real router on
+//! ephemeral ports, driven over real sockets.
+//!
+//! The load-bearing properties:
+//!
+//! * routing units through the router and querying it returns exactly
+//!   the rules a single node serves for the same units (byte-identical
+//!   `rules` arrays), and
+//! * a worker that dies degrades responses (`partial=true`, the
+//!   `X-Car-Shards-Degraded` header) without losing the other shards,
+//!   and is re-admitted with exact catch-up replay once it is back.
+
+use std::time::{Duration, Instant};
+
+use car_core::MiningConfig;
+use car_itemset::ItemSet;
+use car_serve::json::Json;
+use car_serve::{serve, Client, ServerConfig, ServerHandle, ShardIdentity};
+use car_shard::{run_router, PartitionKey, RouterConfig, RouterHandle, ShardRing};
+
+fn mining_config() -> MiningConfig {
+    MiningConfig::builder()
+        .min_support_count(2)
+        .min_confidence(0.5)
+        .cycle_bounds(2, 4)
+        .build()
+        .unwrap()
+}
+
+fn spawn_worker(addr: &str, shard: Option<ShardIdentity>) -> ServerHandle {
+    serve(ServerConfig {
+        addr: addr.to_string(),
+        threads: 2,
+        window: 16,
+        queue_capacity: 64,
+        mining: mining_config(),
+        io_timeout: Duration::from_secs(5),
+        shard,
+        ..ServerConfig::default()
+    })
+    .expect("worker boots")
+}
+
+fn spawn_cluster(count: u32) -> (Vec<ServerHandle>, RouterHandle) {
+    let workers: Vec<ServerHandle> = (0..count)
+        .map(|i| {
+            spawn_worker(
+                "127.0.0.1:0",
+                Some(ShardIdentity { shard_id: i, shard_count: count }),
+            )
+        })
+        .collect();
+    let router = run_router(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: workers.iter().map(|w| w.addr.to_string()).collect(),
+        probe_interval: Duration::from_millis(100),
+        ..RouterConfig::default()
+    })
+    .expect("router boots");
+    (workers, router)
+}
+
+/// Builds `n` partition-pure units over a `count`-shard ring: each
+/// shard's first two pool items form a planted rule `{a} => {b}` that
+/// holds on alternating units (cycle length 2), plus antecedent-only
+/// noise on the off units.
+fn pure_units(count: u32, n: usize) -> Vec<Vec<ItemSet>> {
+    let ring = ShardRing::new(count).unwrap();
+    let mut pools: Vec<Vec<u32>> = vec![Vec::new(); count as usize];
+    for item in 0..64u32 {
+        pools[ring.owner_of_key(u64::from(item)) as usize].push(item);
+    }
+    for (shard, pool) in pools.iter().enumerate() {
+        assert!(pool.len() >= 2, "shard {shard} needs two pool items in 0..64");
+    }
+    (0..n)
+        .map(|t| {
+            let mut unit = Vec::new();
+            for (shard, pool) in pools.iter().enumerate() {
+                let (a, b) = (pool[0], pool[1]);
+                if (t + shard) % 2 == 0 {
+                    for _ in 0..3 {
+                        unit.push(ItemSet::from_ids([a, b]));
+                    }
+                } else {
+                    for _ in 0..3 {
+                        unit.push(ItemSet::from_ids([a]));
+                    }
+                }
+            }
+            unit
+        })
+        .collect()
+}
+
+/// Renders units as the batch ingest wire format.
+fn batch_body(units: &[Vec<ItemSet>]) -> Vec<u8> {
+    let batch: Vec<Json> = units
+        .iter()
+        .map(|unit| {
+            let txs: Vec<Json> = unit
+                .iter()
+                .map(|tx| {
+                    Json::Array(tx.iter().map(|item| Json::from(item.id())).collect())
+                })
+                .collect();
+            Json::Object(vec![("transactions".to_string(), Json::Array(txs))])
+        })
+        .collect();
+    Json::Array(batch).render().into_bytes()
+}
+
+fn rules_array(body: &str) -> String {
+    let doc = Json::parse(body).expect("rules body parses");
+    doc.get("rules").expect("rules array").render()
+}
+
+#[test]
+fn routed_rules_match_single_node_byte_for_byte() {
+    let units = pure_units(3, 8);
+    let (workers, router) = spawn_cluster(3);
+    let oracle = spawn_worker("127.0.0.1:0", None);
+
+    let body = batch_body(&units);
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+    let resp = rc.request("POST", "/v1/units?wait=true", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(doc.get("applied").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+    assert!(resp.header("x-car-shards-degraded").is_none());
+
+    let mut oc = Client::connect(&oracle.addr.to_string()).unwrap();
+    let resp = oc.request("POST", "/v1/units?wait=true", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+
+    let routed = rc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!(routed.status, 200, "{}", routed.body_text());
+    let single = oc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!(single.status, 200, "{}", single.body_text());
+    let routed_body = routed.body_text();
+    let doc = Json::parse(&routed_body).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+    assert!(!rules_array(&routed_body).contains("[]"), "planted rules must appear");
+    assert_eq!(rules_array(&routed_body), rules_array(&single.body_text()));
+
+    // min_conf escalation fans out too and stays equivalent.
+    let routed = rc.request("GET", "/v1/rules?min_confidence=0.9", None).unwrap();
+    let single = oc.request("GET", "/v1/rules?min_confidence=0.9", None).unwrap();
+    assert_eq!((routed.status, single.status), (200, 200));
+    assert_eq!(rules_array(&routed.body_text()), rules_array(&single.body_text()));
+
+    // Router health and metrics expose the cluster.
+    let health = rc.request("GET", "/v1/health", None).unwrap();
+    let doc = Json::parse(&health.body_text()).unwrap();
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("router"));
+    assert_eq!(doc.get("shard_count").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("degraded_shards").and_then(Json::as_u64), Some(0));
+    let metrics = rc.request("GET", "/metrics", None).unwrap().body_text();
+    assert!(metrics.contains("car_shard_fanout_total"));
+    assert!(metrics.contains("car_shard_down_total"));
+    // The car_shard_* counters are process-global (shared across the
+    // tests in this binary), so assert presence rather than a value.
+    assert!(metrics.contains("car_shard_units_routed_total"));
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    oracle.trigger_shutdown();
+    oracle.wait();
+    for w in workers {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
+#[test]
+fn dead_worker_degrades_then_catchup_readmits() {
+    let units = pure_units(2, 10);
+    let (mut workers, router) = spawn_cluster(2);
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+
+    // Phase 1: all up, route the first six units.
+    let resp = rc
+        .request("POST", "/v1/units?wait=true", Some(&batch_body(&units[..6])))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+
+    // Kill worker 1 (clean exit here; the CLI test covers SIGKILL).
+    let victim = workers.pop().unwrap();
+    let victim_addr = victim.addr;
+    victim.trigger_shutdown();
+    victim.wait();
+
+    // Phase 2: ingest two more units; the router must degrade, not fail.
+    let resp = rc.request("POST", "/v1/units", Some(&batch_body(&units[6..8]))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.header("x-car-shards-degraded"), Some("1"));
+
+    // Queries answer from the surviving shard, marked partial.
+    let resp = rc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        doc.get("degraded").map(Json::render),
+        Some("[1]".to_string()),
+        "shard 1 is the degraded one"
+    );
+    assert_eq!(resp.header("x-car-shards-degraded"), Some("1"));
+
+    // Phase 3: resurrect worker 1 on the same address with an empty
+    // window; the router must replay everything it missed and re-admit.
+    let revived = spawn_worker(
+        &victim_addr.to_string(),
+        Some(ShardIdentity { shard_id: 1, shard_count: 2 }),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = rc.request("GET", "/v1/health", None).unwrap();
+        let doc = Json::parse(&resp.body_text()).unwrap();
+        if doc.get("degraded_shards").and_then(Json::as_u64) == Some(0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker 1 was never re-admitted");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Route the final two units, then check exactness against a single
+    // node that saw all ten — catch-up replay must have restored
+    // alignment.
+    let resp = rc
+        .request("POST", "/v1/units?wait=true", Some(&batch_body(&units[8..])))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+
+    let oracle = spawn_worker("127.0.0.1:0", None);
+    let mut oc = Client::connect(&oracle.addr.to_string()).unwrap();
+    let resp =
+        oc.request("POST", "/v1/units?wait=true", Some(&batch_body(&units))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+
+    let routed = rc.request("GET", "/v1/rules", None).unwrap();
+    let single = oc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!((routed.status, single.status), (200, 200));
+    let routed_body = routed.body_text();
+    let doc = Json::parse(&routed_body).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+    assert_eq!(rules_array(&routed_body), rules_array(&single.body_text()));
+
+    let metrics = rc.request("GET", "/metrics", None).unwrap().body_text();
+    assert!(metrics.contains("car_shard_readmissions_total"));
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    for w in workers.into_iter().chain([revived, oracle]) {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
+#[test]
+fn router_rejects_empty_worker_list_and_bad_bodies() {
+    assert!(run_router(RouterConfig::default()).is_err());
+
+    let (workers, router) = spawn_cluster(1);
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+    let resp = rc.request("POST", "/v1/units", Some(b"not json")).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = rc.request("GET", "/v1/rules?length=banana", None).unwrap();
+    assert_eq!(resp.status, 400);
+    // Querying before l_max units are retained mirrors the worker 409.
+    let resp = rc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.body_text());
+    let resp = rc.request("DELETE", "/v1/rules", None).unwrap();
+    assert_eq!(resp.status, 405);
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    for w in workers {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
+/// The `PartitionKey` re-export is part of the crate's public surface
+/// used by the CLI; keep it honest.
+#[test]
+fn partition_key_parses_both_forms() {
+    assert_eq!("min-item".parse::<PartitionKey>().unwrap(), PartitionKey::MinItem);
+    assert_eq!("max-item".parse::<PartitionKey>().unwrap(), PartitionKey::MaxItem);
+    assert!("ring".parse::<PartitionKey>().is_err());
+}
