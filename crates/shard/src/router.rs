@@ -5,12 +5,18 @@
 //!   into per-shard sub-units ([`crate::ring::ShardRing::split_unit`]),
 //!   and forwards each worker its sub-batch in parallel. Every routed
 //!   unit is also appended to a bounded replay ring so a worker that
-//!   misses units can be caught up exactly.
+//!   misses units can be caught up exactly. A batch is *always*
+//!   answered `2xx` once it is committed to the replay ring — even when
+//!   every worker is down the answer is `202` with `applied=false` and
+//!   `partial=true`, never a retryable `503`, because a client retry
+//!   would buffer (and later replay) the same units twice.
 //! * `GET /v1/rules` — fans the query out to all live workers in
 //!   parallel, merges their rule views ([`crate::merge`]), re-filters
 //!   cycles at the router, and renders the merged rules through the
 //!   worker serializer. Down shards are excluded; degraded responses
-//!   carry `partial=true` and an `X-Car-Shards-Degraded` header.
+//!   carry `partial=true` and an `X-Car-Shards-Degraded` header. Each
+//!   leg's `x-car-epoch` is collected and the merged body surfaces
+//!   `epoch_min`/`epoch_max` so clients can detect cross-shard skew.
 //! * `GET /v1/health`, `GET /metrics`, `POST /v1/shutdown` — router
 //!   health, Prometheus metrics (`car_shard_*`), graceful shutdown.
 //!
@@ -33,12 +39,15 @@
 //!
 //! `ingest` (the routing/replay state) is acquired before any
 //! `workers[i]` mutex; a thread never holds two worker mutexes. The
-//! rules fan-out takes worker mutexes only.
+//! rules fan-out takes worker mutexes only. `/v1/health` and `/metrics`
+//! never take the ingest lock at all — they read lock-free gauge
+//! mirrors — so external monitors stay responsive while a fan-out or a
+//! catch-up replay holds `ingest` through slow network I/O.
 
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -206,6 +215,12 @@ pub struct RouterState {
     ring: ShardRing,
     workers: Vec<Mutex<Worker>>,
     ingest: Mutex<IngestState>,
+    /// Lock-free mirror of `ingest.units_routed`; `route_units` holds
+    /// the ingest lock across worker sends (network I/O), so health and
+    /// metrics read this instead of waiting behind it.
+    units_routed_gauge: AtomicU64,
+    /// Lock-free mirror of `ingest.replay.len()`, same reason.
+    replay_depth_gauge: AtomicU64,
     metrics: Metrics,
     shutdown: AtomicBool,
 }
@@ -226,15 +241,16 @@ impl RouteOutcome {
             .map(|(id, _)| *id)
             .collect()
     }
-
-    fn live(&self) -> usize {
-        self.shards.iter().filter(|(_, s)| *s == WorkerState::Up).count()
-    }
 }
 
 /// One fan-out leg's disposition.
 enum Leg {
-    Ok(crate::merge::ShardView),
+    Ok {
+        view: crate::merge::ShardView,
+        /// The worker's `x-car-epoch` (units applied when the body was
+        /// rendered), used to surface cross-shard skew.
+        epoch: Option<u64>,
+    },
     Skipped(u32),
     Failed(u32),
     Warming,
@@ -304,6 +320,8 @@ impl RouterState {
         ingest.units_routed = ingest.units_routed.saturating_add(n as u64);
         SHARD.add_units_routed(n as u64);
         let units_routed = ingest.units_routed;
+        self.units_routed_gauge.store(units_routed, Ordering::Relaxed);
+        self.replay_depth_gauge.store(ingest.replay.len() as u64, Ordering::Relaxed);
 
         let target = if wait { "/v1/units?wait=true" } else { "/v1/units" };
         let sends: Vec<(u32, WorkerState, bool)> = std::thread::scope(|scope| {
@@ -340,11 +358,12 @@ impl RouterState {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| match h.join() {
+                .enumerate()
+                .map(|(shard_id, h)| match h.join() {
                     Ok(send) => send,
                     Err(_) => {
                         log_warn("shard send thread panicked");
-                        (u32::MAX, WorkerState::Down, false)
+                        (shard_id as u32, WorkerState::Down, false)
                     }
                 })
                 .collect()
@@ -514,13 +533,14 @@ fn ingest(state: &Arc<RouterState>, req: &http::Request) -> Response {
     }
     let n = units.len();
     let wait = matches!(req.query_param("wait"), Some("true" | "1"));
+    // The batch is committed to the replay ring inside route_units, so
+    // from here the answer must be a non-retryable 2xx: a 503 would make
+    // RetryingClient re-send a batch the router already owns, buffering
+    // and replaying the same units twice. With every worker down this is
+    // a 202 with applied=false and partial=true; replay catches the
+    // workers up on re-admission.
     let outcome = state.route_units(units, wait);
     let degraded = outcome.degraded();
-    if outcome.live() == 0 {
-        let resp =
-            Response::error(503, "no live shard workers; units buffered for replay");
-        return degrade(resp, &degraded);
-    }
     let status = if wait && outcome.applied { 200 } else { 202 };
     let body = object([
         ("accepted", Json::from(n)),
@@ -532,12 +552,29 @@ fn ingest(state: &Arc<RouterState>, req: &http::Request) -> Response {
     degrade(Response::json(status, &body), &degraded)
 }
 
-/// Re-encodes the query string for worker fan-out (parameters arrive
-/// decoded; the grammar — numbers and simple flags — needs no escaping).
-fn worker_rules_target(req: &http::Request) -> String {
+/// Builds the worker fan-out target from the router-validated
+/// parameters only, re-rendered from their parsed values. Client query
+/// strings arrive percent-DECODED and must never be copied verbatim
+/// into the worker request line: a value like `%0d%0a...` would inject
+/// CR/LF (request smuggling) into every worker connection. Rendering
+/// `u32`/`f64` values emits only `[0-9.eE-]`, which is always safe in a
+/// request target; parameters the router does not understand are
+/// dropped (workers ignore unknown parameters anyway).
+fn worker_rules_target(
+    length: Option<u32>,
+    offset: Option<u32>,
+    min_confidence: Option<f64>,
+) -> String {
     let mut target = String::from("/v1/rules");
-    for (i, (name, value)) in req.query.iter().enumerate() {
-        target.push(if i == 0 { '?' } else { '&' });
+    let params = [
+        ("length", length.map(|v| v.to_string())),
+        ("offset", offset.map(|v| v.to_string())),
+        // f64 Display is the shortest string that round-trips to the
+        // same bits, so the worker parses the exact client value.
+        ("min_confidence", min_confidence.map(|v| v.to_string())),
+    ];
+    for (name, value) in params.iter().filter_map(|(n, v)| v.as_ref().map(|v| (n, v))) {
+        target.push(if target.len() == "/v1/rules".len() { '?' } else { '&' });
         target.push_str(name);
         target.push('=');
         target.push_str(value);
@@ -563,7 +600,23 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let target = worker_rules_target(req);
+    // Validated here so only a parsed value ever reaches the worker
+    // request line; the stricter threshold check (against the worker's
+    // mining configuration) still happens worker-side and surfaces as a
+    // forwarded 400.
+    let min_confidence = match req.query_param("min_confidence") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(q) if (0.0..=1.0).contains(&q) => Some(q),
+            _ => {
+                return Response::error(
+                    400,
+                    &format!("invalid min_confidence `{raw}` (need 0..=1)"),
+                )
+            }
+        },
+    };
+    let target = worker_rules_target(length, offset, min_confidence);
 
     let legs: Vec<Leg> = std::thread::scope(|scope| {
         let handles: Vec<_> = state
@@ -580,7 +633,12 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                     match w.client.request("GET", target, None) {
                         Some(resp) if resp.status == 200 => {
                             match crate::merge::parse_rules_body(&resp.body_text()) {
-                                Ok(view) => Leg::Ok(view),
+                                Ok(view) => {
+                                    let epoch = resp
+                                        .header("x-car-epoch")
+                                        .and_then(|v| v.parse::<u64>().ok());
+                                    Leg::Ok { view, epoch }
+                                }
                                 Err(msg) => {
                                     SHARD.add_fanout_failures(1);
                                     car_obs::warn!(
@@ -594,7 +652,10 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                         }
                         Some(resp) if resp.status == 409 => Leg::Warming,
                         Some(resp) if resp.status == 400 => {
-                            Leg::BadRequest(Response::error(400, &resp.body_text()))
+                            // The worker's body is already a JSON error
+                            // document; forward it untouched rather than
+                            // re-wrapping (double-encoding) it.
+                            Leg::BadRequest(Response::json_bytes(400, resp.body))
                         }
                         Some(_) => {
                             SHARD.add_fanout_failures(1);
@@ -612,22 +673,27 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
+            .enumerate()
+            .map(|(shard_id, h)| match h.join() {
                 Ok(leg) => leg,
                 Err(_) => {
                     log_warn("shard fan-out thread panicked");
-                    Leg::Failed(u32::MAX)
+                    Leg::Failed(shard_id as u32)
                 }
             })
             .collect()
     });
 
     let mut views = Vec::new();
+    let mut epochs = Vec::new();
     let mut degraded = Vec::new();
     let mut warming = false;
     for leg in legs {
         match leg {
-            Leg::Ok(view) => views.push(view),
+            Leg::Ok { view, epoch } => {
+                epochs.extend(epoch);
+                views.push(view);
+            }
             Leg::Skipped(id) | Leg::Failed(id) => degraded.push(id),
             Leg::Warming => warming = true,
             // A worker rejected the parameters; every worker shares the
@@ -648,6 +714,11 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
 
     let units_retained = views.iter().map(|v| v.units_retained).max().unwrap_or(0);
     let window = views.iter().map(|v| v.window).max().unwrap_or(0);
+    // Ingest is applied asynchronously per worker, so legs can answer
+    // at different epochs; surfacing the spread lets clients detect a
+    // merged view that matches no single-node snapshot (epoch_min !=
+    // epoch_max) and re-query if they need agreement.
+    let epoch_json = |e: Option<&u64>| e.map_or(Json::Null, |&e| Json::from(e));
     let merged = crate::merge::merge_rule_views(views.into_iter().map(|v| v.rules));
     let rendered: Vec<Json> = merged
         .iter()
@@ -656,6 +727,8 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
     let body = object([
         ("units_retained", Json::from(units_retained)),
         ("window", Json::from(window)),
+        ("epoch_min", epoch_json(epochs.iter().min())),
+        ("epoch_max", epoch_json(epochs.iter().max())),
         ("count", Json::from(rendered.len())),
         ("partial", Json::from(!degraded.is_empty())),
         (
@@ -670,7 +743,9 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
 fn health(state: &Arc<RouterState>) -> Response {
     let shards = state.worker_states();
     let degraded = shards.iter().filter(|(_, s)| *s != WorkerState::Up).count();
-    let units_routed = state.ingest.lock_or_recover().units_routed;
+    // Gauge, not the ingest lock: health must answer promptly even
+    // while a fan-out holds `ingest` through worker retries.
+    let units_routed = state.units_routed_gauge.load(Ordering::Relaxed);
     let status = if state.is_shutting_down() { "shutting_down" } else { "ok" };
     Response::json(
         200,
@@ -690,7 +765,7 @@ fn metrics(state: &Arc<RouterState>) -> Response {
     let shards = state.worker_states();
     let count_state =
         |s: WorkerState| shards.iter().filter(|(_, w)| *w == s).count() as f64;
-    let replay_buffered = state.ingest.lock_or_recover().replay.len() as f64;
+    let replay_buffered = state.replay_depth_gauge.load(Ordering::Relaxed) as f64;
     let mut text = state.metrics.render_prometheus(&[
         ("car_shard_workers_up", "Shard workers currently admitted.", {
             count_state(WorkerState::Up)
@@ -821,7 +896,7 @@ impl RouterHandle {
         }
         RouterStats {
             requests: self.state.metrics.total_requests(),
-            units_routed: self.state.ingest.lock_or_recover().units_routed,
+            units_routed: self.state.units_routed_gauge.load(Ordering::Relaxed),
             uptime: self.started.elapsed(),
         }
     }
@@ -876,6 +951,8 @@ pub fn run_router(config: RouterConfig) -> Result<RouterHandle, RouterError> {
             units_routed: 0,
             replay: VecDeque::with_capacity(config.replay_capacity),
         }),
+        units_routed_gauge: AtomicU64::new(0),
+        replay_depth_gauge: AtomicU64::new(0),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         config,
@@ -1000,6 +1077,41 @@ fn serve_connection(stream: TcpStream, state: &Arc<RouterState>) {
         state.metrics.record_request(route, response.status, started.elapsed());
         if close || write_result.is_err() {
             return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_target_renders_only_validated_params() {
+        assert_eq!(worker_rules_target(None, None, None), "/v1/rules");
+        assert_eq!(worker_rules_target(Some(3), None, None), "/v1/rules?length=3");
+        assert_eq!(
+            worker_rules_target(Some(3), Some(1), Some(0.9)),
+            "/v1/rules?length=3&offset=1&min_confidence=0.9"
+        );
+        assert_eq!(
+            worker_rules_target(None, None, Some(0.125)),
+            "/v1/rules?min_confidence=0.125"
+        );
+    }
+
+    #[test]
+    fn worker_target_never_contains_request_line_breakers() {
+        // The target is rebuilt from parsed numbers, so no decoded
+        // client bytes — CR/LF, spaces, separators — can appear even
+        // for adversarial float shapes.
+        for q in [0.0, 1.0, 1e-300, 0.1 + 0.2] {
+            let target = worker_rules_target(Some(u32::MAX), Some(0), Some(q));
+            assert!(
+                target.bytes().all(|b| b.is_ascii_graphic()),
+                "unsafe byte in {target:?}"
+            );
+            let parsed: f64 = target.rsplit('=').next().unwrap().parse().unwrap();
+            assert_eq!(parsed.to_bits(), q.to_bits(), "must round-trip exactly");
         }
     }
 }

@@ -141,6 +141,10 @@ fn routed_rules_match_single_node_byte_for_byte() {
     let routed_body = routed.body_text();
     let doc = Json::parse(&routed_body).unwrap();
     assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+    // Every worker applied all 8 units (wait=true above), so the merged
+    // view reports an agreed epoch — no cross-shard skew.
+    assert_eq!(doc.get("epoch_min").and_then(Json::as_u64), Some(8));
+    assert_eq!(doc.get("epoch_max").and_then(Json::as_u64), Some(8));
     assert!(!rules_array(&routed_body).contains("[]"), "planted rules must appear");
     assert_eq!(rules_array(&routed_body), rules_array(&single.body_text()));
 
@@ -149,6 +153,32 @@ fn routed_rules_match_single_node_byte_for_byte() {
     let single = oc.request("GET", "/v1/rules?min_confidence=0.9", None).unwrap();
     assert_eq!((routed.status, single.status), (200, 200));
     assert_eq!(rules_array(&routed.body_text()), rules_array(&single.body_text()));
+
+    // A query value decoding to CR/LF must not reach the worker request
+    // line: the router rebuilds the fan-out target from validated
+    // parameters only, so the smuggled `POST /v1/shutdown` below is
+    // dropped and the workers keep serving.
+    let routed = rc
+        .request(
+            "GET",
+            "/v1/rules?min_confidence=0.9&evil=%0d%0aPOST%20/v1/shutdown%20HTTP/1.1",
+            None,
+        )
+        .unwrap();
+    assert_eq!(routed.status, 200, "{}", routed.body_text());
+    assert_eq!(rules_array(&routed.body_text()), rules_array(&single.body_text()));
+    let health = rc.request("GET", "/v1/health", None).unwrap();
+    let doc = Json::parse(&health.body_text()).unwrap();
+    assert_eq!(doc.get("degraded_shards").and_then(Json::as_u64), Some(0));
+
+    // A below-threshold min_confidence is rejected worker-side; the
+    // router forwards the worker's JSON error body as-is (a single
+    // envelope, not a re-wrapped one).
+    let resp = rc.request("GET", "/v1/rules?min_confidence=0.2", None).unwrap();
+    assert_eq!(resp.status, 400);
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    let msg = doc.get("error").and_then(Json::as_str).expect("plain error envelope");
+    assert!(msg.contains("below the mining threshold"), "{msg}");
 
     // Router health and metrics expose the cluster.
     let health = rc.request("GET", "/v1/health", None).unwrap();
@@ -259,6 +289,78 @@ fn dead_worker_degrades_then_catchup_readmits() {
     assert_eq!(resp.status, 200);
     router.wait();
     for w in workers.into_iter().chain([revived, oracle]) {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
+#[test]
+fn all_workers_down_buffers_with_202_then_replays_once() {
+    let units = pure_units(1, 6);
+    let (mut workers, router) = spawn_cluster(1);
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+
+    // Kill the only worker, then ingest. The units are committed to the
+    // replay ring, so the answer must be a non-retryable 202 — a 503
+    // would make retrying clients buffer (and later replay) the batch
+    // twice.
+    let victim = workers.pop().unwrap();
+    let victim_addr = victim.addr;
+    victim.trigger_shutdown();
+    victim.wait();
+
+    let resp = rc.request("POST", "/v1/units", Some(&batch_body(&units))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+    let doc = Json::parse(&resp.body_text()).unwrap();
+    assert_eq!(doc.get("applied").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("units_routed").and_then(Json::as_u64), Some(6));
+    assert_eq!(resp.header("x-car-shards-degraded"), Some("1"));
+
+    // Queries meanwhile have no live leg to serve from.
+    let resp = rc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body_text());
+
+    // Revive the worker empty; re-admission must replay the buffered
+    // units exactly once, restoring single-node equivalence.
+    let revived = spawn_worker(
+        &victim_addr.to_string(),
+        Some(ShardIdentity { shard_id: 0, shard_count: 1 }),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = rc.request("GET", "/v1/health", None).unwrap();
+        let doc = Json::parse(&resp.body_text()).unwrap();
+        if doc.get("degraded_shards").and_then(Json::as_u64) == Some(0) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker was never re-admitted");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let oracle = spawn_worker("127.0.0.1:0", None);
+    let mut oc = Client::connect(&oracle.addr.to_string()).unwrap();
+    let resp =
+        oc.request("POST", "/v1/units?wait=true", Some(&batch_body(&units))).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+
+    let routed = rc.request("GET", "/v1/rules", None).unwrap();
+    let single = oc.request("GET", "/v1/rules", None).unwrap();
+    assert_eq!((routed.status, single.status), (200, 200));
+    let routed_body = routed.body_text();
+    let doc = Json::parse(&routed_body).unwrap();
+    assert_eq!(doc.get("partial").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("epoch_min").and_then(Json::as_u64),
+        Some(6),
+        "replayed exactly once — a duplicated replay would double the epoch"
+    );
+    assert_eq!(rules_array(&routed_body), rules_array(&single.body_text()));
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    for w in [revived, oracle] {
         w.trigger_shutdown();
         w.wait();
     }
