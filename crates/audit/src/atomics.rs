@@ -1,0 +1,420 @@
+//! A6: lock-free/atomics discipline (`a6-relaxed-control`,
+//! `a6-relaxed-mirror`, `a6-torn-write`).
+//!
+//! The PR 6 router publishes `units_routed`/replay-depth gauges as
+//! `AtomicU64` mirrors of state mutated under the ingest lock: writes
+//! happen inside the critical section, reads happen lock-free on the
+//! metrics path. That pattern is *fine* — as long as everyone knows the
+//! mirror is advisory. It stops being fine silently: someone reads the
+//! mirror with `Ordering::Relaxed` and branches on it, or adds a second
+//! writer outside the lock, and the "advisory copy" has become an
+//! unsynchronised source of truth. These lints make each step explicit:
+//!
+//! * `a6-relaxed-control` — a `Relaxed` load feeding an `if`/`while`/
+//!   `match` decision (directly, or via a `let` binding later used in a
+//!   condition in the same function). Relaxed loads order nothing; a
+//!   control decision based on one usually wants `Acquire` or a note
+//!   explaining why staleness is acceptable.
+//! * `a6-relaxed-mirror` — a `Relaxed` load, outside any lock, of an
+//!   atomic that is written under a lock somewhere in the A6 scope
+//!   (name-keyed, whole-scope, like the A2 lock graph).
+//! * `a6-torn-write` — an atomic written both under a lock and outside
+//!   one (any ordering): the lock-guarded invariant the in-lock writer
+//!   maintains can be torn by the free writer.
+//!
+//! All three are suppressible with a reasoned `audit:allow`, which is
+//! the point: the annotation documents the staleness contract at the
+//! exact read/write site.
+
+use std::collections::BTreeSet;
+
+use crate::findings::{lints, Finding};
+use crate::lexer::{Token, TokenKind};
+use crate::locks::{acquisition_at, binding_of, for_each_function};
+
+/// Atomic operations that mutate the value.
+const WRITE_OPS: [&str; 12] = [
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Collects names declared as `Atomic*` fields/statics/parameters:
+/// `name : [Arc<][std::sync::atomic::]AtomicU64`, same backwalk idiom
+/// as the A2 lock-field discovery.
+pub fn collect_atomics(tokens: &[Token], out: &mut BTreeSet<String>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !t.text.starts_with("Atomic")
+            || t.text.len() <= "Atomic".len()
+        {
+            continue;
+        }
+        let mut k = i;
+        while k > 0 {
+            let p = &tokens[k - 1];
+            let wrapper = (p.is_ident("Arc")
+                || p.is_ident("std")
+                || p.is_ident("sync")
+                || p.is_ident("atomic"))
+                || p.is_punct("::")
+                || p.is_punct("<")
+                || p.is_punct("&");
+            if !wrapper {
+                break;
+            }
+            k -= 1;
+        }
+        if k >= 2 && tokens[k - 1].is_punct(":") {
+            let name = &tokens[k - 2];
+            if name.kind == TokenKind::Ident {
+                out.insert(name.text.clone());
+            }
+        }
+    }
+}
+
+/// Whole-scope write classification: which atomics are written under a
+/// lock, and which are written outside any lock.
+#[derive(Clone, Debug, Default)]
+pub struct AtomicUsage {
+    /// Atomics with at least one write while a tracked lock is held.
+    pub locked_writes: BTreeSet<String>,
+    /// Atomics with at least one write outside any tracked lock.
+    pub unlocked_writes: BTreeSet<String>,
+}
+
+/// An atomic operation site observed while scanning a function body.
+struct OpSite {
+    /// Token index of the atomic's name.
+    idx: usize,
+    /// The atomic's name.
+    name: String,
+    /// `true` for the `WRITE_OPS` family, `false` for `load`.
+    is_write: bool,
+    /// An `Ordering::Relaxed` argument appears in the call.
+    relaxed: bool,
+    /// A tracked lock is held at the site.
+    under_lock: bool,
+    /// 1-based line of the operation.
+    line: u32,
+}
+
+/// Scans one function body for atomic ops, tracking held locks with
+/// the same rules as the A2 pass (block scope, `drop`, statement-end
+/// for temporaries).
+fn for_each_op(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    atomics: &BTreeSet<String>,
+    lock_names: &BTreeSet<String>,
+    mut cb: impl FnMut(OpSite),
+) {
+    struct Held {
+        binding: Option<String>,
+        depth: usize,
+    }
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+        } else if t.is_punct(";") {
+            held.retain(|h| h.binding.is_some());
+        } else if t.is_ident("drop") && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            if let Some(arg) = tokens.get(i + 2) {
+                held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+            }
+        } else if acquisition_at(tokens, i, lock_names).is_some() {
+            held.push(Held { binding: binding_of(tokens, i), depth });
+            i += 5;
+            continue;
+        } else if t.kind == TokenKind::Ident
+            && atomics.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            let method = &tokens[i + 2];
+            let is_write = WRITE_OPS.contains(&method.text.as_str());
+            if is_write || method.is_ident("load") {
+                // Find the matching `)` and look for `Relaxed` inside.
+                let mut pd = 0i32;
+                let mut j = i + 3;
+                let mut relaxed = false;
+                while j < end {
+                    let p = &tokens[j];
+                    if p.is_punct("(") {
+                        pd += 1;
+                    } else if p.is_punct(")") {
+                        pd -= 1;
+                        if pd == 0 {
+                            break;
+                        }
+                    } else if p.is_ident("Relaxed") {
+                        relaxed = true;
+                    }
+                    j += 1;
+                }
+                cb(OpSite {
+                    idx: i,
+                    name: t.text.clone(),
+                    is_write,
+                    relaxed,
+                    under_lock: !held.is_empty(),
+                    line: t.line,
+                });
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Aggregates write classification for one file into `usage`.
+pub fn collect_usage(
+    tokens: &[Token],
+    atomics: &BTreeSet<String>,
+    lock_names: &BTreeSet<String>,
+    usage: &mut AtomicUsage,
+) {
+    for_each_function(tokens, |_, start, end| {
+        for_each_op(tokens, start, end, atomics, lock_names, |op| {
+            if op.is_write {
+                if op.under_lock {
+                    usage.locked_writes.insert(op.name.clone());
+                } else {
+                    usage.unlocked_writes.insert(op.name.clone());
+                }
+            }
+        });
+    });
+}
+
+/// Token ranges of `if`/`while`/`match` condition expressions (keyword
+/// to the opening `{` at depth 0) within `[start, end)`.
+fn condition_ranges(tokens: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in start..end {
+        let t = &tokens[i];
+        if !(t.is_ident("if") || t.is_ident("while") || t.is_ident("match")) {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < end {
+            let p = &tokens[j];
+            if p.is_punct("(") || p.is_punct("[") {
+                depth += 1;
+            } else if p.is_punct(")") || p.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && (p.is_punct("{") || p.is_punct(";")) {
+                break;
+            }
+            j += 1;
+        }
+        out.push((i + 1, j));
+    }
+    out
+}
+
+/// Runs the A6 checks over one file. `usage` must be the whole-scope
+/// aggregate from [`collect_usage`].
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    atomics: &BTreeSet<String>,
+    lock_names: &BTreeSet<String>,
+    usage: &AtomicUsage,
+    findings: &mut Vec<Finding>,
+) {
+    for_each_function(tokens, |fn_name, start, end| {
+        let conds = condition_ranges(tokens, start, end);
+        let in_cond = |idx: usize| conds.iter().any(|&(s, e)| idx >= s && idx < e);
+        // `let x = FLAG.load(Relaxed);` followed by `if x ...` later in
+        // the same function also counts as control-feeding.
+        let feeds_later_cond = |idx: usize, binding: &str| {
+            conds.iter().any(|&(s, e)| {
+                s > idx
+                    && tokens[s..e]
+                        .iter()
+                        .any(|t| t.kind == TokenKind::Ident && t.text == binding)
+            })
+        };
+        for_each_op(tokens, start, end, atomics, lock_names, |op| {
+            if op.is_write {
+                if !op.under_lock && usage.locked_writes.contains(&op.name) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: op.line,
+                        lint: lints::A6_TORN_WRITE,
+                        snippet: format!("{}.<write>", op.name),
+                        message: format!(
+                            "atomic `{}` is written outside a lock in `{}` but also \
+                             written under a lock elsewhere; the in-lock invariant \
+                             can be torn",
+                            op.name, fn_name
+                        ),
+                    });
+                }
+                return;
+            }
+            if !op.relaxed {
+                return;
+            }
+            let control = in_cond(op.idx)
+                || binding_of(tokens, op.idx)
+                    .is_some_and(|b| feeds_later_cond(op.idx, &b));
+            if control {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: op.line,
+                    lint: lints::A6_RELAXED_CONTROL,
+                    snippet: format!("{}.load(Relaxed)", op.name),
+                    message: format!(
+                        "Relaxed load of `{}` feeds a control-flow decision in `{}`; \
+                         use Acquire or document why staleness is safe",
+                        op.name, fn_name
+                    ),
+                });
+            } else if !op.under_lock && usage.locked_writes.contains(&op.name) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: op.line,
+                    lint: lints::A6_RELAXED_MIRROR,
+                    snippet: format!("{}.load(Relaxed)", op.name),
+                    message: format!(
+                        "Relaxed load of `{}` in `{}` reads a mirror of lock-guarded \
+                         state; document the staleness contract or read under the lock",
+                        op.name, fn_name
+                    ),
+                });
+            }
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::locks::collect_lock_fields;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let tokens = strip_test_code(lex(src).tokens);
+        let mut atomics = BTreeSet::new();
+        collect_atomics(&tokens, &mut atomics);
+        let mut lock_names = BTreeSet::new();
+        collect_lock_fields(&tokens, &mut lock_names);
+        let mut usage = AtomicUsage::default();
+        collect_usage(&tokens, &atomics, &lock_names, &mut usage);
+        let mut findings = Vec::new();
+        check("f.rs", &tokens, &atomics, &lock_names, &usage, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn discovers_fields_and_statics() {
+        let src = "static MAX: AtomicU8 = AtomicU8::new(0);\n\
+                   struct S { gauge: Arc<AtomicU64>, n: u64 }\n";
+        let tokens = lex(src).tokens;
+        let mut atomics = BTreeSet::new();
+        collect_atomics(&tokens, &mut atomics);
+        assert!(atomics.contains("MAX"));
+        assert!(atomics.contains("gauge"));
+        assert!(!atomics.contains("n"));
+    }
+
+    #[test]
+    fn relaxed_load_in_condition_is_control() {
+        let f = run("struct S { shutdown: AtomicBool }\n\
+                     fn f(s: &S) {\n\
+                     if s.shutdown.load(Ordering::Relaxed) { return; }\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].lint, f[0].line), (lints::A6_RELAXED_CONTROL, 3));
+    }
+
+    #[test]
+    fn relaxed_load_bound_then_branched_is_control() {
+        let f = run("struct S { ceiling: AtomicU8 }\n\
+                     fn f(s: &S, level: u8) {\n\
+                     let c = s.ceiling.load(Ordering::Relaxed);\n\
+                     if level > c { return; }\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].lint, f[0].line), (lints::A6_RELAXED_CONTROL, 3));
+    }
+
+    #[test]
+    fn acquire_load_in_condition_is_clean() {
+        let f = run("struct S { shutdown: AtomicBool }\n\
+                     fn f(s: &S) {\n\
+                     if s.shutdown.load(Ordering::Acquire) { return; }\n\
+                     }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mirror_read_outside_lock_is_flagged() {
+        let f = run("struct S { inner: Mutex<u64>, gauge: AtomicU64 }\n\
+                     fn update(s: &S) {\n\
+                     let g = s.inner.lock();\n\
+                     s.gauge.store(1, Ordering::Relaxed);\n\
+                     }\n\
+                     fn metrics(s: &S) -> u64 {\n\
+                     s.gauge.load(Ordering::Relaxed)\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].lint, f[0].line), (lints::A6_RELAXED_MIRROR, 7));
+    }
+
+    #[test]
+    fn pure_counter_without_lock_writes_is_clean() {
+        let f = run("struct S { hits: AtomicU64 }\n\
+                     fn bump(s: &S) { s.hits.fetch_add(1, Ordering::Relaxed); }\n\
+                     fn read(s: &S) -> u64 { s.hits.load(Ordering::Relaxed) }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn write_both_under_and_outside_lock_is_torn() {
+        let f = run("struct S { inner: Mutex<u64>, gauge: AtomicU64 }\n\
+                     fn a(s: &S) {\n\
+                     let g = s.inner.lock();\n\
+                     s.gauge.store(1, Ordering::Release);\n\
+                     }\n\
+                     fn b(s: &S) {\n\
+                     s.gauge.store(0, Ordering::Release);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].lint, f[0].line), (lints::A6_TORN_WRITE, 7));
+    }
+
+    #[test]
+    fn mirror_read_under_the_lock_is_clean() {
+        let f = run("struct S { inner: Mutex<u64>, gauge: AtomicU64 }\n\
+                     fn update(s: &S) {\n\
+                     let g = s.inner.lock();\n\
+                     s.gauge.store(1, Ordering::Relaxed);\n\
+                     let now = s.gauge.load(Ordering::Relaxed);\n\
+                     }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

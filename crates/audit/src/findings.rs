@@ -31,9 +31,22 @@ pub mod lints {
     pub const A4_DISCARD: &str = "a4-discard";
     /// `audit:allow` directive with a missing or empty reason.
     pub const ALLOW_NO_REASON: &str = "allow-no-reason";
+    /// Reasoned `audit:allow` directive that suppressed zero findings.
+    pub const A0_STALE_ALLOW: &str = "a0-stale-allow";
+    /// Source-derived value reaching a protocol sink (request line,
+    /// WAL framing, filesystem path).
+    pub const A5_TAINT_TO_SINK: &str = "a5-taint-to-sink";
+    /// `Ordering::Relaxed` load feeding a control-flow decision.
+    pub const A6_RELAXED_CONTROL: &str = "a6-relaxed-control";
+    /// `Ordering::Relaxed` load of an atomic that mirrors lock-guarded
+    /// state (written under a lock elsewhere).
+    pub const A6_RELAXED_MIRROR: &str = "a6-relaxed-mirror";
+    /// Atomic written both under a lock and outside any lock.
+    pub const A6_TORN_WRITE: &str = "a6-torn-write";
 
     /// All lint ids, for `--help` and directive validation.
-    pub const ALL: [&str; 11] = [
+    pub const ALL: [&str; 16] = [
+        A0_STALE_ALLOW,
         A1_UNWRAP,
         A1_EXPECT,
         A1_PANIC,
@@ -44,8 +57,37 @@ pub mod lints {
         A2_BLOCKING,
         A3_UNCHECKED,
         A4_DISCARD,
+        A5_TAINT_TO_SINK,
+        A6_RELAXED_CONTROL,
+        A6_RELAXED_MIRROR,
+        A6_TORN_WRITE,
         ALLOW_NO_REASON,
     ];
+
+    /// One-line description of a lint id, used for SARIF rule metadata.
+    pub fn describe(lint: &str) -> &'static str {
+        match lint {
+            A0_STALE_ALLOW => "reasoned audit:allow directive suppresses no findings",
+            A1_UNWRAP => "unwrap() in a panic-free scope",
+            A1_EXPECT => "expect() in a panic-free scope",
+            A1_PANIC => "panicking macro in a panic-free scope",
+            A1_TODO => "todo!/unimplemented! in a panic-free scope",
+            A1_INDEX => "slice/array index in a panic-free scope",
+            A1_DIV => "unchecked integer division in a panic-free scope",
+            A2_ORDER => "cycle in the global lock-ordering graph",
+            A2_BLOCKING => "blocking call while holding a lock",
+            A3_UNCHECKED => "unchecked arithmetic on a support counter",
+            A4_DISCARD => "fallible I/O result discarded with let _ =",
+            A5_TAINT_TO_SINK => {
+                "untrusted input reaches a protocol sink without sanitization"
+            }
+            A6_RELAXED_CONTROL => "Relaxed atomic load feeds a control-flow decision",
+            A6_RELAXED_MIRROR => "Relaxed load of a lock-mirrored atomic",
+            A6_TORN_WRITE => "atomic written both under and outside a lock",
+            ALLOW_NO_REASON => "audit:allow directive without a reason",
+            _ => "project audit lint",
+        }
+    }
 }
 
 /// One diagnostic produced by an audit pass.

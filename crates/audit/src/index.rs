@@ -1,0 +1,200 @@
+//! A lightweight symbol/function index over the token stream.
+//!
+//! The dataflow lints (A5 taint, A6 atomics discipline) need more
+//! structure than a flat token window: which function a token belongs
+//! to, what the function's parameters are called, and where calls to
+//! project functions happen. This module extracts exactly that — no
+//! types, no generics resolution, no method dispatch — because the
+//! passes built on top are intraprocedural with one-level call
+//! summaries, and a name-keyed index is enough for that (colliding
+//! names union conservatively, same as the A2 lock summaries).
+//!
+//! The index is per-file ([`FileIndex`]) and the engine aggregates the
+//! per-file function tables into a workspace-wide name → summary map.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `fn` item: its name, parameter names, and body token range.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// The function's name (methods and free functions alike).
+    pub name: String,
+    /// Parameter names in declaration order (`self` receivers and
+    /// pattern internals beyond the first binding are skipped).
+    pub params: Vec<String>,
+    /// First token index of the body (just past the opening `{`).
+    pub body_start: usize,
+    /// One past the last body token (the closing `}`).
+    pub body_end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// Every function found in one file, in source order.
+#[derive(Clone, Debug, Default)]
+pub struct FileIndex {
+    /// The file's `fn` items.
+    pub fns: Vec<FnInfo>,
+}
+
+/// Builds the function index for a (test-stripped) token stream.
+pub fn index_file(tokens: &[Token]) -> FileIndex {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            i += 2;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = tokens[i].line;
+        // Skip generics to the parameter list's `(`.
+        let mut j = i + 2;
+        let mut angle = 0usize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle = angle.saturating_sub(1);
+            } else if angle == 0
+                && (t.is_punct("(") || t.is_punct("{") || t.is_punct(";"))
+            {
+                break;
+            }
+            j += 1;
+        }
+        let params = if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            let (names, after) = param_names(tokens, j);
+            j = after;
+            names
+        } else {
+            Vec::new()
+        };
+        // Find the body's opening brace; a `;` first means a bodiless
+        // trait method or an extern declaration.
+        while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+            j += 1;
+        }
+        if j < tokens.len() && tokens[j].is_punct("{") {
+            let body_start = j + 1;
+            let mut depth = 1usize;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct("{") {
+                    depth += 1;
+                } else if tokens[j].is_punct("}") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            fns.push(FnInfo {
+                name,
+                params,
+                body_start,
+                body_end: j.saturating_sub(1),
+                line,
+            });
+        }
+        i = j.max(i + 1);
+    }
+    FileIndex { fns }
+}
+
+/// Extracts parameter names from the list starting at the `(` at
+/// `open`. Returns the names and the index just past the closing `)`.
+///
+/// Each depth-1 comma-separated segment contributes the first ident
+/// that is directly followed by `:` (skipping `mut` and references), so
+/// `mut out: &mut Vec<u8>` yields `out` and a `self` receiver yields
+/// nothing.
+fn param_names(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    let mut j = open;
+    let mut seg_named = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return (names, j + 1);
+            }
+        } else if t.is_punct("<") || t.is_punct("<<") {
+            angle += if t.is_punct("<<") { 2 } else { 1 };
+        } else if t.is_punct(">") || t.is_punct(">>") {
+            angle = angle.saturating_sub(if t.is_punct(">>") { 2 } else { 1 });
+        } else if depth == 1 && angle == 0 {
+            if t.is_punct(",") {
+                seg_named = false;
+            } else if !seg_named
+                && t.kind == TokenKind::Ident
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                names.push(t.text.clone());
+                seg_named = true;
+            }
+        }
+        j += 1;
+    }
+    (names, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index(src: &str) -> FileIndex {
+        index_file(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_fns_with_params_and_bodies() {
+        let idx = index(
+            "fn plain(a: u32, mut b: &str) -> u32 { a }\n\
+             impl S { fn method(&self, q: Option<f64>) { body(); } }\n\
+             fn generic<T: Clone>(x: T) { }\n",
+        );
+        let names: Vec<_> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["plain", "method", "generic"]);
+        assert_eq!(idx.fns[0].params, ["a", "b"]);
+        assert_eq!(idx.fns[1].params, ["q"]);
+        assert_eq!(idx.fns[2].params, ["x"]);
+    }
+
+    #[test]
+    fn nested_generics_in_params_do_not_invent_names() {
+        let idx = index("fn f(map: BTreeMap<String, Vec<u8>>, n: usize) {}");
+        assert_eq!(idx.fns[0].params, ["map", "n"]);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_are_skipped() {
+        let idx = index("trait T { fn sig(&self, x: u32); } fn real() {}");
+        let names: Vec<_> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+    }
+
+    #[test]
+    fn body_range_is_brace_balanced() {
+        let src = "fn f() { if a { b(); } c(); } fn g() {}";
+        let idx = index(src);
+        assert_eq!(idx.fns.len(), 2);
+        let toks = lex(src).tokens;
+        let body: Vec<_> = toks[idx.fns[0].body_start..idx.fns[0].body_end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(body.contains(&"c"));
+        assert!(!body.contains(&"g"));
+    }
+}

@@ -15,6 +15,17 @@
 //!   counters use `saturating_*`/`checked_*` forms.
 //! * **A4 no discarded Results** (`a4-discard`) — the daemon never
 //!   silently drops a fallible I/O result with `let _ =`.
+//! * **A5 taint-to-sink** (`a5-taint-to-sink`) — untrusted input
+//!   (request bytes, query params, decoded JSON) must not reach an
+//!   outbound request line, WAL framing, or a filesystem path without
+//!   passing a sanitizer; intraprocedural dataflow with one-level call
+//!   summaries over the workspace symbol index.
+//! * **A6 atomics discipline** (`a6-relaxed-control`,
+//!   `a6-relaxed-mirror`, `a6-torn-write`) — `Relaxed` loads must not
+//!   silently feed control flow or read lock-mirrored gauges, and an
+//!   atomic written under a lock must not also be written outside it.
+//! * **A0 allow hygiene** (`a0-stale-allow`) — a reasoned allow that
+//!   suppresses nothing is itself reported.
 //!
 //! False positives and invariant-backed exceptions are annotated
 //! in-source with `// audit:allow(<lint>) reason="..."`; an empty
@@ -28,15 +39,21 @@
 #![warn(missing_docs)]
 
 pub mod arith;
+pub mod atomics;
 pub mod baseline;
 pub mod discard;
 pub mod engine;
 pub mod findings;
+pub mod index;
 pub mod lexer;
 pub mod locks;
 pub mod panic_free;
+pub mod sarif;
+pub mod taint;
 
-pub use engine::{default_config, run_audit, AuditConfig};
+pub use engine::{
+    default_config, run_audit, run_audit_with, AuditConfig, AuditReport, RunOptions,
+};
 pub use findings::{lints, Finding};
 
 use std::io::Write;
@@ -44,17 +61,20 @@ use std::path::{Path, PathBuf};
 
 /// Usage text shared by `car-audit` and `car audit`.
 pub const USAGE: &str = "\
-car-audit: project static-analysis lints (panic-freedom, lock-order, arithmetic, discarded Results)
+car-audit: project static-analysis lints (panic-freedom, lock-order, arithmetic,
+discarded Results, taint-to-sink dataflow, atomics discipline)
 
 USAGE:
     car-audit [OPTIONS]
 
 OPTIONS:
-    --root <dir>             workspace root to audit (default: auto-detected)
-    --format <human|json>    diagnostic format (default: human)
-    --baseline <file>        suppress findings listed in a baseline file
-    --write-baseline <file>  write current findings as a new baseline and exit 0
-    --help                   show this help
+    --root <dir>                workspace root to audit (default: auto-detected)
+    --format <human|json|sarif> diagnostic format (default: human)
+    --jobs <n>                  worker threads (0 = auto, 1 = serial)
+    --allow-stale-allows        do not report a0-stale-allow (transition aid)
+    --baseline <file>           suppress findings listed in a baseline file
+    --write-baseline <file>     write current findings as a new baseline and exit 0
+    --help                      show this help
 
 EXIT CODES:
     0  clean (no findings beyond the baseline)
@@ -62,17 +82,33 @@ EXIT CODES:
     2  usage or I/O error
 ";
 
+/// Output format for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 /// Parsed command-line options.
 struct Options {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    jobs: usize,
+    allow_stale_allows: bool,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
-    let mut opts =
-        Options { root: None, json: false, baseline: None, write_baseline: None };
+    let mut opts = Options {
+        root: None,
+        format: Format::Human,
+        jobs: 0,
+        allow_stale_allows: false,
+        baseline: None,
+        write_baseline: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,11 +120,18 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
             "--format" => {
                 let v = it.next().ok_or("--format requires a value")?;
                 match v.as_str() {
-                    "human" => opts.json = false,
-                    "json" => opts.json = true,
+                    "human" => opts.format = Format::Human,
+                    "json" => opts.format = Format::Json,
+                    "sarif" => opts.format = Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs requires a value")?;
+                opts.jobs =
+                    v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
+            }
+            "--allow-stale-allows" => opts.allow_stale_allows = true,
             "--baseline" => {
                 let v = it.next().ok_or("--baseline requires a value")?;
                 opts.baseline = Some(PathBuf::from(v));
@@ -143,13 +186,16 @@ pub fn run_cli(args: &[String], out: &mut dyn Write) -> i32 {
 }
 
 fn run_with_options(root: &Path, opts: &Options, out: &mut dyn Write) -> i32 {
-    let findings = match run_audit(root, &default_config()) {
-        Ok(f) => f,
+    let run_opts =
+        RunOptions { threads: opts.jobs, allow_stale_allows: opts.allow_stale_allows };
+    let report = match run_audit_with(root, &default_config(), &run_opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("car-audit: audit failed: {e}");
             return 2;
         }
     };
+    let findings = report.findings;
 
     if let Some(path) = &opts.write_baseline {
         if let Err(e) = std::fs::write(path, baseline::render(&findings)) {
@@ -172,22 +218,34 @@ fn run_with_options(root: &Path, opts: &Options, out: &mut dyn Write) -> i32 {
         None => findings,
     };
 
-    if opts.json {
-        let _ = writeln!(out, "[");
-        for (i, f) in findings.iter().enumerate() {
-            let comma = if i + 1 < findings.len() { "," } else { "" };
-            let _ = writeln!(out, "  {}{comma}", f.to_json());
+    match opts.format {
+        Format::Json => {
+            let _ = writeln!(out, "{{");
+            let _ = writeln!(out, "  \"wall_clock_ms\": {},", report.wall_clock_ms);
+            let _ = writeln!(out, "  \"findings\": [");
+            for (i, f) in findings.iter().enumerate() {
+                let comma = if i + 1 < findings.len() { "," } else { "" };
+                let _ = writeln!(out, "    {}{comma}", f.to_json());
+            }
+            let _ = writeln!(out, "  ]");
+            let _ = writeln!(out, "}}");
         }
-        let _ = writeln!(out, "]");
-    } else {
-        for f in &findings {
-            let _ = writeln!(out, "{f}");
+        Format::Sarif => {
+            let _ = out.write_all(sarif::render(&findings).as_bytes());
         }
-        if findings.is_empty() {
-            let _ =
-                writeln!(out, "car-audit: clean ({} lints enforced)", lints::ALL.len());
-        } else {
-            let _ = writeln!(out, "car-audit: {} finding(s)", findings.len());
+        Format::Human => {
+            for f in &findings {
+                let _ = writeln!(out, "{f}");
+            }
+            if findings.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "car-audit: clean ({} lints enforced)",
+                    lints::ALL.len()
+                );
+            } else {
+                let _ = writeln!(out, "car-audit: {} finding(s)", findings.len());
+            }
         }
     }
     if findings.is_empty() {

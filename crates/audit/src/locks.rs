@@ -92,7 +92,7 @@ struct Held {
 
 /// Iterates `fn` items in a token stream, yielding the function name
 /// and the index range of its brace-balanced body.
-fn for_each_function(tokens: &[Token], mut f: impl FnMut(&str, usize, usize)) {
+pub(crate) fn for_each_function(tokens: &[Token], mut f: impl FnMut(&str, usize, usize)) {
     let mut i = 0;
     while i < tokens.len() {
         if tokens[i].is_ident("fn") {
@@ -130,7 +130,7 @@ fn for_each_function(tokens: &[Token], mut f: impl FnMut(&str, usize, usize)) {
 
 /// Detects `recv . lock|read|write ( )` at index `i` (pointing at the
 /// receiver ident) and returns the lock name.
-fn acquisition_at<'t>(
+pub(crate) fn acquisition_at<'t>(
     tokens: &'t [Token],
     i: usize,
     locks: &BTreeSet<String>,
@@ -160,7 +160,7 @@ fn acquisition_at<'t>(
 
 /// Finds the `let` binding, if any, of the statement containing index
 /// `i` (e.g. `guard` in `let mut guard = self.inner.lock()...;`).
-fn binding_of(tokens: &[Token], i: usize) -> Option<String> {
+pub(crate) fn binding_of(tokens: &[Token], i: usize) -> Option<String> {
     let mut k = i;
     while k > 0 {
         let t = &tokens[k - 1];

@@ -1,0 +1,94 @@
+//! SARIF 2.1.0 output (`--format sarif`), hand-rolled like the rest of
+//! the crate's serialisation: CI uploads it so findings surface as
+//! GitHub code-scanning annotations.
+//!
+//! The shape follows the 2.1.0 schema's minimum for a static-analysis
+//! run: one `run` with a `tool.driver` carrying the rule table (every
+//! lint id with its one-line description) and one `result` per finding
+//! with a `physicalLocation` region. A conformance unit test in
+//! `tests/sarif_tests.rs` parses the output with the project's own JSON
+//! parser and checks the required fields.
+
+use crate::findings::{json_str, lints, Finding};
+
+/// Renders findings as a complete SARIF 2.1.0 log (single run).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(2048 + findings.len() * 256);
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"car-audit\",\n");
+    out.push_str(concat!(
+        "          \"informationUri\": ",
+        "\"https://github.com/example/cyclic-association-rules\",\n",
+    ));
+    out.push_str("          \"rules\": [\n");
+    for (i, id) in lints::ALL.iter().enumerate() {
+        let comma = if i + 1 < lints::ALL.len() { "," } else { "" };
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{comma}\n",
+            json_str(id),
+            json_str(lints::describe(id)),
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}{comma}\n",
+            json_str(f.lint),
+            json_str(level(f.lint)),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line.max(1),
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// SARIF severity level for a lint: the informational hygiene lints are
+/// `note`, everything else gates CI and is an `error`.
+fn level(lint: &str) -> &'static str {
+    if lint == lints::A0_STALE_ALLOW {
+        "note"
+    } else {
+        "error"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_still_carries_schema_and_rules() {
+        let s = render(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"name\": \"car-audit\""));
+        assert!(s.contains("\"a5-taint-to-sink\""));
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn findings_become_results_with_locations() {
+        let f = Finding {
+            file: "crates/shard/src/router.rs".into(),
+            line: 633,
+            lint: lints::A5_TAINT_TO_SINK,
+            snippet: ".request(..)".into(),
+            message: "tainted value reaches the outbound HTTP request line".into(),
+        };
+        let s = render(&[f]);
+        assert!(s.contains("\"ruleId\": \"a5-taint-to-sink\""));
+        assert!(s.contains("\"startLine\": 633"));
+        assert!(s.contains("\"uri\": \"crates/shard/src/router.rs\""));
+        assert!(s.contains("\"level\": \"error\""));
+    }
+}

@@ -1,0 +1,1079 @@
+//! A5: intraprocedural taint tracking from network inputs to protocol
+//! sinks (`a5-taint-to-sink`).
+//!
+//! The PR 6 review found a real CR/LF request-smuggling hole: percent-
+//! decoded client query bytes were re-embedded verbatim into the worker
+//! `/v1/rules` request line. No per-line lexer lint can see that class
+//! of bug — it depends on *where a value came from*, not on what one
+//! line looks like. This pass tracks it:
+//!
+//! * **Sources** — HTTP request bytes (`.body`, `.path`, `.query`
+//!   fields), query-string and percent-decoded values (`.query_param()`,
+//!   `percent_decode()`), header values (`.header()`), response bodies
+//!   (`.body_text()`), and deserialized JSON (`Json::parse()`).
+//! * **Sinks** — outbound HTTP request-line construction
+//!   (`.request()` / `.request_once()` method and target arguments),
+//!   WAL record framing (`encode_record_into`, `encode_payload`,
+//!   `append_batch`, ...), and filesystem path construction
+//!   (`Path::new`, `.join(arg)`, `File::create`, ...).
+//! * **Sanitizers** — parse-to-number calls (`.parse::<u32>()`,
+//!   `Json::as_u64` and family, `u32::try_from`) and boolean
+//!   neutralizers (`matches!`, `.is_some()`, `.len()`, ...): a numeric
+//!   or boolean value re-rendered with `Display` can no longer carry
+//!   CR/LF or path separators.
+//!
+//! Propagation is intraprocedural over a per-function environment of
+//! `let`/`for`/`match`-arm bindings, plus a **one-level call summary**:
+//! a function whose return value derives from a source taints its call
+//! sites, and one returning a tainted *parameter* taints call sites
+//! whose corresponding argument is tainted (how the PR 6 fix's
+//! `worker_rules_target` re-render helper is recognised as clean — its
+//! parameters are parsed numbers, so the rendered target is clean).
+//!
+//! Known limits (documented in DESIGN.md §12): string-literal contents
+//! are elided by the lexer, so inline format captures (`"{target}"`)
+//! are invisible — sinks are therefore *named calls*, not `write!`
+//! bodies; taint stored into struct fields is not tracked across
+//! methods; summaries do not propagate sink-reaching parameters (a
+//! helper that forwards a parameter into a sink is clean at both ends).
+
+use std::collections::BTreeMap;
+
+use crate::findings::{lints, Finding};
+use crate::index::FileIndex;
+use crate::lexer::{Token, TokenKind};
+
+/// The taint lattice value: clean, source-derived, and/or derived from
+/// the enclosing function's parameters (a bitmask used by summaries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Taint {
+    /// Derives from an in-scope source.
+    pub tainted: bool,
+    /// 1-based line of the first source reached (0 when clean).
+    pub origin: u32,
+    /// Parameters (bit per index, capped at 32) whose taint flows here.
+    pub mask: u32,
+}
+
+impl Taint {
+    /// The bottom element: no taint.
+    pub const CLEAN: Taint = Taint { tainted: false, origin: 0, mask: 0 };
+
+    fn source(line: u32) -> Taint {
+        Taint { tainted: true, origin: line, mask: 0 }
+    }
+
+    fn param(index: usize) -> Taint {
+        let mask = if index < 32 { 1u32 << index } else { 0 };
+        Taint { tainted: false, origin: 0, mask }
+    }
+
+    fn join(self, other: Taint) -> Taint {
+        Taint {
+            tainted: self.tainted || other.tainted,
+            origin: if self.tainted || other.origin == 0 {
+                self.origin.max(if self.tainted { self.origin } else { 0 })
+            } else {
+                other.origin
+            }
+            .max(if self.origin != 0 { self.origin } else { other.origin }),
+            mask: self.mask | other.mask,
+        }
+    }
+
+    fn any(self) -> bool {
+        self.tainted || self.mask != 0
+    }
+}
+
+/// One-level call summary: does the function's return value derive
+/// from a source, and/or from which of its parameters?
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnSummary {
+    /// The return value derives from a source inside the function.
+    pub tainted: bool,
+    /// Parameters whose taint reaches the return value (bitmask).
+    pub mask: u32,
+}
+
+/// Name-keyed call summaries; colliding names join conservatively.
+pub type Summaries = BTreeMap<String, FnSummary>;
+
+/// Methods (after `.`) whose return value is attacker-controlled.
+const SOURCE_METHODS: [&str; 3] = ["query_param", "header", "body_text"];
+/// Request/response-struct fields carrying raw client bytes. Gated on
+/// the receiver name ([`SOURCE_RECEIVERS`]) because `.path` is also an
+/// innocuous `PathBuf` field on WAL segments and the like.
+const SOURCE_FIELDS: [&str; 3] = ["body", "path", "query"];
+/// Receiver names whose [`SOURCE_FIELDS`] accesses count as sources.
+const SOURCE_RECEIVERS: [&str; 4] = ["req", "request", "resp", "response"];
+/// Methods that parse to a number/bool: the result re-renders safely.
+const SANITIZE_METHODS: [&str; 5] = ["parse", "as_u64", "as_i64", "as_f64", "as_bool"];
+/// Boolean/size-valued methods: the result cannot carry protocol bytes.
+const NEUTRALIZERS: [&str; 9] = [
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "is_empty",
+    "len",
+    "contains",
+    "starts_with",
+    "ends_with",
+];
+/// Adapters whose closure argument feeds the *error* channel, not the
+/// value: `raw.parse().map_err(|_| err(raw))` stays sanitized.
+const ERROR_ADAPTERS: [&str; 3] = ["map_err", "ok_or", "ok_or_else"];
+/// WAL framing functions (free or method form): tainted bytes here
+/// could desynchronise the record framing of the durability log.
+const WAL_SINKS: [&str; 6] = [
+    "encode_record_into",
+    "encode_payload",
+    "encode_unit_into",
+    "append_batch",
+    "push_u32",
+    "push_u64",
+];
+/// Segment boundaries: operators/separators that end a value chain.
+const BOUNDARIES: [&str; 22] = [
+    ",", ";", "=>", "&&", "||", "==", "!=", "<=", ">=", "+", "-", "*", "/", "%", "=",
+    "<", ">", "..", "..=", "&", "|", "?",
+];
+
+/// Computes per-function return-taint summaries for one file, joining
+/// into `out`. `prev` supplies callee summaries (pass the result of a
+/// first pass back in for one level of call propagation).
+pub fn summarize(
+    tokens: &[Token],
+    index: &FileIndex,
+    prev: &Summaries,
+    out: &mut Summaries,
+) {
+    for f in &index.fns {
+        let mut w = Walk::new(tokens, prev, "", "");
+        for (k, p) in f.params.iter().enumerate() {
+            w.env.insert(p.clone(), Taint::param(k));
+        }
+        w.walk(f.body_start, f.body_end);
+        let trail = trailing_expr_start(tokens, f.body_start, f.body_end);
+        let t = w.eval(trail, f.body_end);
+        let total = w.return_taint.join(t);
+        let e = out.entry(f.name.clone()).or_default();
+        e.tainted |= total.tainted;
+        e.mask |= total.mask;
+    }
+}
+
+/// Runs the taint check over one file, emitting `a5-taint-to-sink`
+/// findings at sink call sites reached by source-derived values.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    index: &FileIndex,
+    summaries: &Summaries,
+    findings: &mut Vec<Finding>,
+) {
+    for f in &index.fns {
+        let mut w = Walk::new(tokens, summaries, file, &f.name);
+        // Parameters are clean in the check pass: a helper that
+        // forwards a parameter to a sink is judged at its (clean)
+        // definition; summaries cover the return path only.
+        w.emit = true;
+        w.walk(f.body_start, f.body_end);
+        findings.append(&mut w.findings);
+    }
+}
+
+/// Index just past the last depth-0 `;` in the body (the trailing
+/// expression), or `start` when the body has no depth-0 statements.
+fn trailing_expr_start(tokens: &[Token], start: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut trail = start;
+    for (i, t) in tokens.iter().enumerate().take(end).skip(start) {
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            trail = i + 1;
+        }
+    }
+    trail
+}
+
+/// The statement/expression walker shared by the summary and check
+/// passes: builds the binding environment in source order, evaluates
+/// expression taint, and (in check mode) tests sink arguments.
+struct Walk<'a> {
+    tokens: &'a [Token],
+    summaries: &'a Summaries,
+    env: BTreeMap<String, Taint>,
+    return_taint: Taint,
+    emit: bool,
+    file: &'a str,
+    fn_name: &'a str,
+    findings: Vec<Finding>,
+}
+
+impl<'a> Walk<'a> {
+    fn new(
+        tokens: &'a [Token],
+        summaries: &'a Summaries,
+        file: &'a str,
+        fn_name: &'a str,
+    ) -> Walk<'a> {
+        Walk {
+            tokens,
+            summaries,
+            env: BTreeMap::new(),
+            return_taint: Taint::CLEAN,
+            emit: false,
+            file,
+            fn_name,
+            findings: Vec::new(),
+        }
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    fn is_p(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&str> {
+        self.tok(i).filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str())
+    }
+
+    /// Walks `[start, end)` linearly: bindings are applied in source
+    /// order, nested blocks/closures are walked through (not skipped),
+    /// and sink calls are checked in place.
+    fn walk(&mut self, start: usize, end: usize) {
+        let mut i = start;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.is_ident("let") {
+                i = self.handle_let(i, end) + 1;
+            } else if t.is_ident("for") {
+                self.handle_for(i, end);
+                i += 1;
+            } else if t.is_ident("match") {
+                self.handle_match_bindings(i, end);
+                i += 1;
+            } else if t.is_ident("return") {
+                let e = self.stmt_end(i + 1, end);
+                let v = self.eval(i + 1, e);
+                self.return_taint = self.return_taint.join(v);
+                i += 1;
+            } else if t.kind == TokenKind::Ident
+                && self.is_p(i + 1, "=")
+                && !self.is_p(i.wrapping_sub(1), ".")
+            {
+                // Plain reassignment `name = rhs;` (strong update).
+                let e = self.stmt_end(i + 2, end);
+                let v = self.eval(i + 2, e);
+                self.env.insert(t.text.clone(), v);
+                i += 2;
+            } else if t.kind == TokenKind::Ident && self.is_p(i + 1, "+=") {
+                let e = self.stmt_end(i + 2, end);
+                let v = self.eval(i + 2, e);
+                let joined = self.env.get(&t.text).copied().unwrap_or(Taint::CLEAN);
+                self.env.insert(t.text.clone(), joined.join(v));
+                i += 2;
+            } else if self.mutation_at(i, end) {
+                i += 1;
+            } else {
+                self.sink_check(i, end);
+                i += 1;
+            }
+        }
+    }
+
+    /// `let [mut] PAT [: TY] = RHS` (plain, let-else, if-let,
+    /// while-let). Binds the pattern to the RHS taint and returns the
+    /// index of the `=` so the walker continues into the RHS.
+    fn handle_let(&mut self, i: usize, end: usize) -> usize {
+        let braced = i > 0
+            && (self.tokens[i - 1].is_ident("if")
+                || self.tokens[i - 1].is_ident("while"));
+        let mut depth = 0i32;
+        let mut eq = None;
+        let mut j = i + 1;
+        while j < end {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("=") {
+                eq = Some(j);
+                break;
+            } else if depth <= 0 && t.is_punct(";") {
+                break; // `let x;` — no initializer.
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else { return i };
+        let rhs_end = if braced {
+            self.scan_to(eq + 1, end, |t, d| d == 0 && t.is_punct("{"))
+        } else {
+            self.scan_to(eq + 1, end, |t, d| {
+                d == 0 && (t.is_punct(";") || t.is_ident("else"))
+            })
+        };
+        let v = self.eval(eq + 1, rhs_end);
+        self.bind_pattern(i + 1, eq, v);
+        eq
+    }
+
+    /// `for PAT in EXPR {` — binds the pattern to the iterated
+    /// expression's taint (element taint is approximated by the
+    /// collection's taint).
+    fn handle_for(&mut self, i: usize, end: usize) {
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("in") {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end {
+            return;
+        }
+        let expr_end = self.scan_to(j + 1, end, |t, d| d == 0 && t.is_punct("{"));
+        let v = self.eval(j + 1, expr_end);
+        self.bind_pattern(i + 1, j, v);
+    }
+
+    /// At a walker-level `match`: evaluates the scrutinee and binds the
+    /// arm-pattern identifiers so arm bodies (walked next) see them.
+    fn handle_match_bindings(&mut self, i: usize, end: usize) {
+        let open = self.scan_to(i + 1, end, |t, d| d == 0 && t.is_punct("{"));
+        if open >= end {
+            return;
+        }
+        let v = self.eval(i + 1, open);
+        let close = self.matching_brace(open, end);
+        for (ps, pe, _, _) in self.parse_arms(open, close) {
+            self.bind_pattern(ps, pe, v);
+        }
+    }
+
+    /// First index in `[from, end)` where `pred(token, depth)` holds
+    /// (depth counts `(`/`[`/`{` minus their closers), or `end`.
+    fn scan_to(
+        &self,
+        from: usize,
+        end: usize,
+        pred: impl Fn(&Token, i32) -> bool,
+    ) -> usize {
+        let mut depth = 0i32;
+        let mut j = from;
+        while j < end {
+            let t = &self.tokens[j];
+            if pred(t, depth) {
+                return j;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// End of the statement starting at `from`: the depth-0 `;`, or the
+    /// closer that ends the enclosing block, or `end`.
+    fn stmt_end(&self, from: usize, end: usize) -> usize {
+        self.scan_to(from, end, |t, d| d == 0 && t.is_punct(";"))
+    }
+
+    /// Index of the `}` matching the `{` at `open`.
+    fn matching_brace(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            let t = &self.tokens[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Binds lowercase pattern identifiers in `[start, end)` to `v`.
+    /// Constructor names (uppercase), field names before `:`, guard
+    /// expressions after a depth-0 `if`, and path segments are skipped.
+    fn bind_pattern(&mut self, start: usize, end: usize, v: Taint) {
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < end {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("if") {
+                break; // match guard: reads, not bindings
+            } else if t.kind == TokenKind::Ident
+                && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                && !matches!(t.text.as_str(), "mut" | "ref" | "box" | "in" | "as" | "_")
+                && !self.is_p(j + 1, "(")
+                && !self.is_p(j + 1, ":")
+                && !self.is_p(j.wrapping_sub(1), ".")
+                && !self.is_p(j.wrapping_sub(1), "::")
+            {
+                self.env.insert(t.text.clone(), v);
+            }
+            j += 1;
+        }
+    }
+
+    /// Applies in-place string growth: `x.push_str(e)`, `x.push(e)`,
+    /// `x.extend(e)`, `x.write_str(e)`, and `write!(x, ...)` /
+    /// `writeln!(x, ...)` with a plain-identifier receiver.
+    fn mutation_at(&mut self, i: usize, end: usize) -> bool {
+        let t = &self.tokens[i];
+        if t.kind != TokenKind::Ident {
+            return false;
+        }
+        if self.is_p(i + 1, ".")
+            && self.ident_at(i + 2).is_some_and(|m| {
+                matches!(m, "push_str" | "push" | "extend" | "write_str")
+            })
+            && self.is_p(i + 3, "(")
+        {
+            let close = self.matching_paren(i + 3, end);
+            let v = self.eval(i + 4, close);
+            let joined = self.env.get(&t.text).copied().unwrap_or(Taint::CLEAN);
+            self.env.insert(t.text.clone(), joined.join(v));
+            return true;
+        }
+        if (t.is_ident("write") || t.is_ident("writeln"))
+            && self.is_p(i + 1, "!")
+            && self.is_p(i + 2, "(")
+        {
+            let close = self.matching_paren(i + 2, end);
+            if let Some(recv) = self.ident_at(i + 3).map(str::to_string) {
+                if self.is_p(i + 4, ",") {
+                    let v = self.eval(i + 5, close);
+                    let joined = self.env.get(&recv).copied().unwrap_or(Taint::CLEAN);
+                    self.env.insert(recv, joined.join(v));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Index of the `)` matching the `(` at `open`.
+    fn matching_paren(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            let t = &self.tokens[j];
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Top-level comma-separated argument ranges of the call whose `(`
+    /// is at `open`.
+    fn split_args(&self, open: usize, end: usize) -> Vec<(usize, usize)> {
+        let close = self.matching_paren(open, end);
+        let mut args = Vec::new();
+        let mut depth = 0i32;
+        let mut seg = open + 1;
+        let mut j = open + 1;
+        while j < close {
+            let t = &self.tokens[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(",") {
+                args.push((seg, j));
+                seg = j + 1;
+            }
+            j += 1;
+        }
+        if seg < close {
+            args.push((seg, close));
+        }
+        args
+    }
+
+    /// Tests the call at `i` against the sink lists and emits a finding
+    /// when a source-derived argument reaches it.
+    fn sink_check(&mut self, i: usize, end: usize) {
+        if !self.emit {
+            return;
+        }
+        let Some(name) = self.ident_at(i).map(str::to_string) else { return };
+        let name = name.as_str();
+        let after_dot = self.is_p(i.wrapping_sub(1), ".");
+        let line = self.tokens[i].line;
+
+        // Outbound HTTP: `.request(method, target, ..)` and
+        // `.request_once(..)` — the first two arguments become the
+        // request line verbatim.
+        if after_dot
+            && matches!(name, "request" | "request_once")
+            && self.is_p(i + 1, "(")
+        {
+            let args = self.split_args(i + 1, end);
+            let mut v = Taint::CLEAN;
+            for a in args.iter().take(2) {
+                v = v.join(self.eval(a.0, a.1));
+            }
+            if v.tainted {
+                self.emit_finding(
+                    line,
+                    format!(".{name}(..)"),
+                    format!(
+                        "tainted value reaches the outbound HTTP request line in `{}` \
+                         (source at line {}); re-render from parsed values instead",
+                        self.fn_name, v.origin
+                    ),
+                );
+            }
+            return;
+        }
+
+        // Filesystem path construction: `.join(arg)` with arguments
+        // (thread-`join()` takes none), `.open(path)`, and the
+        // `Path::new` / `File::create` / `fs::write` family below.
+        if after_dot && matches!(name, "join" | "open") && self.is_p(i + 1, "(") {
+            let args = self.split_args(i + 1, end);
+            let v = self.eval_args(&args);
+            if !args.is_empty() && v.tainted {
+                self.emit_finding(
+                    line,
+                    format!(".{name}(..)"),
+                    format!(
+                        "tainted value reaches filesystem path construction in `{}` \
+                         (source at line {})",
+                        self.fn_name, v.origin
+                    ),
+                );
+            }
+            return;
+        }
+
+        // WAL record framing, free or method form.
+        if WAL_SINKS.contains(&name) && self.is_p(i + 1, "(") {
+            let args = self.split_args(i + 1, end);
+            let v = self.eval_args(&args);
+            if v.tainted {
+                self.emit_finding(
+                    line,
+                    format!("{name}(..)"),
+                    format!(
+                        "tainted value reaches WAL record framing in `{}` \
+                         (source at line {})",
+                        self.fn_name, v.origin
+                    ),
+                );
+            }
+            return;
+        }
+
+        // `Path::new(..)`, `PathBuf::from(..)`, `File::create/open`,
+        // `fs::write/rename/copy`, bare `create_dir_all`/`remove_file`.
+        let path_call = (matches!(name, "Path" | "PathBuf" | "File" | "fs")
+            && self.is_p(i + 1, "::")
+            && self.ident_at(i + 2).is_some_and(|m| {
+                matches!(
+                    m,
+                    "new" | "from" | "create" | "open" | "write" | "rename" | "copy"
+                )
+            })
+            && self.is_p(i + 3, "("))
+            || (!after_dot
+                && matches!(name, "create_dir_all" | "remove_file")
+                && self.is_p(i + 1, "("));
+        if path_call {
+            let open = if self.is_p(i + 1, "(") { i + 1 } else { i + 3 };
+            let args = self.split_args(open, end);
+            let v = self.eval_args(&args);
+            if v.tainted {
+                self.emit_finding(
+                    line,
+                    format!("{name}(..)"),
+                    format!(
+                        "tainted value reaches filesystem path construction in `{}` \
+                         (source at line {})",
+                        self.fn_name, v.origin
+                    ),
+                );
+            }
+        }
+    }
+
+    fn emit_finding(&mut self, line: u32, snippet: String, message: String) {
+        self.findings.push(Finding {
+            file: self.file.to_string(),
+            line,
+            lint: lints::A5_TAINT_TO_SINK,
+            snippet,
+            message,
+        });
+    }
+
+    /// Joins the taint of every argument range.
+    fn eval_args(&mut self, args: &[(usize, usize)]) -> Taint {
+        let mut v = Taint::CLEAN;
+        for a in args {
+            v = v.join(self.eval(a.0, a.1));
+        }
+        v
+    }
+
+    /// Evaluates the taint of the expression in `[start, end)`.
+    ///
+    /// The range is scanned as a sequence of *segments* separated by
+    /// operators/commas; within a segment, a sanitizer occurring after
+    /// the last taint atom cleans the segment (`raw.parse::<u32>()`),
+    /// while a taint atom after the last sanitizer keeps it tainted.
+    fn eval(&mut self, start: usize, end: usize) -> Taint {
+        let mut res = Taint::CLEAN;
+        let mut seg = Taint::CLEAN;
+        let mut taint_pos: Option<usize> = None;
+        let mut san_pos: Option<usize> = None;
+        let mut i = start;
+
+        macro_rules! flush {
+            () => {
+                if taint_pos.is_some()
+                    && (san_pos.is_none() || san_pos < taint_pos)
+                    && seg.any()
+                {
+                    res = res.join(seg);
+                }
+            };
+        }
+
+        while i < end {
+            let t = &self.tokens[i];
+            if t.kind == TokenKind::Punct && BOUNDARIES.contains(&t.text.as_str()) {
+                flush!();
+                seg = Taint::CLEAN;
+                taint_pos = None;
+                san_pos = None;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("match") {
+                let (v, after) = self.eval_match(i, end);
+                if v.any() {
+                    seg = seg.join(v);
+                    taint_pos = Some(i);
+                }
+                i = after;
+                continue;
+            }
+            if t.is_ident("return") {
+                let e = self.stmt_end(i + 1, end);
+                let v = self.eval(i + 1, e);
+                self.return_taint = self.return_taint.join(v);
+                i = e;
+                continue;
+            }
+            if t.is_ident("matches") && self.is_p(i + 1, "!") {
+                san_pos = Some(i);
+                i = self.matching_paren(i + 2, end) + 1;
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = t.text.as_str();
+            let after_dot = self.is_p(i.wrapping_sub(1), ".");
+            let after_path = self.is_p(i.wrapping_sub(1), "::");
+
+            // `Json::parse(..)` — the deserialized-JSON source.
+            if name == "parse"
+                && after_path
+                && self.ident_at(i.wrapping_sub(2)) == Some("Json")
+                && self.is_p(i + 1, "(")
+            {
+                seg = seg.join(Taint::source(t.line));
+                taint_pos = Some(i);
+                i = self.matching_paren(i + 1, end) + 1;
+                continue;
+            }
+            // `percent_decode(..)` — decoded client bytes.
+            if name == "percent_decode" && self.is_p(i + 1, "(") {
+                seg = seg.join(Taint::source(t.line));
+                taint_pos = Some(i);
+                i = self.matching_paren(i + 1, end) + 1;
+                continue;
+            }
+            if after_dot && SOURCE_METHODS.contains(&name) && self.is_p(i + 1, "(") {
+                seg = seg.join(Taint::source(t.line));
+                taint_pos = Some(i);
+                i = self.matching_paren(i + 1, end) + 1;
+                continue;
+            }
+            if after_dot
+                && SOURCE_FIELDS.contains(&name)
+                && !self.is_p(i + 1, "(")
+                && self
+                    .ident_at(i.wrapping_sub(2))
+                    .is_some_and(|r| SOURCE_RECEIVERS.contains(&r))
+            {
+                seg = seg.join(Taint::source(t.line));
+                taint_pos = Some(i);
+                i += 1;
+                continue;
+            }
+            // Sanitizers: `.parse`, `.as_u64()` / `Json::as_u64`,
+            // `u32::try_from(..)`.
+            let sanitizes = (after_dot && name == "parse")
+                || ((after_dot || after_path)
+                    && name != "parse"
+                    && SANITIZE_METHODS.contains(&name))
+                || (after_path && name == "try_from");
+            if sanitizes {
+                san_pos = Some(i);
+                i = self.skip_call_args(i + 1, end);
+                continue;
+            }
+            if after_dot && NEUTRALIZERS.contains(&name) && self.is_p(i + 1, "(") {
+                san_pos = Some(i);
+                i = self.matching_paren(i + 1, end) + 1;
+                continue;
+            }
+            if after_dot && ERROR_ADAPTERS.contains(&name) && self.is_p(i + 1, "(") {
+                i = self.matching_paren(i + 1, end) + 1;
+                continue;
+            }
+            // Known project function/method: apply its summary and
+            // skip the argument tokens (the summary decides what flows
+            // through; unknown callees fall through to textual union).
+            if self.is_p(i + 1, "(") {
+                if let Some(s) = self.summaries.get(name).copied() {
+                    let args = self.split_args(i + 1, end);
+                    let mut v =
+                        if s.tainted { Taint::source(t.line) } else { Taint::CLEAN };
+                    for (k, a) in args.iter().enumerate() {
+                        if k < 32 && s.mask & (1 << k) != 0 {
+                            v = v.join(self.eval(a.0, a.1));
+                        }
+                    }
+                    if v.any() {
+                        seg = seg.join(v);
+                        taint_pos = Some(i);
+                    }
+                    i = self.matching_paren(i + 1, end) + 1;
+                    continue;
+                }
+            }
+            // Environment lookup: a bound local/parameter read.
+            if !after_dot && !after_path && !self.is_p(i + 1, "(") {
+                if let Some(v) = self.env.get(name).copied() {
+                    if v.any() {
+                        seg = seg.join(v);
+                        taint_pos = Some(i);
+                    }
+                }
+            }
+            i += 1;
+        }
+        flush!();
+        res
+    }
+
+    /// Skips an optional turbofish (`::<..>`) and the call's parens.
+    fn skip_call_args(&self, from: usize, end: usize) -> usize {
+        let mut j = from;
+        if self.is_p(j, "::") && self.is_p(j + 1, "<") {
+            let mut angle = 0i32;
+            j += 1;
+            while j < end {
+                match self.tokens[j].text.as_str() {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if angle <= 0 {
+                    break;
+                }
+            }
+        }
+        if self.is_p(j, "(") {
+            self.matching_paren(j, end) + 1
+        } else {
+            j
+        }
+    }
+
+    /// Evaluates a `match`: arms bind their patterns to the scrutinee
+    /// taint, the value is the join of the arm *bodies* (the scrutinee
+    /// itself does not leak into the value — `match raw.parse() {..}`
+    /// is clean when every arm is). Returns (value, index past `}`).
+    fn eval_match(&mut self, i: usize, end: usize) -> (Taint, usize) {
+        let open = self.scan_to(i + 1, end, |t, d| d == 0 && t.is_punct("{"));
+        if open >= end {
+            return (Taint::CLEAN, end);
+        }
+        let scrut = self.eval(i + 1, open);
+        let close = self.matching_brace(open, end);
+        let mut value = Taint::CLEAN;
+        for (ps, pe, bs, be) in self.parse_arms(open, close) {
+            let saved: Vec<(String, Option<Taint>)> = pattern_idents(self.tokens, ps, pe)
+                .into_iter()
+                .map(|n| {
+                    let old = self.env.get(&n).copied();
+                    self.env.insert(n.clone(), scrut);
+                    (n, old)
+                })
+                .collect();
+            value = value.join(self.eval(bs, be));
+            for (n, old) in saved {
+                match old {
+                    Some(v) => {
+                        self.env.insert(n, v);
+                    }
+                    None => {
+                        self.env.remove(&n);
+                    }
+                }
+            }
+        }
+        (value, close + 1)
+    }
+
+    /// Splits the arms of a `match` whose braces are `[open, close]`
+    /// into (pattern_start, pattern_end, body_start, body_end) tuples.
+    fn parse_arms(&self, open: usize, close: usize) -> Vec<(usize, usize, usize, usize)> {
+        let mut arms = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            let pat_start = j;
+            let arrow = self.scan_to(j, close, |t, d| d == 0 && t.is_punct("=>"));
+            if arrow >= close {
+                break;
+            }
+            let body_start = arrow + 1;
+            let body_end = if self.is_p(body_start, "{") {
+                self.matching_brace(body_start, close) + 1
+            } else {
+                self.scan_to(body_start, close, |t, d| d == 0 && t.is_punct(","))
+            };
+            arms.push((pat_start, arrow, body_start, body_end.min(close)));
+            j = body_end.min(close);
+            if self.is_p(j, ",") {
+                j += 1;
+            }
+        }
+        arms
+    }
+}
+
+/// Lowercase binding identifiers in a pattern range (guards excluded).
+fn pattern_idents(tokens: &[Token], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("if") {
+            break;
+        } else if t.kind == TokenKind::Ident
+            && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+            && !matches!(t.text.as_str(), "mut" | "ref" | "box" | "in" | "as" | "_")
+            && !tokens.get(j + 1).is_some_and(|n| n.is_punct("(") || n.is_punct(":"))
+            && !tokens
+                .get(j.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct(".") || p.is_punct("::"))
+        {
+            out.push(t.text.clone());
+        }
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn run(src: &str) -> Vec<Finding> {
+        let tokens = strip_test_code(lex(src).tokens);
+        let index = index_file(&tokens);
+        let mut s1 = Summaries::new();
+        summarize(&tokens, &index, &Summaries::new(), &mut s1);
+        let mut s2 = Summaries::new();
+        summarize(&tokens, &index, &s1, &mut s2);
+        let mut findings = Vec::new();
+        check("f.rs", &tokens, &index, &s2, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn query_param_to_request_target_is_flagged() {
+        let f = run("fn h(req: &Request, c: &mut Client) {\n\
+                     let raw = req.query_param(\"q\").unwrap_or_default();\n\
+                     let target = format!(\"/v1/rules?q={}\", raw);\n\
+                     c.request(\"GET\", &target, None);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, lints::A5_TAINT_TO_SINK);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn parsed_and_rerendered_value_is_clean() {
+        let f = run("fn h(req: &Request, c: &mut Client) {\n\
+                     let q = match req.query_param(\"q\") {\n\
+                     None => None,\n\
+                     Some(raw) => match raw.parse::<f64>() {\n\
+                     Ok(v) => Some(v),\n\
+                     _ => return,\n\
+                     },\n\
+                     };\n\
+                     let target = format!(\"/v1/rules?q={}\", q.unwrap_or(0.0));\n\
+                     c.request(\"GET\", &target, None);\n\
+                     }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn one_level_summary_taints_call_sites() {
+        let f = run("fn pick(req: &Request) -> String {\n\
+                     req.query_param(\"q\").unwrap_or_default().to_string()\n\
+                     }\n\
+                     fn h(req: &Request, c: &mut Client) {\n\
+                     let t = pick(req);\n\
+                     c.request(\"GET\", &t, None);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn param_returning_helper_propagates_argument_taint_only() {
+        let src_clean = "fn render(v: u32) -> String { format!(\"x={}\", v) }\n\
+                         fn h(c: &mut Client) {\n\
+                         let t = render(7);\n\
+                         c.request(\"GET\", &t, None);\n\
+                         }\n";
+        assert!(run(src_clean).is_empty());
+        let src_bad = "fn render(v: &str) -> String { format!(\"x={}\", v) }\n\
+                       fn h(req: &Request, c: &mut Client) {\n\
+                       let raw = req.query_param(\"q\").unwrap_or_default();\n\
+                       let t = render(&raw);\n\
+                       c.request(\"GET\", &t, None);\n\
+                       }\n";
+        let f = run(src_bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn matches_macro_neutralizes() {
+        let f = run("fn h(req: &Request, c: &mut Client) {\n\
+                     let wait = matches!(req.query_param(\"wait\"), Some(\"1\"));\n\
+                     let target = if wait { \"/v1/u?wait=true\" } else { \"/v1/u\" };\n\
+                     c.request(\"POST\", target, None);\n\
+                     }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn json_parse_to_path_join_is_flagged() {
+        let f = run("fn h(text: &str, dir: &Path) {\n\
+                     let doc = Json::parse(text).unwrap_or_default();\n\
+                     let name = doc.get(\"file\").to_string();\n\
+                     let p = dir.join(&name);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("path"));
+    }
+
+    #[test]
+    fn as_u64_sanitizes_json_fields() {
+        let f = run("fn h(text: &str, w: &mut Wal) {\n\
+                     let doc = Json::parse(text).unwrap_or_default();\n\
+                     let seq = doc.get(\"seq\").and_then(Json::as_u64).unwrap_or(0);\n\
+                     let mut out = Vec::new();\n\
+                     encode_record_into(seq, &out);\n\
+                     }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wal_framing_with_raw_bytes_is_flagged() {
+        let f = run("fn h(req: &Request) {\n\
+                     let mut out = Vec::new();\n\
+                     encode_payload(&req.body, &mut out);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("WAL"));
+    }
+
+    #[test]
+    fn push_str_accumulates_taint() {
+        let f = run("fn h(req: &Request, c: &mut Client) {\n\
+                     let mut target = String::from(\"/v1/rules\");\n\
+                     if let Some(raw) = req.query_param(\"q\") {\n\
+                     target.push_str(raw);\n\
+                     }\n\
+                     c.request(\"GET\", &target, None);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn validation_without_rerender_stays_tainted() {
+        // The PR 6 smuggling bug in miniature: the value is *checked*
+        // with parse() but the raw string is still embedded.
+        let f = run("fn h(req: &Request, c: &mut Client) {\n\
+                     let raw = req.query_param(\"q\").unwrap_or_default();\n\
+                     if raw.parse::<f64>().is_err() { return; }\n\
+                     let target = format!(\"/v1/rules?q={}\", raw);\n\
+                     c.request(\"GET\", &target, None);\n\
+                     }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+}

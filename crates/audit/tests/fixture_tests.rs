@@ -7,7 +7,7 @@
 
 use std::path::Path;
 
-use car_audit::{run_audit, AuditConfig, Finding};
+use car_audit::{run_audit, run_audit_with, AuditConfig, Finding, RunOptions};
 
 fn audit_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -34,6 +34,16 @@ fn audit_a3(name: &str) -> Vec<Finding> {
 
 fn audit_a4(name: &str) -> Vec<Finding> {
     let config = AuditConfig { a4: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn audit_a5(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a5: vec![fixture(name)], ..Default::default() };
+    run_audit(audit_root(), &config).expect("audit runs")
+}
+
+fn audit_a6(name: &str) -> Vec<Finding> {
+    let config = AuditConfig { a6: vec![fixture(name)], ..Default::default() };
     run_audit(audit_root(), &config).expect("audit runs")
 }
 
@@ -117,6 +127,98 @@ fn a4_bad_reports_discarded_io_with_exact_lines() {
 fn a4_clean_audits_clean() {
     let findings = audit_a4("a4_clean.rs");
     assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a5_bad_reports_every_tainted_sink_with_exact_lines() {
+    let findings = audit_a5("a5_bad.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![
+            ("a5-taint-to-sink", 16),
+            ("a5-taint-to-sink", 21),
+            ("a5-taint-to-sink", 26),
+        ],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a5_clean_audits_clean() {
+    let findings = audit_a5("a5_clean.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a5_summary_taints_only_the_call_site_with_a_tainted_argument() {
+    let findings = audit_a5("a5_summary.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![("a5-taint-to-sink", 14)],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a6_bad_reports_control_mirror_and_torn_with_exact_lines() {
+    let findings = audit_a6("a6_bad.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![
+            ("a6-relaxed-mirror", 17),
+            ("a6-relaxed-control", 21),
+            ("a6-torn-write", 27),
+        ],
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn a6_allowed_audits_clean_and_no_allow_is_stale() {
+    let findings = audit_a6("a6_allowed.rs");
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn a0_stale_allow_is_reported_and_flag_silences_it() {
+    let findings = audit_a1("a0_stale.rs");
+    assert_eq!(
+        lint_lines(&findings),
+        vec![("a0-stale-allow", 5)],
+        "findings: {findings:#?}"
+    );
+
+    let config = AuditConfig { a1: vec![fixture("a0_stale.rs")], ..Default::default() };
+    let opts = RunOptions { allow_stale_allows: true, ..Default::default() };
+    let report = run_audit_with(audit_root(), &config, &opts).expect("audit runs");
+    assert!(report.findings.is_empty(), "findings: {:#?}", report.findings);
+}
+
+#[test]
+fn parallel_engine_matches_serial_on_the_full_fixture_corpus() {
+    let all = |names: &[&str]| names.iter().map(|n| fixture(n)).collect::<Vec<_>>();
+    let config = AuditConfig {
+        a1: all(&["a1_bad.rs", "a1_clean.rs", "allow_no_reason.rs", "a0_stale.rs"]),
+        a2: all(&["a2_bad.rs", "a2_clean.rs"]),
+        a3: all(&["a3_bad.rs", "a3_clean.rs"]),
+        a4: all(&["a4_bad.rs", "a4_clean.rs"]),
+        a5: all(&["a5_bad.rs", "a5_clean.rs", "a5_summary.rs"]),
+        a6: all(&["a6_bad.rs", "a6_allowed.rs"]),
+    };
+    let serial = run_audit_with(
+        audit_root(),
+        &config,
+        &RunOptions { threads: 1, ..Default::default() },
+    )
+    .expect("serial audit runs");
+    let parallel = run_audit_with(
+        audit_root(),
+        &config,
+        &RunOptions { threads: 4, ..Default::default() },
+    )
+    .expect("parallel audit runs");
+    assert_eq!(serial.findings, parallel.findings);
+    assert!(!serial.findings.is_empty(), "corpus should produce findings");
 }
 
 #[test]

@@ -1,0 +1,7 @@
+//! A0 fixture: a reasoned `audit:allow` that suppresses nothing — the
+//! code under it was fixed but the escape hatch was left behind.
+
+fn tidy(x: Option<u32>) -> u32 {
+    // audit:allow(a1-unwrap) reason="the caller checked is_some"
+    x.unwrap_or(0)
+}

@@ -1,0 +1,27 @@
+//! A5 fixture: the pre-PR-6-fix router fan-out — percent-decoded query
+//! bytes are *validated* with parse() but the raw string is re-embedded
+//! verbatim into the worker request line (CR/LF smuggling), plus raw
+//! request bytes reaching WAL framing and a decoded name reaching a
+//! filesystem path. Every sink line must be flagged.
+
+fn rules(state: &RouterState, req: &Request) -> Response {
+    let mut target = String::from("/v1/rules");
+    if let Some(raw) = req.query_param("min_confidence") {
+        if raw.parse::<f64>().is_err() {
+            return Response::error(400, "min_confidence must be a float");
+        }
+        target.push_str("?min_confidence=");
+        target.push_str(raw);
+    }
+    let resp = state.client.request("GET", &target, None);
+    Response::from(resp)
+}
+
+fn archive(req: &Request, out: &mut Vec<u8>) {
+    encode_payload(&req.body, out);
+}
+
+fn export(req: &Request, dir: &Path) -> PathBuf {
+    let name = percent_decode(req.query).unwrap_or_default();
+    dir.join(&name)
+}

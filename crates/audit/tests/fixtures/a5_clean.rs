@@ -1,0 +1,36 @@
+//! A5 fixture: the post-fix pattern — query values are parsed to typed
+//! numbers, range-checked, and the request line is re-rendered from the
+//! typed values by a helper; JSON fields pass through as_u64 before
+//! reaching WAL framing. Must audit clean.
+
+fn worker_rules_target(min_confidence: Option<f64>) -> String {
+    let mut target = String::from("/v1/rules");
+    if let Some(q) = min_confidence {
+        target.push_str("?min_confidence=");
+        target.push_str(&q.to_string());
+    }
+    target
+}
+
+fn rules(state: &RouterState, req: &Request) -> Response {
+    let min_confidence = match req.query_param("min_confidence") {
+        None => None,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(q) if (0.0..=1.0).contains(&q) => Some(q),
+            _ => return Response::error(400, "min_confidence must be in [0, 1]"),
+        },
+    };
+    let target = worker_rules_target(min_confidence);
+    let resp = state.client.request("GET", &target, None);
+    Response::from(resp)
+}
+
+fn archive(req: &Request, out: &mut Vec<u8>) {
+    let doc = Json::parse(&req.body).unwrap_or_default();
+    let seq = doc.get("seq").and_then(Json::as_u64).unwrap_or(0);
+    encode_record_into(seq, out);
+}
+
+fn wait_flag(req: &Request) -> bool {
+    matches!(req.query_param("wait"), Some("1") | Some("true"))
+}

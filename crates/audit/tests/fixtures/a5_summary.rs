@@ -1,0 +1,20 @@
+//! A5 fixture: one-level call-summary propagation — a helper whose
+//! return value derives from its parameter taints exactly the call
+//! sites whose argument is tainted.
+
+fn render_target(suffix: &str) -> String {
+    let mut target = String::from("/v1/rules/");
+    target.push_str(suffix);
+    target
+}
+
+fn fan_out(req: &Request, c: &mut Client) {
+    let raw = req.query_param("shard").unwrap_or_default();
+    let target = render_target(raw);
+    c.request("GET", &target, None);
+}
+
+fn fixed_route(c: &mut Client) {
+    let target = render_target("all");
+    c.request("GET", &target, None);
+}

@@ -1,0 +1,28 @@
+//! A6 fixture: a Relaxed load feeding control flow, a lock-free read
+//! of a lock-mirrored gauge, and a torn write, all unannotated. Each
+//! site must be flagged with its lint.
+
+struct Gauges {
+    inner: Mutex<u64>,
+    units: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+fn update(g: &Gauges) {
+    let guard = g.inner.lock();
+    g.units.store(guard.count(), Ordering::Relaxed);
+}
+
+fn health(g: &Gauges) -> u64 {
+    g.units.load(Ordering::Relaxed)
+}
+
+fn spin(g: &Gauges) {
+    while !g.shutdown.load(Ordering::Relaxed) {
+        step();
+    }
+}
+
+fn reset(g: &Gauges) {
+    g.units.store(0, Ordering::Release);
+}

@@ -1,0 +1,111 @@
+//! SARIF 2.1.0 conformance: the rendered log must parse as JSON (via
+//! car-serve's parser, the same one CI consumers use) and carry the
+//! schema-mandated structure — version, tool driver with one rule per
+//! lint, and results whose ruleIds resolve against those rules.
+
+use car_audit::findings::lints;
+use car_audit::{sarif, Finding};
+use car_serve::json::Json;
+
+fn sample_findings() -> Vec<Finding> {
+    vec![
+        Finding {
+            file: "crates/shard/src/router.rs".to_string(),
+            line: 812,
+            lint: "a5-taint-to-sink",
+            snippet: ".request(..)".to_string(),
+            message: "tainted value reaches worker request line in `rules` (source at line 803)"
+                .to_string(),
+        },
+        Finding {
+            file: "crates/serve/src/http.rs".to_string(),
+            line: 41,
+            lint: "a0-stale-allow",
+            snippet: "audit:allow(a4-discard)".to_string(),
+            message: "reasoned audit:allow suppresses no findings".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn sarif_log_is_valid_json_with_the_mandated_skeleton() {
+    let log = Json::parse(&sarif::render(&sample_findings()))
+        .expect("SARIF log parses as JSON");
+
+    assert_eq!(log.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let schema = log.get("$schema").and_then(Json::as_str).expect("$schema present");
+    assert!(schema.contains("sarif-2.1.0"), "schema uri: {schema}");
+
+    let runs = log.get("runs").and_then(Json::as_array).expect("runs array");
+    assert_eq!(runs.len(), 1);
+    let driver =
+        runs[0].get("tool").and_then(|t| t.get("driver")).expect("tool.driver present");
+    assert_eq!(driver.get("name").and_then(Json::as_str), Some("car-audit"));
+
+    let rules = driver.get("rules").and_then(Json::as_array).expect("rules array");
+    assert_eq!(rules.len(), lints::ALL.len(), "one reportingDescriptor per lint");
+    for rule in rules {
+        let id = rule.get("id").and_then(Json::as_str).expect("rule id");
+        assert!(lints::ALL.contains(&id), "unknown rule id {id}");
+        assert!(
+            rule.get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Json::as_str)
+                .is_some_and(|t| !t.is_empty()),
+            "rule {id} missing shortDescription.text"
+        );
+    }
+}
+
+#[test]
+fn sarif_results_carry_rule_level_message_and_location() {
+    let findings = sample_findings();
+    let log = Json::parse(&sarif::render(&findings)).expect("SARIF log parses as JSON");
+    let results = log.get("runs").and_then(Json::as_array).expect("runs")[0]
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert_eq!(results.len(), findings.len());
+
+    for (result, finding) in results.iter().zip(&findings) {
+        assert_eq!(result.get("ruleId").and_then(Json::as_str), Some(finding.lint));
+        let expected_level =
+            if finding.lint == "a0-stale-allow" { "note" } else { "error" };
+        assert_eq!(result.get("level").and_then(Json::as_str), Some(expected_level));
+        assert_eq!(
+            result.get("message").and_then(|m| m.get("text")).and_then(Json::as_str),
+            Some(finding.message.as_str())
+        );
+
+        let physical = result
+            .get("locations")
+            .and_then(Json::as_array)
+            .and_then(|l| l.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .expect("physicalLocation present");
+        assert_eq!(
+            physical
+                .get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Json::as_str),
+            Some(finding.file.as_str())
+        );
+        assert_eq!(
+            physical
+                .get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Json::as_u64),
+            Some(u64::from(finding.line))
+        );
+    }
+}
+
+#[test]
+fn sarif_log_with_no_findings_has_an_empty_results_array() {
+    let log = Json::parse(&sarif::render(&[])).expect("empty SARIF log parses");
+    let results = log.get("runs").and_then(Json::as_array).expect("runs")[0]
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    assert!(results.is_empty());
+}

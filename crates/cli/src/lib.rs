@@ -101,8 +101,10 @@ COMMANDS:
              spawn mode forwards: [--min-support-count N] [--min-confidence F]
              [--l-min L] [--l-max L] [--window N] [--queue-capacity N]
     audit    Run the project's static-analysis lints (panic-freedom,
-             lock-order, checked arithmetic, discarded Results)
-             [--root DIR] [--format human|json] [--baseline FILE]
+             lock-order, checked arithmetic, discarded Results,
+             taint-to-sink dataflow, atomics discipline)
+             [--root DIR] [--format human|json|sarif] [--jobs N]
+             [--allow-stale-allows] [--baseline FILE]
              [--write-baseline FILE]
     help     Show this message
 

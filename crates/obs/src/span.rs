@@ -87,6 +87,7 @@ pub fn register_span(name: &'static str) -> SpanId {
 /// the registry) the guard is inert and the clock is never read.
 #[must_use = "the span ends when the guard drops; binding to _ ends it immediately"]
 pub fn span(id: SpanId) -> SpanGuard {
+    // audit:allow(a6-relaxed-control) reason="span capture is sampling-tolerant: a stale enabled flag loses or adds one span around the toggle, and the slot counters are monotonic atomics"
     if !SPANS_ENABLED.load(Ordering::Relaxed) || id.0 == OVERFLOW {
         return SpanGuard { active: None };
     }
