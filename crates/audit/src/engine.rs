@@ -53,6 +53,7 @@ pub fn default_config() -> AuditConfig {
             "crates/core/src/parallel.rs",
             "crates/obs/src",
             "crates/shard/src",
+            "crates/chaos/src",
         ]),
         a2: s(&["crates/serve/src", "crates/core/src"]),
         a3: s(&[
@@ -61,7 +62,7 @@ pub fn default_config() -> AuditConfig {
             "crates/apriori/src/apriori.rs",
             "crates/obs/src",
         ]),
-        a4: s(&["crates/serve/src", "crates/shard/src"]),
+        a4: s(&["crates/serve/src", "crates/shard/src", "crates/chaos/src"]),
         a5: s(&["crates/serve/src", "crates/shard/src"]),
         a6: s(&["crates/shard/src", "crates/serve/src", "crates/obs/src"]),
     }

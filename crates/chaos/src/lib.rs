@@ -1,0 +1,32 @@
+//! # car-chaos — deterministic network fault injection
+//!
+//! A zero-dependency, in-process TCP proxy that sits between a client
+//! and an upstream and injects faults drawn from a seeded
+//! [`FaultSchedule`]: pre-forward delays, byte-rate throttling
+//! (slow-loris in both directions), connection resets after a byte
+//! budget, black-holes (accept-then-silence), deterministic bit
+//! corruption, and timed full/asymmetric partitions.
+//!
+//! Every per-connection decision is a pure function of
+//! `(seed, connection id)` — the same splitmix64 stream construction
+//! the shard ring uses — so **the same seed and schedule produce the
+//! same fault trace**, byte for byte. That is what makes chaos runs
+//! reproducible: a failing CI run prints its seed, and
+//! `car chaos --seed S --schedule f` replays the exact fault sequence
+//! locally.
+//!
+//! ```text
+//! client ──► car chaos --listen :9000 --upstream :8080 --seed 42 ──► car serve
+//! ```
+//!
+//! The proxy is used by `crates/cli/tests/chaos_cluster.rs` to prove
+//! the resilience layer it motivated: the shard router's circuit
+//! breakers, deadline propagation, and the serve tier's load shedding.
+
+mod proxy;
+mod schedule;
+
+pub use proxy::{run_proxy, ChaosConfig, ChaosHandle};
+pub use schedule::{
+    ConnAction, ConnPlan, Direction, FaultSchedule, PartitionWindow, ScheduleConfig,
+};

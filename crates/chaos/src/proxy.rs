@@ -1,0 +1,544 @@
+//! The fault-injecting TCP proxy: accepts on `listen`, forwards to
+//! `upstream`, and applies each connection's [`ConnPlan`] plus any
+//! active partition window.
+//!
+//! Fault semantics, chosen so the shard router's replay arithmetic
+//! stays honest:
+//!
+//! - **Partition activating mid-connection kills the connection** (both
+//!   halves shut down, like a firewall RST) rather than stalling the
+//!   bytes. Delivering buffered bytes after the heal would let a
+//!   worker's accepted count drift from what the router believes it
+//!   routed, corrupting catch-up accounting.
+//! - **New connections during a full partition** are accepted and held
+//!   in silence until the window ends, then closed — the black-hole
+//!   shape real middleboxes produce.
+//! - **Reset** cuts both halves once the total forwarded byte budget is
+//!   spent; a half-written request stays half-written.
+//! - **Black-hole** connections read and discard forever (until EOF or
+//!   proxy shutdown) and never answer.
+//! - **Throttle** caps bytes/second per direction by shrinking reads
+//!   and sleeping between chunks (a cooperative slow-loris).
+//! - **Corruption** flips one bit every `period` forwarded bytes at
+//!   deterministic stream offsets.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::schedule::{ConnAction, ConnPlan, Direction, FaultSchedule, ScheduleConfig};
+
+/// How often blocked loops re-check shutdown / partition flags.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Proxy configuration.
+pub struct ChaosConfig {
+    /// Address to listen on (e.g. `127.0.0.1:0`).
+    pub listen: String,
+    /// Address to forward to.
+    pub upstream: String,
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Parsed fault schedule.
+    pub schedule: ScheduleConfig,
+    /// Arm partition windows at proxy start (CLI default). Tests leave
+    /// this off and call [`ChaosHandle::arm_partitions`] when staged.
+    pub arm_on_start: bool,
+}
+
+/// The armed epoch partition windows are measured from.
+struct PartitionClock {
+    epoch: Mutex<Option<Instant>>,
+}
+
+impl PartitionClock {
+    fn arm(&self) {
+        if let Ok(mut epoch) = self.epoch.lock() {
+            *epoch = Some(Instant::now());
+        }
+    }
+
+    fn elapsed(&self) -> Option<Duration> {
+        self.epoch.lock().ok().and_then(|epoch| epoch.map(|e| e.elapsed()))
+    }
+}
+
+/// A running chaos proxy: its bound address, its schedule (for trace
+/// inspection), and shutdown control. Dropping the handle stops the
+/// proxy.
+pub struct ChaosHandle {
+    addr: SocketAddr,
+    schedule: Arc<FaultSchedule>,
+    clock: Arc<PartitionClock>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosHandle {
+    /// The address the proxy is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The per-connection fault trace recorded so far.
+    pub fn trace(&self) -> Vec<String> {
+        self.schedule.trace()
+    }
+
+    /// (Re-)arms partition windows: offsets in the schedule are
+    /// measured from this instant.
+    pub fn arm_partitions(&self) {
+        self.clock.arm();
+    }
+
+    /// Stops the proxy and joins the accept loop.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock a listener that may be parked in accept by poking it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
+        if let Some(handle) = self.accept_thread.take() {
+            // audit:allow(a4-discard) reason="joining the accept loop on shutdown; a panicked accept thread has already stopped serving and the payload carries nothing actionable"
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the proxy shuts down (Ctrl-C path for the CLI).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            // audit:allow(a4-discard) reason="joining the accept loop on shutdown; a panicked accept thread has already stopped serving and the payload carries nothing actionable"
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Boots the proxy and returns its handle.
+///
+/// # Errors
+///
+/// Propagates listener bind failures.
+pub fn run_proxy(config: ChaosConfig) -> io::Result<ChaosHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let schedule = Arc::new(FaultSchedule::new(config.schedule, config.seed));
+    let clock = Arc::new(PartitionClock { epoch: Mutex::new(None) });
+    if config.arm_on_start {
+        clock.arm();
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_thread = {
+        let schedule = Arc::clone(&schedule);
+        let clock = Arc::clone(&clock);
+        let shutdown = Arc::clone(&shutdown);
+        let upstream = config.upstream;
+        thread::Builder::new().name("car-chaos-accept".to_string()).spawn(move || {
+            accept_loop(&listener, &upstream, &schedule, &clock, &shutdown);
+        })?
+    };
+
+    Ok(ChaosHandle {
+        addr,
+        schedule,
+        clock,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    schedule: &Arc<FaultSchedule>,
+    clock: &Arc<PartitionClock>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Plans are assigned here, in accept order, so the
+                // trace is deterministic even though connections are
+                // then handled concurrently.
+                let plan = schedule.plan_conn();
+                let upstream = upstream.to_string();
+                let schedule = Arc::clone(schedule);
+                let clock = Arc::clone(clock);
+                let shutdown = Arc::clone(shutdown);
+                let spawned = thread::Builder::new()
+                    .name(format!("car-chaos-conn-{}", plan.conn_id))
+                    .spawn(move || {
+                        handle_conn(
+                            stream, plan, &upstream, &schedule, &clock, &shutdown,
+                        );
+                    });
+                // Spawn failure (thread exhaustion): drop the client
+                // connection; the peer sees a reset, which is within
+                // the proxy's contract.
+                drop(spawned);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Sleeps `total` in poll slices, returning early (false) on shutdown.
+fn interruptible_sleep(total: Duration, shutdown: &AtomicBool) -> bool {
+    let deadline = Instant::now() + total;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        thread::sleep((deadline - now).min(POLL));
+    }
+}
+
+fn active_partition(
+    schedule: &FaultSchedule,
+    clock: &PartitionClock,
+) -> Option<Direction> {
+    clock.elapsed().and_then(|e| schedule.partition_at(e))
+}
+
+fn handle_conn(
+    client: TcpStream,
+    plan: ConnPlan,
+    upstream: &str,
+    schedule: &Arc<FaultSchedule>,
+    clock: &Arc<PartitionClock>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if let Some(delay) = plan.delay {
+        if !interruptible_sleep(delay, shutdown) {
+            return;
+        }
+    }
+
+    // A full partition at accept time: hold the connection in silence
+    // until the window ends, then close without ever forwarding.
+    if active_partition(schedule, clock) == Some(Direction::Both) {
+        while active_partition(schedule, clock) == Some(Direction::Both) {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(POLL);
+        }
+        return;
+    }
+
+    if plan.action == ConnAction::BlackHole {
+        black_hole(client, shutdown);
+        return;
+    }
+
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+
+    let shared = Arc::new(ConnShared {
+        forwarded: AtomicU64::new(0),
+        dead: AtomicBool::new(false),
+    });
+
+    let up = {
+        let shared = Arc::clone(&shared);
+        let schedule = Arc::clone(schedule);
+        let clock = Arc::clone(clock);
+        let shutdown = Arc::clone(shutdown);
+        thread::Builder::new().name(format!("car-chaos-up-{}", plan.conn_id)).spawn(
+            move || {
+                pump(
+                    client_rd, server, true, plan, &shared, &schedule, &clock, &shutdown,
+                );
+            },
+        )
+    };
+    pump(server_rd, client, false, plan, &shared, schedule, clock, shutdown);
+    if let Ok(handle) = up {
+        // audit:allow(a4-discard) reason="joining the upstream pump half; a panicked pump has already torn the bridged connection down"
+        let _ = handle.join();
+    }
+}
+
+/// Reads and discards forever; never answers.
+fn black_hole(stream: TcpStream, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut stream = stream;
+    let mut sink = [0u8; 1024];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// State shared by the two pump directions of one connection.
+struct ConnShared {
+    /// Total bytes forwarded, both directions (the reset budget).
+    forwarded: AtomicU64,
+    /// Set when either direction decides the connection must die.
+    dead: AtomicBool,
+}
+
+/// Cuts both halves of the connection (firewall-RST shape).
+fn kill(from: &TcpStream, to: &TcpStream, shared: &ConnShared) {
+    shared.dead.store(true, Ordering::SeqCst);
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    to_upstream: bool,
+    plan: ConnPlan,
+    shared: &ConnShared,
+    schedule: &FaultSchedule,
+    clock: &PartitionClock,
+    shutdown: &AtomicBool,
+) {
+    let _ = from.set_read_timeout(Some(POLL));
+    // Throttled connections read in small chunks so the rate cap stays
+    // smooth and the loop stays responsive to partitions and shutdown.
+    let chunk = plan
+        .throttle_bytes_per_sec
+        .map_or(4096usize, |bps| usize::try_from(bps.clamp(16, 4096)).unwrap_or(4096));
+    let mut buf = vec![0u8; chunk];
+    // Per-direction stream offset, for deterministic corruption sites.
+    let mut offset: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::SeqCst) || shared.dead.load(Ordering::SeqCst) {
+            kill(&from, &to, shared);
+            return;
+        }
+        if let Some(dir) = active_partition(schedule, clock) {
+            if dir.blocks(to_upstream) {
+                kill(&from, &to, shared);
+                return;
+            }
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                // Half-close: let the other direction finish draining.
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                kill(&from, &to, shared);
+                return;
+            }
+        };
+        let Some(payload) = buf.get_mut(..n) else {
+            kill(&from, &to, shared);
+            return;
+        };
+
+        // Reset budget: truncate to the remaining allowance; once the
+        // budget hits zero the connection dies with the tail unsent.
+        let mut send_len = payload.len();
+        let mut cut_after = false;
+        if let ConnAction::Reset { after_bytes } = plan.action {
+            let already = shared.forwarded.load(Ordering::SeqCst);
+            let allowed = after_bytes.saturating_sub(already);
+            if allowed < send_len as u64 {
+                send_len = usize::try_from(allowed).unwrap_or(0);
+                cut_after = true;
+            }
+        }
+
+        if send_len > 0 {
+            let Some(chunk_out) = payload.get_mut(..send_len) else {
+                kill(&from, &to, shared);
+                return;
+            };
+            if let Some(period) = plan.corrupt_period {
+                corrupt(chunk_out, offset, u64::from(period));
+            }
+            offset = offset.wrapping_add(send_len as u64);
+            shared.forwarded.fetch_add(send_len as u64, Ordering::SeqCst);
+            if to.write_all(chunk_out).and_then(|()| to.flush()).is_err() {
+                kill(&from, &to, shared);
+                return;
+            }
+        }
+        if cut_after {
+            kill(&from, &to, shared);
+            return;
+        }
+        if let Some(bps) = plan.throttle_bytes_per_sec {
+            let nanos = (send_len as u64)
+                .saturating_mul(1_000_000_000)
+                .checked_div(bps.max(1))
+                .unwrap_or(0);
+            if !interruptible_sleep(Duration::from_nanos(nanos), shutdown) {
+                kill(&from, &to, shared);
+                return;
+            }
+        }
+    }
+}
+
+/// Flips one bit every `period` bytes of the stream, at deterministic
+/// offsets: byte `k*period` gets bit `k % 8` flipped.
+fn corrupt(chunk: &mut [u8], stream_offset: u64, period: u64) {
+    let period = period.max(1);
+    for (i, byte) in chunk.iter_mut().enumerate() {
+        let pos = stream_offset.wrapping_add(i as u64);
+        if pos.checked_rem(period) == Some(0) {
+            let bit = pos.checked_div(period).unwrap_or(0) & 7;
+            *byte ^= 1u8 << bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A tiny line-echo upstream: reads a line, echoes it back.
+    fn echo_upstream() -> (SocketAddr, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let handle = thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut stream = stream;
+                let mut line = String::new();
+                while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    if stream.write_all(line.as_bytes()).is_err() {
+                        break;
+                    }
+                    let _ = stream.flush();
+                    line.clear();
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn proxy_to(upstream: SocketAddr, schedule: &str, seed: u64) -> ChaosHandle {
+        run_proxy(ChaosConfig {
+            listen: "127.0.0.1:0".to_string(),
+            upstream: upstream.to_string(),
+            seed,
+            schedule: ScheduleConfig::parse(schedule).expect("schedule"),
+            arm_on_start: true,
+        })
+        .expect("proxy boots")
+    }
+
+    #[test]
+    fn clean_schedule_forwards_transparently() {
+        let (upstream, _echo) = echo_upstream();
+        let mut proxy = proxy_to(upstream, "", 1);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.write_all(b"hello chaos\n").expect("write");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "hello chaos\n");
+        proxy.stop();
+        assert_eq!(proxy.trace().len(), 1);
+    }
+
+    #[test]
+    fn reset_cuts_the_stream_after_budget() {
+        let (upstream, _echo) = echo_upstream();
+        // prob=1 with a tiny budget: every connection dies early.
+        let mut proxy = proxy_to(upstream, "reset prob=1 after_bytes=4..4", 2);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let _ = conn.write_all(b"hello chaos, this line is longer than four bytes\n");
+        let mut buf = Vec::new();
+        // Read to EOF/reset: at most 4 bytes can ever come back.
+        let _ = conn.read_to_end(&mut buf);
+        assert!(buf.len() <= 4, "got {} bytes back", buf.len());
+        proxy.stop();
+    }
+
+    #[test]
+    fn blackhole_never_answers() {
+        let (upstream, _echo) = echo_upstream();
+        let mut proxy = proxy_to(upstream, "blackhole prob=1", 3);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_millis(300))).expect("timeout");
+        conn.write_all(b"anyone home?\n").expect("write");
+        let mut buf = [0u8; 16];
+        let got = conn.read(&mut buf);
+        let silent = matches!(
+            got,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        ) || matches!(got, Ok(0));
+        assert!(silent, "black-holed connection answered: {got:?}");
+        proxy.stop();
+    }
+
+    #[test]
+    fn full_partition_blocks_then_heals() {
+        let (upstream, _echo) = echo_upstream();
+        let mut proxy =
+            proxy_to(upstream, "partition start_ms=0 duration_ms=400 dir=both", 4);
+        // During the window: accepted, but silent.
+        let mut during = TcpStream::connect(proxy.addr()).expect("connect");
+        during.set_read_timeout(Some(Duration::from_millis(200))).expect("timeout");
+        let _ = during.write_all(b"lost\n");
+        let mut buf = [0u8; 8];
+        assert!(!matches!(during.read(&mut buf), Ok(n) if n > 0));
+        // After the window: traffic flows again.
+        thread::sleep(Duration::from_millis(450));
+        let mut after = TcpStream::connect(proxy.addr()).expect("connect");
+        after.write_all(b"back\n").expect("write");
+        let mut reader = BufReader::new(after.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert_eq!(line, "back\n");
+        proxy.stop();
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically() {
+        let mut a = *b"abcdefgh";
+        let mut b = *b"abcdefgh";
+        corrupt(&mut a, 0, 4);
+        corrupt(&mut b, 0, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, *b"abcdefgh");
+        // Offsets 0 and 4 are corrupted, the rest untouched.
+        assert_eq!(&a[1..4], b"bcd");
+        assert_eq!(&a[5..], b"fgh");
+    }
+}

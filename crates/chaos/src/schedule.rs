@@ -1,0 +1,528 @@
+//! The seeded fault schedule: every per-connection decision is a pure
+//! function of `(seed, connection id)`, so a chaos run is reproducible
+//! from its seed alone.
+//!
+//! The generator is the same splitmix64 mixer the shard ring uses for
+//! rendezvous hashing: each connection gets an independent stream
+//! seeded from `mix(seed ^ mix(conn_id))`, and every decision draws
+//! from that stream in a fixed order regardless of which faults are
+//! enabled — so enabling a fault never perturbs the draws of another.
+//!
+//! A [`FaultSchedule`] also records a human-readable trace line per
+//! connection. Two proxies with the same seed, schedule, and
+//! connection order produce byte-identical traces; the determinism
+//! test asserts exactly that.
+//!
+//! ## Schedule files
+//!
+//! One directive per line, `key=value` fields, `#` comments:
+//!
+//! ```text
+//! delay     prob=0.5  ms=10..80          # pre-forward delay per connection
+//! throttle  prob=0.25 bytes_per_sec=4096 # slow-loris both directions
+//! reset     prob=0.1  after_bytes=0..256 # cut the connection mid-stream
+//! blackhole prob=0.05                    # accept, then silence
+//! corrupt   prob=0.1  per_kb=2           # flip ~N bits per KiB forwarded
+//! partition start_ms=1000 duration_ms=2000 dir=both
+//! ```
+//!
+//! Partition windows are relative to an *epoch* the proxy arms at start
+//! (or later, via [`crate::ChaosHandle::arm_partitions`], so tests can
+//! stage healthy traffic first). `dir` is `both`, `to_upstream`
+//! (client bytes dropped), or `to_downstream` (server bytes dropped).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// splitmix64's output mixer — the same bit-mixing construction
+/// `car_shard::ring` uses, so fault placement quality matches the
+/// sharding hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic splitmix64 draw stream.
+struct Draws {
+    state: u64,
+}
+
+impl Draws {
+    fn for_conn(seed: u64, conn_id: u64) -> Draws {
+        Draws { state: mix(seed ^ mix(conn_id)) }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// A draw in `[0, 1)`, using the top 53 bits. Scaling by the exact
+    /// power-of-two constant is bit-identical to dividing by `2^53`.
+    fn next_f64(&mut self) -> f64 {
+        const TWO_NEG_53: f64 = 1.110_223_024_625_156_5e-16;
+        (self.next() >> 11) as f64 * TWO_NEG_53
+    }
+
+    /// A draw in `lo..=hi` (inclusive; `lo` when the range is empty).
+    fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        let span = hi.saturating_sub(lo).saturating_add(1);
+        lo.saturating_add(self.next().checked_rem(span).unwrap_or(0))
+    }
+}
+
+/// Which direction a partition window blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Both directions: the link is fully cut.
+    Both,
+    /// Client-to-upstream bytes are dropped (requests vanish).
+    ToUpstream,
+    /// Upstream-to-client bytes are dropped (responses vanish).
+    ToDownstream,
+}
+
+impl Direction {
+    /// Whether this partition direction blocks traffic flowing
+    /// client-to-upstream (`true`) / upstream-to-client (`false`).
+    pub fn blocks(self, to_upstream: bool) -> bool {
+        match self {
+            Direction::Both => true,
+            Direction::ToUpstream => to_upstream,
+            Direction::ToDownstream => !to_upstream,
+        }
+    }
+
+    /// The schedule-file spelling of this direction.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Both => "both",
+            Direction::ToUpstream => "to_upstream",
+            Direction::ToDownstream => "to_downstream",
+        }
+    }
+}
+
+/// A timed partition window, relative to the armed epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionWindow {
+    /// Offset from the epoch at which the partition begins.
+    pub start: Duration,
+    /// How long the partition lasts.
+    pub duration: Duration,
+    /// Which direction is blocked.
+    pub dir: Direction,
+}
+
+/// Parsed fault configuration (probabilities and magnitudes).
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleConfig {
+    /// `(probability, min ms, max ms)` pre-forward delay.
+    pub delay: Option<(f64, u64, u64)>,
+    /// `(probability, bytes/sec)` byte-rate throttle, both directions.
+    pub throttle: Option<(f64, u64)>,
+    /// `(probability, min bytes, max bytes)` connection reset after a
+    /// drawn number of forwarded bytes.
+    pub reset: Option<(f64, u64, u64)>,
+    /// Probability of accepting the connection and never forwarding.
+    pub blackhole_prob: f64,
+    /// `(probability, bits per KiB)` bit corruption of forwarded bytes.
+    pub corrupt: Option<(f64, u32)>,
+    /// Timed partition windows, relative to the armed epoch.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl ScheduleConfig {
+    /// Parses a schedule file (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<ScheduleConfig, String> {
+        let mut config = ScheduleConfig::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let directive = fields.next().unwrap_or("");
+            let mut get = Fields::parse(fields, lineno)?;
+            match directive {
+                "delay" => {
+                    let prob = get.prob()?;
+                    let (lo, hi) = get.range("ms")?;
+                    config.delay = Some((prob, lo, hi));
+                }
+                "throttle" => {
+                    let prob = get.prob()?;
+                    let bps = get.u64("bytes_per_sec")?;
+                    if bps == 0 {
+                        return Err(format!(
+                            "line {}: bytes_per_sec must be positive",
+                            lineno + 1
+                        ));
+                    }
+                    config.throttle = Some((prob, bps));
+                }
+                "reset" => {
+                    let prob = get.prob()?;
+                    let (lo, hi) = get.range("after_bytes")?;
+                    config.reset = Some((prob, lo, hi));
+                }
+                "blackhole" => config.blackhole_prob = get.prob()?,
+                "corrupt" => {
+                    let prob = get.prob()?;
+                    let per_kb = get.u64("per_kb")?;
+                    let per_kb = u32::try_from(per_kb.clamp(1, 8192)).unwrap_or(1);
+                    config.corrupt = Some((prob, per_kb));
+                }
+                "partition" => {
+                    let start = Duration::from_millis(get.u64("start_ms")?);
+                    let duration = Duration::from_millis(get.u64("duration_ms")?);
+                    let dir = match get.str("dir").unwrap_or("both") {
+                        "both" => Direction::Both,
+                        "to_upstream" => Direction::ToUpstream,
+                        "to_downstream" => Direction::ToDownstream,
+                        other => {
+                            return Err(format!(
+                                "line {}: unknown partition dir `{other}`",
+                                lineno + 1
+                            ))
+                        }
+                    };
+                    config.partitions.push(PartitionWindow { start, duration, dir });
+                }
+                other => {
+                    return Err(format!(
+                        "line {}: unknown directive `{other}`",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// `key=value` field accessor for one schedule line.
+struct Fields {
+    pairs: Vec<(String, String)>,
+    lineno: usize,
+}
+
+impl Fields {
+    fn parse<'a>(
+        fields: impl Iterator<Item = &'a str>,
+        lineno: usize,
+    ) -> Result<Fields, String> {
+        let mut pairs = Vec::new();
+        for field in fields {
+            let Some((k, v)) = field.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected key=value, got `{field}`",
+                    lineno + 1
+                ));
+            };
+            pairs.push((k.to_string(), v.to_string()));
+        }
+        Ok(Fields { pairs, lineno })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, String> {
+        let raw = self
+            .str(key)
+            .ok_or_else(|| format!("line {}: missing {key}=", self.lineno + 1))?;
+        raw.parse::<u64>()
+            .map_err(|_| format!("line {}: invalid {key} `{raw}`", self.lineno + 1))
+    }
+
+    fn prob(&mut self) -> Result<f64, String> {
+        let raw = self
+            .str("prob")
+            .ok_or_else(|| format!("line {}: missing prob=", self.lineno + 1))?;
+        match raw.parse::<f64>() {
+            Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
+            _ => {
+                Err(format!("line {}: prob must be 0..=1, got `{raw}`", self.lineno + 1))
+            }
+        }
+    }
+
+    /// A `key=lo..hi` (or `key=n`, meaning `n..n`) inclusive range.
+    fn range(&mut self, key: &str) -> Result<(u64, u64), String> {
+        let raw = self
+            .str(key)
+            .ok_or_else(|| format!("line {}: missing {key}=", self.lineno + 1))?;
+        let (lo, hi) = match raw.split_once("..") {
+            Some((lo, hi)) => (lo, hi),
+            None => (raw, raw),
+        };
+        let parse = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("line {}: invalid {key} `{raw}`", self.lineno + 1))
+        };
+        let (lo, hi) = (parse(lo)?, parse(hi)?);
+        if hi < lo {
+            return Err(format!("line {}: {key} range is inverted", self.lineno + 1));
+        }
+        Ok((lo, hi))
+    }
+}
+
+/// What happens to one connection's byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnAction {
+    /// Forward normally (possibly delayed / throttled / corrupted).
+    Pass,
+    /// Cut the connection after this many forwarded bytes (total, both
+    /// directions).
+    Reset {
+        /// Forwarded-byte budget before the cut.
+        after_bytes: u64,
+    },
+    /// Accept, read, and never forward or answer.
+    BlackHole,
+}
+
+/// The fault plan for one proxied connection.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnPlan {
+    /// Connection ordinal (accept order; the trace key).
+    pub conn_id: u64,
+    /// Sleep before the first byte is forwarded.
+    pub delay: Option<Duration>,
+    /// Byte-rate cap per direction, bytes per second.
+    pub throttle_bytes_per_sec: Option<u64>,
+    /// Terminal disposition of the stream.
+    pub action: ConnAction,
+    /// Corrupt one bit every `period` forwarded bytes (`None` = clean).
+    pub corrupt_period: Option<u32>,
+}
+
+impl ConnPlan {
+    fn trace_line(&self) -> String {
+        let action = match self.action {
+            ConnAction::Pass => "pass".to_string(),
+            ConnAction::Reset { after_bytes } => format!("reset:{after_bytes}"),
+            ConnAction::BlackHole => "blackhole".to_string(),
+        };
+        format!(
+            "conn={} delay_ms={} throttle_bps={} action={} corrupt_period={}",
+            self.conn_id,
+            self.delay.map_or(0, |d| d.as_millis() as u64),
+            self.throttle_bytes_per_sec.unwrap_or(0),
+            action,
+            self.corrupt_period.unwrap_or(0),
+        )
+    }
+}
+
+/// The seeded schedule: per-connection fault plans plus the recorded
+/// trace.
+pub struct FaultSchedule {
+    seed: u64,
+    config: ScheduleConfig,
+    next_conn: AtomicU64,
+    trace: Mutex<Vec<String>>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from a parsed config and a seed.
+    pub fn new(config: ScheduleConfig, seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            config,
+            next_conn: AtomicU64::new(0),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The seed this schedule draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The parsed fault configuration.
+    pub fn config(&self) -> &ScheduleConfig {
+        &self.config
+    }
+
+    /// Pure decision function: the plan for connection `conn_id` under
+    /// `(seed, config)`. Exposed so tests can assert determinism
+    /// without a socket in sight.
+    pub fn decide(seed: u64, conn_id: u64, config: &ScheduleConfig) -> ConnPlan {
+        let mut draws = Draws::for_conn(seed, conn_id);
+        // Fixed draw order: every fault consumes its draws whether or
+        // not it is enabled or triggered, so schedules with different
+        // fault sets still agree on the shared draws.
+        let delay_p = draws.next_f64();
+        let delay_ms = {
+            let (lo, hi) = config.delay.map_or((0, 0), |(_, lo, hi)| (lo, hi));
+            draws.next_range(lo, hi)
+        };
+        let throttle_p = draws.next_f64();
+        let reset_p = draws.next_f64();
+        let reset_bytes = {
+            let (lo, hi) = config.reset.map_or((0, 0), |(_, lo, hi)| (lo, hi));
+            draws.next_range(lo, hi)
+        };
+        let blackhole_p = draws.next_f64();
+        let corrupt_p = draws.next_f64();
+
+        let delay = config
+            .delay
+            .filter(|&(p, _, _)| delay_p < p)
+            .map(|_| Duration::from_millis(delay_ms));
+        let throttle_bytes_per_sec =
+            config.throttle.filter(|&(p, _)| throttle_p < p).map(|(_, bps)| bps);
+        // Black-hole wins over reset: silence subsumes a late cut.
+        let action = if blackhole_p < config.blackhole_prob {
+            ConnAction::BlackHole
+        } else if config.reset.is_some_and(|(p, _, _)| reset_p < p) {
+            ConnAction::Reset { after_bytes: reset_bytes }
+        } else {
+            ConnAction::Pass
+        };
+        let corrupt_period = config
+            .corrupt
+            .filter(|&(p, _)| corrupt_p < p)
+            .map(|(_, per_kb)| 1024u32.checked_div(per_kb.max(1)).unwrap_or(1024).max(1));
+        ConnPlan { conn_id, delay, throttle_bytes_per_sec, action, corrupt_period }
+    }
+
+    /// Assigns the next connection id, decides its plan, and records
+    /// the trace line.
+    pub fn plan_conn(&self) -> ConnPlan {
+        let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let plan = Self::decide(self.seed, conn_id, &self.config);
+        if let Ok(mut trace) = self.trace.lock() {
+            trace.push(plan.trace_line());
+        }
+        plan
+    }
+
+    /// The recorded per-connection fault trace, in accept order.
+    pub fn trace(&self) -> Vec<String> {
+        self.trace.lock().map(|t| t.clone()).unwrap_or_default()
+    }
+
+    /// The active partition direction at `elapsed` past the armed
+    /// epoch, if any. `Both` dominates an asymmetric window.
+    pub fn partition_at(&self, elapsed: Duration) -> Option<Direction> {
+        let mut active = None;
+        for w in &self.config.partitions {
+            if elapsed >= w.start && elapsed < w.start.saturating_add(w.duration) {
+                if w.dir == Direction::Both {
+                    return Some(Direction::Both);
+                }
+                active = Some(w.dir);
+            }
+        }
+        active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_config() -> ScheduleConfig {
+        ScheduleConfig::parse(
+            "delay prob=0.5 ms=10..80\n\
+             throttle prob=0.4 bytes_per_sec=4096\n\
+             reset prob=0.3 after_bytes=0..256\n\
+             blackhole prob=0.1\n\
+             corrupt prob=0.2 per_kb=2\n\
+             partition start_ms=100 duration_ms=200 dir=both\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let config = full_config();
+        assert_eq!(config.delay, Some((0.5, 10, 80)));
+        assert_eq!(config.throttle, Some((0.4, 4096)));
+        assert_eq!(config.reset, Some((0.3, 0, 256)));
+        assert_eq!(config.blackhole_prob, 0.1);
+        assert_eq!(config.corrupt, Some((0.2, 2)));
+        assert_eq!(config.partitions.len(), 1);
+        assert_eq!(config.partitions[0].dir, Direction::Both);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "delay ms=10..80",                 // missing prob
+            "delay prob=2.0 ms=1..2",          // prob out of range
+            "reset prob=0.1 after_bytes=9..1", // inverted range
+            "throttle prob=0.1 bytes_per_sec=0",
+            "partition start_ms=0 duration_ms=10 dir=sideways",
+            "warp prob=0.5",
+        ] {
+            assert!(ScheduleConfig::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let config =
+            ScheduleConfig::parse("# nothing\n\n  delay prob=1 ms=5 # tail\n").unwrap();
+        assert_eq!(config.delay, Some((1.0, 5, 5)));
+    }
+
+    #[test]
+    fn same_seed_same_plans() {
+        let config = full_config();
+        for conn in 0..64u64 {
+            let a = FaultSchedule::decide(42, conn, &config);
+            let b = FaultSchedule::decide(42, conn, &config);
+            assert_eq!(a.trace_line(), b.trace_line());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let config = full_config();
+        let a: Vec<String> =
+            (0..64).map(|c| FaultSchedule::decide(1, c, &config).trace_line()).collect();
+        let b: Vec<String> =
+            (0..64).map(|c| FaultSchedule::decide(2, c, &config).trace_line()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partition_windows_are_time_bounded() {
+        let schedule = FaultSchedule::new(full_config(), 7);
+        assert_eq!(schedule.partition_at(Duration::from_millis(50)), None);
+        assert_eq!(
+            schedule.partition_at(Duration::from_millis(150)),
+            Some(Direction::Both)
+        );
+        assert_eq!(schedule.partition_at(Duration::from_millis(350)), None);
+    }
+
+    #[test]
+    fn trace_records_in_accept_order() {
+        let schedule = FaultSchedule::new(full_config(), 9);
+        for _ in 0..5 {
+            schedule.plan_conn();
+        }
+        let trace = schedule.trace();
+        assert_eq!(trace.len(), 5);
+        for (i, line) in trace.iter().enumerate() {
+            assert!(line.starts_with(&format!("conn={i} ")), "{line}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Idempotency-aware retry through the chaos proxy.
+//!
+//! The dangerous retry is a POST whose first attempt died *after* some
+//! request bytes reached the wire: the server may have applied it, so
+//! blindly retrying can double-ingest a unit. `RetryingClient` must
+//! give up on such a POST but retry a GET through the identical fault
+//! freely. The chaos proxy makes the scenario exact: `reset prob=1
+//! after_bytes=16` cuts every connection 16 forwarded bytes in — mid
+//! request head, after the client has written.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use car_chaos::{run_proxy, ChaosConfig, ChaosHandle, ScheduleConfig};
+use car_serve::{RetryPolicy, RetryingClient};
+
+/// A minimal upstream: answers every parseable exchange with 200 and
+/// an empty JSON body, drops broken connections silently.
+fn spawn_upstream() -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+    let addr = listener.local_addr().expect("upstream addr").to_string();
+    listener.set_nonblocking(true).expect("nonblocking");
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        while !stop_flag.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let mut buf = [0u8; 4096];
+                    let mut head = Vec::new();
+                    // Read until the blank line or a broken connection.
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                head.extend_from_slice(&buf[..n]);
+                                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                                    let _ = stream.write_all(
+                                        b"HTTP/1.1 200 OK\r\ncontent-type: \
+                                          application/json\r\ncontent-length: \
+                                          2\r\n\r\n{}",
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    });
+    (addr, stop, handle)
+}
+
+/// A proxy that resets every connection after 16 forwarded bytes.
+fn reset_proxy(upstream: &str) -> ChaosHandle {
+    run_proxy(ChaosConfig {
+        listen: "127.0.0.1:0".into(),
+        upstream: upstream.to_string(),
+        seed: 7,
+        schedule: ScheduleConfig {
+            reset: Some((1.0, 16, 16)),
+            ..ScheduleConfig::default()
+        },
+        arm_on_start: false,
+    })
+    .expect("proxy boots")
+}
+
+fn client_for(handle: &ChaosHandle, max_retries: u32) -> RetryingClient {
+    RetryingClient::with_seed(
+        handle.addr().to_string(),
+        RetryPolicy { max_retries, timeout: Duration::from_millis(500) },
+        99,
+    )
+}
+
+#[test]
+fn half_written_post_is_not_retried_but_gets_are() {
+    let (upstream, stop, upstream_thread) = spawn_upstream();
+    let mut proxy = reset_proxy(&upstream);
+
+    // POST through the always-reset proxy: the head is longer than the
+    // 16-byte budget, so the failure lands after request bytes were
+    // written. One connection in the trace — no retry — and no answer.
+    let mut client = client_for(&proxy, 3);
+    let resp = client.request("POST", "/v1/units", Some(b"{\"transactions\":[[1]]}"));
+    assert!(resp.is_none(), "half-written POST must not produce a response");
+    assert_eq!(
+        proxy.trace().len(),
+        1,
+        "a POST that died after writing must burn exactly one connection: {:?}",
+        proxy.trace()
+    );
+
+    // GET through the same fault: idempotent, so every retry is spent.
+    // max_retries=3 ⇒ up to 4 connections beyond the POST's single one.
+    let mut client = client_for(&proxy, 3);
+    let resp = client.request("GET", "/v1/rules", None);
+    assert!(resp.is_none(), "every attempt is reset; there is no answer");
+    let gets = proxy.trace().len() - 1;
+    assert!(
+        (2..=4).contains(&gets),
+        "an idempotent GET must retry (2-4 connections), saw {gets}: {:?}",
+        proxy.trace()
+    );
+
+    proxy.stop();
+    stop.store(true, Ordering::Relaxed);
+    upstream_thread.join().expect("upstream thread");
+}
+
+#[test]
+fn post_succeeds_when_the_budget_outlives_the_exchange() {
+    let (upstream, stop, upstream_thread) = spawn_upstream();
+    // Reset only after 1 MiB: the whole exchange fits comfortably.
+    let mut proxy = run_proxy(ChaosConfig {
+        listen: "127.0.0.1:0".into(),
+        upstream: upstream.clone(),
+        seed: 7,
+        schedule: ScheduleConfig {
+            reset: Some((1.0, 1 << 20, 1 << 20)),
+            ..ScheduleConfig::default()
+        },
+        arm_on_start: false,
+    })
+    .expect("proxy boots");
+    let mut client = client_for(&proxy, 1);
+    let resp = client.request("POST", "/v1/units", Some(b"{}"));
+    assert_eq!(resp.map(|r| r.status), Some(200));
+
+    proxy.stop();
+    stop.store(true, Ordering::Relaxed);
+    upstream_thread.join().expect("upstream thread");
+}
+
+/// The transport-level contract underneath the policy: the raw client
+/// reports `written = true` for the half-written exchange, which is
+/// exactly the signal `RetryingClient` keys the POST give-up on.
+#[test]
+fn try_request_reports_bytes_were_written() {
+    let (upstream, stop, upstream_thread) = spawn_upstream();
+    let mut proxy = reset_proxy(&upstream);
+    let mut client = car_serve::Client::connect_with_timeout(
+        &proxy.addr().to_string(),
+        Duration::from_millis(500),
+    )
+    .expect("connect through proxy");
+    let err = client
+        .try_request("POST", "/v1/units", &[], Some(b"{}"))
+        .expect_err("the exchange must fail");
+    assert!(err.written, "the request head went out before the reset");
+
+    proxy.stop();
+    stop.store(true, Ordering::Relaxed);
+    upstream_thread.join().expect("upstream thread");
+}

@@ -1,0 +1,136 @@
+//! Property tests for the deterministic fault schedule.
+//!
+//! The chaos proxy's whole value is reproducibility: a failure seen
+//! once under `--seed S` must be reproducible forever from `S` alone.
+//! These properties pin that down — the per-connection plan is a pure
+//! function of `(seed, conn_id, config)`, identical seeds give
+//! byte-identical traces, and distinct seeds actually diverge (a
+//! constant function would also be "deterministic").
+
+use car_chaos::{ConnAction, FaultSchedule, ScheduleConfig};
+use proptest::prelude::*;
+
+/// A config with every fault class enabled, magnitudes drawn wide
+/// enough that two seeds almost surely disagree somewhere.
+fn arb_config() -> impl Strategy<Value = ScheduleConfig> {
+    (
+        (0.0f64..=1.0, 0u64..100, 1_000u64..10_000),
+        (0.0f64..=1.0, 16u64..100_000),
+        (0.0f64..=1.0, 0u64..100, 1_000u64..100_000),
+        (0.0f64..=0.5, 0.0f64..=1.0, 1u32..64),
+    )
+        .prop_map(
+            |(
+                (delay_p, delay_lo, delay_span),
+                (throttle_p, throttle_bps),
+                (reset_p, reset_lo, reset_span),
+                (blackhole_prob, corrupt_p, corrupt_per_kb),
+            )| ScheduleConfig {
+                delay: Some((delay_p, delay_lo, delay_lo + delay_span)),
+                throttle: Some((throttle_p, throttle_bps)),
+                reset: Some((reset_p, reset_lo, reset_lo + reset_span)),
+                blackhole_prob,
+                corrupt: Some((corrupt_p, corrupt_per_kb)),
+                partitions: Vec::new(),
+            },
+        )
+}
+
+/// The trace a proxy with this seed would record for the first `conns`
+/// connections, through the same accept-order path the proxy uses.
+fn trace_for(seed: u64, conns: u64, config: &ScheduleConfig) -> Vec<String> {
+    let schedule = FaultSchedule::new(config.clone(), seed);
+    for _ in 0..conns {
+        schedule.plan_conn();
+    }
+    schedule.trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn same_seed_means_identical_trace(
+        seed in any::<u64>(),
+        config in arb_config(),
+    ) {
+        // Two independent schedules (fresh state, re-drawn plans) must
+        // agree byte for byte — decide() is pure in (seed, conn, cfg).
+        prop_assert_eq!(
+            trace_for(seed, 32, &config),
+            trace_for(seed, 32, &config)
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge(
+        seed in any::<u64>(),
+        bump in 1u64..1_000,
+    ) {
+        // Delay always fires with a 9000-value range: 32 connections
+        // agreeing across two seeds by chance is ~(1/9000)^32.
+        let config = ScheduleConfig {
+            delay: Some((1.0, 0, 9_000)),
+            ..ScheduleConfig::default()
+        };
+        let a = trace_for(seed, 32, &config);
+        let b = trace_for(seed.wrapping_add(bump), 32, &config);
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn plans_respect_configured_magnitudes(
+        seed in any::<u64>(),
+        conn_id in 0u64..10_000,
+        config in arb_config(),
+    ) {
+        let plan = FaultSchedule::decide(seed, conn_id, &config);
+        if let Some(delay) = plan.delay {
+            let (_, lo, hi) = config.delay.unwrap_or((0.0, 0, 0));
+            let ms = u64::try_from(delay.as_millis()).unwrap_or(u64::MAX);
+            prop_assert!((lo..=hi).contains(&ms), "delay {ms} outside {lo}..={hi}");
+        }
+        if let Some(bps) = plan.throttle_bytes_per_sec {
+            prop_assert_eq!(bps, config.throttle.unwrap_or((0.0, 0)).1);
+        }
+        if let ConnAction::Reset { after_bytes } = plan.action {
+            let (_, lo, hi) = config.reset.unwrap_or((0.0, 0, 0));
+            prop_assert!(
+                (lo..=hi).contains(&after_bytes),
+                "reset budget {after_bytes} outside {lo}..={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_extremes_are_certainties(
+        seed in any::<u64>(),
+        conn_id in 0u64..10_000,
+    ) {
+        // prob=1 always fires, prob=0 never does, for every draw.
+        let always = ScheduleConfig {
+            delay: Some((1.0, 5, 10)),
+            throttle: Some((1.0, 512)),
+            corrupt: Some((1.0, 8)),
+            ..ScheduleConfig::default()
+        };
+        let plan = FaultSchedule::decide(seed, conn_id, &always);
+        prop_assert!(plan.delay.is_some_and(|d| d.as_millis() >= 5));
+        prop_assert_eq!(plan.throttle_bytes_per_sec, Some(512));
+        prop_assert_eq!(plan.corrupt_period, Some(128));
+
+        let never = ScheduleConfig {
+            delay: Some((0.0, 5, 10)),
+            throttle: Some((0.0, 512)),
+            reset: Some((0.0, 0, 10)),
+            blackhole_prob: 0.0,
+            corrupt: Some((0.0, 8)),
+            partitions: Vec::new(),
+        };
+        let plan = FaultSchedule::decide(seed, conn_id, &never);
+        prop_assert_eq!(plan.delay, None);
+        prop_assert_eq!(plan.throttle_bytes_per_sec, None);
+        prop_assert!(matches!(plan.action, ConnAction::Pass));
+        prop_assert_eq!(plan.corrupt_period, None);
+    }
+}

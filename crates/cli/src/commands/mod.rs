@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod audit;
+pub mod chaos;
 pub mod detect;
 pub mod gen;
 pub mod mine;

@@ -18,6 +18,9 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let window: usize = args.parse_or("window", 64)?;
     let queue_capacity: usize = args.parse_or("queue-capacity", 256)?;
     let io_timeout_secs: u64 = args.parse_or("io-timeout-secs", 10)?;
+    // Overload protection: 0 disables the respective guard.
+    let header_timeout_ms: u64 = args.parse_or("header-timeout-ms", 5_000)?;
+    let max_inflight: usize = args.parse_or("max-inflight", 128)?;
 
     let min_support: f64 = args.parse_or("min-support", 0.05)?;
     let min_confidence: f64 = args.parse_or("min-confidence", 0.6)?;
@@ -94,6 +97,9 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         queue_capacity,
         mining,
         io_timeout: Duration::from_secs(io_timeout_secs.max(1)),
+        header_timeout: (header_timeout_ms > 0)
+            .then(|| Duration::from_millis(header_timeout_ms)),
+        max_inflight,
         handle_signals: true,
         persist,
         shard,

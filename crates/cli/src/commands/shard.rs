@@ -20,7 +20,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 use car_serve::RetryPolicy;
-use car_shard::{run_router, PartitionKey, RouterConfig, RouterError};
+use car_shard::{run_router, BreakerConfig, PartitionKey, RouterConfig, RouterError};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -150,6 +150,16 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
     let replay_capacity: usize = args.parse_or("replay-capacity", 512)?;
     let max_retries: u32 = args.parse_or("retry", 2)?;
     let timeout_secs: u64 = args.parse_or("timeout-secs", 2)?;
+    // Resilience knobs: breaker trip threshold/cooldown and the default
+    // per-request deadline budget propagated to fan-out legs.
+    let breaker_defaults = BreakerConfig::default();
+    let breaker_failures: u32 =
+        args.parse_or("breaker-failures", breaker_defaults.failure_threshold)?;
+    let breaker_cooldown_ms: u64 = args.parse_or(
+        "breaker-cooldown-ms",
+        u64::try_from(breaker_defaults.cooldown.as_millis()).unwrap_or(500),
+    )?;
+    let request_budget_ms: u64 = args.parse_or("request-budget-ms", 10_000)?;
 
     // Attach mode takes precedence; spawn mode launches its own workers.
     let mut children: Vec<WorkerChild> = Vec::new();
@@ -195,6 +205,12 @@ pub fn run<W: Write>(args: &Args, out: &mut W) -> Result<(), CliError> {
         probe_interval: Duration::from_millis(probe_interval_ms.max(25)),
         replay_capacity: replay_capacity.max(1),
         shutdown_workers,
+        breaker: BreakerConfig {
+            failure_threshold: breaker_failures.max(1),
+            cooldown: Duration::from_millis(breaker_cooldown_ms.max(1)),
+            ..breaker_defaults
+        },
+        request_budget: Duration::from_millis(request_budget_ms.max(1)),
         ..RouterConfig::default()
     };
     let shard_count = config.workers.len();

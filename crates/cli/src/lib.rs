@@ -51,6 +51,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "stats" => commands::stats::run(&args, out),
         "serve" => commands::serve::run(&args, out),
         "shard" => commands::shard::run(&args, out),
+        "chaos" => commands::chaos::run(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -90,7 +91,8 @@ COMMANDS:
              [--host H] [--port P] [--threads N] [--window N]
              [--queue-capacity N] [--min-support F] [--min-support-count N]
              [--min-confidence F] [--l-min L] [--l-max L]
-             [--io-timeout-secs S] [--data-dir DIR]
+             [--io-timeout-secs S] [--header-timeout-ms MS] [--max-inflight N]
+             [--data-dir DIR]
              [--fsync always|never|every=N] [--snapshot-every N]
              [--shard-id I --shard-count N]
     shard    Run the sharded-cluster router over car-serve workers
@@ -98,8 +100,13 @@ COMMANDS:
              [--host H] [--port P] [--threads N]
              [--partition-key min-item|max-item] [--probe-interval-ms MS]
              [--replay-capacity N] [--retry N] [--timeout-secs S]
+             [--breaker-failures N] [--breaker-cooldown-ms MS]
+             [--request-budget-ms MS]
              spawn mode forwards: [--min-support-count N] [--min-confidence F]
              [--l-min L] [--l-max L] [--window N] [--queue-capacity N]
+    chaos    Run the deterministic fault-injecting TCP proxy
+             --listen HOST:PORT --upstream HOST:PORT
+             [--seed S] [--schedule FILE]
     audit    Run the project's static-analysis lints (panic-freedom,
              lock-order, checked arithmetic, discarded Results,
              taint-to-sink dataflow, atomics discipline)

@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use car_apriori::hash::FastHashMap;
 use car_apriori::{generate_rules, Apriori, AprioriConfig, MinConfidence, Rule};
@@ -40,6 +41,13 @@ use car_itemset::ItemSet;
 
 use crate::config::{ConfigError, MiningConfig};
 use crate::result::{CyclicRule, RuleView};
+
+/// How often (in retained units scanned) the escalated query path
+/// re-reads the clock against its deadline. Coarse on purpose: a clock
+/// read per unit would dominate the per-unit filter work for small
+/// windows. Must stay a power of two — the check masks rather than
+/// divides.
+const DEADLINE_CHECK_UNITS: usize = 64;
 
 /// A rule that held in one retained unit, with the counts needed to
 /// re-evaluate its confidence at query time.
@@ -249,11 +257,36 @@ impl SlidingWindowMiner {
         &self,
         min_confidence: Option<MinConfidence>,
     ) -> Result<RuleView, ConfigError> {
+        // No deadline: `query_rules_within` with `None` never aborts.
+        match self.query_rules_within(min_confidence, None)? {
+            Some(view) => Ok(view),
+            // Unreachable without a deadline; kept total rather than
+            // panicking.
+            None => Ok(Arc::new(Vec::new())),
+        }
+    }
+
+    /// [`query_rules`](Self::query_rules) with a hard deadline on the
+    /// escalated (re-detection) path. Returns `Ok(None)` when the
+    /// deadline expired before the view was assembled — the serving
+    /// tier answers `504 deadline_exceeded` — and `Ok(Some(view))`
+    /// otherwise. The fast path never checks the deadline: a memoised
+    /// `Arc` clone is cheaper than reading the clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] while fewer than `l_max` units are
+    /// retained.
+    pub fn query_rules_within(
+        &self,
+        min_confidence: Option<MinConfidence>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<RuleView>, ConfigError> {
         let escalated =
             min_confidence.filter(|q| q.value() > self.config.min_confidence.value());
         match escalated {
-            None => self.query_fast(),
-            Some(q) => self.query_detect(q),
+            None => self.query_fast().map(Some),
+            Some(q) => self.query_detect(q, deadline),
         }
     }
 
@@ -286,13 +319,27 @@ impl SlidingWindowMiner {
     }
 
     /// Escalated path: rebuild sequences under `q`, re-detect in
-    /// parallel.
-    fn query_detect(&self, q: MinConfidence) -> Result<RuleView, ConfigError> {
+    /// parallel. Aborts with `Ok(None)` if `deadline` passes before
+    /// re-detection starts; the deadline is checked at entry, every
+    /// [`DEADLINE_CHECK_UNITS`] units of the sequence rebuild, and once
+    /// more before the (parallel, unabortable) batch detection.
+    fn query_detect(
+        &self,
+        q: MinConfidence,
+        deadline: Option<Instant>,
+    ) -> Result<Option<RuleView>, ConfigError> {
         let _span = car_obs::time_span!("window.query_rules.detect");
         let n = self.unit_rules.len();
         self.config.validate_for(n)?;
+        let expired = |on: bool| on && deadline.is_some_and(|d| Instant::now() >= d);
+        if expired(true) {
+            return Ok(None);
+        }
         let mut sequences: FastHashMap<&Rule, BitSeq> = FastHashMap::default();
         for (u, rules) in self.unit_rules.iter().enumerate() {
+            if expired(u & (DEADLINE_CHECK_UNITS - 1) == 0) {
+                return Ok(None);
+            }
             for held in rules {
                 if !q.accepts(held.rule_count, held.antecedent_count) {
                     continue;
@@ -302,6 +349,9 @@ impl SlidingWindowMiner {
                     .or_insert_with(|| BitSeq::zeros(n))
                     .set(u, true);
             }
+        }
+        if expired(true) {
+            return Ok(None);
         }
         let (rules, seqs): (Vec<&Rule>, Vec<BitSeq>) = sequences.into_iter().unzip();
         let sets = detect_cycles_batch(&seqs, self.config.cycle_bounds, 0);
@@ -313,7 +363,7 @@ impl SlidingWindowMiner {
             out.push(CyclicRule { rule: rule.clone(), cycles: minimal_cycles(&set) });
         }
         out.sort();
-        Ok(Arc::new(out))
+        Ok(Some(Arc::new(out)))
     }
 
     /// Materialises the current window's cyclic rules from the online
@@ -451,6 +501,26 @@ mod tests {
         // The weak units fail 0.9, so {1} => {2} should alternate -> (2, 0).
         assert!(served.iter().any(|r| r.rule.to_string() == "{1} => {2}"
             && r.cycles.iter().any(|c| (c.length(), c.offset()) == (2, 0))));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_escalated_query_only() {
+        let mut miner = SlidingWindowMiner::new(config(2), 4).unwrap();
+        for day in 0..4 {
+            miner.push_unit(&unit_for(day));
+        }
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        let strict = MinConfidence::new(0.9).unwrap();
+        // Escalated path honours the deadline...
+        assert!(miner.query_rules_within(Some(strict), Some(past)).unwrap().is_none());
+        // ...the fast path never does (memoised view is cheaper than a
+        // clock read)...
+        assert!(miner.query_rules_within(None, Some(past)).unwrap().is_some());
+        // ...and a generous deadline matches the undeadlined answer.
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        let within = miner.query_rules_within(Some(strict), Some(far)).unwrap();
+        let plain = miner.query_rules(Some(strict)).unwrap();
+        assert_eq!(*within.unwrap(), *plain);
     }
 
     #[test]

@@ -177,6 +177,7 @@ pub struct ShardCounters {
     catchup_units: AtomicU64,
     units_routed: AtomicU64,
     partial_responses: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 /// Process-wide shard-router totals since start.
@@ -188,6 +189,7 @@ pub static SHARD: ShardCounters = ShardCounters {
     catchup_units: AtomicU64::new(0),
     units_routed: AtomicU64::new(0),
     partial_responses: AtomicU64::new(0),
+    deadline_exceeded: AtomicU64::new(0),
 };
 
 impl ShardCounters {
@@ -229,6 +231,12 @@ impl ShardCounters {
         self.partial_responses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts fan-out legs abandoned (or answered 504) because the
+    /// request's deadline budget ran out.
+    pub fn add_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter (relaxed loads).
     pub fn snapshot(&self) -> ShardCounterSnapshot {
         ShardCounterSnapshot {
@@ -239,6 +247,7 @@ impl ShardCounters {
             catchup_units: self.catchup_units.load(Ordering::Relaxed),
             units_routed: self.units_routed.load(Ordering::Relaxed),
             partial_responses: self.partial_responses.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 }
@@ -260,6 +269,65 @@ pub struct ShardCounterSnapshot {
     pub units_routed: u64,
     /// Merged responses served with `partial=true`.
     pub partial_responses: u64,
+    /// Fan-out legs lost to an exhausted deadline budget.
+    pub deadline_exceeded: u64,
+}
+
+/// Process-global resilience counters for the serving tier; use the
+/// [`RESILIENCE`] static. These count the overload-protection and
+/// deadline events a chaos run must be able to observe from `/metrics`:
+/// admission-gate sheds, slow-loris header timeouts, and requests
+/// answered `504 deadline_exceeded`.
+pub struct ResilienceCounters {
+    shed: AtomicU64,
+    header_timeouts: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// Process-wide serving-tier resilience totals since start.
+pub static RESILIENCE: ResilienceCounters = ResilienceCounters {
+    shed: AtomicU64::new(0),
+    header_timeouts: AtomicU64::new(0),
+    deadline_exceeded: AtomicU64::new(0),
+};
+
+impl ResilienceCounters {
+    /// Counts a connection shed at the admission gate (`503 overloaded`).
+    pub fn add_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request whose header section did not complete within
+    /// the header-read deadline (slow-loris defense).
+    pub fn add_header_timeout(&self) {
+        self.header_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request answered `504 deadline_exceeded` because its
+    /// propagated deadline expired server-side.
+    pub fn add_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter (relaxed loads).
+    pub fn snapshot(&self) -> ResilienceCounterSnapshot {
+        ResilienceCounterSnapshot {
+            shed: self.shed.load(Ordering::Relaxed),
+            header_timeouts: self.header_timeouts.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`ResilienceCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceCounterSnapshot {
+    /// Connections shed at the admission gate.
+    pub shed: u64,
+    /// Requests cut off by the header-read deadline.
+    pub header_timeouts: u64,
+    /// Requests answered `504 deadline_exceeded`.
+    pub deadline_exceeded: u64,
 }
 
 #[cfg(test)]
@@ -304,6 +372,18 @@ mod tests {
         assert!(after.catchup_units >= before.catchup_units + 7);
         assert!(after.units_routed >= before.units_routed + 2);
         assert!(after.partial_responses >= before.partial_responses + 1);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_into_globals() {
+        let before = RESILIENCE.snapshot();
+        RESILIENCE.add_shed();
+        RESILIENCE.add_header_timeout();
+        RESILIENCE.add_deadline_exceeded();
+        let after = RESILIENCE.snapshot();
+        assert!(after.shed >= before.shed + 1);
+        assert!(after.header_timeouts >= before.header_timeouts + 1);
+        assert!(after.deadline_exceeded >= before.deadline_exceeded + 1);
     }
 
     #[test]

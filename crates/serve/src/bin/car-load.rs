@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use car_serve::{RetryPolicy, RetryingClient};
+use car_serve::{FailureClass, RetryPolicy, RetryingClient};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -157,9 +157,42 @@ fn unit_body(rng: &mut StdRng, unit_index: u64) -> Vec<u8> {
     body.into_bytes()
 }
 
+/// Final outcomes bucketed by failure class, so a chaos or overload run
+/// reads as *what* went wrong — connections refused, deadlines blown,
+/// server errors, or deliberate shedding — not a single error count.
+#[derive(Default)]
+struct FailureCounts {
+    /// Connect/read/write deadline expired (transport).
+    timeout: u64,
+    /// TCP connection could not be established (transport).
+    connect: u64,
+    /// Other transport failure: reset mid-exchange, bad response.
+    transport: u64,
+    /// 5xx answer that was not a shed (includes 503s without
+    /// `retry-after`).
+    http_5xx: u64,
+    /// Admission-gate shed: `503` carrying `retry-after`.
+    shed: u64,
+}
+
+impl FailureCounts {
+    fn total(&self) -> u64 {
+        self.timeout + self.connect + self.transport + self.http_5xx + self.shed
+    }
+
+    fn merge(&mut self, other: &FailureCounts) {
+        self.timeout += other.timeout;
+        self.connect += other.connect;
+        self.transport += other.transport;
+        self.http_5xx += other.http_5xx;
+        self.shed += other.shed;
+    }
+}
+
 struct WorkerReport {
     latencies_us: Vec<u64>,
-    errors: u64,
+    failed_latencies_us: Vec<u64>,
+    failures: FailureCounts,
     non_2xx: u64,
     retries: u64,
 }
@@ -169,7 +202,8 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
     let mut rng = StdRng::seed_from_u64(worker_seed);
     let mut report = WorkerReport {
         latencies_us: Vec::with_capacity(opts.requests_per_connection),
-        errors: 0,
+        failed_latencies_us: Vec::new(),
+        failures: FailureCounts::default(),
         non_2xx: 0,
         retries: 0,
     };
@@ -196,18 +230,37 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
             }
             Mode::Mixed => unreachable!(),
         };
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         match result {
-            Some(resp) => {
-                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            Some(resp) if (200..300).contains(&resp.status) => {
                 report.latencies_us.push(us);
-                // 409 (warming up) and a final 503 (backpressure that
-                // outlasted the retries) are daemon answers, not client
-                // errors; count them apart.
-                if !(200..300).contains(&resp.status) {
-                    report.non_2xx += 1;
+            }
+            // A 503 carrying `retry-after` is the admission gate
+            // shedding; other 5xx are server failures. Anything else
+            // non-2xx (409 warming up, 4xx) is a daemon answer, not a
+            // failure — it still measures a served round-trip.
+            Some(resp) if resp.status == 503 && resp.header("retry-after").is_some() => {
+                report.failed_latencies_us.push(us);
+                report.failures.shed += 1;
+            }
+            Some(resp) if (500..600).contains(&resp.status) => {
+                report.failed_latencies_us.push(us);
+                report.failures.http_5xx += 1;
+            }
+            Some(_) => {
+                report.latencies_us.push(us);
+                report.non_2xx += 1;
+            }
+            None => {
+                report.failed_latencies_us.push(us);
+                match client.last_failure() {
+                    Some(FailureClass::Timeout) => report.failures.timeout += 1,
+                    Some(FailureClass::Connect) => report.failures.connect += 1,
+                    Some(FailureClass::Transport) | None => {
+                        report.failures.transport += 1;
+                    }
                 }
             }
-            None => report.errors += 1,
         }
     }
     report.retries = client.retries();
@@ -240,9 +293,9 @@ fn client_histogram(
     counts
 }
 
-fn print_histogram(latencies_us: &[u64]) {
+fn print_histogram(label: &str, latencies_us: &[u64]) {
     let counts = client_histogram(latencies_us);
-    println!("  latency histogram (daemon-shared bucket bounds):");
+    println!("  {label} latency histogram (daemon-shared bucket bounds):");
     let mut cumulative = 0u64;
     for (count, bound) in counts.iter().zip(car_obs::LATENCY_BUCKET_BOUNDS_US.iter()) {
         cumulative += count;
@@ -279,11 +332,17 @@ fn main() {
     let mut latencies: Vec<u64> =
         reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
     latencies.sort_unstable();
-    let completed = latencies.len() as u64;
-    let errors: u64 = reports.iter().map(|r| r.errors).sum();
+    let mut failed_latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.failed_latencies_us.iter().copied()).collect();
+    failed_latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    let mut failures = FailureCounts::default();
+    for report in &reports {
+        failures.merge(&report.failures);
+    }
     let non_2xx: u64 = reports.iter().map(|r| r.non_2xx).sum();
     let retries: u64 = reports.iter().map(|r| r.retries).sum();
-    let throughput = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let throughput = answered as f64 / elapsed.as_secs_f64().max(1e-9);
 
     println!("car-load against {}", opts.addr);
     println!(
@@ -291,7 +350,17 @@ fn main() {
         opts.connections, opts.requests_per_connection
     );
     println!(
-        "  completed: {completed}   non-2xx: {non_2xx}   transport errors: {errors}   retries: {retries}"
+        "  ok (2xx): {}   failed: {}   other answers: {non_2xx}   retries: {retries}",
+        answered.saturating_sub(non_2xx),
+        failures.total()
+    );
+    println!(
+        "  failures: timeout {}   connect {}   transport {}   5xx {}   shed {}",
+        failures.timeout,
+        failures.connect,
+        failures.transport,
+        failures.http_5xx,
+        failures.shed
     );
     println!(
         "  wall time: {:.3}s   throughput: {throughput:.0} req/s",
@@ -305,9 +374,15 @@ fn main() {
             percentile(&latencies, 0.99),
             latencies[latencies.len() - 1]
         );
-        print_histogram(&latencies);
+        print_histogram("answered", &latencies);
     }
-    if errors > 0 {
+    if !failed_latencies.is_empty() {
+        print_histogram("failed", &failed_latencies);
+    }
+    // Sheds and 5xx are daemon answers under stress — the run still
+    // measured something. Transport-level failure means the run could
+    // not talk to the daemon at all; that is the failing exit.
+    if failures.timeout + failures.connect + failures.transport > 0 {
         std::process::exit(1);
     }
 }

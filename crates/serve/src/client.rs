@@ -13,7 +13,7 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parsed response.
 #[derive(Clone, Debug)]
@@ -133,6 +133,17 @@ impl Client {
         Ok(Client { reader: BufReader::new(stream), writer })
     }
 
+    /// Re-arms the socket read/write timeouts (used by deadline-capped
+    /// retries on a reused connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_io_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.writer.set_read_timeout(Some(timeout))?;
+        self.writer.set_write_timeout(Some(timeout))
+    }
+
     /// Sends a request and reads the response on the same connection.
     ///
     /// # Errors
@@ -144,15 +155,110 @@ impl Client {
         target: &str,
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
+        self.try_request(method, target, &[], body).map_err(|e| e.error)
+    }
+
+    /// Sends a request with extra headers, tracking whether any request
+    /// byte may have reached the wire — the fact the idempotency-aware
+    /// retry decision hinges on.
+    ///
+    /// # Errors
+    ///
+    /// A [`SendError`] carrying the transport error plus the `written`
+    /// flag. `written` is conservative: once the first socket write
+    /// returns, the bytes are presumed on the wire.
+    pub fn try_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, String)],
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, SendError> {
         let body = body.unwrap_or(b"");
-        write!(
-            self.writer,
-            "{method} {target} HTTP/1.1\r\nhost: car-serve\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: car-serve\r\ncontent-length: {}\r\n",
             body.len()
-        )?;
-        self.writer.write_all(body)?;
-        self.writer.flush()?;
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+
+        let mut written = false;
+        let mut remaining: &[u8] = &request;
+        while !remaining.is_empty() {
+            match self.writer.write(remaining) {
+                Ok(0) => {
+                    return Err(SendError {
+                        written,
+                        error: io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "connection closed mid-request",
+                        ),
+                    })
+                }
+                Ok(n) => {
+                    written = true;
+                    remaining = remaining.get(n..).unwrap_or(&[]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(SendError { written, error: e }),
+            }
+        }
+        if let Err(error) = self.writer.flush() {
+            return Err(SendError { written: true, error });
+        }
         read_response(&mut self.reader)
+            .map_err(|error| SendError { written: true, error })
+    }
+}
+
+/// A failed request exchange, recording whether any request bytes may
+/// have reached the wire. A non-idempotent request that failed with
+/// `written == true` must not be blindly retried: the server may
+/// already have executed it.
+#[derive(Debug)]
+pub struct SendError {
+    /// `true` once any byte of the request may have been written.
+    pub written: bool,
+    /// The underlying transport error.
+    pub error: io::Error,
+}
+
+/// Coarse class of a failed exchange, for load generators and
+/// dashboards that bucket failures instead of lumping them into one
+/// "error" count. A timed-out connect counts as [`Timeout`], not
+/// [`Connect`]: the interesting split is "nothing listening" versus
+/// "something too slow".
+///
+/// [`Timeout`]: FailureClass::Timeout
+/// [`Connect`]: FailureClass::Connect
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// A connect, read, or write deadline expired.
+    Timeout,
+    /// The TCP connection could not be established (refused,
+    /// unreachable, no address).
+    Connect,
+    /// Any other transport failure: reset mid-exchange, EOF before the
+    /// status line, malformed response.
+    Transport,
+}
+
+impl FailureClass {
+    /// Classifies an I/O error, given whether it happened while still
+    /// establishing the connection.
+    fn of(error: &io::Error, connecting: bool) -> FailureClass {
+        match error.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => FailureClass::Timeout,
+            _ if connecting => FailureClass::Connect,
+            _ => FailureClass::Transport,
+        }
     }
 }
 
@@ -199,6 +305,7 @@ pub struct RetryingClient {
     conn: Option<Client>,
     jitter_state: u64,
     retries: u64,
+    last_failure: Option<FailureClass>,
 }
 
 impl RetryingClient {
@@ -226,6 +333,7 @@ impl RetryingClient {
             conn: None,
             jitter_state: seed.max(1),
             retries: 0,
+            last_failure: None,
         }
     }
 
@@ -239,9 +347,23 @@ impl RetryingClient {
         self.retries
     }
 
+    /// The class of the transport failure that ended the most recent
+    /// request, when that request returned `None`. `None` after a
+    /// request that produced a response (even a 5xx — that is an
+    /// answer, not a transport failure).
+    pub fn last_failure(&self) -> Option<FailureClass> {
+        self.last_failure
+    }
+
     /// Drops the current connection (the next request reconnects).
     pub fn disconnect(&mut self) {
         self.conn = None;
+    }
+
+    /// Whether a method is safe to retry after its bytes may have
+    /// reached the wire.
+    fn idempotent(method: &str) -> bool {
+        matches!(method, "GET" | "HEAD")
     }
 
     /// Issues one request, retrying per the policy. Returns the final
@@ -253,31 +375,96 @@ impl RetryingClient {
         target: &str,
         body: Option<&[u8]>,
     ) -> Option<ClientResponse> {
+        self.request_with(method, target, &[], body, None)
+    }
+
+    /// Issues one request with extra headers and an optional hard
+    /// deadline, retrying per the policy.
+    ///
+    /// Retries are **idempotency-aware**: GET/HEAD retry on any
+    /// transport failure, but a non-idempotent request (e.g. an ingest
+    /// POST) is only retried when the failure happened before any
+    /// request byte reached the wire — otherwise the server may have
+    /// executed it, and a blind retry could apply it twice. Retryable
+    /// `503` answers are a server-side promise that nothing was
+    /// processed, so they retry for every method.
+    ///
+    /// A `deadline` caps the whole exchange: each attempt's socket
+    /// timeout shrinks to the remaining budget and no attempt (or
+    /// backoff sleep) starts past it.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, String)],
+        body: Option<&[u8]>,
+        deadline: Option<Instant>,
+    ) -> Option<ClientResponse> {
+        self.last_failure = None;
         let mut last_response = None;
         for attempt in 0..=self.policy.max_retries {
             if attempt > 0 {
+                let delay = backoff_delay(attempt, &mut self.jitter_state);
+                if deadline.is_some_and(|d| Instant::now() + delay >= d) {
+                    break;
+                }
                 self.retries += 1;
-                std::thread::sleep(backoff_delay(attempt, &mut self.jitter_state));
+                std::thread::sleep(delay);
             }
+            let timeout = match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    self.policy.timeout.min(remaining)
+                }
+                None => self.policy.timeout,
+            };
             if self.conn.is_none() {
-                self.conn =
-                    Client::connect_with_timeout(&self.addr, self.policy.timeout).ok();
+                match Client::connect_with_timeout(&self.addr, timeout) {
+                    Ok(conn) => self.conn = Some(conn),
+                    Err(e) => {
+                        self.last_failure = Some(FailureClass::of(&e, true));
+                    }
+                }
+            } else if deadline.is_some() {
+                // A reused connection still carries the policy timeout;
+                // shrink it to the remaining budget.
+                if self.conn.as_ref().is_some_and(|c| c.set_io_timeout(timeout).is_err())
+                {
+                    self.conn = None;
+                    continue;
+                }
             }
             let Some(conn) = self.conn.as_mut() else { continue };
-            match conn.request(method, target, body) {
+            match conn.try_request(method, target, headers, body) {
                 Ok(resp) if resp.status == 503 => {
                     // Retryable daemon answer (recovering / backpressure
                     // / shutting down); keep the connection, back off,
                     // retry.
                     last_response = Some(resp);
                 }
-                Ok(resp) => return Some(resp),
-                Err(_) => {
+                Ok(resp) => {
+                    self.last_failure = None;
+                    return Some(resp);
+                }
+                Err(e) => {
                     // Connection reset (daemon died?): drop it and retry
-                    // with a fresh connection after backoff.
+                    // with a fresh connection after backoff — unless the
+                    // request may have been executed.
                     self.conn = None;
+                    self.last_failure = Some(FailureClass::of(&e.error, false));
+                    if e.written && !Self::idempotent(method) {
+                        return None;
+                    }
                 }
             }
+        }
+        if last_response.is_some() {
+            // The caller gets an answer (a 503 that outlasted the
+            // retries); transport hiccups along the way are history.
+            self.last_failure = None;
         }
         last_response
     }

@@ -13,12 +13,40 @@
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Hard limit on the request line + headers block, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Default hard limit on a request body, in bytes.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Hard limits governing one request read.
+///
+/// The head deadline is the slow-loris defense: it starts at the first
+/// byte of a request (an *idle* keep-alive connection is governed by
+/// the socket read timeout instead, so patient-but-silent clients are
+/// fine) and bounds how long a client may dribble out the head block.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestLimits {
+    /// Hard limit on the request line + headers block, in bytes.
+    pub max_head_bytes: usize,
+    /// Hard limit on the declared request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Budget for the head block, measured from its first byte.
+    /// `None` disables the deadline.
+    pub header_timeout: Option<Duration>,
+}
+
+impl Default for RequestLimits {
+    fn default() -> RequestLimits {
+        RequestLimits {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            header_timeout: None,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -58,8 +86,12 @@ impl Request {
 pub enum ParseError {
     /// Malformed request line, header, or encoding.
     Bad(&'static str),
-    /// The head block exceeded [`MAX_HEAD_BYTES`].
+    /// The head block exceeded the configured byte limit.
     HeadTooLarge,
+    /// The head block arrived too slowly (slow-loris): its first byte
+    /// was read, but the blank line did not follow within the
+    /// configured [`RequestLimits::header_timeout`].
+    HeadTimeout,
     /// The declared body exceeded the configured limit.
     BodyTooLarge {
         /// The limit in force.
@@ -87,6 +119,7 @@ impl ParseError {
             ParseError::BodyTooLarge { .. } => (413, "Payload Too Large"),
             ParseError::UnsupportedTransferEncoding => (501, "Not Implemented"),
             ParseError::UnsupportedVersion => (505, "HTTP Version Not Supported"),
+            ParseError::HeadTimeout => (408, "Request Timeout"),
             ParseError::Timeout => (408, "Request Timeout"),
             ParseError::Io(_) | ParseError::ConnectionClosed => (400, "Bad Request"),
         }
@@ -107,6 +140,9 @@ impl fmt::Display for ParseError {
                 write!(f, "transfer-encoding is not supported; use content-length")
             }
             ParseError::UnsupportedVersion => write!(f, "only HTTP/1.x is supported"),
+            ParseError::HeadTimeout => {
+                write!(f, "request head arrived too slowly; closing")
+            }
             ParseError::Timeout => write!(f, "timed out reading request"),
             ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
             ParseError::ConnectionClosed => write!(f, "connection closed"),
@@ -141,7 +177,25 @@ pub fn read_request<R: BufRead>(
     reader: &mut R,
     max_body_bytes: usize,
 ) -> Result<Request, ParseError> {
-    let head = read_head(reader)?;
+    read_request_limited(
+        reader,
+        &RequestLimits { max_body_bytes, ..RequestLimits::default() },
+    )
+}
+
+/// [`read_request`] with the full set of [`RequestLimits`], including
+/// the head deadline.
+///
+/// # Errors
+///
+/// As [`read_request`], plus [`ParseError::HeadTimeout`] when the head
+/// block dribbles past its deadline.
+pub fn read_request_limited<R: BufRead>(
+    reader: &mut R,
+    limits: &RequestLimits,
+) -> Result<Request, ParseError> {
+    let head = read_head(reader, limits)?;
+    let max_body_bytes = limits.max_body_bytes;
     let mut lines =
         head.split(|&b| b == b'\n').map(|l| l.strip_suffix(b"\r").unwrap_or(l));
 
@@ -208,17 +262,48 @@ pub fn read_request<R: BufRead>(
     Ok(Request { method: method.to_string(), path, query, headers, body })
 }
 
-/// Reads up to and including the blank line ending the head block.
-fn read_head<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, ParseError> {
+/// Reads up to and including the blank line ending the head block. The
+/// head deadline clock starts once the first head byte has been read —
+/// the wait *for* that byte is the idle keep-alive wait, governed by
+/// the socket read timeout.
+fn read_head<R: BufRead>(
+    reader: &mut R,
+    limits: &RequestLimits,
+) -> Result<Vec<u8>, ParseError> {
     let mut head = Vec::new();
+    let mut started_at: Option<Instant> = None;
     loop {
-        let buf = reader.fill_buf()?;
+        let expired = |started_at: Option<Instant>| {
+            limits.header_timeout.is_some_and(|budget| {
+                started_at.is_some_and(|start| start.elapsed() >= budget)
+            })
+        };
+        if expired(started_at) {
+            return Err(ParseError::HeadTimeout);
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // A socket timeout while mid-head and past the deadline is
+            // the slow-loris cut-off, not an idle keep-alive timeout.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) && expired(started_at) =>
+            {
+                return Err(ParseError::HeadTimeout);
+            }
+            Err(e) => return Err(e.into()),
+        };
         if buf.is_empty() {
             return if head.is_empty() {
                 Err(ParseError::ConnectionClosed)
             } else {
                 Err(ParseError::Bad("connection closed mid-head"))
             };
+        }
+        if started_at.is_none() && limits.header_timeout.is_some() {
+            started_at = Some(Instant::now());
         }
         // Scan the new bytes for the head terminator, tracking overlap
         // with bytes already consumed.
@@ -231,7 +316,7 @@ fn read_head<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, ParseError> {
                 done = true;
                 break;
             }
-            if head.len() > MAX_HEAD_BYTES {
+            if head.len() > limits.max_head_bytes {
                 reader.consume(consumed);
                 return Err(ParseError::HeadTooLarge);
             }
@@ -404,6 +489,7 @@ pub fn reason_for(status: u16) -> &'static str {
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -554,6 +640,70 @@ mod tests {
         let req = parse(b"GET /x HTTP/1.1\nhost: h\n\n").unwrap();
         assert_eq!(req.path, "/x");
         assert_eq!(req.header("host"), Some("h"));
+    }
+
+    /// A reader that hands out one byte per `fill_buf` — the shape of a
+    /// slow-loris client as seen through `BufRead`.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let chunk = self.fill_buf()?;
+            let n = chunk.len().min(buf.len());
+            if let (Some(dst), Some(src)) = (buf.get_mut(..n), chunk.get(..n)) {
+                dst.copy_from_slice(src);
+            }
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for Dribble {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            let end = (self.pos + 1).min(self.data.len());
+            Ok(self.data.get(self.pos..end).unwrap_or(&[]))
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn dribbled_head_times_out_as_408() {
+        let raw = b"GET /v1/health HTTP/1.1\r\n\r\n";
+        let limits = RequestLimits {
+            header_timeout: Some(Duration::ZERO),
+            ..RequestLimits::default()
+        };
+        let mut slow = Dribble { data: raw.to_vec(), pos: 0 };
+        let err = read_request_limited(&mut slow, &limits).unwrap_err();
+        assert!(matches!(err, ParseError::HeadTimeout), "{err}");
+        assert_eq!(err.status().0, 408);
+    }
+
+    #[test]
+    fn dribbled_head_parses_without_a_deadline() {
+        let raw = b"GET /v1/health HTTP/1.1\r\nhost: h\r\n\r\n";
+        let mut slow = Dribble { data: raw.to_vec(), pos: 0 };
+        let req = read_request_limited(&mut slow, &RequestLimits::default()).unwrap();
+        assert_eq!(req.path, "/v1/health");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn generous_head_deadline_does_not_fire() {
+        let raw = b"GET /v1/health HTTP/1.1\r\n\r\n";
+        let limits = RequestLimits {
+            header_timeout: Some(Duration::from_secs(30)),
+            ..RequestLimits::default()
+        };
+        let mut slow = Dribble { data: raw.to_vec(), pos: 0 };
+        let req = read_request_limited(&mut slow, &limits).unwrap();
+        assert_eq!(req.path, "/v1/health");
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod shutdown;
 pub mod state;
 pub mod sync;
 
-pub use client::{Client, ClientResponse, RetryPolicy, RetryingClient};
+pub use client::{
+    Client, ClientResponse, FailureClass, RetryPolicy, RetryingClient, SendError,
+};
 pub use error::ServeError;
 pub use persist::wal::FsyncPolicy;
 pub use persist::PersistConfig;

@@ -385,6 +385,33 @@ impl Metrics {
             out.push_str(&format!("{name} {value}\n"));
         }
 
+        // Process-global resilience counters (car-obs): overload
+        // shedding and deadline enforcement. Always rendered, even at
+        // zero, so dashboards and the chaos-smoke CI grep can rely on
+        // the series existing.
+        let res = car_obs::counters::RESILIENCE.snapshot();
+        for (name, help, value) in [
+            (
+                "car_shed_total",
+                "Requests shed by the admission gate (503 overloaded).",
+                res.shed,
+            ),
+            (
+                "car_header_timeouts_total",
+                "Connections dropped for exceeding the header-read deadline.",
+                res.header_timeouts,
+            ),
+            (
+                "car_deadline_exceeded_total",
+                "Requests answered 504 because their deadline budget expired.",
+                res.deadline_exceeded,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+
         // Span profile summaries (car-obs flat profile). Sum/count give
         // Prometheus a rate-able average; the observed maximum rides
         // along as a gauge since summaries cannot carry it.
@@ -477,6 +504,10 @@ mod tests {
         assert!(text.contains("# TYPE car_mine_runs_total counter"));
         assert!(text.contains("# TYPE car_span_duration_seconds summary"));
         assert!(text.contains("# TYPE car_span_duration_max_seconds gauge"));
+        // Resilience counters exist at zero so scrapes can rely on them.
+        assert!(text.contains("# TYPE car_shed_total counter"));
+        assert!(text.contains("# TYPE car_header_timeouts_total counter"));
+        assert!(text.contains("# TYPE car_deadline_exceeded_total counter"));
     }
 
     #[test]

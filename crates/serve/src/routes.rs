@@ -26,7 +26,7 @@
 //! * `POST /v1/shutdown` — begin graceful shutdown.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use car_core::{CyclicRule, MinConfidence};
 use car_itemset::ItemSet;
@@ -38,8 +38,32 @@ use crate::metrics::Route;
 use crate::state::{AppState, EnqueueError};
 use crate::sync::RwLockExt;
 
-/// How long a `?wait=true` ingest will block for its unit to apply.
+/// How long a `?wait=true` ingest will block for its unit to apply,
+/// absent a tighter `X-Car-Deadline-Ms` budget from the caller.
 const WAIT_APPLIED_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The deadline a caller propagated via `X-Car-Deadline-Ms` (the shard
+/// router stamps fan-out legs with their remaining budget), anchored at
+/// handler entry. Absent or unparsable header ⇒ no deadline.
+fn request_deadline(req: &Request) -> Option<Instant> {
+    let ms: u64 = req.header("x-car-deadline-ms")?.trim().parse().ok()?;
+    Some(Instant::now() + Duration::from_millis(ms))
+}
+
+/// The `504 deadline_exceeded` answer, with its resilience counter.
+fn deadline_exceeded_response() -> Response {
+    car_obs::counters::RESILIENCE.add_deadline_exceeded();
+    Response::error(504, "deadline_exceeded")
+}
+
+/// How long a `?wait=true` ingest may block: the default cap, shrunk to
+/// whatever remains of the caller's deadline.
+fn wait_budget(deadline: Option<Instant>) -> Duration {
+    match deadline {
+        None => WAIT_APPLIED_TIMEOUT,
+        Some(d) => WAIT_APPLIED_TIMEOUT.min(d.saturating_duration_since(Instant::now())),
+    }
+}
 
 /// Item ids above this are rejected — the vocabulary is `u32`.
 const MAX_ITEM_ID: u64 = u32::MAX as u64;
@@ -102,7 +126,7 @@ fn ingest_units(state: &Arc<AppState>, req: &Request) -> Response {
 
     let wait = matches!(req.query_param("wait"), Some("true" | "1"));
     if wait {
-        if !state.wait_applied(seq, WAIT_APPLIED_TIMEOUT) {
+        if !state.wait_applied(seq, wait_budget(request_deadline(req))) {
             return Response::error(503, "timed out waiting for unit to apply");
         }
         let miner = state.miner.read_or_recover();
@@ -171,7 +195,7 @@ fn ingest_batch(
     let mut applied = false;
     if wait {
         if let Some(seq) = last_seq {
-            applied = state.wait_applied(seq, WAIT_APPLIED_TIMEOUT);
+            applied = state.wait_applied(seq, wait_budget(request_deadline(req)));
         }
     }
     let status = if accepted > 0 { 202 } else { 503 };
@@ -248,6 +272,10 @@ pub fn parse_unit(doc: &Json) -> Result<Vec<ItemSet>, String> {
 }
 
 fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
+    let deadline = request_deadline(req);
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return deadline_exceeded_response();
+    }
     if state.recovery.is_recovering() {
         return Response::error(
             503,
@@ -301,8 +329,9 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     state.metrics.record_query_cache_miss();
 
     let miner = state.miner.read_or_recover();
-    let rules = match miner.query_rules(min_confidence) {
-        Ok(rules) => rules,
+    let rules = match miner.query_rules_within(min_confidence, deadline) {
+        Ok(Some(rules)) => rules,
+        Ok(None) => return deadline_exceeded_response(),
         Err(e) => return Response::error(409, &e.to_string()),
     };
     let units_retained = miner.len();

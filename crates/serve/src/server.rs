@@ -11,13 +11,14 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use car_core::MiningConfig;
 
-use crate::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
+use crate::http::{self, RequestLimits, Response, DEFAULT_MAX_BODY_BYTES};
 use crate::metrics::Route;
 use crate::routes;
 use crate::state::{spawn_ingest_worker, AppState};
@@ -48,6 +49,13 @@ pub struct ServerConfig {
     pub io_timeout: Duration,
     /// Maximum accepted request body size.
     pub max_body_bytes: usize,
+    /// Budget for reading a request's head block, measured from its
+    /// first byte (slow-loris defense). `None` disables the deadline.
+    pub header_timeout: Option<Duration>,
+    /// Connections served concurrently before the admission gate sheds
+    /// new arrivals with `503 overloaded` + `Retry-After`. `0` disables
+    /// shedding.
+    pub max_inflight: usize,
     /// Install SIGINT/SIGTERM handlers and honour the process-wide
     /// signal flag. Off in tests (the flag is shared by the whole
     /// process), on in the CLI.
@@ -70,6 +78,8 @@ impl Default for ServerConfig {
             mining: MiningConfig::default(),
             io_timeout: Duration::from_secs(10),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            header_timeout: Some(Duration::from_secs(5)),
+            max_inflight: 128,
             handle_signals: false,
             persist: None,
             shard: None,
@@ -169,19 +179,20 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     let pool = crate::pool::ThreadPool::new(config.threads, "car-worker")
         .map_err(ServeError::Io)?;
     let accept_state = Arc::clone(&state);
-    let io_timeout = config.io_timeout;
-    let max_body = config.max_body_bytes;
+    let policy = Arc::new(ConnPolicy {
+        io_timeout: config.io_timeout,
+        limits: RequestLimits {
+            max_head_bytes: http::MAX_HEAD_BYTES,
+            max_body_bytes: config.max_body_bytes,
+            header_timeout: config.header_timeout,
+        },
+        max_inflight: config.max_inflight,
+        inflight: AtomicUsize::new(0),
+    });
     let handle_signals = config.handle_signals;
     let spawn_result =
         std::thread::Builder::new().name("car-accept".into()).spawn(move || {
-            accept_loop(
-                &listener,
-                &accept_state,
-                pool,
-                io_timeout,
-                max_body,
-                handle_signals,
-            );
+            accept_loop(&listener, &accept_state, pool, &policy, handle_signals);
         });
     let accept_thread = match spawn_result {
         Ok(handle) => handle,
@@ -210,12 +221,88 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     })
 }
 
+/// Per-connection serving policy, shared by the accept loop and every
+/// worker thread: socket timeouts, parse limits, and the bounded
+/// in-flight admission gate.
+struct ConnPolicy {
+    io_timeout: Duration,
+    limits: RequestLimits,
+    /// Admission limit; `0` disables shedding.
+    max_inflight: usize,
+    /// Connections currently being served.
+    inflight: AtomicUsize,
+}
+
+impl ConnPolicy {
+    /// Tries to admit one connection; `false` means shed it.
+    fn admit(&self) -> bool {
+        if self.max_inflight == 0 {
+            return true;
+        }
+        // Optimistic increment: over-admission by a racing accept is
+        // impossible because there is a single accept thread.
+        // audit:allow(a6-relaxed-control) reason="the single accept thread performs every load; a worker's release may lag one decision, which at worst sheds one connection early — the gate is a bound, not an invariant"
+        if self.inflight.load(Ordering::Relaxed) >= self.max_inflight {
+            return false;
+        }
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn release(&self) {
+        if self.max_inflight != 0 {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Releases an admitted connection's slot on drop (panic-safe).
+struct InflightSlot<'a>(&'a ConnPolicy);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// Sheds a connection the admission gate rejected: a one-shot `503`
+/// with `Retry-After`, written from the accept thread (bounded by a
+/// short write timeout so a dead peer cannot stall accepts).
+fn shed_connection(mut stream: TcpStream) {
+    car_obs::counters::RESILIENCE.add_shed();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut writer = BufWriter::new(&mut stream);
+    // audit:allow(a4-discard) reason="same shed path: the response is advisory and the connection is dropped either way"
+    let _ = Response::error(503, "overloaded; connection limit reached")
+        .with_header("retry-after", "1")
+        .with_close()
+        .write_to(&mut writer);
+    drop(writer);
+    // Half-close and briefly drain the request bytes we never read:
+    // closing with unread data in the receive buffer sends an RST that
+    // can destroy the in-flight 503 before the client reads it. The
+    // short read timeout bounds how long a hostile peer can pin the
+    // accept thread.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 1024];
+    let mut drained = 0usize;
+    while let Ok(n) = std::io::Read::read(&mut stream, &mut scratch) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        if drained >= 64 * 1024 {
+            break;
+        }
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<AppState>,
     pool: crate::pool::ThreadPool,
-    io_timeout: Duration,
-    max_body: usize,
+    policy: &Arc<ConnPolicy>,
     handle_signals: bool,
 ) {
     loop {
@@ -227,9 +314,17 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if !policy.admit() {
+                    shed_connection(stream);
+                    continue;
+                }
                 let state = Arc::clone(state);
+                let policy = Arc::clone(policy);
                 pool.execute(move || {
-                    serve_connection(stream, &state, io_timeout, max_body);
+                    // Guard, not a trailing call: the slot must free
+                    // even if a handler panics mid-connection.
+                    let _slot = InflightSlot(&policy);
+                    serve_connection(stream, &state, &policy);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -248,14 +343,9 @@ fn accept_loop(
 }
 
 /// Serves one connection until close, error, limit, or shutdown.
-fn serve_connection(
-    stream: TcpStream,
-    state: &Arc<AppState>,
-    io_timeout: Duration,
-    max_body: usize,
-) {
-    if stream.set_read_timeout(Some(io_timeout)).is_err()
-        || stream.set_write_timeout(Some(io_timeout)).is_err()
+fn serve_connection(stream: TcpStream, state: &Arc<AppState>, policy: &ConnPolicy) {
+    if stream.set_read_timeout(Some(policy.io_timeout)).is_err()
+        || stream.set_write_timeout(Some(policy.io_timeout)).is_err()
         || stream.set_nodelay(true).is_err()
     {
         return;
@@ -268,11 +358,14 @@ fn serve_connection(
 
     for _ in 0..MAX_REQUESTS_PER_CONNECTION {
         let started = Instant::now();
-        let request = match http::read_request(&mut reader, max_body) {
+        let request = match http::read_request_limited(&mut reader, &policy.limits) {
             Ok(request) => request,
             Err(http::ParseError::ConnectionClosed) => return,
             Err(e) => {
                 state.metrics.record_parse_error();
+                if matches!(e, http::ParseError::HeadTimeout) {
+                    car_obs::counters::RESILIENCE.add_header_timeout();
+                }
                 let (status, _) = e.status();
                 // audit:allow(a4-discard) reason="best-effort courtesy reply on a connection that already failed parsing; if the write also fails there is no one left to tell and the connection closes either way"
                 let _ = Response::error(status, &e.to_string())
@@ -342,6 +435,8 @@ mod tests {
                 .unwrap(),
             io_timeout: Duration::from_secs(2),
             max_body_bytes: 64 * 1024,
+            header_timeout: Some(Duration::from_secs(5)),
+            max_inflight: 128,
             handle_signals: false,
             persist: None,
             shard: None,
@@ -396,6 +491,79 @@ mod tests {
         let mut config = test_config();
         config.window = 1; // below l_max = 2
         assert!(matches!(serve(config), Err(ServeError::Config(_))));
+    }
+
+    #[test]
+    fn admission_gate_sheds_with_retry_after() {
+        let mut config = test_config();
+        config.max_inflight = 1;
+        let handle = serve(config).unwrap();
+        // Occupy the single slot with an idle keep-alive connection.
+        let mut holder = TcpStream::connect(handle.addr).unwrap();
+        holder.write_all(b"GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(holder.try_clone().unwrap());
+        assert_eq!(crate::client::read_response(&mut reader).unwrap().status, 200);
+        // The next connection must be shed with 503 + Retry-After; poll
+        // briefly since the holder's slot is released asynchronously if
+        // the OS raced the accept.
+        let resp = roundtrip(handle.addr, b"GET /v1/health HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("retry-after: 1"), "{resp}");
+        assert!(resp.contains("overloaded"), "{resp}");
+        drop(holder);
+        drop(reader);
+        // Once the holder closes, admission recovers. Transient resets
+        // while the slot frees up are retried, not failed.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let resp = (|| -> std::io::Result<String> {
+                let mut stream = TcpStream::connect(handle.addr)?;
+                stream
+                    .write_all(b"GET /v1/health HTTP/1.1\r\nconnection: close\r\n\r\n")?;
+                let mut out = String::new();
+                stream.read_to_string(&mut out)?;
+                Ok(out)
+            })()
+            .unwrap_or_default();
+            if resp.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "admission never recovered: {resp}");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        handle.trigger_shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn slow_loris_head_is_cut_off_at_the_deadline() {
+        let mut config = test_config();
+        config.header_timeout = Some(Duration::from_millis(200));
+        let handle = serve(config).unwrap();
+        let before = car_obs::counters::RESILIENCE.snapshot().header_timeouts;
+        let mut stream = TcpStream::connect(handle.addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Dribble a head one fragment at a time, never finishing it.
+        let mut out = String::new();
+        for fragment in ["GET /v1/hea", "lth HT", "TP/1.1\r\n", "host: h\r\n"] {
+            stream.write_all(fragment.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(120));
+            // Server may have closed already mid-dribble; that's the
+            // expected cut-off, so stop writing.
+            if stream.read_to_string(&mut out).is_ok() {
+                break;
+            }
+        }
+        assert!(
+            out.starts_with("HTTP/1.1 408") || out.is_empty(),
+            "expected a 408 or a bare close, got: {out}"
+        );
+        assert!(
+            car_obs::counters::RESILIENCE.snapshot().header_timeouts > before,
+            "header timeout counter must advance"
+        );
+        handle.trigger_shutdown();
+        handle.wait();
     }
 
     #[test]

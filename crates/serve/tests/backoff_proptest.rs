@@ -1,0 +1,82 @@
+//! Property tests for the retry backoff schedule.
+//!
+//! Both `RetryingClient` and the shard router's fan-out legs sleep
+//! through `backoff_delay` between attempts; if its bounds drift, every
+//! resilience timeout in the system is tuned against the wrong curve.
+//! The properties: the delay always lands in `[base, base + base/2)`
+//! where `base = min(50ms << (attempt-1), 2s)`, the base is monotone in
+//! the attempt number (pre-cap, the *whole* jittered range is), and a
+//! fixed seed replays the exact same schedule.
+
+use std::time::Duration;
+
+use car_serve::client::backoff_delay;
+use proptest::prelude::*;
+
+/// The deterministic base for an attempt: 50ms doubling, capped at 2s.
+fn base_ms(attempt: u32) -> u64 {
+    (50u64 << attempt.saturating_sub(1).min(6)).min(2_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn delay_stays_within_base_and_jitter_cap(
+        attempt in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let delay = backoff_delay(attempt, &mut state);
+        let base = base_ms(attempt);
+        let ms = u64::try_from(delay.as_millis()).unwrap_or(u64::MAX);
+        prop_assert!(ms >= base, "attempt {attempt}: {ms}ms under base {base}ms");
+        prop_assert!(
+            ms < base + (base / 2).max(1),
+            "attempt {attempt}: {ms}ms exceeds jittered cap for base {base}ms"
+        );
+        // Global ceiling: base caps at 2s, jitter at +50%.
+        prop_assert!(delay < Duration::from_millis(3_000));
+    }
+
+    #[test]
+    fn backoff_is_monotone_in_attempt(
+        attempt in 1u32..12,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        // The base doubles until the 2s cap, and jitter is bounded by
+        // base/2 — so below the cap even the *worst-case* jittered
+        // delay of attempt N stays under the *best-case* delay of
+        // attempt N+1, regardless of jitter state.
+        prop_assert!(base_ms(attempt) <= base_ms(attempt + 1));
+        let mut a = seed_a;
+        let mut b = seed_b;
+        let earlier = backoff_delay(attempt, &mut a);
+        let later = backoff_delay(attempt + 1, &mut b);
+        if base_ms(attempt + 1) < 2_000 {
+            prop_assert!(
+                earlier < later,
+                "attempt {attempt}: {earlier:?} !< {later:?}"
+            );
+        } else {
+            prop_assert!(later >= Duration::from_millis(base_ms(attempt + 1)));
+        }
+    }
+
+    #[test]
+    fn fixed_seed_replays_the_same_schedule(
+        seed in any::<u64>(),
+        attempts in 1u32..10,
+    ) {
+        let mut a = seed;
+        let mut b = seed;
+        for attempt in 1..=attempts {
+            prop_assert_eq!(
+                backoff_delay(attempt, &mut a),
+                backoff_delay(attempt, &mut b)
+            );
+        }
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,319 @@
+//! Per-shard circuit breaker: the router's replacement for binary
+//! Up/Down worker health.
+//!
+//! State machine:
+//!
+//! ```text
+//!            consecutive failures >= threshold
+//!   Closed ─────────────────────────────────────► Open
+//!     ▲                                            │ cooldown elapses
+//!     │ probe successes >= probe_successes         ▼
+//!     └──────────────────────────────────────── HalfOpen
+//!                         (any failure reopens, restarting cooldown)
+//! ```
+//!
+//! - **Closed**: the shard takes data-path traffic. Each success resets
+//!   the consecutive-failure count; each failure increments it, and at
+//!   the threshold the breaker opens.
+//! - **Open**: no data-path traffic at all. After `cooldown`, the next
+//!   prober tick is allowed through as a trial ([`Breaker::probe_ready`]
+//!   transitions to Half-Open).
+//! - **Half-Open**: only the prober trickle touches the worker. Enough
+//!   consecutive probe successes close the breaker (the router performs
+//!   replay catch-up before counting a probe as a success, so a close
+//!   implies the shard is also caught up); any failure reopens it and
+//!   restarts the cooldown.
+//!
+//! The breaker is a plain struct driven by its owner (the router holds
+//! one per worker behind the existing worker mutex) and takes `now` as
+//! an argument, which keeps every transition deterministic under test.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive data-path/probe failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before allowing a trial probe.
+    pub cooldown: Duration,
+    /// Consecutive successful probes needed to close from Half-Open.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+            probe_successes: 1,
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: data-path traffic flows.
+    Closed,
+    /// Tripped: no traffic; waiting out the cooldown.
+    Open,
+    /// Trial: prober trickle only.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for health JSON and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `car_shard_breaker_state` gauge:
+    /// 0 = closed, 1 = half-open, 2 = open.
+    pub fn gauge_value(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// One worker's circuit breaker.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_streak: u32,
+    opened_at: Option<Instant>,
+    opens: u64,
+}
+
+impl Breaker {
+    /// A new breaker, Closed.
+    pub fn new(config: BreakerConfig) -> Breaker {
+        Breaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_streak: 0,
+            opened_at: None,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether data-path traffic may be sent to this shard.
+    pub fn allows_traffic(&self) -> bool {
+        self.state == BreakerState::Closed
+    }
+
+    /// Current consecutive-failure count (diagnostic, for `/v1/health`).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// How many times this breaker has opened since boot.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Records a data-path or probe failure. Returns `true` when this
+    /// failure tripped the breaker from a traffic-carrying state.
+    pub fn record_failure(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(now);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // A failed trial reopens immediately and restarts the
+                // cooldown — no threshold counting in Half-Open.
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                self.trip(now);
+                false
+            }
+            BreakerState::Open => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                false
+            }
+        }
+    }
+
+    /// Records a success. In Closed this clears the failure count; in
+    /// Half-Open it advances the probe streak and may close the
+    /// breaker. Returns `true` when the breaker closed.
+    pub fn record_success(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                false
+            }
+            BreakerState::HalfOpen => {
+                self.probe_streak = self.probe_streak.saturating_add(1);
+                if self.probe_streak >= self.config.probe_successes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.probe_streak = 0;
+                    self.opened_at = None;
+                    return true;
+                }
+                false
+            }
+            // A success while Open (e.g. a straggler reply) is not a
+            // trial result; ignore it rather than short-circuiting the
+            // cooldown.
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Whether the prober may touch this shard right now. An Open
+    /// breaker whose cooldown has elapsed transitions to Half-Open and
+    /// admits the probe; Half-Open always admits; Closed probing is the
+    /// owner's choice (the router probes Closed workers for liveness).
+    pub fn probe_ready(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let elapsed_ok = self
+                    .opened_at
+                    .map_or(true, |t| now.duration_since(t) >= self.config.cooldown);
+                if elapsed_ok {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_streak = 0;
+                }
+                elapsed_ok
+            }
+        }
+    }
+
+    /// Opens the breaker unconditionally (boot-probe failure: the
+    /// worker was never seen healthy).
+    pub fn open_immediately(&mut self, now: Instant) {
+        if self.state != BreakerState::Open {
+            self.trip(now);
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.probe_streak = 0;
+        self.opened_at = Some(now);
+        self.opens = self.opens.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            probe_successes: 2,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures() {
+        let mut b = breaker();
+        let now = Instant::now();
+        assert!(!b.record_failure(now));
+        assert!(!b.record_failure(now));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure(now));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = breaker();
+        let now = Instant::now();
+        b.record_failure(now);
+        b.record_failure(now);
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_gates_the_half_open_transition() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        assert!(!b.probe_ready(t0 + Duration::from_millis(50)));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.probe_ready(t0 + Duration::from_millis(150)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_closes_after_probe_streak() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        assert!(b.probe_ready(t0 + Duration::from_millis(150)));
+        assert!(!b.record_success());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_traffic());
+    }
+
+    #[test]
+    fn half_open_failure_reopens_and_restarts_cooldown() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.probe_ready(t1));
+        b.record_failure(t1);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        // Cooldown restarted from t1, so shortly after it is still shut.
+        assert!(!b.probe_ready(t1 + Duration::from_millis(50)));
+        assert!(b.probe_ready(t1 + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn open_immediately_skips_the_threshold() {
+        let mut b = breaker();
+        b.open_immediately(Instant::now());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_traffic());
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.gauge_value(), 0);
+        assert_eq!(BreakerState::HalfOpen.gauge_value(), 1);
+        assert_eq!(BreakerState::Open.gauge_value(), 2);
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::HalfOpen.label(), "half_open");
+        assert_eq!(BreakerState::Open.label(), "open");
+    }
+}

@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod merge;
 pub mod ring;
 pub mod router;
 
+pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use merge::{merge_rule_views, parse_rules_body, ShardView};
 pub use ring::{PartitionKey, ShardRing};
 pub use router::{

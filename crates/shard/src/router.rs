@@ -22,18 +22,32 @@
 //!
 //! ## Worker lifecycle
 //!
-//! A worker is `Up` (receives ingest and queries), `Down` (excluded;
-//! probed for recovery), or `Stale` (fell further behind than the
-//! replay ring remembers — terminally excluded until the operator
-//! resets it). Any failed send marks the worker `Down`. A background
-//! prober re-checks `Down` workers every probe interval; when one
-//! answers healthy again, the router computes exactly how many units it
-//! missed from its accepted-unit count (`total_pushed + queue_depth`,
-//! baselined at first contact), replays precisely those sub-units from
-//! the ring with `?wait=true`, and only then re-admits it. Unit indices
-//! therefore stay aligned across the cluster even through a worker
-//! crash and restart (WAL recovery restores the acknowledged prefix;
-//! the router replays the rest).
+//! Worker admission is governed by a per-shard **circuit breaker**
+//! ([`crate::breaker`]): a worker is `Up` while its breaker is Closed,
+//! `Down` while it is Open or Half-Open, and `Stale` when it fell
+//! further behind than the replay ring remembers (terminal until the
+//! operator resets it). Failed exchanges — data-path sends, fan-out
+//! legs, health probes — feed the breaker; at the consecutive-failure
+//! threshold it opens and the worker is excluded. After the cooldown
+//! the breaker admits a Half-Open probe trickle: the prober re-checks
+//! the worker, computes exactly how many units it missed from its
+//! accepted-unit count (`total_pushed + queue_depth`, baselined at
+//! first contact), replays precisely those sub-units from the ring with
+//! `?wait=true`, and only a fully caught-up probe closes the breaker
+//! and re-admits the worker. Unit indices therefore stay aligned across
+//! the cluster even through a worker crash and restart (WAL recovery
+//! restores the acknowledged prefix; the router replays the rest).
+//! Breaker states are exported as `car_shard_breaker_state` gauges and
+//! a `breakers` block in `/v1/health`.
+//!
+//! ## Deadlines
+//!
+//! Every `/v1/rules` request gets a budget: the smaller of the router's
+//! configured `request_budget` and the client's `X-Car-Deadline-Ms`
+//! header. Each fan-out leg forwards the *remaining* budget as
+//! `X-Car-Deadline-Ms`, and workers abort escalated re-detection when
+//! it expires (answering `504 deadline_exceeded`), so one slow shard
+//! cannot pin the whole merge past the deadline.
 //!
 //! ## Lock order
 //!
@@ -60,6 +74,7 @@ use car_serve::metrics::{Metrics, Route};
 use car_serve::sync::{log_warn, LockExt};
 use car_serve::{RetryPolicy, RetryingClient};
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::ring::{PartitionKey, ShardRing};
 
 /// How often the accept loop re-checks the shutdown flag.
@@ -114,6 +129,12 @@ pub struct RouterConfig {
     pub io_timeout: Duration,
     /// Maximum accepted request body size.
     pub max_body_bytes: usize,
+    /// Per-shard circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Upper bound on a request's total deadline budget; the effective
+    /// deadline is the smaller of this and the client's
+    /// `X-Car-Deadline-Ms` header.
+    pub request_budget: Duration,
 }
 
 impl Default for RouterConfig {
@@ -129,6 +150,8 @@ impl Default for RouterConfig {
             shutdown_workers: false,
             io_timeout: Duration::from_secs(10),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            breaker: BreakerConfig::default(),
+            request_budget: Duration::from_secs(10),
         }
     }
 }
@@ -159,7 +182,10 @@ struct Worker {
     shard_id: u32,
     addr: String,
     client: RetryingClient,
-    state: WorkerState,
+    breaker: Breaker,
+    /// Terminal: the worker fell behind the replay ring and cannot be
+    /// caught up exactly.
+    stale: bool,
     /// The worker's accepted-unit count at first contact; units routed
     /// by this router are measured relative to it, so a worker with
     /// pre-existing history (recovered WAL) accounts correctly.
@@ -167,17 +193,65 @@ struct Worker {
 }
 
 impl Worker {
-    /// Marks the worker down after a failed exchange (idempotent;
-    /// `Stale` is terminal and never demoted to plain `Down`).
-    fn mark_down(&mut self) {
-        if self.state == WorkerState::Up {
-            self.state = WorkerState::Down;
+    /// Admission state, derived from staleness and the breaker.
+    fn state(&self) -> WorkerState {
+        if self.stale {
+            WorkerState::Stale
+        } else if self.breaker.allows_traffic() {
+            WorkerState::Up
+        } else {
+            WorkerState::Down
+        }
+    }
+
+    /// Feeds a failed exchange to the breaker; opening it excludes the
+    /// worker from the data path (`Stale` is terminal and ignores
+    /// further evidence).
+    fn record_failure(&mut self) {
+        if self.stale {
+            return;
+        }
+        if self.breaker.record_failure(Instant::now()) {
             SHARD.add_down_transition();
             car_obs::warn!(
                 "shard",
-                [shard = self.shard_id, addr = self.addr.as_str()],
-                "worker marked down"
+                [
+                    shard = self.shard_id,
+                    addr = self.addr.as_str(),
+                    failures = self.breaker.consecutive_failures()
+                ],
+                "circuit breaker opened; worker excluded"
             );
+        }
+    }
+
+    /// Feeds a successful exchange to the breaker; returns `true` when
+    /// this success closed a Half-Open breaker (re-admission).
+    fn record_success(&mut self) -> bool {
+        if self.stale {
+            return false;
+        }
+        self.breaker.record_success()
+    }
+}
+
+/// One worker's admission + breaker view, read under its mutex.
+struct WorkerSnapshot {
+    shard_id: u32,
+    state: WorkerState,
+    breaker: BreakerState,
+    consecutive_failures: u32,
+    opens: u64,
+}
+
+impl WorkerSnapshot {
+    /// The `car_shard_breaker_state` gauge encoding; `Stale` extends
+    /// the breaker encoding with 3 (terminally excluded).
+    fn gauge_value(&self) -> u64 {
+        if self.state == WorkerState::Stale {
+            3
+        } else {
+            self.breaker.gauge_value()
         }
     }
 }
@@ -229,17 +303,21 @@ pub struct RouterState {
 struct RouteOutcome {
     applied: bool,
     units_routed: u64,
-    /// Post-send state per worker, in shard order.
-    shards: Vec<(u32, WorkerState)>,
+    /// Per worker, in shard order: post-send state plus whether this
+    /// batch's send to it succeeded. The `ok` flag — not the state —
+    /// decides degradation, so the very first failed send is already a
+    /// `partial` response even while the breaker is still counting
+    /// failures toward its threshold.
+    shards: Vec<(u32, WorkerState, bool)>,
 }
 
 impl RouteOutcome {
     fn degraded(&self) -> Vec<u32> {
-        self.shards
-            .iter()
-            .filter(|(_, s)| *s != WorkerState::Up)
-            .map(|(id, _)| *id)
-            .collect()
+        self.shards.iter().filter(|(_, _, ok)| !ok).map(|(id, _, _)| *id).collect()
+    }
+
+    fn states(&self) -> Vec<(u32, WorkerState)> {
+        self.shards.iter().map(|&(id, s, _)| (id, s)).collect()
     }
 }
 
@@ -253,6 +331,11 @@ enum Leg {
     },
     Skipped(u32),
     Failed(u32),
+    /// The leg's share of the deadline budget ran out (locally, or the
+    /// worker answered `504 deadline_exceeded`). Not breaker evidence:
+    /// a client-chosen tiny budget must not open breakers on healthy
+    /// workers.
+    TimedOut(u32),
     Warming,
     BadRequest(Response),
 }
@@ -283,13 +366,19 @@ impl RouterState {
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Worker states in shard order (brief per-worker locks).
-    fn worker_states(&self) -> Vec<(u32, WorkerState)> {
+    /// Per-worker admission + breaker snapshot (brief per-worker locks).
+    fn worker_snapshots(&self) -> Vec<WorkerSnapshot> {
         self.workers
             .iter()
             .map(|w| {
                 let w = w.lock_or_recover();
-                (w.shard_id, w.state)
+                WorkerSnapshot {
+                    shard_id: w.shard_id,
+                    state: w.state(),
+                    breaker: w.breaker.state(),
+                    consecutive_failures: w.breaker.consecutive_failures(),
+                    opens: w.breaker.opens(),
+                }
             })
             .collect()
     }
@@ -324,7 +413,8 @@ impl RouterState {
         self.replay_depth_gauge.store(ingest.replay.len() as u64, Ordering::Relaxed);
 
         let target = if wait { "/v1/units?wait=true" } else { "/v1/units" };
-        let sends: Vec<(u32, WorkerState, bool)> = std::thread::scope(|scope| {
+        // (shard_id, post-send state, send ok, batch applied)
+        let sends: Vec<(u32, WorkerState, bool, bool)> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter()
@@ -332,27 +422,32 @@ impl RouterState {
                 .map(|(worker, sub_batch)| {
                     scope.spawn(move || {
                         let mut w = worker.lock_or_recover();
-                        if w.state != WorkerState::Up {
-                            return (w.shard_id, w.state, false);
+                        if w.state() != WorkerState::Up {
+                            return (w.shard_id, w.state(), false, false);
                         }
                         let body = units_to_body(&sub_batch);
-                        let applied = match w.client.request("POST", target, Some(&body))
-                        {
-                            Some(resp) if resp.status == 200 || resp.status == 202 => {
-                                match batch_fully_accepted(&resp.body, n) {
-                                    Some(applied) => applied,
-                                    None => {
-                                        w.mark_down();
-                                        false
+                        let (ok, applied) =
+                            match w.client.request("POST", target, Some(&body)) {
+                                Some(resp)
+                                    if resp.status == 200 || resp.status == 202 =>
+                                {
+                                    match batch_fully_accepted(&resp.body, n) {
+                                        Some(applied) => {
+                                            w.record_success();
+                                            (true, applied)
+                                        }
+                                        None => {
+                                            w.record_failure();
+                                            (false, false)
+                                        }
                                     }
                                 }
-                            }
-                            _ => {
-                                w.mark_down();
-                                false
-                            }
-                        };
-                        (w.shard_id, w.state, applied)
+                                _ => {
+                                    w.record_failure();
+                                    (false, false)
+                                }
+                            };
+                        (w.shard_id, w.state(), ok, applied)
                     })
                 })
                 .collect();
@@ -363,7 +458,7 @@ impl RouterState {
                     Ok(send) => send,
                     Err(_) => {
                         log_warn("shard send thread panicked");
-                        (shard_id as u32, WorkerState::Down, false)
+                        (shard_id as u32, WorkerState::Down, false, false)
                     }
                 })
                 .collect()
@@ -371,35 +466,45 @@ impl RouterState {
         drop(ingest);
 
         let applied = wait
-            && sends.iter().any(|(_, s, _)| *s == WorkerState::Up)
-            && sends.iter().all(|(_, s, applied)| *s != WorkerState::Up || *applied);
+            && sends.iter().any(|(_, _, ok, _)| *ok)
+            && sends.iter().all(|(_, _, ok, applied)| !ok || *applied);
         RouteOutcome {
             applied,
             units_routed,
-            shards: sends.iter().map(|&(id, s, _)| (id, s)).collect(),
+            shards: sends.iter().map(|&(id, s, ok, _)| (id, s, ok)).collect(),
         }
     }
 
-    /// Attempts to re-admit worker `i`: verifies it is healthy, computes
+    /// Attempts to re-admit worker `i`: waits out the breaker cooldown,
+    /// verifies the worker is healthy (the Half-Open trial), computes
     /// exactly how many routed units it has not accepted, replays those
-    /// sub-units from the ring, and marks it `Up`. Holding the ingest
-    /// lock throughout keeps new units from racing past the replay.
+    /// sub-units from the ring, and only then lets the breaker close.
+    /// Holding the ingest lock throughout keeps new units from racing
+    /// past the replay.
     fn try_readmit(&self, i: usize) {
         let Some(worker) = self.workers.get(i) else { return };
         let ingest = self.ingest.lock_or_recover();
         let mut w = worker.lock_or_recover();
-        if w.state != WorkerState::Down {
+        if w.state() != WorkerState::Down {
             return;
         }
-        let Some(health) = probe_health(&mut w.client) else { return };
+        if !w.breaker.probe_ready(Instant::now()) {
+            // Still cooling down; no probe traffic at all.
+            return;
+        }
+        let Some(health) = probe_health(&mut w.client) else {
+            w.record_failure();
+            return;
+        };
         if !health.ready {
+            w.record_failure();
             return;
         }
         let baseline = *w.baseline.get_or_insert(health.accepted);
         let caught_up = health.accepted.saturating_sub(baseline);
         let behind = ingest.units_routed.saturating_sub(caught_up);
         if behind > ingest.replay.len() as u64 {
-            w.state = WorkerState::Stale;
+            w.stale = true;
             car_obs::error!(
                 "shard",
                 [shard = w.shard_id, behind = behind, ring = ingest.replay.len()],
@@ -425,18 +530,20 @@ impl RouterState {
                 _ => false,
             };
             if !ok {
-                // Still flaky; stay down, the prober will try again.
+                // Still flaky; reopen and restart the cooldown.
+                w.record_failure();
                 return;
             }
         }
-        w.state = WorkerState::Up;
-        SHARD.add_readmission();
-        SHARD.add_catchup_units(behind);
-        car_obs::info!(
-            "shard",
-            [shard = w.shard_id, replayed = behind],
-            "worker re-admitted after catch-up"
-        );
+        if w.record_success() {
+            SHARD.add_readmission();
+            SHARD.add_catchup_units(behind);
+            car_obs::info!(
+                "shard",
+                [shard = w.shard_id, replayed = behind],
+                "breaker closed; worker re-admitted after catch-up"
+            );
+        }
     }
 
     /// One prober pass: verify `Up` workers, try to re-admit `Down`
@@ -445,17 +552,19 @@ impl RouterState {
         for (i, worker) in self.workers.iter().enumerate() {
             let state = {
                 let w = worker.lock_or_recover();
-                w.state
+                w.state()
             };
             match state {
                 WorkerState::Up => {
                     let mut w = worker.lock_or_recover();
-                    if w.state != WorkerState::Up {
+                    if w.state() != WorkerState::Up {
                         continue;
                     }
                     match probe_health(&mut w.client) {
-                        Some(h) if h.ready => {}
-                        _ => w.mark_down(),
+                        Some(h) if h.ready => {
+                            w.record_success();
+                        }
+                        _ => w.record_failure(),
                     }
                 }
                 WorkerState::Down => self.try_readmit(i),
@@ -547,7 +656,7 @@ fn ingest(state: &Arc<RouterState>, req: &http::Request) -> Response {
         ("applied", Json::from(outcome.applied)),
         ("partial", Json::from(!degraded.is_empty())),
         ("units_routed", Json::from(outcome.units_routed)),
-        ("shards", shard_state_json(&outcome.shards)),
+        ("shards", shard_state_json(&outcome.states())),
     ]);
     degrade(Response::json(status, &body), &degraded)
 }
@@ -617,6 +726,14 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
         },
     };
     let target = worker_rules_target(length, offset, min_confidence);
+    // The request's deadline budget: the router's configured bound,
+    // shrunk by the client's own deadline when one is propagated in.
+    let budget = req
+        .header("x-car-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map_or(state.config.request_budget, |d| d.min(state.config.request_budget));
+    let deadline = Instant::now() + budget;
 
     let legs: Vec<Leg> = std::thread::scope(|scope| {
         let handles: Vec<_> = state
@@ -626,14 +743,36 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                 let target = target.as_str();
                 scope.spawn(move || {
                     let mut w = worker.lock_or_recover();
-                    if w.state != WorkerState::Up {
+                    if w.state() != WorkerState::Up {
                         return Leg::Skipped(w.shard_id);
                     }
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        SHARD.add_fanout_failures(1);
+                        SHARD.add_deadline_exceeded();
+                        return Leg::TimedOut(w.shard_id);
+                    }
+                    // Forward the remaining budget so the worker can
+                    // abort escalated re-detection instead of pinning
+                    // the merge past the deadline.
+                    let headers = [(
+                        "X-Car-Deadline-Ms",
+                        u64::try_from(remaining.as_millis())
+                            .unwrap_or(u64::MAX)
+                            .to_string(),
+                    )];
                     SHARD.add_fanout_legs(1);
-                    match w.client.request("GET", target, None) {
+                    match w.client.request_with(
+                        "GET",
+                        target,
+                        &headers,
+                        None,
+                        Some(deadline),
+                    ) {
                         Some(resp) if resp.status == 200 => {
                             match crate::merge::parse_rules_body(&resp.body_text()) {
                                 Ok(view) => {
+                                    w.record_success();
                                     let epoch = resp
                                         .header("x-car-epoch")
                                         .and_then(|v| v.parse::<u64>().ok());
@@ -657,15 +796,27 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                             // re-wrapping (double-encoding) it.
                             Leg::BadRequest(Response::json_bytes(400, resp.body))
                         }
+                        Some(resp) if resp.status == 504 => {
+                            SHARD.add_fanout_failures(1);
+                            SHARD.add_deadline_exceeded();
+                            Leg::TimedOut(w.shard_id)
+                        }
                         Some(_) => {
                             SHARD.add_fanout_failures(1);
-                            w.mark_down();
+                            w.record_failure();
                             Leg::Failed(w.shard_id)
                         }
                         None => {
                             SHARD.add_fanout_failures(1);
-                            w.mark_down();
-                            Leg::Failed(w.shard_id)
+                            if Instant::now() >= deadline {
+                                // The attempt was cut short by the budget,
+                                // not necessarily by a sick worker.
+                                SHARD.add_deadline_exceeded();
+                                Leg::TimedOut(w.shard_id)
+                            } else {
+                                w.record_failure();
+                                Leg::Failed(w.shard_id)
+                            }
                         }
                     }
                 })
@@ -688,6 +839,7 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
     let mut epochs = Vec::new();
     let mut degraded = Vec::new();
     let mut warming = false;
+    let mut timed_out = false;
     for leg in legs {
         match leg {
             Leg::Ok { view, epoch } => {
@@ -695,6 +847,10 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                 views.push(view);
             }
             Leg::Skipped(id) | Leg::Failed(id) => degraded.push(id),
+            Leg::TimedOut(id) => {
+                timed_out = true;
+                degraded.push(id);
+            }
             Leg::Warming => warming = true,
             // A worker rejected the parameters; every worker shares the
             // configuration, so forward its answer as ours.
@@ -709,6 +865,9 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
         );
     }
     if views.is_empty() {
+        if timed_out {
+            return degrade(Response::error(504, "deadline_exceeded"), &degraded);
+        }
         return degrade(Response::error(503, "no live shard workers"), &degraded);
     }
 
@@ -741,13 +900,31 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
 }
 
 fn health(state: &Arc<RouterState>) -> Response {
-    let shards = state.worker_states();
+    let snapshots = state.worker_snapshots();
+    let shards: Vec<(u32, WorkerState)> =
+        snapshots.iter().map(|s| (s.shard_id, s.state)).collect();
     let degraded = shards.iter().filter(|(_, s)| *s != WorkerState::Up).count();
     // Gauge, not the ingest lock: health must answer promptly even
     // while a fan-out holds `ingest` through worker retries.
     // audit:allow(a6-relaxed-mirror) reason="documented staleness contract: the gauge is an advisory mirror of ingest-lock state so health never blocks behind a fan-out"
     let units_routed = state.units_routed_gauge.load(Ordering::Relaxed);
     let status = if state.is_shutting_down() { "shutting_down" } else { "ok" };
+    let breakers = Json::Array(
+        snapshots
+            .iter()
+            .map(|s| {
+                object([
+                    ("shard_id", Json::from(u64::from(s.shard_id))),
+                    ("state", Json::from(s.breaker.label())),
+                    (
+                        "consecutive_failures",
+                        Json::from(u64::from(s.consecutive_failures)),
+                    ),
+                    ("opens", Json::from(s.opens)),
+                ])
+            })
+            .collect(),
+    );
     Response::json(
         200,
         &object([
@@ -758,12 +935,15 @@ fn health(state: &Arc<RouterState>) -> Response {
             ("degraded_shards", Json::from(degraded)),
             ("units_routed", Json::from(units_routed)),
             ("workers", shard_state_json(&shards)),
+            ("breakers", breakers),
         ]),
     )
 }
 
 fn metrics(state: &Arc<RouterState>) -> Response {
-    let shards = state.worker_states();
+    let snapshots = state.worker_snapshots();
+    let shards: Vec<(u32, WorkerState)> =
+        snapshots.iter().map(|s| (s.shard_id, s.state)).collect();
     let count_state =
         |s: WorkerState| shards.iter().filter(|(_, w)| *w == s).count() as f64;
     // audit:allow(a6-relaxed-mirror) reason="metrics scrape reads the advisory replay-depth mirror; exact depth is only meaningful under the ingest lock and a scrape must not take it"
@@ -786,6 +966,21 @@ fn metrics(state: &Arc<RouterState>) -> Response {
             replay_buffered,
         ),
     ]);
+    // Per-shard breaker state as a labeled gauge; labeled samples are
+    // rendered by hand because `render_prometheus` takes unlabeled
+    // names only.
+    text.push_str(
+        "# HELP car_shard_breaker_state Per-shard circuit breaker state \
+         (0=closed, 1=half_open, 2=open, 3=stale).\n\
+         # TYPE car_shard_breaker_state gauge\n",
+    );
+    for snapshot in &snapshots {
+        text.push_str("car_shard_breaker_state{shard=\"");
+        text.push_str(&snapshot.shard_id.to_string());
+        text.push_str("\"} ");
+        text.push_str(&snapshot.gauge_value().to_string());
+        text.push('\n');
+    }
     let snap = SHARD.snapshot();
     for (name, help, value) in [
         (
@@ -822,6 +1017,11 @@ fn metrics(state: &Arc<RouterState>) -> Response {
             "car_shard_partial_responses_total",
             "Responses served with one or more shards excluded.",
             snap.partial_responses,
+        ),
+        (
+            "car_shard_deadline_exceeded_total",
+            "Fan-out legs lost to an exhausted deadline budget.",
+            snap.deadline_exceeded,
         ),
     ] {
         text.push_str("# HELP ");
@@ -929,18 +1129,23 @@ pub fn run_router(config: RouterConfig) -> Result<RouterHandle, RouterError> {
         .enumerate()
         .map(|(i, addr)| {
             let mut client = RetryingClient::new(addr.clone(), config.retry);
-            let (state, baseline) = match probe_health(&mut client) {
-                Some(h) if h.ready => (WorkerState::Up, Some(h.accepted)),
+            let mut breaker = Breaker::new(config.breaker);
+            let baseline = match probe_health(&mut client) {
+                Some(h) if h.ready => Some(h.accepted),
                 _ => {
+                    // Never seen healthy: start Open; the prober's
+                    // Half-Open trickle admits it once it answers.
+                    breaker.open_immediately(Instant::now());
                     SHARD.add_down_transition();
-                    (WorkerState::Down, None)
+                    None
                 }
             };
             Mutex::new(Worker {
                 shard_id: i as u32,
                 addr: addr.clone(),
                 client,
-                state,
+                breaker,
+                stale: false,
                 baseline,
             })
         })
