@@ -54,6 +54,7 @@ pub fn default_config() -> AuditConfig {
             "crates/obs/src",
             "crates/shard/src",
             "crates/chaos/src",
+            "crates/cli/src/commands/trace.rs",
         ]),
         a2: s(&["crates/serve/src", "crates/core/src"]),
         a3: s(&[
@@ -62,7 +63,12 @@ pub fn default_config() -> AuditConfig {
             "crates/apriori/src/apriori.rs",
             "crates/obs/src",
         ]),
-        a4: s(&["crates/serve/src", "crates/shard/src", "crates/chaos/src"]),
+        a4: s(&[
+            "crates/serve/src",
+            "crates/shard/src",
+            "crates/chaos/src",
+            "crates/cli/src/commands/trace.rs",
+        ]),
         a5: s(&["crates/serve/src", "crates/shard/src"]),
         a6: s(&["crates/shard/src", "crates/serve/src", "crates/obs/src"]),
     }

@@ -9,6 +9,7 @@ pub mod mine;
 pub mod serve;
 pub mod shard;
 pub mod stats;
+pub mod trace;
 
 use std::fs::File;
 use std::io::Read;

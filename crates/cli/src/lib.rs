@@ -52,6 +52,7 @@ pub fn run<W: Write>(argv: &[String], out: &mut W) -> Result<(), CliError> {
         "serve" => commands::serve::run(&args, out),
         "shard" => commands::shard::run(&args, out),
         "chaos" => commands::chaos::run(&args, out),
+        "trace" => commands::trace::run(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -107,6 +108,10 @@ COMMANDS:
     chaos    Run the deterministic fault-injecting TCP proxy
              --listen HOST:PORT --upstream HOST:PORT
              [--seed S] [--schedule FILE]
+    trace    Inspect distributed traces retained by a shard router
+             --addr HOST:PORT           list retained traces
+             --addr HOST:PORT --id HEX  render one trace as an ASCII tree
+             [--format tree|chrome] [--out FILE]  (chrome needs --id)
     audit    Run the project's static-analysis lints (panic-freedom,
              lock-order, checked arithmetic, discarded Results,
              taint-to-sink dataflow, atomics discipline)

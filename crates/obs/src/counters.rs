@@ -330,6 +330,71 @@ pub struct ResilienceCounterSnapshot {
     pub deadline_exceeded: u64,
 }
 
+/// Process-global tracing counters; use the [`TRACE`] static. These
+/// count tail-sampling outcomes at whichever process assembles traces
+/// (the router, or a standalone daemon tracing its own requests), so
+/// `/metrics` can expose `car_trace_retained_total{reason=...}`.
+pub struct TraceCounters {
+    retained_error: AtomicU64,
+    retained_slow: AtomicU64,
+    retained_sampled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+/// Process-wide trace-retention totals since start.
+pub static TRACE: TraceCounters = TraceCounters {
+    retained_error: AtomicU64::new(0),
+    retained_slow: AtomicU64::new(0),
+    retained_sampled: AtomicU64::new(0),
+    discarded: AtomicU64::new(0),
+};
+
+impl TraceCounters {
+    /// Counts a trace retained because the request errored, tripped a
+    /// breaker, or was deadline-aborted.
+    pub fn add_retained_error(&self) {
+        self.retained_error.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a trace retained for exceeding the latency threshold.
+    pub fn add_retained_slow(&self) {
+        self.retained_slow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a healthy trace kept by the deterministic 1-in-N sample.
+    pub fn add_retained_sampled(&self) {
+        self.retained_sampled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a healthy trace the sampler let go.
+    pub fn add_discarded(&self) {
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter (relaxed loads).
+    pub fn snapshot(&self) -> TraceCounterSnapshot {
+        TraceCounterSnapshot {
+            retained_error: self.retained_error.load(Ordering::Relaxed),
+            retained_slow: self.retained_slow.load(Ordering::Relaxed),
+            retained_sampled: self.retained_sampled.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`TraceCounters`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounterSnapshot {
+    /// Traces retained with `reason="error"`.
+    pub retained_error: u64,
+    /// Traces retained with `reason="slow"`.
+    pub retained_slow: u64,
+    /// Traces retained with `reason="sampled"`.
+    pub retained_sampled: u64,
+    /// Healthy traces the sampler discarded.
+    pub discarded: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +449,20 @@ mod tests {
         assert!(after.shed >= before.shed + 1);
         assert!(after.header_timeouts >= before.header_timeouts + 1);
         assert!(after.deadline_exceeded >= before.deadline_exceeded + 1);
+    }
+
+    #[test]
+    fn trace_counters_accumulate_into_globals() {
+        let before = TRACE.snapshot();
+        TRACE.add_retained_error();
+        TRACE.add_retained_slow();
+        TRACE.add_retained_sampled();
+        TRACE.add_discarded();
+        let after = TRACE.snapshot();
+        assert!(after.retained_error >= before.retained_error + 1);
+        assert!(after.retained_slow >= before.retained_slow + 1);
+        assert!(after.retained_sampled >= before.retained_sampled + 1);
+        assert!(after.discarded >= before.discarded + 1);
     }
 
     #[test]

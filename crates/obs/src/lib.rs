@@ -19,6 +19,13 @@
 //!   candidate cycles killed by cycle elimination), fed by the mining
 //!   kernels and exported by `car mine --stats` and the daemon's
 //!   `/metrics` endpoint.
+//! * **Distributed tracing** ([`trace`]) — per-request trace trees
+//!   propagated across processes as `X-Car-Trace-Id` /
+//!   `X-Car-Parent-Span` headers. `time_span!` call sites feed the live
+//!   trace as named child spans; finished spans travel back in a
+//!   compact `X-Car-Spans` response header, are assembled into one
+//!   rooted tree, and survive tail-based retention (errored, slow, or
+//!   1-in-N sampled).
 //!
 //! The crate has no dependencies (the workspace builds offline) and its
 //! non-test code is in car-audit's A1 panic-freedom and A3
@@ -44,13 +51,14 @@
 pub mod counters;
 pub mod logger;
 pub mod span;
+pub mod trace;
 
 pub use logger::{
     init_from_env, log_enabled, recent_events, set_capture, set_filter, set_json_format,
     EventRecord, Level,
 };
 pub use span::{
-    profile_snapshot, register_span, reset_profile, set_spans_enabled, span,
+    profile_snapshot, register_span, reset_profile, set_spans_enabled, span, span_site,
     spans_enabled, SpanGuard, SpanId, SpanStat,
 };
 

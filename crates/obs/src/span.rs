@@ -89,24 +89,52 @@ pub fn register_span(name: &'static str) -> SpanId {
 pub fn span(id: SpanId) -> SpanGuard {
     // audit:allow(a6-relaxed-control) reason="span capture is sampling-tolerant: a stale enabled flag loses or adds one span around the toggle, and the slot counters are monotonic atomics"
     if !SPANS_ENABLED.load(Ordering::Relaxed) || id.0 == OVERFLOW {
-        return SpanGuard { active: None };
+        return SpanGuard { flat: None, traced: None, started: None };
     }
-    SpanGuard { active: Some((id, Instant::now())) }
+    SpanGuard { flat: Some(id), traced: None, started: Some(Instant::now()) }
 }
 
-/// RAII guard returned by [`span`]; records on drop.
+/// Enters a span that records into the flat profile (when spans are
+/// enabled) *and* into this thread's live request trace (when one is
+/// active — see [`crate::trace::begin_request`]). Either sink may be
+/// armed independently; with both disarmed the guard is inert and the
+/// clock is never read, so the cost is one relaxed atomic load plus one
+/// thread-local flag read. This is what [`time_span!`] expands to.
+#[must_use = "the span ends when the guard drops; binding to _ ends it immediately"]
+pub fn span_site(id: SpanId, name: &'static str) -> SpanGuard {
+    // audit:allow(a6-relaxed-control) reason="span capture is sampling-tolerant: a stale enabled flag loses or adds one span around the toggle, and the slot counters are monotonic atomics"
+    let enabled = SPANS_ENABLED.load(Ordering::Relaxed);
+    let flat = if enabled && id.0 != OVERFLOW { Some(id) } else { None };
+    let traced =
+        if crate::trace::trace_active() { crate::trace::start_child(name) } else { None };
+    if flat.is_none() && traced.is_none() {
+        return SpanGuard { flat: None, traced: None, started: None };
+    }
+    SpanGuard { flat, traced, started: Some(Instant::now()) }
+}
+
+/// RAII guard returned by [`span`] / [`span_site`]; records on drop.
 pub struct SpanGuard {
-    active: Option<(SpanId, Instant)>,
+    flat: Option<SpanId>,
+    traced: Option<crate::trace::SpanUid>,
+    started: Option<Instant>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((id, started)) = self.active.take() else { return };
-        let Some(slot) = SLOTS.get(id.0 as usize) else { return };
-        let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        slot.count.fetch_add(1, Ordering::Relaxed);
-        slot.total_ns.fetch_add(ns, Ordering::Relaxed);
-        slot.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let Some(started) = self.started.take() else { return };
+        let elapsed = started.elapsed();
+        if let Some(id) = self.flat.take() {
+            if let Some(slot) = SLOTS.get(id.0 as usize) {
+                let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                slot.count.fetch_add(1, Ordering::Relaxed);
+                slot.total_ns.fetch_add(ns, Ordering::Relaxed);
+                slot.max_ns.fetch_max(ns, Ordering::Relaxed);
+            }
+        }
+        if let Some(uid) = self.traced.take() {
+            crate::trace::end_child(uid, elapsed);
+        }
     }
 }
 
@@ -154,13 +182,15 @@ pub fn reset_profile() {
 
 /// Times the enclosing scope under `name` (a `&'static str`). Expands
 /// to a guard binding, so assign it: `let _span = time_span!("wal.append");`.
-/// The span id is resolved once per call site via a `OnceLock`.
+/// The span id is resolved once per call site via a `OnceLock`. The
+/// guard feeds the flat profile and, when this thread carries a live
+/// request trace, a named child span of that trace.
 #[macro_export]
 macro_rules! time_span {
     ($name:expr) => {{
         static SPAN_ID: ::std::sync::OnceLock<$crate::SpanId> =
             ::std::sync::OnceLock::new();
-        $crate::span(*SPAN_ID.get_or_init(|| $crate::register_span($name)))
+        $crate::span_site(*SPAN_ID.get_or_init(|| $crate::register_span($name)), $name)
     }};
 }
 
@@ -235,5 +265,20 @@ mod tests {
     #[test]
     fn overflow_ids_are_inert() {
         drop(span(SpanId(OVERFLOW)));
+    }
+
+    #[test]
+    fn span_site_records_into_a_live_trace_even_with_flat_profile_off() {
+        let _g = guard();
+        set_spans_enabled(false);
+        let trace = crate::trace::begin_request(None, "test.trace.root");
+        {
+            let _span = crate::time_span!("test.trace.child");
+        }
+        let finished = trace.finish().expect("trace finishes");
+        assert!(
+            finished.spans.iter().any(|s| s.name == "test.trace.child"),
+            "time_span! must feed the live trace"
+        );
     }
 }

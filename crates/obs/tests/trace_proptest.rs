@@ -1,0 +1,139 @@
+//! Property tests for trace assembly.
+//!
+//! Whatever span soup the cluster throws at it — duplicate uids,
+//! dangling parents, parent cycles, spans wildly outside their parent's
+//! window — [`assemble`] must return a *single rooted tree*: the root
+//! first with no parent, every other span's parent resolving to a span
+//! in the tree, every parent chain reaching the root without cycling,
+//! and every child nested within its parent's interval modulo the
+//! cross-process clock-skew tolerance.
+
+use std::collections::BTreeSet;
+
+use car_obs::trace::{
+    assemble, mint_trace_id, SpanRecord, SpanUid, CLOCK_SKEW_TOLERANCE_US,
+};
+use proptest::prelude::*;
+
+/// A deterministic non-zero uid from a small index.
+fn uid(n: u64) -> SpanUid {
+    SpanUid::from_hex(&format!("{n:016x}")).expect("non-zero index")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn assembled_traces_are_single_rooted_trees(
+        // (uid index, parent index [0 = None, may dangle], start µs, dur µs).
+        // Uid indexes collide on purpose to exercise deduplication; index 1
+        // doubles as the root so some soups contain a root record and some
+        // force synthesis.
+        raw in proptest::collection::vec(
+            (1u64..10, 0u64..14, 0u64..1_000_000, 0u64..1_000_000),
+            0..24,
+        ),
+    ) {
+        let trace_id = mint_trace_id();
+        let root = uid(1);
+        let spans: Vec<SpanRecord> = raw
+            .iter()
+            .map(|&(u, p, start_us, dur_us)| SpanRecord {
+                trace_id,
+                uid: uid(u),
+                parent: if p == 0 { None } else { Some(uid(p)) },
+                name: format!("s{u}"),
+                start_us,
+                dur_us,
+                attrs: Vec::new(),
+            })
+            .collect();
+        let input_unique: BTreeSet<String> =
+            spans.iter().map(|s| s.uid.to_hex()).collect();
+        let assembled = assemble(trace_id, root, spans);
+
+        // Exactly one root: first, parentless, carrying the root uid; no
+        // span is lost to deduplication beyond true uid collisions.
+        prop_assert!(!assembled.spans.is_empty());
+        prop_assert_eq!(assembled.spans[0].uid, root);
+        prop_assert!(assembled.spans[0].parent.is_none());
+        let mut count = input_unique.len();
+        if !input_unique.contains(&root.to_hex()) {
+            count += 1; // synthesized root
+        }
+        prop_assert_eq!(assembled.spans.len(), count);
+
+        // Uids are unique and every span carries the trace id.
+        let uids: BTreeSet<String> =
+            assembled.spans.iter().map(|s| s.uid.to_hex()).collect();
+        prop_assert_eq!(uids.len(), assembled.spans.len());
+        prop_assert!(assembled.spans.iter().all(|s| s.trace_id == trace_id));
+
+        for span in &assembled.spans[1..] {
+            // Every parent resolves within the tree.
+            let parent_uid = span.parent.expect("non-root spans have parents");
+            let parent = assembled
+                .spans
+                .iter()
+                .find(|s| s.uid == parent_uid)
+                .expect("parent resolves");
+
+            // Nesting modulo clock-skew tolerance.
+            prop_assert!(
+                span.start_us.saturating_add(CLOCK_SKEW_TOLERANCE_US)
+                    >= parent.start_us,
+                "child {} starts {}µs before parent {} ({}µs)",
+                span.uid, span.start_us, parent.uid, parent.start_us,
+            );
+            prop_assert!(
+                span.end_us()
+                    <= parent.end_us().saturating_add(CLOCK_SKEW_TOLERANCE_US),
+                "child {} ends {}µs after parent {} ends ({}µs)",
+                span.uid, span.end_us(), parent.uid, parent.end_us(),
+            );
+
+            // Every parent chain reaches the root without cycling.
+            let mut cursor = span.uid;
+            let mut steps = 0usize;
+            while cursor != root {
+                cursor = assembled
+                    .spans
+                    .iter()
+                    .find(|s| s.uid == cursor)
+                    .and_then(|s| s.parent)
+                    .expect("chain resolves");
+                steps += 1;
+                prop_assert!(
+                    steps <= assembled.spans.len(),
+                    "parent cycle survived assembly at {}", span.uid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_is_idempotent(
+        raw in proptest::collection::vec(
+            (1u64..8, 0u64..10, 0u64..100_000, 0u64..100_000),
+            0..16,
+        ),
+    ) {
+        let trace_id = mint_trace_id();
+        let root = uid(1);
+        let spans: Vec<SpanRecord> = raw
+            .iter()
+            .map(|&(u, p, start_us, dur_us)| SpanRecord {
+                trace_id,
+                uid: uid(u),
+                parent: if p == 0 { None } else { Some(uid(p)) },
+                name: format!("s{u}"),
+                start_us,
+                dur_us,
+                attrs: Vec::new(),
+            })
+            .collect();
+        let once = assemble(trace_id, root, spans);
+        let twice = assemble(trace_id, root, once.spans.clone());
+        prop_assert_eq!(once.spans, twice.spans, "a repaired tree needs no repair");
+    }
+}

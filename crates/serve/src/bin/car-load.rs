@@ -29,6 +29,10 @@ struct Options {
     seed: u64,
     max_retries: u32,
     timeout: Duration,
+    /// Print the trace ids of the N slowest answered requests at the
+    /// summary (0 disables). Feed them to `car trace --id` or
+    /// `/v1/debug/traces?trace_id=` to see where the time went.
+    trace_slowest: usize,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -45,7 +49,7 @@ car-load — load generator for the car-serve daemon
 USAGE:
     car-load --addr HOST:PORT [--connections N] [--requests N]
              [--mode rules|health|ingest|mixed] [--seed S]
-             [--max-retries N] [--timeout-ms MS]
+             [--max-retries N] [--timeout-ms MS] [--trace-slowest N]
 
     --addr         daemon address (required)
     --connections  concurrent keep-alive connections   [default: 4]
@@ -57,6 +61,10 @@ USAGE:
                    backoff with jitter)
     --timeout-ms   per-request connect/read/write      [default: 5000]
                    timeout, in milliseconds
+    --trace-slowest  print the trace ids of the N      [default: 0]
+                   slowest answered requests (from the
+                   x-car-trace-id response header) for
+                   `car trace --id` / /v1/debug/traces
 ";
 
 fn parse_options() -> Result<Options, String> {
@@ -69,6 +77,7 @@ fn parse_options() -> Result<Options, String> {
         seed: 7,
         max_retries: 4,
         timeout: Duration::from_millis(5_000),
+        trace_slowest: 0,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -115,6 +124,11 @@ fn parse_options() -> Result<Options, String> {
                     return Err("--timeout-ms must be positive".to_string());
                 }
                 opts.timeout = Duration::from_millis(ms);
+            }
+            "--trace-slowest" => {
+                opts.trace_slowest = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --trace-slowest".to_string())?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -195,6 +209,9 @@ struct WorkerReport {
     failures: FailureCounts,
     non_2xx: u64,
     retries: u64,
+    /// `(latency, trace id)` for each answered request whose response
+    /// carried an `x-car-trace-id` header — feeds `--trace-slowest`.
+    traced: Vec<(u64, String)>,
 }
 
 fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> WorkerReport {
@@ -206,6 +223,7 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
         failures: FailureCounts::default(),
         non_2xx: 0,
         retries: 0,
+        traced: Vec::new(),
     };
     let policy = RetryPolicy { max_retries: opts.max_retries, timeout: opts.timeout };
     let mut client = RetryingClient::with_seed(&opts.addr, policy, worker_seed);
@@ -234,6 +252,11 @@ fn run_worker(opts: &Options, worker: usize, ingest_counter: &AtomicU64) -> Work
         match result {
             Some(resp) if (200..300).contains(&resp.status) => {
                 report.latencies_us.push(us);
+                if opts.trace_slowest > 0 {
+                    if let Some(id) = resp.header("x-car-trace-id") {
+                        report.traced.push((us, id.to_string()));
+                    }
+                }
             }
             // A 503 carrying `retry-after` is the admission gate
             // shedding; other 5xx are server failures. Anything else
@@ -378,6 +401,23 @@ fn main() {
     }
     if !failed_latencies.is_empty() {
         print_histogram("failed", &failed_latencies);
+    }
+    if opts.trace_slowest > 0 {
+        let mut traced: Vec<(u64, String)> =
+            reports.into_iter().flat_map(|r| r.traced).collect();
+        traced.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        traced.truncate(opts.trace_slowest);
+        if traced.is_empty() {
+            println!("  no answered request carried an x-car-trace-id header");
+        } else {
+            println!(
+                "  slowest traced requests (car trace --addr {} --id HEX):",
+                opts.addr
+            );
+            for (us, id) in &traced {
+                println!("    {us:>9}µs  {id}");
+            }
+        }
     }
     // Sheds and 5xx are daemon answers under stress — the run still
     // measured something. Transport-level failure means the run could

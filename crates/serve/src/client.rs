@@ -439,6 +439,17 @@ impl RetryingClient {
             }
             let Some(conn) = self.conn.as_mut() else { continue };
             match conn.try_request(method, target, headers, body) {
+                Ok(resp) if resp.status == 408 => {
+                    // A 408 on a reused keep-alive connection is almost
+                    // always the server's parting shot after an *idle*
+                    // timeout, buffered before it closed — it answers
+                    // the wait, not the request just written. Either
+                    // way a 408 promises the request was never
+                    // executed, so drop the poisoned connection and
+                    // retry on a fresh one (safe for any method).
+                    self.conn = None;
+                    last_response = Some(resp);
+                }
                 Ok(resp) if resp.status == 503 => {
                     // Retryable daemon answer (recovering / backpressure
                     // / shutting down); keep the connection, back off,
@@ -478,13 +489,34 @@ impl RetryingClient {
         target: &str,
         body: Option<&[u8]>,
     ) -> Option<ClientResponse> {
+        self.request_once_with(method, target, &[], body)
+    }
+
+    /// [`request_once`](Self::request_once) with extra headers — the
+    /// shard router's health probes use it to stamp trace context on
+    /// probe traffic without engaging the retry machinery.
+    pub fn request_once_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, String)],
+        body: Option<&[u8]>,
+    ) -> Option<ClientResponse> {
         if self.conn.is_none() {
             self.conn =
                 Client::connect_with_timeout(&self.addr, self.policy.timeout).ok();
         }
         let conn = self.conn.as_mut()?;
-        match conn.request(method, target, body) {
-            Ok(resp) => Some(resp),
+        match conn.try_request(method, target, headers, body) {
+            Ok(resp) => {
+                if resp.status == 408 {
+                    // Stale keep-alive artifact (see `request_with`):
+                    // the server closed after answering its idle wait.
+                    // Reconnect on the next call.
+                    self.conn = None;
+                }
+                Some(resp)
+            }
             Err(_) => {
                 self.conn = None;
                 None
@@ -520,5 +552,43 @@ mod tests {
         let resp = read_response(&mut Cursor::new(raw.to_vec())).unwrap();
         assert_eq!(resp.status, 204);
         assert!(resp.body.is_empty());
+    }
+
+    /// A server whose idle timeout fired writes a courtesy `408` and
+    /// closes; that response sits buffered in the client's pooled
+    /// connection and would otherwise be read as the answer to the
+    /// *next* request. The retrying client must discard it, reconnect,
+    /// and return the real answer.
+    #[test]
+    fn stale_keep_alive_408_is_retried_on_a_fresh_connection() {
+        use std::io::{Read, Write};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Connection 1: the idle-timeout parting shot — answer 408
+            // before any request arrives, then close.
+            let (mut first, _) = listener.accept().unwrap();
+            first
+                .write_all(
+                    b"HTTP/1.1 408 Request Timeout\r\nconnection: close\r\n\
+                      content-length: 0\r\n\r\n",
+                )
+                .unwrap();
+            drop(first);
+            // Connection 2: a real exchange.
+            let (mut second, _) = listener.accept().unwrap();
+            let mut scratch = [0u8; 1024];
+            let _ = second.read(&mut scratch).unwrap();
+            second.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok").unwrap();
+        });
+
+        let policy = RetryPolicy { max_retries: 2, timeout: Duration::from_secs(5) };
+        let mut client = RetryingClient::with_seed(&addr, policy, 1);
+        let resp = client.request("GET", "/v1/health", None).expect("answered");
+        assert_eq!(resp.status, 200, "the stale 408 must not be the answer");
+        assert_eq!(resp.body_text(), "ok");
+        server.join().unwrap();
     }
 }

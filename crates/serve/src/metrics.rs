@@ -27,12 +27,16 @@ pub enum Route {
     DebugProfile,
     /// `GET /v1/debug/events`
     DebugEvents,
+    /// `GET /v1/debug/spans` (per-process trace-span ring)
+    DebugSpans,
+    /// `GET /v1/debug/traces` (router-side assembled traces)
+    DebugTraces,
     /// Anything else (404s, bad requests).
     Other,
 }
 
 impl Route {
-    const ALL: [Route; 8] = [
+    const ALL: [Route; 10] = [
         Route::IngestUnits,
         Route::Rules,
         Route::Health,
@@ -40,6 +44,8 @@ impl Route {
         Route::Shutdown,
         Route::DebugProfile,
         Route::DebugEvents,
+        Route::DebugSpans,
+        Route::DebugTraces,
         Route::Other,
     ];
 
@@ -52,11 +58,17 @@ impl Route {
             Route::Shutdown => 4,
             Route::DebugProfile => 5,
             Route::DebugEvents => 6,
-            Route::Other => 7,
+            Route::DebugSpans => 7,
+            Route::DebugTraces => 8,
+            Route::Other => 9,
         }
     }
 
-    fn label(self) -> &'static str {
+    /// The metric/log label for this route, e.g. `rules`. Public so the
+    /// connection loop (and the shard router) can stamp the route onto
+    /// trace-span attributes and log lines with the exact string the
+    /// `/metrics` labels use.
+    pub fn label(self) -> &'static str {
         match self {
             Route::IngestUnits => "ingest_units",
             Route::Rules => "rules",
@@ -65,6 +77,8 @@ impl Route {
             Route::Shutdown => "shutdown",
             Route::DebugProfile => "debug_profile",
             Route::DebugEvents => "debug_events",
+            Route::DebugSpans => "debug_spans",
+            Route::DebugTraces => "debug_traces",
             Route::Other => "other",
         }
     }
@@ -81,12 +95,15 @@ const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
 #[derive(Default)]
 struct RouteCounters {
     by_class: [AtomicU64; 3],
+    latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
 }
 
 /// All daemon counters. Cheap to share behind an `Arc`.
 #[derive(Default)]
 pub struct Metrics {
-    requests: [RouteCounters; 8],
+    requests: [RouteCounters; 10],
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
@@ -125,6 +142,10 @@ impl Metrics {
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
+        let per_route = &self.requests[route.index()];
+        per_route.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        per_route.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        per_route.latency_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a successfully enqueued unit with its transaction count.
@@ -276,6 +297,43 @@ impl Metrics {
             self.latency_count.load(Ordering::Relaxed)
         ));
 
+        // Per-route latency histograms on the same shared bucket bounds,
+        // so a slow endpoint is visible without a client-side breakdown.
+        out.push_str(
+            "# HELP car_request_duration_seconds Request handling latency by route.\n",
+        );
+        out.push_str("# TYPE car_request_duration_seconds histogram\n");
+        for route in Route::ALL {
+            let counters = &self.requests[route.index()];
+            let mut cumulative = 0u64;
+            for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cumulative += counters.latency_buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "car_request_duration_seconds_bucket{{route=\"{}\",le=\"{}\"}} {}\n",
+                    route.label(),
+                    *bound as f64 / 1e6,
+                    cumulative
+                ));
+            }
+            cumulative +=
+                counters.latency_buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "car_request_duration_seconds_bucket{{route=\"{}\",le=\"+Inf\"}} {}\n",
+                route.label(),
+                cumulative
+            ));
+            out.push_str(&format!(
+                "car_request_duration_seconds_sum{{route=\"{}\"}} {}\n",
+                route.label(),
+                counters.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "car_request_duration_seconds_count{{route=\"{}\"}} {}\n",
+                route.label(),
+                counters.latency_count.load(Ordering::Relaxed)
+            ));
+        }
+
         for (name, help, counter) in [
             (
                 "car_units_ingested_total",
@@ -412,6 +470,28 @@ impl Metrics {
             out.push_str(&format!("{name} {value}\n"));
         }
 
+        // Trace tail-retention counters (car-obs). Always rendered, even
+        // at zero, so the CI grep and dashboards can rely on the family.
+        let trace = car_obs::counters::TRACE.snapshot();
+        out.push_str(
+            "# HELP car_trace_retained_total Traces retained by tail sampling, by reason.\n",
+        );
+        out.push_str("# TYPE car_trace_retained_total counter\n");
+        for (reason, value) in [
+            ("error", trace.retained_error),
+            ("slow", trace.retained_slow),
+            ("sampled", trace.retained_sampled),
+        ] {
+            out.push_str(&format!(
+                "car_trace_retained_total{{reason=\"{reason}\"}} {value}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP car_trace_discarded_total Healthy traces the tail sampler let go.\n",
+        );
+        out.push_str("# TYPE car_trace_discarded_total counter\n");
+        out.push_str(&format!("car_trace_discarded_total {}\n", trace.discarded));
+
         // Span profile summaries (car-obs flat profile). Sum/count give
         // Prometheus a rate-able average; the observed maximum rides
         // along as a gauge since summaries cannot carry it.
@@ -508,6 +588,33 @@ mod tests {
         assert!(text.contains("# TYPE car_shed_total counter"));
         assert!(text.contains("# TYPE car_header_timeouts_total counter"));
         assert!(text.contains("# TYPE car_deadline_exceeded_total counter"));
+        // The trace-retention family exists at zero for the same reason.
+        assert!(text.contains("# TYPE car_trace_retained_total counter"));
+        assert!(text.contains("car_trace_retained_total{reason=\"error\"}"));
+        assert!(text.contains("car_trace_retained_total{reason=\"slow\"}"));
+        assert!(text.contains("car_trace_retained_total{reason=\"sampled\"}"));
+        assert!(text.contains("# TYPE car_trace_discarded_total counter"));
+    }
+
+    #[test]
+    fn per_route_latency_histogram_renders() {
+        let m = Metrics::new();
+        m.record_request(Route::Rules, 200, Duration::from_micros(90));
+        m.record_request(Route::Rules, 200, Duration::from_micros(400));
+        m.record_request(Route::Health, 200, Duration::from_micros(90));
+        let text = m.render_prometheus(&[]);
+        assert!(text.contains("# TYPE car_request_duration_seconds histogram"));
+        assert!(text.contains(
+            "car_request_duration_seconds_bucket{route=\"rules\",le=\"0.0001\"} 1"
+        ));
+        assert!(text.contains(
+            "car_request_duration_seconds_bucket{route=\"rules\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("car_request_duration_seconds_count{route=\"rules\"} 2"));
+        assert!(text.contains("car_request_duration_seconds_count{route=\"health\"} 1"));
+        assert!(
+            text.contains("car_request_duration_seconds_count{route=\"debug_traces\"} 0")
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   count / total / max nanoseconds) plus the global mining counters.
 //! * `GET /v1/debug/events` — recent log events from the car-obs
 //!   capture ring (bounded; oldest first).
+//! * `GET /v1/debug/spans?trace_id=HEX` — every span this process still
+//!   holds for one trace, from the car-trace finished-span ring. The
+//!   bounded JSON side-channel behind the `X-Car-Spans` response
+//!   header: the router (or an operator) can fetch spans the header
+//!   truncated.
 //! * `POST /v1/shutdown` — begin graceful shutdown.
 
 use std::sync::Arc;
@@ -78,11 +83,12 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
         ("GET", "/v1/debug/profile") => (Route::DebugProfile, debug_profile(state)),
         ("GET", "/v1/debug/events") => (Route::DebugEvents, debug_events()),
+        ("GET", "/v1/debug/spans") => (Route::DebugSpans, debug_spans(req)),
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
         (
             _,
             "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown"
-            | "/v1/debug/profile" | "/v1/debug/events",
+            | "/v1/debug/profile" | "/v1/debug/events" | "/v1/debug/spans",
         ) => (Route::Other, Response::error(405, "method not allowed")),
         _ => (Route::Other, Response::error(404, "no such endpoint")),
     }
@@ -324,9 +330,11 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     };
     if let Some(body) = state.query_cache.lookup(&key) {
         state.metrics.record_query_cache_hit();
+        car_obs::trace::annotate("cache", "hit");
         return rules_response(state, state.query_cache.epoch(), body.as_ref().clone());
     }
     state.metrics.record_query_cache_miss();
+    car_obs::trace::annotate("cache", "miss");
 
     let miner = state.miner.read_or_recover();
     let rules = match miner.query_rules_within(min_confidence, deadline) {
@@ -583,6 +591,49 @@ fn debug_events() -> Response {
     Response::json(
         200,
         &object([("count", Json::from(events.len())), ("events", Json::Array(events))]),
+    )
+}
+
+/// Renders one trace span as JSON.
+///
+/// Public so the `car shard` router renders assembled trace trees
+/// through the same serializer a worker's `/v1/debug/spans` uses —
+/// a span looks identical whether read raw or inside a tree.
+pub fn span_to_json(span: &car_obs::trace::SpanRecord) -> Json {
+    let attrs: Vec<(String, Json)> =
+        span.attrs.iter().map(|(k, v)| (k.clone(), Json::from(v.as_str()))).collect();
+    object([
+        ("uid", Json::from(span.uid.to_hex())),
+        ("parent", span.parent.map_or(Json::Null, |p| Json::from(p.to_hex()))),
+        ("name", Json::from(span.name.as_str())),
+        ("start_us", Json::from(span.start_us)),
+        ("dur_us", Json::from(span.dur_us)),
+        ("attrs", Json::Object(attrs)),
+    ])
+}
+
+/// `GET /v1/debug/spans?trace_id=HEX`: the spans this process still
+/// retains for one trace, oldest first. The side-channel the router
+/// uses when a response's `X-Car-Spans` header had to truncate.
+fn debug_spans(req: &Request) -> Response {
+    let Some(raw) = req.query_param("trace_id") else {
+        return Response::error(400, "missing trace_id query parameter");
+    };
+    let Some(trace_id) = car_obs::trace::TraceId::from_hex(raw) else {
+        return Response::error(
+            400,
+            "invalid trace_id (need 32 lowercase hex digits, non-zero)",
+        );
+    };
+    let spans = car_obs::trace::spans_for_trace(trace_id);
+    let rendered: Vec<Json> = spans.iter().map(span_to_json).collect();
+    Response::json(
+        200,
+        &object([
+            ("trace_id", Json::from(trace_id.to_hex())),
+            ("count", Json::from(rendered.len())),
+            ("spans", Json::Array(rendered)),
+        ]),
     )
 }
 
@@ -878,6 +929,64 @@ mod tests {
         assert_eq!(header("x-car-shard-id"), Some("2"));
         state.begin_shutdown();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn debug_spans_validates_trace_id_and_serves_published_spans() {
+        let state = test_state();
+        // Missing or hostile trace_id is a 400, never a 500.
+        let (route, resp) = handle(&state, &request("GET", "/v1/debug/spans", &[], b""));
+        assert_eq!(route, Route::DebugSpans);
+        assert_eq!(resp.status, 400);
+        for bad in ["", "zz", "DEADBEEF", "0".repeat(32).as_str(), "'; drop--"] {
+            let (_, resp) = handle(
+                &state,
+                &request("GET", "/v1/debug/spans", &[("trace_id", bad)], b""),
+            );
+            assert_eq!(resp.status, 400, "trace_id {bad:?}");
+        }
+        // Wrong method is 405 like every other endpoint.
+        let (_, resp) = handle(&state, &request("POST", "/v1/debug/spans", &[], b""));
+        assert_eq!(resp.status, 405);
+
+        // A published trace comes back through the side-channel.
+        use car_obs::trace::{SpanRecord, SpanUid, TraceId};
+        let trace_id =
+            TraceId::from_hex(&format!("{:032x}", 0xfeed_f00d_u128)).expect("literal id");
+        let uid =
+            SpanUid::from_hex(&format!("{:016x}", 0xbeef_u64)).expect("literal uid");
+        car_obs::trace::publish_spans(&[SpanRecord {
+            trace_id,
+            uid,
+            parent: None,
+            name: "routes.test.span".into(),
+            start_us: 10,
+            dur_us: 7,
+            attrs: vec![("shard".into(), "1".into())],
+        }]);
+        let (_, resp) = handle(
+            &state,
+            &request(
+                "GET",
+                "/v1/debug/spans",
+                &[("trace_id", trace_id.to_hex().as_str())],
+                b"",
+            ),
+        );
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("trace_id").and_then(Json::as_str),
+            Some(trace_id.to_hex().as_str())
+        );
+        let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+        assert!(spans.iter().any(|s| {
+            s.get("name").and_then(Json::as_str) == Some("routes.test.span")
+                && s.get("dur_us").and_then(Json::as_u64) == Some(7)
+                && s.get("parent") == Some(&Json::Null)
+                && s.get("attrs").and_then(|a| a.get("shard")).and_then(Json::as_str)
+                    == Some("1")
+        }));
     }
 
     #[test]

@@ -389,8 +389,35 @@ fn serve_connection(stream: TcpStream, state: &Arc<AppState>, policy: &ConnPolic
             }
         };
         let request_id = car_obs::next_request_id();
+        // The flat-profile span is created *before* the trace arms so it
+        // stays flat-only: the trace's root span already covers the
+        // request, and a duplicate "serve.request" child would be noise
+        // in every tree.
         let request_span = car_obs::time_span!("serve.request");
+        // Adopt the caller's trace context (the shard router stamps
+        // fan-out legs) or mint a fresh trace; hostile or malformed
+        // headers fall back to a fresh trace, never an error.
+        let ctx = car_obs::trace::TraceContext::from_headers(
+            request.header(car_obs::trace::TRACE_ID_HEADER),
+            request.header(car_obs::trace::PARENT_SPAN_HEADER),
+        );
+        let trace = car_obs::trace::begin_request(ctx, "serve.request");
+        let trace_hex = trace.trace_id().map_or_else(String::new, |id| id.to_hex());
         let (route, mut response) = routes::handle(state, &request);
+        // Handler children are closed now, so these land on the root.
+        car_obs::trace::annotate("route", route.label());
+        car_obs::trace::annotate("status", &response.status.to_string());
+        // Finish before writing: the response must carry the spans, so
+        // the root cannot cover its own serialization.
+        if let Some(finished) = trace.finish() {
+            response = response
+                .with_header(car_obs::trace::TRACE_ID_HEADER, finished.trace_id.to_hex())
+                .with_header(
+                    car_obs::trace::SPANS_HEADER,
+                    car_obs::trace::encode_spans(&finished.spans),
+                );
+            car_obs::trace::publish_spans(&finished.spans);
+        }
         // During shutdown, tell keep-alive clients to go away.
         if request.wants_close() || state.is_shutting_down() {
             response.close = true;
@@ -403,6 +430,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<AppState>, policy: &ConnPolic
             "serve",
             [
                 id = request_id,
+                trace_id = trace_hex,
                 status = response.status,
                 us = started.elapsed().as_micros()
             ],
@@ -472,6 +500,60 @@ mod tests {
                 TcpListener::bind(addr).is_ok()
             }
         );
+    }
+
+    #[test]
+    fn responses_carry_trace_headers_and_adopt_caller_context() {
+        let handle = serve(test_config()).unwrap();
+        // No inbound context: a fresh trace id is minted.
+        let resp = roundtrip(
+            handle.addr,
+            b"GET /v1/health HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        let fresh_id = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("x-car-trace-id: "))
+            .expect("minted trace id header")
+            .trim()
+            .to_string();
+        assert!(car_obs::trace::TraceId::from_hex(&fresh_id).is_some(), "{fresh_id}");
+        assert!(resp.contains("x-car-spans: "), "{resp}");
+
+        // Valid inbound context is adopted verbatim; the spans payload
+        // names the adopted parent on its root record.
+        let caller_id = "00000000000000000000000000abcdef";
+        let parent = "00000000000000c1";
+        let raw = format!(
+            "GET /v1/health HTTP/1.1\r\nx-car-trace-id: {caller_id}\r\n\
+             x-car-parent-span: {parent}\r\nconnection: close\r\n\r\n"
+        );
+        let resp = roundtrip(handle.addr, raw.as_bytes());
+        assert!(resp.contains(&format!("x-car-trace-id: {caller_id}")), "{resp}");
+        let spans = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("x-car-spans: "))
+            .expect("spans header");
+        let decoded = car_obs::trace::decode_spans(
+            car_obs::trace::TraceId::from_hex(caller_id).unwrap(),
+            spans.trim(),
+        );
+        let root = decoded.iter().find(|s| s.name == "serve.request").expect("root");
+        assert_eq!(root.parent, car_obs::trace::SpanUid::from_hex(parent));
+
+        // Hostile context must not 500 — a fresh trace starts instead.
+        let resp = roundtrip(
+            handle.addr,
+            b"GET /v1/health HTTP/1.1\r\nx-car-trace-id: '; DROP TABLE--\r\n\
+              x-car-parent-span: not-hex!!\r\nconnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let minted = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("x-car-trace-id: "))
+            .expect("fresh trace id");
+        assert!(car_obs::trace::TraceId::from_hex(minted.trim()).is_some());
+        handle.trigger_shutdown();
+        handle.wait();
     }
 
     #[test]

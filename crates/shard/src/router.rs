@@ -19,6 +19,25 @@
 //!   `epoch_min`/`epoch_max` so clients can detect cross-shard skew.
 //! * `GET /v1/health`, `GET /metrics`, `POST /v1/shutdown` — router
 //!   health, Prometheus metrics (`car_shard_*`), graceful shutdown.
+//! * `GET /v1/debug/traces` — tail-retained distributed traces: with no
+//!   parameters, summaries of every retained trace (newest first); with
+//!   `?trace_id=HEX`, the assembled span tree; with `&format=chrome`,
+//!   the same trace as Chrome `trace_event` JSON (load it in
+//!   `chrome://tracing` or Perfetto).
+//!
+//! ## Distributed tracing
+//!
+//! Every router request begins (or adopts, via `X-Car-Trace-Id` /
+//! `X-Car-Parent-Span`) a trace. Fan-out legs — ingest sends, rule
+//! queries, health probes — forward the trace id and a freshly minted
+//! leg-span uid as the parent, so each worker's own spans (request
+//! handling, mining stages, WAL appends) nest under the leg that caused
+//! them. Workers return their spans in the `X-Car-Spans` response
+//! header; the router decodes them, adds its own leg spans (attributed
+//! with shard id, breaker state, outcome, and epoch), assembles the
+//! whole tree, and offers it to a tail-based [`TraceStore`]: errored
+//! and slow traces are always retained, plus a deterministic 1-in-N
+//! sample of the rest.
 //!
 //! ## Worker lifecycle
 //!
@@ -68,6 +87,7 @@ use std::time::{Duration, Instant};
 
 use car_itemset::ItemSet;
 use car_obs::counters::SHARD;
+use car_obs::trace::{self, SpanRecord, SpanUid, TraceId, TraceStore, TraceStorePolicy};
 use car_serve::http::{self, Response, DEFAULT_MAX_BODY_BYTES};
 use car_serve::json::{object, Json};
 use car_serve::metrics::{Metrics, Route};
@@ -265,7 +285,14 @@ struct HealthView {
 }
 
 fn probe_health(client: &mut RetryingClient) -> Option<HealthView> {
-    let resp = client.request_once("GET", "/v1/health", None)?;
+    // Probes run outside any request trace, so each one mints a fresh
+    // context: probe traces are never retained router-side, but the
+    // worker's request log carries a correlatable trace id.
+    let headers = [
+        (trace::TRACE_ID_HEADER, trace::mint_trace_id().to_hex()),
+        (trace::PARENT_SPAN_HEADER, trace::mint_span_uid().to_hex()),
+    ];
+    let resp = client.request_once_with("GET", "/v1/health", &headers, None)?;
     if resp.status != 200 {
         return None;
     }
@@ -296,6 +323,8 @@ pub struct RouterState {
     /// Lock-free mirror of `ingest.replay.len()`, same reason.
     replay_depth_gauge: AtomicU64,
     metrics: Metrics,
+    /// Tail-retained distributed traces, served by `/v1/debug/traces`.
+    traces: TraceStore,
     shutdown: AtomicBool,
 }
 
@@ -340,6 +369,75 @@ enum Leg {
     BadRequest(Response),
 }
 
+/// The leg's trace-attribute outcome label.
+fn leg_outcome(leg: &Leg) -> &'static str {
+    match leg {
+        Leg::Ok { .. } => "ok",
+        Leg::Skipped(_) => "skipped",
+        Leg::Failed(_) => "failed",
+        Leg::TimedOut(_) => "timed_out",
+        Leg::Warming => "warming",
+        Leg::BadRequest(_) => "bad_request",
+    }
+}
+
+/// Elapsed wall time of a leg, saturating at `u64::MAX` microseconds.
+fn elapsed_us(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The active trace context, copied before a fan-out so scoped leg
+/// threads (which do not see the request thread's trace) can stamp
+/// forwarded headers and time their legs as plain span records.
+#[derive(Clone, Copy)]
+struct LegTraceContext {
+    trace_id: TraceId,
+    root_uid: SpanUid,
+}
+
+impl LegTraceContext {
+    fn capture() -> Option<LegTraceContext> {
+        trace::current_context()
+            .map(|(trace_id, root_uid)| LegTraceContext { trace_id, root_uid })
+    }
+
+    /// The forwarded headers for one leg: the trace id plus the leg
+    /// span's uid as the worker's parent.
+    fn headers(self, leg_uid: SpanUid) -> [(&'static str, String); 2] {
+        [
+            (trace::TRACE_ID_HEADER, self.trace_id.to_hex()),
+            (trace::PARENT_SPAN_HEADER, leg_uid.to_hex()),
+        ]
+    }
+
+    /// One finished leg span.
+    fn leg_span(
+        self,
+        leg_uid: SpanUid,
+        name: &str,
+        start_us: u64,
+        started: Instant,
+        attrs: Vec<(String, String)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: self.trace_id,
+            uid: leg_uid,
+            parent: Some(self.root_uid),
+            name: name.to_string(),
+            start_us,
+            dur_us: elapsed_us(started),
+            attrs,
+        }
+    }
+
+    /// Worker spans returned in a leg response's `X-Car-Spans` header.
+    fn worker_spans(self, resp: Option<&car_serve::ClientResponse>) -> Vec<SpanRecord> {
+        resp.and_then(|r| r.header(trace::SPANS_HEADER))
+            .map(|raw| trace::decode_spans(self.trace_id, raw))
+            .unwrap_or_default()
+    }
+}
+
 fn units_to_body(units: &[Vec<ItemSet>]) -> Vec<u8> {
     let batch: Vec<Json> = units
         .iter()
@@ -364,6 +462,11 @@ impl RouterState {
     /// Begins shutdown (idempotent).
     pub fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The router's tail-retained trace store (tests and embedders).
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
     }
 
     /// Per-worker admission + breaker snapshot (brief per-worker locks).
@@ -413,8 +516,10 @@ impl RouterState {
         self.replay_depth_gauge.store(ingest.replay.len() as u64, Ordering::Relaxed);
 
         let target = if wait { "/v1/units?wait=true" } else { "/v1/units" };
-        // (shard_id, post-send state, send ok, batch applied)
-        let sends: Vec<(u32, WorkerState, bool, bool)> = std::thread::scope(|scope| {
+        let leg_ctx = LegTraceContext::capture();
+        // (shard_id, post-send state, send ok, batch applied, leg spans)
+        type Send = (u32, WorkerState, bool, bool, Vec<SpanRecord>);
+        let sends: Vec<Send> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter()
@@ -422,32 +527,74 @@ impl RouterState {
                 .map(|(worker, sub_batch)| {
                     scope.spawn(move || {
                         let mut w = worker.lock_or_recover();
+                        let leg_uid = trace::mint_span_uid();
+                        let start_us = trace::wall_now_us();
+                        let started = Instant::now();
+                        let breaker = w.breaker.state().label();
                         if w.state() != WorkerState::Up {
-                            return (w.shard_id, w.state(), false, false);
+                            let spans = leg_ctx.map_or_else(Vec::new, |ctx| {
+                                vec![ctx.leg_span(
+                                    leg_uid,
+                                    "router.leg.ingest",
+                                    start_us,
+                                    started,
+                                    vec![
+                                        ("shard".into(), w.shard_id.to_string()),
+                                        ("breaker".into(), breaker.into()),
+                                        ("outcome".into(), "skipped".into()),
+                                    ],
+                                )]
+                            });
+                            return (w.shard_id, w.state(), false, false, spans);
                         }
                         let body = units_to_body(&sub_batch);
-                        let (ok, applied) =
-                            match w.client.request("POST", target, Some(&body)) {
-                                Some(resp)
-                                    if resp.status == 200 || resp.status == 202 =>
-                                {
-                                    match batch_fully_accepted(&resp.body, n) {
-                                        Some(applied) => {
-                                            w.record_success();
-                                            (true, applied)
-                                        }
-                                        None => {
-                                            w.record_failure();
-                                            (false, false)
-                                        }
+                        let headers = leg_ctx
+                            .map(|ctx| ctx.headers(leg_uid).to_vec())
+                            .unwrap_or_default();
+                        let response = w.client.request_with(
+                            "POST",
+                            target,
+                            &headers,
+                            Some(&body),
+                            None,
+                        );
+                        let (ok, applied) = match &response {
+                            Some(resp) if resp.status == 200 || resp.status == 202 => {
+                                match batch_fully_accepted(&resp.body, n) {
+                                    Some(applied) => {
+                                        w.record_success();
+                                        (true, applied)
+                                    }
+                                    None => {
+                                        w.record_failure();
+                                        (false, false)
                                     }
                                 }
-                                _ => {
-                                    w.record_failure();
-                                    (false, false)
-                                }
-                            };
-                        (w.shard_id, w.state(), ok, applied)
+                            }
+                            _ => {
+                                w.record_failure();
+                                (false, false)
+                            }
+                        };
+                        let spans = leg_ctx.map_or_else(Vec::new, |ctx| {
+                            let mut spans = ctx.worker_spans(response.as_ref());
+                            spans.push(ctx.leg_span(
+                                leg_uid,
+                                "router.leg.ingest",
+                                start_us,
+                                started,
+                                vec![
+                                    ("shard".into(), w.shard_id.to_string()),
+                                    ("breaker".into(), breaker.into()),
+                                    (
+                                        "outcome".into(),
+                                        if ok { "ok" } else { "failed" }.into(),
+                                    ),
+                                ],
+                            ));
+                            spans
+                        });
+                        (w.shard_id, w.state(), ok, applied, spans)
                     })
                 })
                 .collect();
@@ -458,20 +605,27 @@ impl RouterState {
                     Ok(send) => send,
                     Err(_) => {
                         log_warn("shard send thread panicked");
-                        (shard_id as u32, WorkerState::Down, false, false)
+                        (shard_id as u32, WorkerState::Down, false, false, Vec::new())
                     }
                 })
                 .collect()
         });
         drop(ingest);
+        // Back on the request thread: fold every leg's spans (its own
+        // timing plus the worker spans it brought home) into the trace.
+        for (_, _, _, _, spans) in &sends {
+            for span in spans {
+                trace::record_span(span.clone());
+            }
+        }
 
         let applied = wait
-            && sends.iter().any(|(_, _, ok, _)| *ok)
-            && sends.iter().all(|(_, _, ok, applied)| !ok || *applied);
+            && sends.iter().any(|(_, _, ok, _, _)| *ok)
+            && sends.iter().all(|(_, _, ok, applied, _)| !ok || *applied);
         RouteOutcome {
             applied,
             units_routed,
-            shards: sends.iter().map(|&(id, s, ok, _)| (id, s, ok)).collect(),
+            shards: sends.iter().map(|(id, s, ok, _, _)| (*id, *s, *ok)).collect(),
         }
     }
 
@@ -599,9 +753,12 @@ pub fn handle(state: &Arc<RouterState>, req: &http::Request) -> (Route, Response
         ("GET", "/v1/health") => (Route::Health, health(state)),
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
-        (_, "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown") => {
-            (Route::Other, Response::error(405, "method not allowed"))
-        }
+        ("GET", "/v1/debug/traces") => (Route::DebugTraces, debug_traces(state, req)),
+        (
+            _,
+            "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown"
+            | "/v1/debug/traces",
+        ) => (Route::Other, Response::error(405, "method not allowed")),
         _ => (Route::Other, Response::error(404, "no such endpoint")),
     }
 }
@@ -735,6 +892,7 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
         .map_or(state.config.request_budget, |d| d.min(state.config.request_budget));
     let deadline = Instant::now() + budget;
 
+    let leg_ctx = LegTraceContext::capture();
     let legs: Vec<Leg> = std::thread::scope(|scope| {
         let handles: Vec<_> = state
             .workers
@@ -743,82 +901,121 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
                 let target = target.as_str();
                 scope.spawn(move || {
                     let mut w = worker.lock_or_recover();
-                    if w.state() != WorkerState::Up {
-                        return Leg::Skipped(w.shard_id);
-                    }
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    if remaining.is_zero() {
-                        SHARD.add_fanout_failures(1);
-                        SHARD.add_deadline_exceeded();
-                        return Leg::TimedOut(w.shard_id);
-                    }
-                    // Forward the remaining budget so the worker can
-                    // abort escalated re-detection instead of pinning
-                    // the merge past the deadline.
-                    let headers = [(
-                        "X-Car-Deadline-Ms",
-                        u64::try_from(remaining.as_millis())
-                            .unwrap_or(u64::MAX)
-                            .to_string(),
-                    )];
-                    SHARD.add_fanout_legs(1);
-                    match w.client.request_with(
-                        "GET",
-                        target,
-                        &headers,
-                        None,
-                        Some(deadline),
-                    ) {
-                        Some(resp) if resp.status == 200 => {
-                            match crate::merge::parse_rules_body(&resp.body_text()) {
-                                Ok(view) => {
-                                    w.record_success();
-                                    let epoch = resp
-                                        .header("x-car-epoch")
-                                        .and_then(|v| v.parse::<u64>().ok());
-                                    Leg::Ok { view, epoch }
+                    let leg_uid = trace::mint_span_uid();
+                    let start_us = trace::wall_now_us();
+                    let started = Instant::now();
+                    let breaker = w.breaker.state().label();
+                    let mut worker_spans = Vec::new();
+                    let mut epoch_attr = None;
+                    let leg = (|w: &mut Worker| {
+                        if w.state() != WorkerState::Up {
+                            return Leg::Skipped(w.shard_id);
+                        }
+                        let remaining =
+                            deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            SHARD.add_fanout_failures(1);
+                            SHARD.add_deadline_exceeded();
+                            return Leg::TimedOut(w.shard_id);
+                        }
+                        // Forward the remaining budget so the worker can
+                        // abort escalated re-detection instead of pinning
+                        // the merge past the deadline — and the trace
+                        // context, so the worker's spans nest under this
+                        // leg.
+                        let mut headers = vec![(
+                            "X-Car-Deadline-Ms",
+                            u64::try_from(remaining.as_millis())
+                                .unwrap_or(u64::MAX)
+                                .to_string(),
+                        )];
+                        if let Some(ctx) = leg_ctx {
+                            headers.extend(ctx.headers(leg_uid));
+                        }
+                        SHARD.add_fanout_legs(1);
+                        let response = w.client.request_with(
+                            "GET",
+                            target,
+                            &headers,
+                            None,
+                            Some(deadline),
+                        );
+                        if let Some(ctx) = leg_ctx {
+                            worker_spans = ctx.worker_spans(response.as_ref());
+                        }
+                        match response {
+                            Some(resp) if resp.status == 200 => {
+                                match crate::merge::parse_rules_body(&resp.body_text()) {
+                                    Ok(view) => {
+                                        w.record_success();
+                                        let epoch = resp
+                                            .header("x-car-epoch")
+                                            .and_then(|v| v.parse::<u64>().ok());
+                                        epoch_attr = epoch;
+                                        Leg::Ok { view, epoch }
+                                    }
+                                    Err(msg) => {
+                                        SHARD.add_fanout_failures(1);
+                                        car_obs::warn!(
+                                            "shard",
+                                            [shard = w.shard_id],
+                                            "unparsable rules body: {msg}"
+                                        );
+                                        Leg::Failed(w.shard_id)
+                                    }
                                 }
-                                Err(msg) => {
-                                    SHARD.add_fanout_failures(1);
-                                    car_obs::warn!(
-                                        "shard",
-                                        [shard = w.shard_id],
-                                        "unparsable rules body: {msg}"
-                                    );
+                            }
+                            Some(resp) if resp.status == 409 => Leg::Warming,
+                            Some(resp) if resp.status == 400 => {
+                                // The worker's body is already a JSON error
+                                // document; forward it untouched rather than
+                                // re-wrapping (double-encoding) it.
+                                Leg::BadRequest(Response::json_bytes(400, resp.body))
+                            }
+                            Some(resp) if resp.status == 504 => {
+                                SHARD.add_fanout_failures(1);
+                                SHARD.add_deadline_exceeded();
+                                Leg::TimedOut(w.shard_id)
+                            }
+                            Some(_) => {
+                                SHARD.add_fanout_failures(1);
+                                w.record_failure();
+                                Leg::Failed(w.shard_id)
+                            }
+                            None => {
+                                SHARD.add_fanout_failures(1);
+                                if Instant::now() >= deadline {
+                                    // The attempt was cut short by the budget,
+                                    // not necessarily by a sick worker.
+                                    SHARD.add_deadline_exceeded();
+                                    Leg::TimedOut(w.shard_id)
+                                } else {
+                                    w.record_failure();
                                     Leg::Failed(w.shard_id)
                                 }
                             }
                         }
-                        Some(resp) if resp.status == 409 => Leg::Warming,
-                        Some(resp) if resp.status == 400 => {
-                            // The worker's body is already a JSON error
-                            // document; forward it untouched rather than
-                            // re-wrapping (double-encoding) it.
-                            Leg::BadRequest(Response::json_bytes(400, resp.body))
+                    })(&mut w);
+                    let spans = leg_ctx.map_or_else(Vec::new, |ctx| {
+                        let mut attrs = vec![
+                            ("shard".into(), w.shard_id.to_string()),
+                            ("breaker".into(), breaker.to_string()),
+                            ("outcome".into(), leg_outcome(&leg).into()),
+                        ];
+                        if let Some(epoch) = epoch_attr {
+                            attrs.push(("epoch".into(), epoch.to_string()));
                         }
-                        Some(resp) if resp.status == 504 => {
-                            SHARD.add_fanout_failures(1);
-                            SHARD.add_deadline_exceeded();
-                            Leg::TimedOut(w.shard_id)
-                        }
-                        Some(_) => {
-                            SHARD.add_fanout_failures(1);
-                            w.record_failure();
-                            Leg::Failed(w.shard_id)
-                        }
-                        None => {
-                            SHARD.add_fanout_failures(1);
-                            if Instant::now() >= deadline {
-                                // The attempt was cut short by the budget,
-                                // not necessarily by a sick worker.
-                                SHARD.add_deadline_exceeded();
-                                Leg::TimedOut(w.shard_id)
-                            } else {
-                                w.record_failure();
-                                Leg::Failed(w.shard_id)
-                            }
-                        }
-                    }
+                        let mut spans = std::mem::take(&mut worker_spans);
+                        spans.push(ctx.leg_span(
+                            leg_uid,
+                            "router.leg.rules",
+                            start_us,
+                            started,
+                            attrs,
+                        ));
+                        spans
+                    });
+                    (leg, spans)
                 })
             })
             .collect();
@@ -826,7 +1023,12 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
             .into_iter()
             .enumerate()
             .map(|(shard_id, h)| match h.join() {
-                Ok(leg) => leg,
+                Ok((leg, spans)) => {
+                    for span in spans {
+                        trace::record_span(span);
+                    }
+                    leg
+                }
                 Err(_) => {
                     log_warn("shard fan-out thread panicked");
                     Leg::Failed(shard_id as u32)
@@ -1036,7 +1238,67 @@ fn metrics(state: &Arc<RouterState>) -> Response {
         text.push_str(&value.to_string());
         text.push('\n');
     }
+    // Trace tail-retention counters (car_trace_retained_total and
+    // friends) come in via render_prometheus above — the router and
+    // the store share the process-global TRACE counters, so rendering
+    // them here as well would emit a duplicate family.
     Response::text(200, text)
+}
+
+/// `GET /v1/debug/traces`: retained-trace summaries, or — with
+/// `?trace_id=HEX` — one assembled tree, as span JSON or (with
+/// `&format=chrome`) Chrome `trace_event` JSON.
+fn debug_traces(state: &Arc<RouterState>, req: &http::Request) -> Response {
+    let Some(raw) = req.query_param("trace_id") else {
+        let traces: Vec<Json> = state
+            .traces
+            .summaries()
+            .iter()
+            .map(|s| {
+                object([
+                    ("trace_id", Json::from(s.trace_id.to_hex())),
+                    ("duration_us", Json::from(s.duration_us)),
+                    ("spans", Json::from(s.spans)),
+                    ("reason", Json::from(s.reason.label())),
+                ])
+            })
+            .collect();
+        return Response::json(
+            200,
+            &object([
+                ("count", Json::from(traces.len())),
+                ("capacity", Json::from(state.traces.policy().capacity)),
+                ("traces", Json::Array(traces)),
+            ]),
+        );
+    };
+    let Some(trace_id) = TraceId::from_hex(raw) else {
+        return Response::error(
+            400,
+            "invalid trace_id (need 32 lowercase hex digits, non-zero)",
+        );
+    };
+    let Some(stored) = state.traces.get(trace_id) else {
+        return Response::error(404, "no retained trace with that id");
+    };
+    if req.query_param("format") == Some("chrome") {
+        return Response::json_bytes(
+            200,
+            trace::chrome_trace_json(&stored.trace).into_bytes(),
+        );
+    }
+    let spans: Vec<Json> =
+        stored.trace.spans.iter().map(car_serve::routes::span_to_json).collect();
+    Response::json(
+        200,
+        &object([
+            ("trace_id", Json::from(trace_id.to_hex())),
+            ("reason", Json::from(stored.reason.label())),
+            ("duration_us", Json::from(stored.trace.duration_us)),
+            ("count", Json::from(spans.len())),
+            ("spans", Json::Array(spans)),
+        ]),
+    )
 }
 
 fn shutdown(state: &Arc<RouterState>) -> Response {
@@ -1161,6 +1423,7 @@ pub fn run_router(config: RouterConfig) -> Result<RouterHandle, RouterError> {
         units_routed_gauge: AtomicU64::new(0),
         replay_depth_gauge: AtomicU64::new(0),
         metrics: Metrics::new(),
+        traces: TraceStore::new(TraceStorePolicy::default()),
         shutdown: AtomicBool::new(false),
         config,
     });
@@ -1275,13 +1538,49 @@ fn serve_connection(stream: TcpStream, state: &Arc<RouterState>) {
                 return;
             }
         };
+        let request_id = car_obs::next_request_id();
+        // Adopt an inbound trace context (a client propagating its own
+        // trace through the router) or mint a fresh one; malformed
+        // headers start a fresh trace, never an error.
+        let ctx = trace::TraceContext::from_headers(
+            request.header(trace::TRACE_ID_HEADER),
+            request.header(trace::PARENT_SPAN_HEADER),
+        );
+        let request_trace = trace::begin_request(ctx, "router.request");
+        let trace_hex =
+            request_trace.trace_id().map_or_else(String::new, |id| id.to_hex());
         let (route, mut response) = handle(state, &request);
+        trace::annotate("route", route.label());
+        trace::annotate("status", &response.status.to_string());
+        // Finish before writing so the response can carry the trace id;
+        // assemble the tree (router legs + worker spans) and offer it
+        // for tail retention — errored traces are always kept.
+        if let Some(finished) = request_trace.finish() {
+            response =
+                response.with_header(trace::TRACE_ID_HEADER, finished.trace_id.to_hex());
+            let errored = response.status >= 500;
+            let assembled =
+                trace::assemble(finished.trace_id, finished.root_uid, finished.spans);
+            state.traces.offer(assembled, errored);
+        }
         if request.wants_close() || state.is_shutting_down() {
             response.close = true;
         }
         let close = response.close;
         let write_result = response.write_to(&mut writer);
         state.metrics.record_request(route, response.status, started.elapsed());
+        car_obs::debug!(
+            "shard",
+            [
+                id = request_id,
+                trace_id = trace_hex,
+                status = response.status,
+                us = started.elapsed().as_micros()
+            ],
+            "{} {}",
+            request.method,
+            request.path
+        );
         if close || write_result.is_err() {
             return;
         }

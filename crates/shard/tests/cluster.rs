@@ -391,6 +391,155 @@ fn router_rejects_empty_worker_list_and_bad_bodies() {
     }
 }
 
+/// End-to-end distributed tracing: a client-chosen trace id (picked so
+/// the deterministic 1-in-N sampler retains it) flows through the
+/// router, fans out to both workers, and comes back as one assembled
+/// tree — router root, one `router.leg.*` span per shard, and each
+/// worker's own `serve.request` span nested under its leg.
+#[test]
+fn traced_requests_assemble_cross_shard_trees() {
+    let units = pure_units(2, 8);
+    let (workers, router) = spawn_cluster(2);
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+
+    // low64 = 0xa0 = 160; 160 % 16 == 0, so the sampler keeps it.
+    let ingest_id = "000000000000000000000000000000a0";
+    let body = batch_body(&units);
+    let resp = rc
+        .try_request(
+            "POST",
+            "/v1/units?wait=true",
+            &[("x-car-trace-id", ingest_id.to_string())],
+            Some(&body),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert_eq!(resp.header("x-car-trace-id"), Some(ingest_id));
+
+    // low64 = 0x10 = 16; 16 % 16 == 0 — retained too.
+    let rules_id = "00000000000000000000000000000010";
+    let resp = rc
+        .try_request(
+            "GET",
+            "/v1/rules",
+            &[("x-car-trace-id", rules_id.to_string())],
+            None,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert_eq!(resp.header("x-car-trace-id"), Some(rules_id));
+
+    // The listing shows both retained traces, newest first.
+    let list = rc.request("GET", "/v1/debug/traces", None).unwrap();
+    assert_eq!(list.status, 200);
+    let doc = Json::parse(&list.body_text()).unwrap();
+    let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+    for id in [ingest_id, rules_id] {
+        assert!(
+            traces.iter().any(|t| t.get("trace_id").and_then(Json::as_str) == Some(id)),
+            "trace {id} missing from {}",
+            list.body_text()
+        );
+    }
+
+    // The rules trace is a tree: one parentless router root, a
+    // router.leg.rules span per shard (with shard/outcome/epoch attrs),
+    // and each worker's serve.request span parented to its leg.
+    let tree = rc
+        .request("GET", &format!("/v1/debug/traces?trace_id={rules_id}"), None)
+        .unwrap();
+    assert_eq!(tree.status, 200, "{}", tree.body_text());
+    let doc = Json::parse(&tree.body_text()).unwrap();
+    let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+    let root = &spans[0];
+    assert_eq!(root.get("name").and_then(Json::as_str), Some("router.request"));
+    assert_eq!(root.get("parent"), Some(&Json::Null));
+    let root_uid = root.get("uid").and_then(Json::as_str).unwrap();
+    let attr = |s: &Json, key: &str| {
+        s.get("attrs").and_then(|a| a.get(key)).and_then(Json::as_str).map(str::to_string)
+    };
+    assert_eq!(attr(root, "route").as_deref(), Some("rules"));
+    let legs: Vec<&Json> = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(Json::as_str) == Some("router.leg.rules"))
+        .collect();
+    assert_eq!(legs.len(), 2, "one rules leg per shard: {}", tree.body_text());
+    let mut leg_shards: Vec<String> =
+        legs.iter().filter_map(|l| attr(l, "shard")).collect();
+    leg_shards.sort();
+    assert_eq!(leg_shards, ["0", "1"]);
+    for leg in &legs {
+        assert_eq!(leg.get("parent").and_then(Json::as_str), Some(root_uid));
+        assert_eq!(attr(leg, "outcome").as_deref(), Some("ok"));
+        assert_eq!(attr(leg, "epoch").as_deref(), Some("8"));
+        // The worker's own request span nests under this leg.
+        let leg_uid = leg.get("uid").and_then(Json::as_str).unwrap();
+        let worker_span = spans
+            .iter()
+            .find(|s| {
+                s.get("parent").and_then(Json::as_str) == Some(leg_uid)
+                    && s.get("name").and_then(Json::as_str) == Some("serve.request")
+            })
+            .unwrap_or_else(|| {
+                panic!("no worker span under leg {leg_uid}: {}", tree.body_text())
+            });
+        assert_eq!(attr(worker_span, "route").as_deref(), Some("rules"));
+    }
+
+    // The ingest trace carries a leg per shard too.
+    let tree = rc
+        .request("GET", &format!("/v1/debug/traces?trace_id={ingest_id}"), None)
+        .unwrap();
+    assert_eq!(tree.status, 200, "{}", tree.body_text());
+    let ingest_legs = tree.body_text().matches("router.leg.ingest").count();
+    assert!(ingest_legs >= 2, "expected 2+ ingest legs, got {ingest_legs}");
+
+    // Chrome export parses as JSON with one event per span.
+    let chrome = rc
+        .request(
+            "GET",
+            &format!("/v1/debug/traces?trace_id={rules_id}&format=chrome"),
+            None,
+        )
+        .unwrap();
+    assert_eq!(chrome.status, 200);
+    let doc = Json::parse(&chrome.body_text()).expect("chrome export is valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert_eq!(events.len(), spans.len());
+    assert!(events.iter().all(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+
+    // The retention counter family is exported with the retained
+    // reasons accounted for (both forced ids are in the 1-in-16
+    // sample, though the slow threshold may claim them first) —
+    // exactly once: the router shares the process-global counters
+    // with the store, so a second render is a duplicate family.
+    let metrics = rc.request("GET", "/metrics", None).unwrap().body_text();
+    for family in ["car_trace_retained_total", "car_trace_discarded_total"] {
+        let type_line = format!("# TYPE {family} counter");
+        assert_eq!(metrics.matches(&type_line).count(), 1, "{family} family duplicated");
+    }
+
+    // Hostile and unknown ids: 400 / 404, never a 500.
+    let resp = rc.request("GET", "/v1/debug/traces?trace_id=zz", None).unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = rc
+        .request(
+            "GET",
+            "/v1/debug/traces?trace_id=00000000000000000000000000000011",
+            None,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404);
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    for w in workers {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
 /// The `PartitionKey` re-export is part of the crate's public surface
 /// used by the CLI; keep it honest.
 #[test]
