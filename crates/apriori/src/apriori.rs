@@ -2,10 +2,10 @@
 
 use car_itemset::{Item, ItemSet};
 
+use crate::bitmap::ItemCounter;
 use crate::candidate::apriori_gen;
-use crate::count::{count_candidates, CountStrategy};
+use crate::count::{count_candidates_detailed, CountStrategy};
 use crate::frequent::FrequentItemsets;
-use crate::hash::FastHashMap;
 use crate::support::MinSupport;
 
 /// Configuration for an [`Apriori`] run.
@@ -51,6 +51,9 @@ pub struct AprioriStats {
     pub candidates_counted: u64,
     /// Number of levels (database passes) executed.
     pub levels: u64,
+    /// Vertical tid-bitmap constructions performed by the counting
+    /// kernel (one per batch the `Vertical` engine ran for).
+    pub bitmap_builds: u64,
 }
 
 /// The Apriori frequent-itemset miner (Agrawal & Srikant, VLDB 1994).
@@ -83,26 +86,34 @@ impl Apriori {
         let mut result = FrequentItemsets::new(transactions.len());
         let threshold = self.config.min_support.threshold(transactions.len());
 
-        // Level 1: direct item counting.
-        let mut item_counts: FastHashMap<Item, u64> = FastHashMap::default();
+        // Level 1: direct item counting through a flat refstore when the
+        // id space is dense (the vocabulary-interned common case); one
+        // cheap pre-pass sizes the store.
+        let mut max_id: u32 = 0;
+        let mut occurrences: usize = 0;
         for t in transactions {
             for item in t.iter() {
-                let slot = item_counts.entry(item).or_insert(0);
-                *slot = slot.saturating_add(1);
+                max_id = max_id.max(item.id());
+                occurrences = occurrences.saturating_add(1);
+            }
+        }
+        let mut item_counts = ItemCounter::for_universe(max_id, occurrences);
+        for t in transactions {
+            for item in t.iter() {
+                item_counts.add(item.id(), 1);
             }
         }
         stats.candidates_counted =
             stats.candidates_counted.saturating_add(item_counts.len() as u64);
         stats.levels = 1;
-        let mut large: Vec<ItemSet> = item_counts
-            .iter()
-            .filter(|&(_, &c)| c >= threshold)
-            .map(|(&item, _)| ItemSet::single(item))
-            .collect();
-        large.sort_unstable();
-        for s in &large {
-            let count = item_counts[&s.as_slice()[0]];
-            result.insert(s.clone(), count);
+        let mut large: Vec<ItemSet> = Vec::new();
+        for id in item_counts.ids_sorted() {
+            let count = item_counts.get(id);
+            if count >= threshold {
+                let s = ItemSet::single(Item::new(id));
+                result.insert(s.clone(), count);
+                large.push(s);
+            }
         }
 
         // Levels k >= 2.
@@ -119,11 +130,18 @@ impl Apriori {
             stats.candidates_counted =
                 stats.candidates_counted.saturating_add(candidates.len() as u64);
             stats.levels = stats.levels.saturating_add(1);
-            let counts =
-                count_candidates(&candidates, transactions, self.config.counting);
+            let span = car_obs::time_span!("mine.apriori.support_count");
+            let outcome = count_candidates_detailed(
+                &candidates,
+                transactions,
+                self.config.counting,
+            );
+            drop(span);
+            stats.bitmap_builds =
+                stats.bitmap_builds.saturating_add(outcome.bitmap_builds);
             large = candidates
                 .into_iter()
-                .zip(&counts)
+                .zip(&outcome.counts)
                 .filter(|&(_, &c)| c >= threshold)
                 .map(|(s, &c)| {
                     result.insert(s.clone(), c);

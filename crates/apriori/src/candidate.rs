@@ -2,8 +2,6 @@
 
 use car_itemset::ItemSet;
 
-use crate::hash::FastHashSet;
-
 /// Generates the candidate `(k+1)`-itemsets from the large `k`-itemsets.
 ///
 /// Implements both steps of `apriori-gen` (Agrawal & Srikant, 1994):
@@ -29,7 +27,6 @@ pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
         return Vec::new();
     }
 
-    let lookup: FastHashSet<&ItemSet> = large.iter().collect();
     let mut out = Vec::new();
 
     // Sorted input groups itemsets by their (k-1)-prefix, so joinable
@@ -42,7 +39,7 @@ pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
                 break;
             }
             let candidate = a.apriori_join(b).expect("sorted same-prefix pair must join");
-            if prune_ok(&candidate, &lookup) {
+            if prune_ok(&candidate, large) {
                 out.push(candidate);
             }
         }
@@ -55,8 +52,11 @@ pub fn apriori_gen(large: &[ItemSet]) -> Vec<ItemSet> {
 /// The two subsets obtained by dropping one of the last two items are the
 /// join parents and are large by construction, but checking all `k+1`
 /// subsets keeps the function independent of how the candidate was built.
-fn prune_ok(candidate: &ItemSet, large: &FastHashSet<&ItemSet>) -> bool {
-    candidate.immediate_subsets().all(|sub| large.contains(&sub))
+///
+/// `large` is sorted (the caller's precondition), so membership is a
+/// binary search — no hash set needs to be built per level.
+fn prune_ok(candidate: &ItemSet, large: &[ItemSet]) -> bool {
+    candidate.immediate_subsets().all(|sub| large.binary_search(&sub).is_ok())
 }
 
 #[cfg(test)]

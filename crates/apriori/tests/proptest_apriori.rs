@@ -23,6 +23,33 @@ fn arb_candidates(k: usize) -> impl Strategy<Value = Vec<ItemSet>> {
     .prop_map(|s| s.into_iter().collect())
 }
 
+/// Half dense ids, half ids near `u32::MAX` — forces the hashed
+/// `ItemMap` fallback inside the vertical bitmap build.
+fn sparse_id(v: u32) -> u32 {
+    if v < 12 {
+        v
+    } else {
+        u32::MAX - 1 - (v - 12)
+    }
+}
+
+fn arb_sparse_transactions() -> impl Strategy<Value = Vec<ItemSet>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..24).prop_map(sparse_id), 0..8)
+            .prop_map(ItemSet::from_ids),
+        0..25,
+    )
+}
+
+fn arb_sparse_candidates(k: usize) -> impl Strategy<Value = Vec<ItemSet>> {
+    proptest::collection::btree_set(
+        proptest::collection::btree_set((0u32..24).prop_map(sparse_id), k..=k)
+            .prop_map(ItemSet::from_ids),
+        0..20,
+    )
+    .prop_map(|s| s.into_iter().collect())
+}
+
 proptest! {
     #[test]
     fn counting_engines_match_naive(
@@ -33,7 +60,12 @@ proptest! {
             .iter()
             .map(|c| naive::count_itemset(c, &tx))
             .collect();
-        for strategy in [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto] {
+        for strategy in [
+            CountStrategy::HashMap,
+            CountStrategy::HashTree,
+            CountStrategy::Vertical,
+            CountStrategy::Auto,
+        ] {
             prop_assert_eq!(
                 count_candidates(&cands, &tx, strategy),
                 expected.clone(),
@@ -89,13 +121,31 @@ proptest! {
         threshold in 1u64..5,
     ) {
         let base = AprioriConfig::new(MinSupport::count(threshold));
+        let sorted = |f: &car_apriori::FrequentItemsets| {
+            let mut v: Vec<(ItemSet, u64)> = f.iter().map(|(s, c)| (s.clone(), c)).collect();
+            v.sort();
+            v
+        };
         let a = Apriori::new(base.with_counting(CountStrategy::HashMap)).mine(&tx);
         let b = Apriori::new(base.with_counting(CountStrategy::HashTree)).mine(&tx);
-        let mut av: Vec<(ItemSet, u64)> = a.iter().map(|(s, c)| (s.clone(), c)).collect();
-        let mut bv: Vec<(ItemSet, u64)> = b.iter().map(|(s, c)| (s.clone(), c)).collect();
-        av.sort();
-        bv.sort();
-        prop_assert_eq!(av, bv);
+        let v = Apriori::new(base.with_counting(CountStrategy::Vertical)).mine(&tx);
+        prop_assert_eq!(sorted(&a), sorted(&b), "hashmap vs hashtree");
+        prop_assert_eq!(sorted(&a), sorted(&v), "hashmap vs vertical");
+    }
+
+    #[test]
+    fn vertical_kernel_matches_naive_on_sparse_ids(
+        tx in arb_sparse_transactions(),
+        cands in (1usize..3).prop_flat_map(arb_sparse_candidates),
+    ) {
+        let expected: Vec<u64> = cands
+            .iter()
+            .map(|c| naive::count_itemset(c, &tx))
+            .collect();
+        prop_assert_eq!(
+            count_candidates(&cands, &tx, CountStrategy::Vertical),
+            expected
+        );
     }
 
     #[test]

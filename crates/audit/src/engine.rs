@@ -51,6 +51,8 @@ pub fn default_config() -> AuditConfig {
             "crates/core/src/sequential.rs",
             "crates/core/src/incremental.rs",
             "crates/core/src/parallel.rs",
+            "crates/apriori/src/bitmap.rs",
+            "crates/itemset/src/refstore.rs",
             "crates/obs/src",
             "crates/shard/src",
             "crates/chaos/src",
@@ -61,6 +63,8 @@ pub fn default_config() -> AuditConfig {
             "crates/apriori/src/count.rs",
             "crates/apriori/src/hash_tree.rs",
             "crates/apriori/src/apriori.rs",
+            "crates/apriori/src/bitmap.rs",
+            "crates/itemset/src/refstore.rs",
             "crates/obs/src",
         ]),
         a4: s(&[

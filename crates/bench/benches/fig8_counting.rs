@@ -1,8 +1,11 @@
 //! EXP-8 (substrate table: support-counting engines).
 //!
-//! Compares the subset-enumeration hash-map counter against the classic
-//! Apriori hash tree, on short (T≈5) and long (T≈20) transactions. The
-//! hash tree's advantage appears once subset enumeration explodes.
+//! Compares the subset-enumeration hash-map counter, the classic
+//! Apriori hash tree, and the vertical tid-bitmap kernel on short
+//! (T≈5) and long (T≈20) transactions. The hash tree's advantage over
+//! the hash map appears once subset enumeration explodes; the vertical
+//! kernel side-steps enumeration entirely and should dominate both at
+//! this batch size.
 
 use car_apriori::{count_candidates, CountStrategy};
 use car_datagen::{QuestConfig, QuestGenerator};
@@ -45,9 +48,12 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for avg_len in [5.0f64, 20.0] {
         let (candidates, transactions) = workload(avg_len);
-        for strategy in
-            [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto]
-        {
+        for strategy in [
+            CountStrategy::HashMap,
+            CountStrategy::HashTree,
+            CountStrategy::Vertical,
+            CountStrategy::Auto,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{strategy:?}"), avg_len as u64),
                 &(&candidates, &transactions),

@@ -306,8 +306,8 @@ fn exp8_counting_engines(scale: Scale) {
 
     println!("== EXP-8: counting engines ==");
     println!(
-        "{:<10}{:<4}{:<8}{:<14}{:<14}{:<14}",
-        "avg tx", "k", "cands", "HashMap", "HashTree", "Auto"
+        "{:<10}{:<4}{:<8}{:<14}{:<14}{:<14}{:<14}",
+        "avg tx", "k", "cands", "HashMap", "HashTree", "Vertical", "Auto"
     );
     let n_tx = match scale {
         Scale::Small => 2_000usize,
@@ -344,9 +344,12 @@ fn exp8_counting_engines(scale: Scale) {
 
         let mut cols = Vec::new();
         let mut reference: Option<Vec<u64>> = None;
-        for strategy in
-            [CountStrategy::HashMap, CountStrategy::HashTree, CountStrategy::Auto]
-        {
+        for strategy in [
+            CountStrategy::HashMap,
+            CountStrategy::HashTree,
+            CountStrategy::Vertical,
+            CountStrategy::Auto,
+        ] {
             let start = std::time::Instant::now();
             let result = count_candidates(&candidates, transactions, strategy);
             cols.push(car_bench::format_duration(start.elapsed()));
@@ -356,13 +359,14 @@ fn exp8_counting_engines(scale: Scale) {
             }
         }
         println!(
-            "{:<10}{:<4}{:<8}{:<14}{:<14}{:<14}",
+            "{:<10}{:<4}{:<8}{:<14}{:<14}{:<14}{:<14}",
             avg_len,
             k,
             candidates.len(),
             cols[0],
             cols[1],
-            cols[2]
+            cols[2],
+            cols[3]
         );
     }
     println!();

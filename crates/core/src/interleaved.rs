@@ -31,8 +31,9 @@
 
 use std::time::Instant;
 
+use car_apriori::bitmap::{ItemCounter, ItemMap};
 use car_apriori::hash::FastHashMap;
-use car_apriori::{apriori_gen, count_candidates, Rule};
+use car_apriori::{apriori_gen, count_candidates_detailed, Rule};
 use car_cycles::{minimal_cycles, CycleSet};
 use car_itemset::{Item, ItemSet, SegmentedDb};
 
@@ -212,8 +213,24 @@ fn find_cyclic_itemsets(
     // Items are discovered as they first appear; a state created at unit
     // `i` inherits misses for every earlier unit (its count there was 0,
     // which is never large).
+    //
+    // The per-unit occurrence counter and the seen-item set are flat
+    // refstores when the id space is dense (the common case); one cheap
+    // pre-pass over the database sizes them. The counter clears in
+    // O(items touched), so a single allocation serves every unit.
     let mut states: Vec<CandidateState> = Vec::new();
-    let mut index: FastHashMap<Item, usize> = FastHashMap::default();
+    let mut max_id: u32 = 0;
+    let mut occurrences: usize = 0;
+    for i in 0..n {
+        for t in db.unit(i) {
+            for item in t.iter() {
+                max_id = max_id.max(item.id());
+                occurrences = occurrences.saturating_add(1);
+            }
+        }
+    }
+    let mut seen: ItemMap<()> = ItemMap::for_universe(max_id, occurrences);
+    let mut unit_counts = ItemCounter::for_universe(max_id, occurrences);
 
     let level1_span = car_obs::time_span!("mine.int.level1_scan");
     for i in 0..n {
@@ -221,16 +238,17 @@ fn find_cyclic_itemsets(
         let threshold = config.min_support.threshold(transactions.len());
 
         // One pass over the unit counts every item it contains.
-        let mut unit_counts: FastHashMap<Item, u64> = FastHashMap::default();
+        unit_counts.clear();
         for t in transactions {
             for item in t.iter() {
-                *unit_counts.entry(item).or_insert(0) += 1;
+                unit_counts.add(item.id(), 1);
             }
         }
 
         // Register newly seen items.
-        for &item in unit_counts.keys() {
-            if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(item) {
+        for id in unit_counts.ids_sorted() {
+            if !seen.contains(id) {
+                seen.insert(id, ());
                 let mut cycles = CycleSet::full(bounds);
                 let mut misses = Vec::new();
                 if options.cycle_elimination {
@@ -243,9 +261,9 @@ fn find_cyclic_itemsets(
                 } else {
                     misses.extend(0..i as u32);
                 }
-                let mut state = CandidateState::new(ItemSet::single(item), cycles);
+                let mut state =
+                    CandidateState::new(ItemSet::single(Item::new(id)), cycles);
                 state.misses = misses;
-                slot.insert(states.len());
                 states.push(state);
                 stats.candidates_generated += 1;
             }
@@ -261,7 +279,7 @@ fn find_cyclic_itemsets(
             let Some(&item) = state.itemset.as_slice().first() else {
                 continue; // level-1 states always hold a single item
             };
-            let count = unit_counts.get(&item).copied().unwrap_or(0);
+            let count = unit_counts.get(item.id());
             if count >= threshold {
                 state.supports.insert(i as u32, count);
             } else if options.cycle_elimination {
@@ -296,8 +314,6 @@ fn find_cyclic_itemsets(
             let _span = car_obs::time_span!("mine.int.candidate_gen");
             let large_sets: Vec<ItemSet> =
                 survivors.iter().map(|s| s.itemset.clone()).collect();
-            let cycle_lookup: FastHashMap<&ItemSet, &CycleSet> =
-                survivors.iter().map(|s| (&s.itemset, &s.cycles)).collect();
             apriori_gen(&large_sets)
                 .into_iter()
                 .filter_map(|candidate| {
@@ -307,9 +323,16 @@ fn find_cyclic_itemsets(
                             // apriori_gen guarantees every immediate
                             // subset is large; a miss means the candidate
                             // cannot be large either, so drop it.
-                            let sub_cycles = cycle_lookup.get(&sub)?;
+                            // `survivors` is sorted by itemset, so the
+                            // subset's cycles are a binary search away —
+                            // no per-level hash map.
+                            let sub_cycles = survivors
+                                .binary_search_by(|s| s.itemset.cmp(&sub))
+                                .ok()
+                                .and_then(|idx| survivors.get(idx))
+                                .map(|s| &s.cycles)?;
                             match &mut acc {
-                                None => acc = Some((*sub_cycles).clone()),
+                                None => acc = Some(sub_cycles.clone()),
                                 Some(a) => a.intersect_with(sub_cycles),
                             }
                             if acc.as_ref().is_some_and(CycleSet::is_empty) {
@@ -360,10 +383,12 @@ fn find_cyclic_itemsets(
                 .iter()
                 .filter_map(|&idx| states.get(idx).map(|s| s.itemset.clone()))
                 .collect();
-            let counts = count_candidates(&candidate_sets, transactions, config.counting);
+            let outcome =
+                count_candidates_detailed(&candidate_sets, transactions, config.counting);
             stats.support_computations += active.len() as u64;
+            stats.bitmap_builds += outcome.bitmap_builds;
 
-            for (&idx, &count) in active.iter().zip(&counts) {
+            for (&idx, &count) in active.iter().zip(&outcome.counts) {
                 let Some(state) = states.get_mut(idx) else {
                     continue; // `active` indexes into `states` by construction
                 };

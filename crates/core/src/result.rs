@@ -63,6 +63,11 @@ pub struct MiningStats {
     pub skipped_counts: u64,
     /// Time units skipped entirely at some level (no active candidate).
     pub skipped_unit_scans: u64,
+    /// Vertical tid-bitmap constructions performed by the counting
+    /// kernel. A unit scan skipped by cycle skipping never reaches the
+    /// kernel, so its bitmap is never built — under a forced `Vertical`
+    /// strategy this equals the non-skipped unit scans exactly.
+    pub bitmap_builds: u64,
     /// Candidate itemsets generated across all levels (after pruning).
     pub candidates_generated: u64,
     /// Candidates discarded because cycle pruning left them no cycles.

@@ -59,6 +59,7 @@ pub fn mine_sequential(
         let (frequent, apriori_stats) = apriori.mine_with_stats(transactions);
         stats.support_computations += apriori_stats.candidates_counted;
         stats.candidates_generated += apriori_stats.candidates_counted;
+        stats.bitmap_builds += apriori_stats.bitmap_builds;
         let rules = generate_rules(&frequent, config.min_confidence);
         stats.rules_checked += rules.len() as u64;
         for r in rules {

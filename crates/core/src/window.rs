@@ -94,6 +94,11 @@ pub struct SlidingWindowMiner {
     /// Per retained unit (oldest first): the rules that held there, with
     /// the counts backing their confidence.
     unit_rules: VecDeque<Vec<HeldRule>>,
+    /// Per retained unit (oldest first): the frequent single items and
+    /// their support counts, sorted by item id. This is the compact
+    /// per-shard summary the cluster router merges — item partitioning
+    /// makes per-item counts exact under concatenation.
+    unit_items: VecDeque<Vec<(u32, u64)>>,
     /// Per-rule online cycle-candidate state in absolute coordinates;
     /// rules with no retained hold are removed.
     online: FastHashMap<Rule, OnlineRuleCycles>,
@@ -125,6 +130,7 @@ impl SlidingWindowMiner {
             apriori: Apriori::new(apriori_config),
             window,
             unit_rules: VecDeque::with_capacity(window + 1),
+            unit_items: VecDeque::with_capacity(window + 1),
             online: FastHashMap::default(),
             view: Mutex::new(None),
             total_pushed: 0,
@@ -168,11 +174,38 @@ impl SlidingWindowMiner {
         self.online.len()
     }
 
+    /// Aggregated support counts of the frequent single items across
+    /// the retained window, sorted by item id. Items infrequent in a
+    /// unit contribute nothing for that unit (mirroring what the
+    /// per-unit miner retains). This is the compact summary a shard
+    /// worker exposes for the router's cluster-wide item merge: shards
+    /// partition the *transaction* space per unit, so per-item sums
+    /// concatenate exactly.
+    pub fn item_supports(&self) -> Vec<(u32, u64)> {
+        let mut totals: FastHashMap<u32, u64> = FastHashMap::default();
+        for unit in &self.unit_items {
+            for &(id, count) in unit {
+                let slot = totals.entry(id).or_insert(0);
+                *slot = slot.saturating_add(count);
+            }
+        }
+        let mut out: Vec<(u32, u64)> = totals.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Ingests the next unit, evicting the oldest once the window is
     /// full. Returns the number of units evicted (0 or 1).
     pub fn push_unit(&mut self, transactions: &[ItemSet]) -> usize {
         let _span = car_obs::time_span!("window.push_unit");
         let frequent = self.apriori.mine(transactions);
+        // Frequent single items of this unit, kept as the compact
+        // per-unit summary behind `item_supports`.
+        let mut items: Vec<(u32, u64)> = frequent
+            .level(1)
+            .filter_map(|(s, c)| s.as_slice().first().map(|item| (item.id(), c)))
+            .collect();
+        items.sort_unstable();
         let rules: Vec<HeldRule> = generate_rules(&frequent, self.config.min_confidence)
             .into_iter()
             .map(|r| HeldRule {
@@ -198,11 +231,13 @@ impl SlidingWindowMiner {
         }
         car_obs::counters::MINE.add_online_holds(rules.len() as u64);
         self.unit_rules.push_back(rules);
+        self.unit_items.push_back(items);
         self.total_pushed += 1;
         let evicted = if self.unit_rules.len() > self.window {
             // The evicted unit's absolute index: the retained range
             // before popping is `(abs_unit - window) ..= abs_unit`.
             let abs_evicted = abs_unit - self.window as u64;
+            self.unit_items.pop_front();
             if let Some(old) = self.unit_rules.pop_front() {
                 for held in &old {
                     let drop_rule = match self.online.get_mut(&held.rule) {
@@ -549,6 +584,21 @@ mod tests {
         // Single-item {7} units generate no rules, so once the pattern
         // units slide out the online state must be fully reclaimed.
         assert_eq!(miner.tracked_rules(), 0);
+    }
+
+    #[test]
+    fn item_supports_track_the_retained_window() {
+        let mut miner = SlidingWindowMiner::new(config(2), 4).unwrap();
+        for day in 0..4 {
+            miner.push_unit(&unit_for(day));
+        }
+        // Two {1,2} units (4 tx each) and two {7} units retained.
+        assert_eq!(miner.item_supports(), vec![(1, 8), (2, 8), (7, 8)]);
+        // Slide the {1,2} pattern out entirely.
+        for _ in 0..4 {
+            miner.push_unit(&vec![set(&[7]); 4]);
+        }
+        assert_eq!(miner.item_supports(), vec![(7, 16)]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`car_core::MiningStats`] and in the process-global `car-obs`
 //! counters that `/metrics` and `car mine --stats` surface.
 
+use car_apriori::CountStrategy;
 use car_core::interleaved::mine_interleaved;
 use car_core::sequential::mine_sequential;
 use car_core::{InterleavedOptions, MiningConfig};
@@ -71,6 +72,61 @@ fn sequential_records_exact_zeros_for_the_three_optimizations() {
     assert_eq!(s.candidates_pruned_by_cycles, 0);
     assert_eq!(s.cycles_eliminated, 0);
     assert!(s.support_computations > 0);
+}
+
+#[test]
+fn skipped_unit_scans_build_zero_bitmaps() {
+    // Force the vertical kernel so every non-skipped unit scan at levels
+    // k >= 2 builds exactly one tid-bitmap. A unit scan skipped by cycle
+    // skipping never reaches the kernel, so with and without skipping
+    // must differ by exactly the number of skipped unit scans — the
+    // "never build the bitmap for a skipped unit" property, proven by
+    // the elimination counters rather than asserted by construction.
+    let db = cyclic_db();
+    let config = MiningConfig::builder()
+        .min_support_fraction(0.2)
+        .min_confidence(0.5)
+        .cycle_bounds(2, 6)
+        .counting(CountStrategy::Vertical)
+        .build()
+        .unwrap();
+
+    let with = mine_interleaved(&db, &config, InterleavedOptions::all()).unwrap();
+    let without =
+        mine_interleaved(&db, &config, InterleavedOptions::all().without_skipping())
+            .unwrap();
+
+    // Identical results => identical levels and candidate trajectories,
+    // so the full-scan run's builds are the universe of unit scans.
+    assert_eq!(with.rules, without.rules);
+    assert!(without.stats.bitmap_builds > 0, "vertical kernel must run");
+    assert_eq!(without.stats.skipped_unit_scans, 0);
+    assert!(with.stats.skipped_unit_scans > 0, "skipping should retire whole units");
+    assert_eq!(
+        with.stats.bitmap_builds,
+        without.stats.bitmap_builds - with.stats.skipped_unit_scans,
+        "every skipped unit scan must skip exactly its bitmap build"
+    );
+}
+
+#[test]
+fn bitmap_builds_flush_into_the_global_counter() {
+    let db = cyclic_db();
+    let config = MiningConfig::builder()
+        .min_support_fraction(0.2)
+        .min_confidence(0.5)
+        .cycle_bounds(2, 6)
+        .counting(CountStrategy::Vertical)
+        .build()
+        .unwrap();
+
+    let before = car_obs::counters::MINE.snapshot();
+    let outcome = mine_interleaved(&db, &config, InterleavedOptions::all()).unwrap();
+    let delta = car_obs::counters::MINE.snapshot().delta_since(&before);
+
+    assert!(outcome.stats.bitmap_builds > 0);
+    // Other tests mine concurrently, so compare via >=.
+    assert!(delta.bitmap_builds >= outcome.stats.bitmap_builds);
 }
 
 #[test]

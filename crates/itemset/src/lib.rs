@@ -46,6 +46,7 @@ mod error;
 pub mod io;
 mod item;
 mod itemset;
+pub mod refstore;
 mod segmented;
 mod transaction;
 mod vocabulary;
@@ -54,6 +55,7 @@ pub use database::TransactionDb;
 pub use error::{Error, Result};
 pub use item::Item;
 pub use itemset::{ItemSet, KSubsets};
+pub use refstore::{IterableRefSet, RefCounter, RefMap};
 pub use segmented::{SegmentedDb, TimeUnit};
 pub use transaction::Transaction;
 pub use vocabulary::Vocabulary;

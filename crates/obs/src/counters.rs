@@ -29,6 +29,7 @@ pub struct MiningCounters {
     unit_counts_skipped: AtomicU64,
     cycles_eliminated: AtomicU64,
     support_computations: AtomicU64,
+    bitmap_builds: AtomicU64,
     detect_eliminations: AtomicU64,
     online_holds: AtomicU64,
     online_eliminations: AtomicU64,
@@ -42,6 +43,7 @@ pub static MINE: MiningCounters = MiningCounters {
     unit_counts_skipped: AtomicU64::new(0),
     cycles_eliminated: AtomicU64::new(0),
     support_computations: AtomicU64::new(0),
+    bitmap_builds: AtomicU64::new(0),
     detect_eliminations: AtomicU64::new(0),
     online_holds: AtomicU64::new(0),
     online_eliminations: AtomicU64::new(0),
@@ -65,6 +67,16 @@ impl MiningCounters {
         self.unit_counts_skipped.fetch_add(unit_counts_skipped, Ordering::Relaxed);
         self.cycles_eliminated.fetch_add(cycles_eliminated, Ordering::Relaxed);
         self.support_computations.fetch_add(support_computations, Ordering::Relaxed);
+    }
+
+    /// Counts vertical tid-bitmap constructions — one per counting
+    /// batch the `Vertical` engine actually built bitmaps for.
+    /// Incremented at build time (one atomic add per batch, never per
+    /// item), so "a skipped unit builds zero bitmaps" is directly
+    /// observable: under INTERLEAVED cycle skipping, skipped unit scans
+    /// never reach the kernel and this counter does not move.
+    pub fn add_bitmap_builds(&self, n: u64) {
+        self.bitmap_builds.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts candidate cycles discarded inside `detect_cycles` — the
@@ -102,6 +114,7 @@ impl MiningCounters {
             unit_counts_skipped: self.unit_counts_skipped.load(Ordering::Relaxed),
             cycles_eliminated: self.cycles_eliminated.load(Ordering::Relaxed),
             support_computations: self.support_computations.load(Ordering::Relaxed),
+            bitmap_builds: self.bitmap_builds.load(Ordering::Relaxed),
             detect_eliminations: self.detect_eliminations.load(Ordering::Relaxed),
             online_holds: self.online_holds.load(Ordering::Relaxed),
             online_eliminations: self.online_eliminations.load(Ordering::Relaxed),
@@ -124,6 +137,8 @@ pub struct MiningCounterSnapshot {
     pub cycles_eliminated: u64,
     /// Itemset-per-unit support computations actually performed.
     pub support_computations: u64,
+    /// Vertical tid-bitmap batch constructions performed.
+    pub bitmap_builds: u64,
     /// Cycles discarded by the a-posteriori detector (`detect_cycles`).
     pub detect_eliminations: u64,
     /// `(rule, unit)` hold entries folded into online cycle state.
@@ -153,6 +168,7 @@ impl MiningCounterSnapshot {
             support_computations: self
                 .support_computations
                 .saturating_sub(earlier.support_computations),
+            bitmap_builds: self.bitmap_builds.saturating_sub(earlier.bitmap_builds),
             detect_eliminations: self
                 .detect_eliminations
                 .saturating_sub(earlier.detect_eliminations),
@@ -403,6 +419,7 @@ mod tests {
     fn record_run_accumulates_into_globals() {
         let before = MINE.snapshot();
         MINE.record_run(100, 40, 2000, 7, 60);
+        MINE.add_bitmap_builds(9);
         MINE.add_detect_eliminations(3);
         MINE.add_online_holds(11);
         MINE.add_online_eliminations(5);
@@ -414,6 +431,7 @@ mod tests {
         assert!(delta.unit_counts_skipped >= 2000);
         assert!(delta.cycles_eliminated >= 7);
         assert!(delta.support_computations >= 60);
+        assert!(delta.bitmap_builds >= 9);
         assert!(delta.detect_eliminations >= 3);
         assert!(delta.online_holds >= 11);
         assert!(delta.online_eliminations >= 5);

@@ -17,6 +17,8 @@ pub enum Route {
     IngestUnits,
     /// `GET /v1/rules`
     Rules,
+    /// `GET /v1/items` (per-item window supports)
+    Items,
     /// `GET /v1/health`
     Health,
     /// `GET /metrics`
@@ -36,9 +38,10 @@ pub enum Route {
 }
 
 impl Route {
-    const ALL: [Route; 10] = [
+    const ALL: [Route; 11] = [
         Route::IngestUnits,
         Route::Rules,
+        Route::Items,
         Route::Health,
         Route::Metrics,
         Route::Shutdown,
@@ -53,14 +56,15 @@ impl Route {
         match self {
             Route::IngestUnits => 0,
             Route::Rules => 1,
-            Route::Health => 2,
-            Route::Metrics => 3,
-            Route::Shutdown => 4,
-            Route::DebugProfile => 5,
-            Route::DebugEvents => 6,
-            Route::DebugSpans => 7,
-            Route::DebugTraces => 8,
-            Route::Other => 9,
+            Route::Items => 2,
+            Route::Health => 3,
+            Route::Metrics => 4,
+            Route::Shutdown => 5,
+            Route::DebugProfile => 6,
+            Route::DebugEvents => 7,
+            Route::DebugSpans => 8,
+            Route::DebugTraces => 9,
+            Route::Other => 10,
         }
     }
 
@@ -72,6 +76,7 @@ impl Route {
         match self {
             Route::IngestUnits => "ingest_units",
             Route::Rules => "rules",
+            Route::Items => "items",
             Route::Health => "health",
             Route::Metrics => "metrics",
             Route::Shutdown => "shutdown",
@@ -103,7 +108,7 @@ struct RouteCounters {
 /// All daemon counters. Cheap to share behind an `Arc`.
 #[derive(Default)]
 pub struct Metrics {
-    requests: [RouteCounters; 10],
+    requests: [RouteCounters; 11],
     latency_buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
@@ -421,6 +426,11 @@ impl Metrics {
                 "car_mine_support_computations_total",
                 "Itemset-per-unit support computations performed.",
                 mine.support_computations,
+            ),
+            (
+                "car_mine_bitmap_builds_total",
+                "Vertical tid-bitmap constructions by the counting kernel.",
+                mine.bitmap_builds,
             ),
             (
                 "car_mine_detect_eliminations_total",

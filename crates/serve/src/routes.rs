@@ -17,6 +17,10 @@
 //!   Responses are served from an epoch-keyed body cache invalidated on
 //!   every apply — repeated polls with the same parameters between
 //!   ingests cost one mutex and one body clone, no miner lock.
+//! * `GET /v1/items` — per-item support totals over the retained
+//!   window, summed from the per-unit frequent-item lists the vertical
+//!   counting kernel keeps. Shard workers expose this so the router can
+//!   merge item supports across the cluster with a cheap integer sum.
 //! * `GET /v1/health` — liveness and window occupancy.
 //! * `GET /metrics` — Prometheus text exposition (not JSON).
 //! * `GET /v1/debug/profile` — the car-obs span profile (per-span
@@ -79,6 +83,7 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/units") => (Route::IngestUnits, ingest_units(state, req)),
         ("GET", "/v1/rules") => (Route::Rules, get_rules(state, req)),
+        ("GET", "/v1/items") => (Route::Items, get_items(state, req)),
         ("GET", "/v1/health") => (Route::Health, health(state)),
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
         ("GET", "/v1/debug/profile") => (Route::DebugProfile, debug_profile(state)),
@@ -87,8 +92,9 @@ pub fn handle(state: &Arc<AppState>, req: &Request) -> (Route, Response) {
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
         (
             _,
-            "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown"
-            | "/v1/debug/profile" | "/v1/debug/events" | "/v1/debug/spans",
+            "/v1/units" | "/v1/rules" | "/v1/items" | "/v1/health" | "/metrics"
+            | "/v1/shutdown" | "/v1/debug/profile" | "/v1/debug/events"
+            | "/v1/debug/spans",
         ) => (Route::Other, Response::error(405, "method not allowed")),
         _ => (Route::Other, Response::error(404, "no such endpoint")),
     }
@@ -362,6 +368,41 @@ fn get_rules(state: &Arc<AppState>, req: &Request) -> Response {
     let shared = std::sync::Arc::new(body);
     state.query_cache.insert(epoch, key, std::sync::Arc::clone(&shared));
     rules_response(state, epoch, shared.as_ref().clone())
+}
+
+fn get_items(state: &Arc<AppState>, req: &Request) -> Response {
+    let deadline = request_deadline(req);
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return deadline_exceeded_response();
+    }
+    if state.recovery.is_recovering() {
+        return Response::error(
+            503,
+            "recovering the window from disk; item supports are not yet consistent",
+        );
+    }
+    let miner = state.miner.read_or_recover();
+    let supports = miner.item_supports();
+    let units_retained = miner.len();
+    let window = miner.window();
+    let epoch = miner.total_pushed();
+    drop(miner);
+
+    let items: Vec<Json> = supports
+        .iter()
+        .map(|(id, support)| {
+            object([("id", Json::from(*id)), ("support", Json::from(*support))])
+        })
+        .collect();
+    let body = object([
+        ("units_retained", Json::from(units_retained)),
+        ("window", Json::from(window)),
+        ("count", Json::from(items.len())),
+        ("items", Json::Array(items)),
+    ])
+    .render()
+    .into_bytes();
+    rules_response(state, epoch, body)
 }
 
 /// Wraps a rendered rules body with the cluster-facing headers:
@@ -766,6 +807,55 @@ mod tests {
         assert!(rules
             .iter()
             .all(|r| r.get("rule").and_then(Json::as_str) != Some("{1} => {2}")));
+        state.begin_shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn items_route_reports_window_supports() {
+        let state = test_state();
+        let worker = crate::state::spawn_ingest_worker(Arc::clone(&state)).unwrap();
+        // An empty window answers 200 with zero items (unlike /v1/rules,
+        // there is no l_max warm-up requirement for raw item supports).
+        let (_, resp) = handle(&state, &request("GET", "/v1/items", &[], b""));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(0));
+
+        let body = br#"{"transactions": [[1, 2], [1, 2], [1, 2], [7]]}"#;
+        for _ in 0..2 {
+            let (_, resp) =
+                handle(&state, &request("POST", "/v1/units", &[("wait", "true")], body));
+            assert_eq!(resp.status, 200);
+        }
+        let (route, resp) = handle(&state, &request("GET", "/v1/items", &[], b""));
+        assert_eq!(route, Route::Items);
+        assert_eq!(resp.status, 200);
+        assert!(resp.extra_headers.iter().any(|(k, v)| k == "x-car-epoch" && v == "2"));
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("units_retained").and_then(Json::as_u64), Some(2));
+        let items = doc.get("items").and_then(Json::as_array).unwrap();
+        let support = |id: u64| {
+            items
+                .iter()
+                .find(|e| e.get("id").and_then(Json::as_u64) == Some(id))
+                .and_then(|e| e.get("support").and_then(Json::as_u64))
+        };
+        // Items 1 and 2 are frequent in both units (3+3); item 7 appears
+        // once per unit and — with min support 0.5 of 4 transactions —
+        // falls below the per-unit threshold, so it is not retained.
+        assert_eq!(support(1), Some(6));
+        assert_eq!(support(2), Some(6));
+        assert_eq!(support(7), None);
+        // Sorted by item id for deterministic merge at the router.
+        let ids: Vec<u64> =
+            items.iter().filter_map(|e| e.get("id").and_then(Json::as_u64)).collect();
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort_unstable();
+        assert_eq!(ids, sorted_ids);
+        // Wrong method on the path is 405, not 404.
+        let (_, resp) = handle(&state, &request("POST", "/v1/items", &[], b""));
+        assert_eq!(resp.status, 405);
         state.begin_shutdown();
         worker.join().unwrap();
     }

@@ -51,6 +51,68 @@ pub fn parse_rules_body(text: &str) -> Result<ShardView, String> {
     Ok(ShardView { units_retained, window, rules })
 }
 
+/// One worker's parsed `GET /v1/items` response.
+#[derive(Clone, Debug)]
+pub struct ItemsView {
+    /// Units the worker currently retains.
+    pub units_retained: u64,
+    /// The worker's configured window length.
+    pub window: u64,
+    /// `(item id, summed support)` pairs, sorted by id.
+    pub items: Vec<(u32, u64)>,
+}
+
+/// Parses a worker's `GET /v1/items` body back into typed supports.
+///
+/// # Errors
+///
+/// A message naming the first missing or malformed field; as with
+/// rules, an unparsable `200` body is a failed fan-out leg, never an
+/// empty view.
+pub fn parse_items_body(text: &str) -> Result<ItemsView, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let units_retained = doc
+        .get("units_retained")
+        .and_then(Json::as_u64)
+        .ok_or("missing units_retained")?;
+    let window = doc.get("window").and_then(Json::as_u64).ok_or("missing window")?;
+    let items_json = doc.get("items").and_then(Json::as_array).ok_or("missing items")?;
+    let mut items = Vec::with_capacity(items_json.len());
+    for (i, entry) in items_json.iter().enumerate() {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_u64)
+            .and_then(|id| u32::try_from(id).ok())
+            .ok_or_else(|| format!("item {i}: invalid id"))?;
+        let support = entry
+            .get("support")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("item {i}: missing support"))?;
+        items.push((id, support));
+    }
+    Ok(ItemsView { units_retained, window, items })
+}
+
+/// Sums per-item supports across shard views. Every transaction is
+/// owned by exactly one shard ([`crate::ring::ShardRing::split_unit`]
+/// routes each transaction whole), so the cluster-wide support of an
+/// item is the plain saturating sum of its per-shard supports — no
+/// cross-shard recount. Output is sorted by item id, matching the
+/// single-node `/v1/items` ordering.
+pub fn merge_item_supports<I>(views: I) -> Vec<(u32, u64)>
+where
+    I: IntoIterator<Item = Vec<(u32, u64)>>,
+{
+    let mut by_id: BTreeMap<u32, u64> = BTreeMap::new();
+    for view in views {
+        for (id, support) in view {
+            let slot = by_id.entry(id).or_insert(0);
+            *slot = slot.saturating_add(support);
+        }
+    }
+    by_id.into_iter().collect()
+}
+
 fn parse_rule(entry: &Json) -> Result<CyclicRule, String> {
     let antecedent = parse_ids(entry.get("antecedent"))?;
     let consequent = parse_ids(entry.get("consequent"))?;
@@ -184,5 +246,36 @@ mod tests {
     #[test]
     fn empty_views_merge_to_empty() {
         assert!(merge_rule_views([Vec::new(), Vec::new()]).is_empty());
+    }
+
+    #[test]
+    fn item_supports_sum_across_shards_sorted_by_id() {
+        let a = vec![(1u32, 5u64), (3, 2)];
+        let b = vec![(2u32, 4u64), (3, 6)];
+        assert_eq!(merge_item_supports([b, a]), vec![(1, 5), (2, 4), (3, 8)],);
+        assert!(merge_item_supports([Vec::new(), Vec::new()]).is_empty());
+    }
+
+    #[test]
+    fn items_body_round_trips_through_parse() {
+        let body = r#"{"units_retained":3,"window":8,"count":2,"items":[{"id":1,"support":6},{"id":9,"support":2}]}"#;
+        let view = parse_items_body(body).unwrap();
+        assert_eq!(view.units_retained, 3);
+        assert_eq!(view.window, 8);
+        assert_eq!(view.items, vec![(1, 6), (9, 2)]);
+    }
+
+    #[test]
+    fn malformed_items_bodies_are_errors() {
+        assert!(parse_items_body("not json").is_err());
+        assert!(parse_items_body("{}").is_err());
+        assert!(parse_items_body(
+            r#"{"units_retained":1,"window":2,"items":[{"id":-1,"support":0}]}"#
+        )
+        .is_err());
+        assert!(parse_items_body(
+            r#"{"units_retained":1,"window":2,"items":[{"id":1}]}"#
+        )
+        .is_err());
     }
 }

@@ -17,6 +17,10 @@
 //!   carry `partial=true` and an `X-Car-Shards-Degraded` header. Each
 //!   leg's `x-car-epoch` is collected and the merged body surfaces
 //!   `epoch_min`/`epoch_max` so clients can detect cross-shard skew.
+//! * `GET /v1/items` — fans out to all live workers and merges the
+//!   per-item window support totals with a plain saturating sum: each
+//!   transaction is owned by exactly one shard, so no support is
+//!   counted twice. Degraded shards surface exactly as for rules.
 //! * `GET /v1/health`, `GET /metrics`, `POST /v1/shutdown` — router
 //!   health, Prometheus metrics (`car_shard_*`), graceful shutdown.
 //! * `GET /v1/debug/traces` — tail-retained distributed traces: with no
@@ -750,14 +754,15 @@ pub fn handle(state: &Arc<RouterState>, req: &http::Request) -> (Route, Response
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/units") => (Route::IngestUnits, ingest(state, req)),
         ("GET", "/v1/rules") => (Route::Rules, rules(state, req)),
+        ("GET", "/v1/items") => (Route::Items, items(state, req)),
         ("GET", "/v1/health") => (Route::Health, health(state)),
         ("GET", "/metrics") => (Route::Metrics, metrics(state)),
         ("POST", "/v1/shutdown") => (Route::Shutdown, shutdown(state)),
         ("GET", "/v1/debug/traces") => (Route::DebugTraces, debug_traces(state, req)),
         (
             _,
-            "/v1/units" | "/v1/rules" | "/v1/health" | "/metrics" | "/v1/shutdown"
-            | "/v1/debug/traces",
+            "/v1/units" | "/v1/rules" | "/v1/items" | "/v1/health" | "/metrics"
+            | "/v1/shutdown" | "/v1/debug/traces",
         ) => (Route::Other, Response::error(405, "method not allowed")),
         _ => (Route::Other, Response::error(404, "no such endpoint")),
     }
@@ -1097,6 +1102,218 @@ fn rules(state: &Arc<RouterState>, req: &http::Request) -> Response {
             Json::Array(degraded.iter().map(|&id| Json::from(u64::from(id))).collect()),
         ),
         ("rules", Json::Array(rendered)),
+    ]);
+    degrade(Response::json(200, &body), &degraded)
+}
+
+/// One `/v1/items` fan-out leg's disposition. Unlike rules legs there
+/// is no warming or bad-request case: workers answer item supports at
+/// any window occupancy and the route takes no parameters.
+enum ItemsLeg {
+    Ok { view: crate::merge::ItemsView, epoch: Option<u64> },
+    Skipped(u32),
+    Failed(u32),
+    TimedOut(u32),
+}
+
+fn items_leg_outcome(leg: &ItemsLeg) -> &'static str {
+    match leg {
+        ItemsLeg::Ok { .. } => "ok",
+        ItemsLeg::Skipped(_) => "skipped",
+        ItemsLeg::Failed(_) => "failed",
+        ItemsLeg::TimedOut(_) => "timed_out",
+    }
+}
+
+/// Fans `GET /v1/items` out to all live workers and merges the
+/// per-item support totals with a plain sum — each transaction is
+/// owned by exactly one shard, so no support is counted twice. Down
+/// or deadline-blown shards are excluded and surface as `partial`.
+fn items(state: &Arc<RouterState>, req: &http::Request) -> Response {
+    let budget = req
+        .header("x-car-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map_or(state.config.request_budget, |d| d.min(state.config.request_budget));
+    let deadline = Instant::now() + budget;
+
+    let leg_ctx = LegTraceContext::capture();
+    let legs: Vec<ItemsLeg> = std::thread::scope(|scope| {
+        let handles: Vec<_> = state
+            .workers
+            .iter()
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut w = worker.lock_or_recover();
+                    let leg_uid = trace::mint_span_uid();
+                    let start_us = trace::wall_now_us();
+                    let started = Instant::now();
+                    let breaker = w.breaker.state().label();
+                    let mut worker_spans = Vec::new();
+                    let mut epoch_attr = None;
+                    let leg = (|w: &mut Worker| {
+                        if w.state() != WorkerState::Up {
+                            return ItemsLeg::Skipped(w.shard_id);
+                        }
+                        let remaining =
+                            deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            SHARD.add_fanout_failures(1);
+                            SHARD.add_deadline_exceeded();
+                            return ItemsLeg::TimedOut(w.shard_id);
+                        }
+                        let mut headers = vec![(
+                            "X-Car-Deadline-Ms",
+                            u64::try_from(remaining.as_millis())
+                                .unwrap_or(u64::MAX)
+                                .to_string(),
+                        )];
+                        if let Some(ctx) = leg_ctx {
+                            headers.extend(ctx.headers(leg_uid));
+                        }
+                        SHARD.add_fanout_legs(1);
+                        let response = w.client.request_with(
+                            "GET",
+                            "/v1/items",
+                            &headers,
+                            None,
+                            Some(deadline),
+                        );
+                        if let Some(ctx) = leg_ctx {
+                            worker_spans = ctx.worker_spans(response.as_ref());
+                        }
+                        match response {
+                            Some(resp) if resp.status == 200 => {
+                                match crate::merge::parse_items_body(&resp.body_text()) {
+                                    Ok(view) => {
+                                        w.record_success();
+                                        let epoch = resp
+                                            .header("x-car-epoch")
+                                            .and_then(|v| v.parse::<u64>().ok());
+                                        epoch_attr = epoch;
+                                        ItemsLeg::Ok { view, epoch }
+                                    }
+                                    Err(msg) => {
+                                        SHARD.add_fanout_failures(1);
+                                        car_obs::warn!(
+                                            "shard",
+                                            [shard = w.shard_id],
+                                            "unparsable items body: {msg}"
+                                        );
+                                        ItemsLeg::Failed(w.shard_id)
+                                    }
+                                }
+                            }
+                            Some(resp) if resp.status == 504 => {
+                                SHARD.add_fanout_failures(1);
+                                SHARD.add_deadline_exceeded();
+                                ItemsLeg::TimedOut(w.shard_id)
+                            }
+                            Some(_) => {
+                                SHARD.add_fanout_failures(1);
+                                w.record_failure();
+                                ItemsLeg::Failed(w.shard_id)
+                            }
+                            None => {
+                                SHARD.add_fanout_failures(1);
+                                if Instant::now() >= deadline {
+                                    SHARD.add_deadline_exceeded();
+                                    ItemsLeg::TimedOut(w.shard_id)
+                                } else {
+                                    w.record_failure();
+                                    ItemsLeg::Failed(w.shard_id)
+                                }
+                            }
+                        }
+                    })(&mut w);
+                    let spans = leg_ctx.map_or_else(Vec::new, |ctx| {
+                        let mut attrs = vec![
+                            ("shard".into(), w.shard_id.to_string()),
+                            ("breaker".into(), breaker.to_string()),
+                            ("outcome".into(), items_leg_outcome(&leg).into()),
+                        ];
+                        if let Some(epoch) = epoch_attr {
+                            attrs.push(("epoch".into(), epoch.to_string()));
+                        }
+                        let mut spans = std::mem::take(&mut worker_spans);
+                        spans.push(ctx.leg_span(
+                            leg_uid,
+                            "router.leg.items",
+                            start_us,
+                            started,
+                            attrs,
+                        ));
+                        spans
+                    });
+                    (leg, spans)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(shard_id, h)| match h.join() {
+                Ok((leg, spans)) => {
+                    for span in spans {
+                        trace::record_span(span);
+                    }
+                    leg
+                }
+                Err(_) => {
+                    log_warn("shard fan-out thread panicked");
+                    ItemsLeg::Failed(shard_id as u32)
+                }
+            })
+            .collect()
+    });
+
+    let mut views = Vec::new();
+    let mut epochs = Vec::new();
+    let mut degraded = Vec::new();
+    let mut timed_out = false;
+    for leg in legs {
+        match leg {
+            ItemsLeg::Ok { view, epoch } => {
+                epochs.extend(epoch);
+                views.push(view);
+            }
+            ItemsLeg::Skipped(id) | ItemsLeg::Failed(id) => degraded.push(id),
+            ItemsLeg::TimedOut(id) => {
+                timed_out = true;
+                degraded.push(id);
+            }
+        }
+    }
+    degraded.sort_unstable();
+    if views.is_empty() {
+        if timed_out {
+            return degrade(Response::error(504, "deadline_exceeded"), &degraded);
+        }
+        return degrade(Response::error(503, "no live shard workers"), &degraded);
+    }
+
+    let units_retained = views.iter().map(|v| v.units_retained).max().unwrap_or(0);
+    let window = views.iter().map(|v| v.window).max().unwrap_or(0);
+    let epoch_json = |e: Option<&u64>| e.map_or(Json::Null, |&e| Json::from(e));
+    let merged = crate::merge::merge_item_supports(views.into_iter().map(|v| v.items));
+    let rendered: Vec<Json> = merged
+        .iter()
+        .map(|(id, support)| {
+            object([("id", Json::from(*id)), ("support", Json::from(*support))])
+        })
+        .collect();
+    let body = object([
+        ("units_retained", Json::from(units_retained)),
+        ("window", Json::from(window)),
+        ("epoch_min", epoch_json(epochs.iter().min())),
+        ("epoch_max", epoch_json(epochs.iter().max())),
+        ("count", Json::from(rendered.len())),
+        ("partial", Json::from(!degraded.is_empty())),
+        (
+            "degraded",
+            Json::Array(degraded.iter().map(|&id| Json::from(u64::from(id))).collect()),
+        ),
+        ("items", Json::Array(rendered)),
     ]);
     degrade(Response::json(200, &body), &degraded)
 }

@@ -205,6 +205,66 @@ fn routed_rules_match_single_node_byte_for_byte() {
 }
 
 #[test]
+fn routed_item_supports_match_single_node_and_degrade() {
+    let units = pure_units(2, 6);
+    let (mut workers, router) = spawn_cluster(2);
+    let oracle = spawn_worker("127.0.0.1:0", None);
+    let body = batch_body(&units);
+
+    let mut rc = Client::connect(&router.addr.to_string()).unwrap();
+    let resp = rc.request("POST", "/v1/units?wait=true", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    let mut oc = Client::connect(&oracle.addr.to_string()).unwrap();
+    let resp = oc.request("POST", "/v1/units?wait=true", Some(&body)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.body_text());
+
+    // The merged per-item supports are byte-identical to a single node
+    // that saw the same units: each transaction lives on exactly one
+    // shard, so the router's saturating sum reconstructs the oracle's
+    // counts exactly (both arrays are sorted by item id).
+    let routed = rc.request("GET", "/v1/items", None).unwrap();
+    assert_eq!(routed.status, 200, "{}", routed.body_text());
+    let single = oc.request("GET", "/v1/items", None).unwrap();
+    assert_eq!(single.status, 200, "{}", single.body_text());
+    let routed_doc = Json::parse(&routed.body_text()).unwrap();
+    let single_doc = Json::parse(&single.body_text()).unwrap();
+    assert_eq!(routed_doc.get("partial").and_then(Json::as_bool), Some(false));
+    assert_eq!(routed_doc.get("epoch_min").and_then(Json::as_u64), Some(6));
+    assert_eq!(routed_doc.get("epoch_max").and_then(Json::as_u64), Some(6));
+    let items = routed_doc.get("items").expect("items array").render();
+    assert_ne!(items, "[]", "planted items must appear");
+    assert_eq!(items, single_doc.get("items").expect("items array").render());
+
+    // Kill one worker: the merged supports degrade (partial=true, the
+    // shard listed) instead of failing.
+    let victim = workers.pop().unwrap();
+    victim.trigger_shutdown();
+    victim.wait();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let doc = loop {
+        let resp = rc.request("GET", "/v1/items", None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let doc = Json::parse(&resp.body_text()).unwrap();
+        if doc.get("partial").and_then(Json::as_bool) == Some(true) {
+            break doc;
+        }
+        assert!(Instant::now() < deadline, "dead shard never degraded /v1/items");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(doc.get("degraded").map(Json::render), Some("[1]".to_string()));
+
+    let resp = rc.request("POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    router.wait();
+    oracle.trigger_shutdown();
+    oracle.wait();
+    for w in workers {
+        w.trigger_shutdown();
+        w.wait();
+    }
+}
+
+#[test]
 fn dead_worker_degrades_then_catchup_readmits() {
     let units = pure_units(2, 10);
     let (mut workers, router) = spawn_cluster(2);

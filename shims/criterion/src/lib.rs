@@ -10,15 +10,91 @@
 //! configured number of samples, and prints min/median/mean per
 //! iteration. No statistical analysis, HTML reports, or baselines.
 //!
+//! Two environment variables drive CI integration:
+//!
+//! * `CAR_BENCH_JSON=<path>` — after every completed benchmark, rewrite
+//!   `<path>` as a valid JSON array of all results so far (one object
+//!   per benchmark: `group`, `name`, `n`, `min_ns`, `median_ns`,
+//!   `mean_ns`). Rewriting the whole array each time means the file is
+//!   parseable even if the bench binary is interrupted part-way.
+//! * `CAR_BENCH_QUICK=1` — clamp warm-up to 50ms, measurement to 200ms,
+//!   and samples to 10 per benchmark, regardless of what the bench
+//!   source configures. CI smoke runs use this to prove the bench
+//!   compiles and runs without paying full measurement time.
+//!
 //! [`bench_with_input`]: BenchmarkGroup::bench_with_input
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// All results reported so far, pre-rendered as JSON objects; the
+/// `CAR_BENCH_JSON` file is rewritten from this registry after every
+/// benchmark.
+static JSON_RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Whether `CAR_BENCH_QUICK` asks for clamped warm-up and measurement.
+fn quick_mode() -> bool {
+    std::env::var("CAR_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The `CAR_BENCH_JSON` output path, if set and non-empty.
+fn json_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("CAR_BENCH_JSON")
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one result to the registry and rewrites the JSON file (when
+/// `CAR_BENCH_JSON` is set) as a complete, valid array.
+fn record_json(
+    group: &str,
+    name: &str,
+    n: usize,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+) {
+    let Some(path) = json_path() else { return };
+    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    let record = format!(
+        "{{\"group\":\"{}\",\"name\":\"{}\",\"n\":{},\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{}}}",
+        json_escape(group),
+        json_escape(name),
+        n,
+        ns(min),
+        ns(median),
+        ns(mean)
+    );
+    let Ok(mut records) = JSON_RECORDS.lock() else { return };
+    records.push(record);
+    let body = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("CAR_BENCH_JSON: failed to write {}: {e}", path.display());
+    }
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
@@ -111,10 +187,19 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        let quick = quick_mode();
         let mut bencher = Bencher {
-            sample_size: self.sample_size,
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
+            sample_size: if quick { self.sample_size.min(10) } else { self.sample_size },
+            warm_up_time: if quick {
+                self.warm_up_time.min(Duration::from_millis(50))
+            } else {
+                self.warm_up_time
+            },
+            measurement_time: if quick {
+                self.measurement_time.min(Duration::from_millis(200))
+            } else {
+                self.measurement_time
+            },
             samples: Vec::new(),
         };
         f(&mut bencher);
@@ -212,6 +297,7 @@ impl Bencher {
             mean,
             sorted.len()
         );
+        record_json(group, label, sorted.len(), min, median, mean);
     }
 }
 
@@ -262,5 +348,29 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("plain/label"), "plain/label");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t"), "x\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn record_json_is_a_noop_without_the_env_var() {
+        // No CAR_BENCH_JSON in the test environment: must not write
+        // anywhere or grow the registry.
+        let before = JSON_RECORDS.lock().unwrap().len();
+        record_json(
+            "g",
+            "n",
+            3,
+            Duration::from_nanos(1),
+            Duration::from_nanos(2),
+            Duration::from_nanos(3),
+        );
+        assert_eq!(JSON_RECORDS.lock().unwrap().len(), before);
     }
 }
